@@ -1,0 +1,71 @@
+// Ablation — related-work parallel schemes (§2.2): leaf-parallel [1] and
+// root-parallel [6] against the paper's tree-parallel schemes, at a fixed
+// per-move playout budget.
+//
+// The comparison the paper's related-work section predicts:
+//  * leaf-parallel wastes its budget on duplicate evaluations of the same
+//    leaf ("lack of diverse evaluation coverage") → far fewer distinct
+//    tree nodes per playout, weaker tactics at the same budget;
+//  * root-parallel splits the budget across independent trees that revisit
+//    the same states → each tree is shallow;
+//  * tree-parallel (shared/local) spends the full budget on one tree.
+
+#include <cstdio>
+
+#include "eval/evaluator.hpp"
+#include "games/gomoku.hpp"
+#include "mcts/factory.hpp"
+#include "support/table.hpp"
+
+using namespace apm;
+
+namespace {
+
+// TicTacToe tactic: X holds 0 and 1 of the top row, O to move must block
+// at action 2 (any other O move loses to X playing 2).
+Gomoku blocking_position() {
+  Gomoku g = make_tictactoe();
+  g.apply(0);  // X
+  g.apply(3);  // O
+  g.apply(1);  // X — threatens 0-1-2
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: leaf-/root-parallel baselines vs tree-parallel ===\n");
+  const Gomoku g = blocking_position();
+  const int must_block = 2;
+  std::printf("position (O to move, must block at action %d):\n%s\n",
+              must_block, g.to_string().c_str());
+
+  Table table({"scheme", "N", "distinct nodes", "eval requests",
+               "best action", "blocked?"});
+  const int playouts = 800;
+  for (Scheme scheme : {Scheme::kSerial, Scheme::kSharedTree,
+                        Scheme::kLocalTree, Scheme::kLeafParallel,
+                        Scheme::kRootParallel}) {
+    const int workers = scheme == Scheme::kSerial ? 1 : 8;
+    SyntheticEvaluator eval(g.action_count(), g.encode_size(),
+                            /*latency_us=*/20.0);
+    MctsConfig cfg;
+    cfg.num_playouts = playouts;
+    cfg.c_puct = 3.0f;
+    auto search = make_search(scheme, cfg, workers, {.evaluator = &eval});
+    const SearchResult r = search->search(g);
+    table.add_row({to_string(scheme), std::to_string(workers),
+                   std::to_string(r.metrics.nodes),
+                   std::to_string(r.metrics.eval_requests),
+                   std::to_string(r.best_action),
+                   r.best_action == must_block ? "yes" : "NO"});
+  }
+  table.print("same playout budget, different parallel schemes");
+
+  std::printf(
+      "\ncheck (paper, §2.2): leaf-parallel expands far fewer distinct "
+      "nodes (duplicate\nevaluations), root-parallel splits the budget "
+      "across shallow trees; the\ntree-parallel schemes use the full "
+      "budget on one tree and find the block.\n");
+  return 0;
+}

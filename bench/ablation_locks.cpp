@@ -1,0 +1,116 @@
+// Ablation — lock discipline and virtual-loss weight (design choices
+// DESIGN.md §5 calls out).
+//
+//  (a) per-node spinlocks + per-edge atomics (this repo's default) vs one
+//      coarse tree lock (Algorithm 2 taken literally, as in the original
+//      tree-parallel MCTS [2]): real threads on this host, measuring move
+//      wall time. Even on one core the coarse lock serializes strictly
+//      more work per rollout.
+//  (b) virtual-loss constant VL ∈ {0, 1, 3, 10}: with VL=0 concurrent
+//      workers pile onto the same path (expansion collisions / identical
+//      leaf evaluations); growing VL spreads them out. Measured by the
+//      number of distinct tree nodes after a fixed playout budget.
+
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "eval/evaluator.hpp"
+#include "games/gomoku.hpp"
+#include "mcts/shared_tree.hpp"
+#include "support/table.hpp"
+
+using namespace apm;
+
+namespace {
+
+// Synthetic evaluator that *sleeps* instead of busy-waiting, so that on a
+// single-core host concurrent evaluations genuinely overlap and the
+// virtual-loss effect on selection is observable.
+class SleepingEvaluator final : public Evaluator {
+ public:
+  SleepingEvaluator(int actions, std::size_t input_size, double latency_us)
+      : inner_(actions, input_size, 0.0), latency_us_(latency_us) {}
+
+  int action_count() const override { return inner_.action_count(); }
+  std::size_t input_size() const override { return inner_.input_size(); }
+  void evaluate(const float* input, EvalOutput& out) override {
+    inner_.evaluate(input, out);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(
+        static_cast<std::int64_t>(latency_us_ * 1e3)));
+  }
+
+ private:
+  SyntheticEvaluator inner_;
+  double latency_us_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: lock discipline & virtual loss ===\n");
+  Gomoku game(9, 5);
+
+  {
+    Table table({"lock mode", "N", "move time (ms)", "nodes",
+                 "iteration (us)"});
+    for (LockMode mode : {LockMode::kPerNode, LockMode::kCoarse}) {
+      for (int workers : {2, 4, 8}) {
+        SyntheticEvaluator eval(game.action_count(), game.encode_size(),
+                                /*latency_us=*/30.0);
+        MctsConfig cfg;
+        cfg.num_playouts = 400;
+        cfg.lock_mode = mode;
+        SharedTreeMcts search(cfg, workers, eval);
+        const SearchResult r = search.search(game);
+        table.add_row({mode == LockMode::kPerNode ? "per-node" : "coarse",
+                       std::to_string(workers),
+                       Table::fmt(r.metrics.move_seconds * 1e3, 1),
+                       std::to_string(r.metrics.nodes),
+                       Table::fmt(r.metrics.amortized_iteration_us(), 1)});
+      }
+    }
+    table.print("(a) per-node locks vs coarse tree lock (real threads)");
+    std::printf(
+        "note: this host has one core, so lock contention cannot manifest "
+        "and the\ncoarse lock's lower bookkeeping cost can even win; on a "
+        "multi-core machine the\ncoarse lock serialises all in-tree work "
+        "across N workers (the motivation for\nper-node locking in [2] "
+        "and for the lock-light design here).\n");
+  }
+
+  {
+    // Virtual loss is what creates parallelism in the shared tree (§2.1):
+    // with VL=0, concurrent workers select the same UCT-optimal leaf and
+    // serialise on its expansion (collision waits); VL>0 spreads them onto
+    // different paths whose evaluations genuinely overlap. Observable even
+    // on one core with a sleeping evaluator: move time collapses once VL
+    // diversifies the selections.
+    Table table({"virtual loss", "move time (ms)", "root entropy (nats)"});
+    for (float vl : {0.0f, 1.0f, 3.0f, 10.0f}) {
+      SleepingEvaluator eval(game.action_count(), game.encode_size(),
+                             /*latency_us=*/300.0);
+      MctsConfig cfg;
+      cfg.num_playouts = 400;
+      cfg.virtual_loss = vl;
+      SharedTreeMcts search(cfg, 8, eval);
+      const SearchResult r = search.search(game);
+      double entropy = 0.0;
+      for (float p : r.action_prior) {
+        if (p > 0.0f) entropy -= p * std::log(p);
+      }
+      table.add_row({Table::fmt(vl, 1),
+                     Table::fmt(r.metrics.move_seconds * 1e3, 1),
+                     Table::fmt(entropy, 3)});
+    }
+    table.print("(b) virtual-loss weight sensitivity (8 workers)");
+    std::printf(
+        "observed: with the wait-style collision handling used here, "
+        "workers pipeline\ndown a shared path even at VL=0, so move time "
+        "and root statistics are largely\nVL-insensitive — consistent with "
+        "§5.5's finding that parallel settings do not\ndegrade decision "
+        "quality. VL primarily shapes *which* leaves evaluate "
+        "concurrently.\n");
+  }
+  return 0;
+}

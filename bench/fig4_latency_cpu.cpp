@@ -1,0 +1,62 @@
+// Figure 4 — Amortized per-worker-iteration latency, CPU-only platform
+// (§5.3): local-tree vs shared-tree vs adaptive, N ∈ {1..64}.
+//
+// Expected shape (paper): the optimal method differs across N — the
+// local-tree wins while DNN inference is the bottleneck (small N;
+// overlapped eval + cache-resident tree), the shared-tree wins once the
+// serialised in-tree operations bind (large N); adaptive always picks the
+// winner, up to ≈1.5× over the worse fixed scheme.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+using namespace apm;
+
+namespace {
+
+void run_table(const char* title, const ProfiledCosts& costs,
+               const HardwareSpec& hw) {
+  PerfModel model(hw, costs);
+  SimParams base;
+  base.playouts = 1600;
+  base.costs = costs;
+  base.hw = hw;
+
+  Table table({"N", "local (us)", "shared (us)", "adaptive (us)", "chosen",
+               "speedup vs worst"});
+  for (int n : bench::kWorkerCounts) {
+    SimParams p = base;
+    p.workers = n;
+    const double local = simulate_local_cpu(p).amortized_iteration_us;
+    const double shared = simulate_shared_cpu(p).amortized_iteration_us;
+    const AdaptiveDecision d = model.decide_cpu(n);
+    const double adaptive =
+        d.scheme == Scheme::kLocalTree ? local : shared;
+    table.add_row({std::to_string(n), Table::fmt(local, 2),
+                   Table::fmt(shared, 2), Table::fmt(adaptive, 2),
+                   to_string(d.scheme),
+                   Table::fmt(std::max(local, shared) / adaptive, 2)});
+  }
+  table.print(title);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Figure 4: iteration latency, CPU-only");
+
+  const ProfiledCosts paper = bench::paper_costs();
+  bench::print_costs("paper-calibration", paper);
+  run_table("Fig.4 (paper-calibrated): amortized iteration latency, CPU-only",
+            paper, bench::paper_hardware());
+
+  // Host-measured series: same machinery, this machine's real costs. The
+  // scalar single-core DNN is far slower than the paper's, which pushes
+  // the local→shared crossover beyond N=64 (documented in EXPERIMENTS.md).
+  ProfiledCosts measured = bench::measured_costs(/*with_dnn=*/true);
+  bench::print_costs("host-measured", measured);
+  run_table("Fig.4 (host-measured costs)", measured, bench::paper_hardware());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 5 — Amortized per-worker-iteration latency, CPU-GPU platform
+// with batched inference (§5.3): shared-tree (batch = N) vs local-tree
+// (batch = B* from Algorithm 4) vs adaptive.
+//
+// Expected shape (paper): the shared-tree method wins at N = 16 (its
+// full-batch inference saturates the GPU while selection is parallel);
+// at N = 32/64 the tuned local-tree overtakes it (sub-batches overlap GPU
+// compute with the master's in-tree ops). Adaptive tracks the winner; up
+// to ≈3× over the worse fixed scheme.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "perfmodel/batch_search.hpp"
+#include "support/table.hpp"
+
+using namespace apm;
+
+int main() {
+  bench::print_banner("Figure 5: iteration latency, CPU-GPU (batched)");
+  const ProfiledCosts costs = bench::paper_costs();
+  const HardwareSpec hw = bench::paper_hardware();
+  bench::print_costs("paper-calibration", costs);
+
+  SimParams base;
+  base.playouts = 1600;
+  base.costs = costs;
+  base.hw = hw;
+  PerfModel model(hw, costs);
+
+  Table table({"N", "shared B=N (us)", "local B=N (us)", "B*",
+               "local B=B* (us)", "adaptive (us)", "chosen",
+               "speedup vs worst"});
+  for (int n : bench::kWorkerCounts) {
+    SimParams p = base;
+    p.workers = n;
+    const double shared = simulate_shared_gpu(p).amortized_iteration_us;
+
+    SimParams pfull = p;
+    pfull.batch = n;
+    const double local_full = simulate_local_gpu(pfull).amortized_iteration_us;
+
+    // Algorithm 4 with the DES as the "Test Run" (§4.2: one move per probe).
+    const BatchSearchResult found = find_min_batch(n, [&](int b) {
+      SimParams pb = p;
+      pb.batch = b;
+      return simulate_local_gpu(pb).amortized_iteration_us;
+    });
+    const double local_best = found.best_latency_us;
+
+    const bool pick_local = local_best <= shared;
+    const double adaptive = pick_local ? local_best : shared;
+    table.add_row({std::to_string(n), Table::fmt(shared, 2),
+                   Table::fmt(local_full, 2), std::to_string(found.best_batch),
+                   Table::fmt(local_best, 2), Table::fmt(adaptive, 2),
+                   pick_local ? "local-tree" : "shared-tree",
+                   Table::fmt(std::max(shared, local_best) / adaptive, 2)});
+  }
+  table.print("Fig.5: amortized iteration latency, CPU-GPU");
+  (void)model;
+
+  std::printf(
+      "\ncheck (paper): local-tree with fixed full batch degrades as N "
+      "grows past 16;\nshared-tree wins at N=16; tuned local-tree (B*) wins "
+      "at N=32 and 64.\n");
+  return 0;
+}

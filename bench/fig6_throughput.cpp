@@ -1,0 +1,92 @@
+// Figure 6 — Overall training throughput (processed samples/second) under
+// the optimal configuration returned by the design workflow, for the
+// CPU-only and CPU-GPU platforms (§5.4). One sample = one move = 1600
+// worker iterations.
+//
+// Expected shape (paper): CPU-GPU ≫ CPU-only; CPU-GPU grows near-linearly
+// with N and flattens once tree-search time drops below (GPU) training
+// time (around N≈16); CPU-only flattens much earlier because DNN training
+// on 32 CPU threads is the bottleneck. Also reproduces the §2.1 claim
+// that tree-based search is >85% of serial DNN-MCTS runtime.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "perfmodel/batch_search.hpp"
+#include "sim/throughput.hpp"
+#include "support/table.hpp"
+
+using namespace apm;
+
+int main() {
+  bench::print_banner("Figure 6: training throughput under optimal configs");
+  const ProfiledCosts costs = bench::paper_costs();
+  const HardwareSpec hw = bench::paper_hardware();
+  bench::print_costs("paper-calibration", costs);
+  PerfModel model(hw, costs);
+  TrainCostParams train;
+
+  // §2.1: serial profile — share of the tree-based search stage.
+  {
+    SimParams p;
+    p.playouts = 1600;
+    p.costs = costs;
+    p.hw = hw;
+    p.workers = 1;
+    const double search_us = simulate_serial(p).move_us;
+    const double train_us = train_us_per_sample_cpu(hw, costs, train);
+    std::printf(
+        "\nserial profile: tree-based search %.0f us/sample, training "
+        "%.0f us/sample -> search share %.1f%% (paper: >85%%)\n",
+        search_us, train_us, 100.0 * search_us / (search_us + train_us));
+  }
+
+  // Scheme selection per worker count via DES "test runs" (the §4.2
+  // workflow probes real moves; we probe simulated ones).
+  const double train_cpu_us = train_us_per_sample_cpu(hw, costs, train);
+  const double train_gpu_us = train_us_per_sample_gpu(hw, train);
+
+  Table table({"N", "CPU-only (samples/s)", "cpu scheme",
+               "CPU-GPU (samples/s)", "gpu scheme", "B"});
+  for (int n : bench::kWorkerCounts) {
+    SimParams p;
+    p.playouts = 1600;
+    p.costs = costs;
+    p.hw = hw;
+    p.workers = n;
+
+    // CPU platform: min of the two simulated schemes.
+    const double cpu_local = simulate_local_cpu(p).move_us;
+    const double cpu_shared = simulate_shared_cpu(p).move_us;
+    const bool cpu_pick_local = cpu_local <= cpu_shared;
+    const double cpu_search = std::min(cpu_local, cpu_shared);
+    const double cpu_tput = 1e6 / std::max(cpu_search, train_cpu_us);
+
+    // GPU platform: shared(B=N) vs local(B* from Algorithm 4 over the DES).
+    const double gpu_shared = simulate_shared_gpu(p).move_us;
+    const BatchSearchResult found = find_min_batch(n, [&](int b) {
+      SimParams pb = p;
+      pb.batch = b;
+      return simulate_local_gpu(pb).move_us;
+    });
+    const bool gpu_pick_local = found.best_latency_us <= gpu_shared;
+    const double gpu_search = std::min(found.best_latency_us, gpu_shared);
+    const double gpu_tput = 1e6 / std::max(gpu_search, train_gpu_us);
+
+    table.add_row(
+        {std::to_string(n), Table::fmt(cpu_tput, 3),
+         cpu_pick_local ? "local-tree" : "shared-tree",
+         Table::fmt(gpu_tput, 3),
+         gpu_pick_local ? "local-tree" : "shared-tree",
+         std::to_string(gpu_pick_local ? found.best_batch : n)});
+  }
+  table.print("Fig.6: training throughput vs workers");
+  std::printf("training bound: CPU %.0f us/sample, GPU %.0f us/sample\n",
+              train_cpu_us, train_gpu_us);
+
+  std::printf(
+      "\ncheck (paper): CPU-GPU ramps near-linearly then flattens past "
+      "N=16 (training-bound);\nCPU-only is training-bound (32 CPU threads) "
+      "almost immediately.\n");
+  return 0;
+}

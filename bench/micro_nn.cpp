@@ -1,0 +1,96 @@
+// Micro-benchmarks for the NN substrate: GEMM kernel scaling, the paper's
+// full 15×15 network, the tiny test network, and batch scaling — the
+// measured basis of T_DNN(batch) in Eqs. 3–6.
+
+#include <benchmark/benchmark.h>
+
+#include "eval/net_evaluator.hpp"
+#include "nn/policy_value_net.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace apm;
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng, 1.0f);
+  Tensor b = Tensor::randn({n, n}, rng, 1.0f);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(a.data(), b.data(), c.data(), n, n, n, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2Col(benchmark::State& state) {
+  const int c = 32, h = 15, w = 15, k = 3;
+  Rng rng(2);
+  Tensor x = Tensor::randn({c, h, w}, rng, 1.0f);
+  Tensor col({c * k * k, h * w});
+  for (auto _ : state) {
+    im2col(x.data(), c, h, w, k, 1, col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_NetForwardTiny(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  PolicyValueNet net(NetConfig::tiny(9), 4);
+  Rng rng(5);
+  Tensor x = Tensor::randn({batch, 4, 9, 9}, rng, 1.0f);
+  Activations acts;
+  Tensor policy, value;
+  for (auto _ : state) {
+    net.predict(x, acts, policy, value);
+    benchmark::DoNotOptimize(value.data());
+  }
+  state.counters["us_per_state"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * batch,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_NetForwardTiny)->Arg(1)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NetForwardPaper15x15(benchmark::State& state) {
+  // The §5.1 network: 5 conv + 3 FC on 15×15 — the T_DNN^CPU this host
+  // would plug into Eq. 3.
+  PolicyValueNet net(NetConfig{}, 4);
+  Rng rng(5);
+  Tensor x = Tensor::randn({1, 4, 15, 15}, rng, 1.0f);
+  Activations acts;
+  Tensor policy, value;
+  for (auto _ : state) {
+    net.predict(x, acts, policy, value);
+    benchmark::DoNotOptimize(value.data());
+  }
+}
+BENCHMARK(BM_NetForwardPaper15x15)->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_TrainStepTiny(benchmark::State& state) {
+  PolicyValueNet net(NetConfig::tiny(9), 4);
+  Rng rng(6);
+  const int batch = 16;
+  Tensor x = Tensor::randn({batch, 4, 9, 9}, rng, 1.0f);
+  Tensor pi({batch, 81});
+  pi.fill(1.0f / 81);
+  Tensor z({batch});
+  z.fill(0.1f);
+  Activations acts;
+  for (auto _ : state) {
+    net.zero_grad();
+    benchmark::DoNotOptimize(net.train_step(x, pi, z, acts));
+  }
+}
+BENCHMARK(BM_TrainStepTiny)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

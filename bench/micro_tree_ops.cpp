@@ -1,0 +1,129 @@
+// Micro-benchmarks for the in-tree operations — the quantities the §4.2
+// profiler feeds into Eqs. 3–6 (T_select, T_backup, expansion cost, node
+// allocation).
+
+#include <benchmark/benchmark.h>
+
+#include "eval/evaluator.hpp"
+#include "mcts/selection.hpp"
+#include "mcts/serial.hpp"
+#include "perfmodel/synthetic_game.hpp"
+
+namespace {
+
+using namespace apm;
+
+// Builds a tree of the Gomoku shape (fanout 225) with `playouts` rollouts.
+struct PreparedTree {
+  MctsConfig cfg;
+  SearchTree tree;
+  SyntheticGame game{225, 32};
+  SyntheticEvaluator eval{225, 4 * 15 * 15, 0.0};
+
+  explicit PreparedTree(int playouts) {
+    cfg.num_playouts = playouts;
+    SerialMcts search(cfg, eval);
+    (void)search.search(game);  // warm the arena
+  }
+};
+
+void BM_SelectionDescent(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  SyntheticGame game(fanout, 32);
+  SyntheticEvaluator eval(fanout, 64, 0.0);
+  MctsConfig cfg;
+  cfg.num_playouts = 512;
+  SerialMcts warm(cfg, eval);
+  (void)warm.search(game);
+
+  // Measure select+expand+backup amortized over fresh searches.
+  for (auto _ : state) {
+    SerialMcts search(cfg, eval);
+    benchmark::DoNotOptimize(search.search(game));
+  }
+  state.counters["us_per_iteration"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * cfg.num_playouts,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_SelectionDescent)->Arg(25)->Arg(81)->Arg(225)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExpandFanout(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  MctsConfig cfg;
+  SearchTree tree;
+  InTreeOps ops(tree, cfg);
+  SyntheticGame game(fanout, 8);
+  std::vector<float> policy(static_cast<std::size_t>(fanout),
+                            1.0f / fanout);
+  for (auto _ : state) {
+    state.PauseTiming();
+    tree.reset();
+    Node& root = tree.node(tree.root());
+    ExpandState expected = ExpandState::kLeaf;
+    root.state.compare_exchange_strong(expected, ExpandState::kExpanding);
+    state.ResumeTiming();
+    ops.expand(tree.root(), game, policy);
+  }
+}
+BENCHMARK(BM_ExpandFanout)->Arg(25)->Arg(225)->Arg(361);
+
+void BM_UctScan(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  MctsConfig cfg;
+  SearchTree tree;
+  InTreeOps ops(tree, cfg);
+  SyntheticGame game(fanout, 8);
+  std::vector<float> policy(static_cast<std::size_t>(fanout),
+                            1.0f / fanout);
+  Node& root = tree.node(tree.root());
+  ExpandState expected = ExpandState::kLeaf;
+  root.state.compare_exchange_strong(expected, ExpandState::kExpanding);
+  ops.expand(tree.root(), game, policy);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.select_edge(tree.root()));
+  }
+}
+BENCHMARK(BM_UctScan)->Arg(25)->Arg(225)->Arg(361);
+
+void BM_NodeAllocation(benchmark::State& state) {
+  SearchTree tree;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.allocate_node(0, kNullEdge));
+    if (tree.node_count() > 3'000'000) {
+      state.PauseTiming();
+      tree.reset();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_NodeAllocation);
+
+void BM_BackupDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  MctsConfig cfg;
+  SearchTree tree;
+  InTreeOps ops(tree, cfg);
+  // Build a single chain of `depth` nodes.
+  NodeId node = tree.root();
+  for (int d = 0; d < depth; ++d) {
+    Node& n = tree.node(node);
+    ExpandState expected = ExpandState::kLeaf;
+    n.state.compare_exchange_strong(expected, ExpandState::kExpanding);
+    const EdgeId e = tree.allocate_edges(1);
+    tree.edge(e).action = 0;
+    tree.edge(e).prior = 1.0f;
+    n.first_edge = e;
+    n.num_edges = 1;
+    n.state.store(ExpandState::kExpanded);
+    node = ops.get_or_create_child(node, e);
+  }
+  for (auto _ : state) {
+    ops.backup(node, 0.5f);
+  }
+}
+BENCHMARK(BM_BackupDepth)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Design-configuration workflow walkthrough (§4.2): profiles the in-tree
+// operations and the DNN on this host, plugs the costs into the Eq. 3–6
+// models, and prints the scheme decision per worker count for the CPU-only
+// and CPU-GPU platforms, including the Algorithm-4 batch search trace.
+
+#include <cstdio>
+
+#include "eval/net_evaluator.hpp"
+#include "perfmodel/batch_search.hpp"
+#include "perfmodel/workflow.hpp"
+#include "support/table.hpp"
+
+int main() {
+  // Paper benchmark shape: 15×15 Gomoku, 1600 playouts per move.
+  apm::WorkflowConfig wf;
+  wf.algo.fanout = 225;
+  wf.algo.depth = 32;
+  wf.algo.num_playouts = 1600;
+
+  // §4.2: "The DNN for profiling is filled with random parameters and
+  // inputs of the same dimensions defined by the target algorithm."
+  apm::PolicyValueNet net(apm::NetConfig{}, /*seed=*/1);
+  apm::NetEvaluator dnn(net);
+
+  std::printf("profiling in-tree operations and DNN on this host...\n");
+  const apm::WorkflowResult result = apm::run_config_workflow(wf, dnn);
+  const apm::ProfiledCosts& c = result.costs;
+  std::printf(
+      "profiled costs: select=%.2fus expand=%.2fus backup=%.2fus "
+      "dnn_cpu=%.1fus shared_access=%.3fus mean_depth=%.1f tree=%.1fMB\n",
+      c.t_select_us, c.t_expand_us, c.t_backup_us, c.t_dnn_cpu_us,
+      c.t_shared_access_us, c.mean_depth,
+      static_cast<double>(c.tree_bytes) / (1 << 20));
+
+  apm::Table cpu({"N", "shared_us", "local_us", "chosen", "speedup"});
+  for (const apm::AdaptiveDecision& d : result.cpu_decisions) {
+    cpu.add_row({std::to_string(d.workers),
+                 apm::Table::fmt(d.predicted_shared_us, 2),
+                 apm::Table::fmt(d.predicted_local_us, 2),
+                 apm::to_string(d.scheme),
+                 apm::Table::fmt(d.speedup_vs_worst, 2)});
+  }
+  cpu.print("CPU-only platform: adaptive decisions (amortized us/iter)");
+
+  apm::Table gpu({"N", "shared_us", "local_us(B*)", "B*", "chosen"});
+  for (const apm::AdaptiveDecision& d : result.gpu_decisions) {
+    gpu.add_row({std::to_string(d.workers),
+                 apm::Table::fmt(d.predicted_shared_us, 2),
+                 apm::Table::fmt(d.predicted_local_us, 2),
+                 std::to_string(d.batch_size), apm::to_string(d.scheme)});
+  }
+  gpu.print("CPU-GPU platform: adaptive decisions");
+
+  // Algorithm 4 in action at N=64: O(log N) probes instead of 64.
+  apm::PerfModel model(wf.hw, c);
+  const auto found = apm::find_min_batch(
+      64, [&](int b) { return model.local_gpu_us(64, b); });
+  std::printf(
+      "\nAlgorithm 4 at N=64: B*=%d (%.2f us/iter) found with %d probes\n",
+      found.best_batch, found.best_latency_us, found.probes);
+  for (const auto& [b, t] : found.probed) {
+    std::printf("  probed B=%-3d -> %.2f us\n", b, t);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: pick one Gomoku move with adaptively-parallel DNN-MCTS.
+//
+//   1. build a game and a policy/value network,
+//   2. let the design-configuration workflow (§4.2) choose the parallel
+//      scheme for this machine,
+//   3. run one 400-playout search and print the move.
+//
+// Usage: quickstart [board_size] [workers]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/net_evaluator.hpp"
+#include "games/gomoku.hpp"
+#include "mcts/factory.hpp"
+#include "perfmodel/workflow.hpp"
+
+int main(int argc, char** argv) {
+  const int board = argc > 1 ? std::atoi(argv[1]) : 9;
+  const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  apm::Gomoku game(board, 5);
+  game.apply(apm::Gomoku::action_of(board / 2, board / 2, board));  // X center
+  std::printf("Position after X takes the center (O to move):\n%s\n",
+              game.to_string().c_str());
+
+  // A small untrained network (use selfplay_train to produce a real one).
+  apm::PolicyValueNet net(apm::NetConfig::tiny(board), /*seed=*/42);
+  apm::NetEvaluator evaluator(net);
+
+  // Adaptive scheme selection from profiled costs (§3.2, §4.2).
+  apm::WorkflowConfig wf;
+  wf.algo.fanout = game.action_count();
+  wf.algo.depth = 24;
+  wf.algo.num_playouts = 400;
+  wf.worker_counts = {workers};
+  const apm::WorkflowResult decision = apm::run_config_workflow(wf, evaluator);
+  const apm::AdaptiveDecision& chosen = decision.decision(false, workers);
+  std::printf("Adaptive choice on this host: %s\n",
+              chosen.to_string().c_str());
+
+  apm::MctsConfig cfg;
+  cfg.num_playouts = 400;
+  auto search = apm::make_search(chosen.scheme, cfg, workers,
+                                 {.evaluator = &evaluator});
+  const apm::SearchResult result = search->search(game);
+
+  std::printf("O plays action %d (row %d, col %d)\n", result.best_action,
+              result.best_action / board, result.best_action % board);
+  std::printf("root value estimate: %+.3f | tree: %zu nodes, %zu edges\n",
+              result.root_value, result.metrics.nodes, result.metrics.edges);
+  std::printf("amortized per-iteration latency: %.1f us over %d playouts\n",
+              result.metrics.amortized_iteration_us(),
+              result.metrics.playouts);
+  return 0;
+}

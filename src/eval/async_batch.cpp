@@ -1,0 +1,143 @@
+#include "eval/async_batch.hpp"
+
+#include "support/check.hpp"
+
+namespace apm {
+
+AsyncBatchEvaluator::AsyncBatchEvaluator(InferenceBackend& backend,
+                                         int batch_threshold, int num_streams,
+                                         double stale_flush_us)
+    : backend_(backend),
+      threshold_(batch_threshold),
+      stale_flush_us_(stale_flush_us) {
+  APM_CHECK(batch_threshold >= 1);
+  APM_CHECK(num_streams >= 1);
+  pending_.reserve(static_cast<std::size_t>(batch_threshold));
+  streams_.reserve(static_cast<std::size_t>(num_streams));
+  for (int i = 0; i < num_streams; ++i) {
+    streams_.emplace_back([this] { stream_loop(); });
+  }
+  if (stale_flush_us_ > 0.0) {
+    flusher_ = std::jthread(
+        [this](const std::stop_token& stop) { flusher_loop(stop); });
+  }
+}
+
+AsyncBatchEvaluator::~AsyncBatchEvaluator() {
+  drain();
+  if (flusher_.joinable()) {
+    flusher_.request_stop();
+    flusher_.join();
+  }
+  batch_queue_.close();
+}
+
+void AsyncBatchEvaluator::submit(const float* input, Callback cb) {
+  APM_CHECK(cb != nullptr);
+  Request req;
+  req.input.assign(input, input + backend_.input_size());
+  req.callback = std::move(cb);
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  std::unique_lock lock(mutex_);
+  if (pending_.empty()) oldest_pending_ = std::chrono::steady_clock::now();
+  pending_.push_back(std::move(req));
+  ++stats_.submitted;
+  if (static_cast<int>(pending_.size()) >= threshold_) {
+    dispatch_locked(lock);
+  }
+}
+
+std::future<EvalOutput> AsyncBatchEvaluator::submit_future(
+    const float* input) {
+  auto promise = std::make_shared<std::promise<EvalOutput>>();
+  std::future<EvalOutput> fut = promise->get_future();
+  submit(input, [promise](EvalOutput out) { promise->set_value(std::move(out)); });
+  return fut;
+}
+
+void AsyncBatchEvaluator::flush() {
+  std::unique_lock lock(mutex_);
+  if (!pending_.empty()) dispatch_locked(lock);
+}
+
+void AsyncBatchEvaluator::drain() {
+  flush();
+  std::unique_lock lock(mutex_);
+  drained_cv_.wait(lock, [&] {
+    return in_flight_.load(std::memory_order_acquire) == 0 &&
+           pending_.empty();
+  });
+}
+
+BatchQueueStats AsyncBatchEvaluator::stats() const {
+  std::lock_guard lock(mutex_);
+  BatchQueueStats s = stats_;
+  if (s.batches > 0) {
+    s.mean_batch = sum_batch_sizes_ / static_cast<double>(s.batches);
+  }
+  return s;
+}
+
+void AsyncBatchEvaluator::dispatch_locked(std::unique_lock<std::mutex>& lock) {
+  Batch batch;
+  batch.swap(pending_);
+  pending_.reserve(static_cast<std::size_t>(threshold_));
+  ++stats_.batches;
+  sum_batch_sizes_ += static_cast<double>(batch.size());
+  stats_.max_batch = std::max(stats_.max_batch, batch.size());
+  if (static_cast<int>(batch.size()) == threshold_) ++stats_.full_batches;
+  lock.unlock();
+  const bool ok = batch_queue_.push(std::move(batch));
+  APM_CHECK_MSG(ok, "batch queue closed while dispatching");
+  lock.lock();
+}
+
+void AsyncBatchEvaluator::stream_loop() {
+  std::vector<float> inputs;
+  std::vector<EvalOutput> outputs;
+  while (auto batch_opt = batch_queue_.pop()) {
+    Batch& batch = *batch_opt;
+    const int n = static_cast<int>(batch.size());
+    const std::size_t isz = backend_.input_size();
+    inputs.resize(static_cast<std::size_t>(n) * isz);
+    outputs.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      std::memcpy(inputs.data() + static_cast<std::size_t>(i) * isz,
+                  batch[i].input.data(), isz * sizeof(float));
+    }
+    const double modelled_us =
+        backend_.compute_batch(inputs.data(), n, outputs.data());
+    {
+      std::lock_guard lock(mutex_);
+      stats_.modelled_backend_us += modelled_us;
+    }
+    // Callbacks run outside any lock (CP.22).
+    for (int i = 0; i < n; ++i) {
+      batch[i].callback(std::move(outputs[i]));
+    }
+    if (in_flight_.fetch_sub(static_cast<std::size_t>(n),
+                             std::memory_order_acq_rel) ==
+        static_cast<std::size_t>(n)) {
+      std::lock_guard lock(mutex_);
+      drained_cv_.notify_all();
+    }
+  }
+}
+
+void AsyncBatchEvaluator::flusher_loop(const std::stop_token& stop) {
+  const auto period =
+      std::chrono::nanoseconds(static_cast<std::int64_t>(stale_flush_us_ * 500));
+  while (!stop.stop_requested()) {
+    std::this_thread::sleep_for(period);
+    std::unique_lock lock(mutex_);
+    if (!pending_.empty()) {
+      const double age_us =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - oldest_pending_)
+              .count();
+      if (age_us >= stale_flush_us_) dispatch_locked(lock);
+    }
+  }
+}
+
+}  // namespace apm

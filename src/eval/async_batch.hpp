@@ -1,0 +1,98 @@
+#pragma once
+// The accelerator queue of §3.3: DNN inference requests accumulate until a
+// threshold B is reached, then the whole batch is submitted to the backend.
+//
+// `num_streams` parallel dispatcher threads play the role of the paper's
+// N/B CUDA streams: while one stream is executing a batch, further requests
+// can form (and dispatch) the next batch, overlapping accelerator compute
+// with in-tree operations on the master thread.
+//
+// A stale-flush timer bounds the wait for a partial batch (needed at the
+// tail of a move when fewer than B requests remain — e.g. the last
+// iterations of a 1600-playout move with B = 20), and drain() forces
+// completion of everything in flight at the end of a move.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "eval/gpu_model.hpp"
+#include "support/sync_queue.hpp"
+
+namespace apm {
+
+struct BatchQueueStats {
+  std::size_t submitted = 0;       // requests accepted
+  std::size_t batches = 0;         // backend invocations
+  std::size_t full_batches = 0;    // batches of exactly the threshold size
+  std::size_t max_batch = 0;
+  double mean_batch = 0.0;
+  double modelled_backend_us = 0.0;  // sum of backend-modelled latencies
+};
+
+class AsyncBatchEvaluator {
+ public:
+  using Callback = std::function<void(EvalOutput)>;
+
+  // batch_threshold >= 1; num_streams >= 1. stale_flush_us <= 0 disables
+  // the timer (then only threshold crossings and flush()/drain() dispatch).
+  AsyncBatchEvaluator(InferenceBackend& backend, int batch_threshold,
+                      int num_streams, double stale_flush_us = 2000.0);
+  ~AsyncBatchEvaluator();
+
+  AsyncBatchEvaluator(const AsyncBatchEvaluator&) = delete;
+  AsyncBatchEvaluator& operator=(const AsyncBatchEvaluator&) = delete;
+
+  // Copies `input` (input_size floats). `cb` runs on a stream thread once
+  // the containing batch completes; it must not block for long and must not
+  // call back into submit() (CP.22).
+  void submit(const float* input, Callback cb);
+
+  // Future-returning convenience (shared-tree workers block on these).
+  std::future<EvalOutput> submit_future(const float* input);
+
+  // Dispatches the current partial batch immediately (if any).
+  void flush();
+
+  // flush() + wait until every accepted request has completed.
+  void drain();
+
+  int batch_threshold() const { return threshold_; }
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+  BatchQueueStats stats() const;
+
+ private:
+  struct Request {
+    std::vector<float> input;
+    Callback callback;
+  };
+  using Batch = std::vector<Request>;
+
+  void dispatch_locked(std::unique_lock<std::mutex>& lock);
+  void stream_loop();
+  void flusher_loop(const std::stop_token& stop);
+
+  InferenceBackend& backend_;
+  const int threshold_;
+  const double stale_flush_us_;
+
+  mutable std::mutex mutex_;
+  Batch pending_;
+  std::chrono::steady_clock::time_point oldest_pending_;
+  std::atomic<std::size_t> in_flight_{0};  // accepted, not yet completed
+  std::condition_variable drained_cv_;
+
+  BatchQueueStats stats_;
+  double sum_batch_sizes_ = 0.0;
+  SyncQueue<Batch> batch_queue_;
+  std::vector<std::jthread> streams_;
+  std::jthread flusher_;
+};
+
+}  // namespace apm

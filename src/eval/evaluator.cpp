@@ -1,0 +1,61 @@
+#include "eval/evaluator.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace apm {
+
+void Evaluator::evaluate_batch(const float* inputs, int n, EvalOutput* outs) {
+  for (int i = 0; i < n; ++i) {
+    evaluate(inputs + static_cast<std::size_t>(i) * input_size(), outs[i]);
+  }
+}
+
+void UniformEvaluator::evaluate(const float* /*input*/, EvalOutput& out) {
+  out.policy.assign(static_cast<std::size_t>(actions_),
+                    1.0f / static_cast<float>(actions_));
+  out.value = 0.0f;
+}
+
+SyntheticEvaluator::SyntheticEvaluator(int actions, std::size_t input_size,
+                                       double latency_us, std::uint64_t salt)
+    : actions_(actions),
+      input_size_(input_size),
+      latency_us_(latency_us),
+      salt_(salt) {
+  APM_CHECK(actions > 0);
+}
+
+void SyntheticEvaluator::evaluate(const float* input, EvalOutput& out) {
+  // FNV-1a over the raw bytes of the state, salted.
+  std::uint64_t h = 1469598103934665603ULL ^ salt_;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(input);
+  for (std::size_t i = 0; i < input_size_ * sizeof(float); ++i) {
+    h = (h ^ bytes[i]) * 1099511628211ULL;
+  }
+  Rng rng(h);
+  out.policy.resize(static_cast<std::size_t>(actions_));
+  float total = 0.0f;
+  for (auto& p : out.policy) {
+    p = 0.05f + rng.uniform_float();  // bounded away from 0
+    total += p;
+  }
+  for (auto& p : out.policy) p /= total;
+  out.value = 2.0f * rng.uniform_float() - 1.0f;
+  if (latency_us_ > 0.0) busy_wait_us(latency_us_);
+}
+
+void busy_wait_us(double us) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::nanoseconds(static_cast<std::int64_t>(us * 1e3));
+  while (std::chrono::steady_clock::now() < deadline) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+}  // namespace apm

@@ -1,0 +1,64 @@
+#include "eval/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace apm {
+
+double GpuTimingModel::transfer_us(int batch) const {
+  APM_CHECK(batch >= 1);
+  const double bytes = sample_bytes * batch;
+  return kernel_launch_us + bytes / (pcie_gbps * 1e3);  // GB/s == bytes/ns·1e-3
+}
+
+double GpuTimingModel::compute_us(int batch) const {
+  APM_CHECK(batch >= 1);
+  const int sat = std::max(1, saturation_batch);
+  double marginal;
+  if (batch <= sat) {
+    marginal = compute_per_sample_us * subsat_fraction *
+               static_cast<double>(batch - 1);
+  } else {
+    marginal = compute_per_sample_us * subsat_fraction *
+                   static_cast<double>(sat - 1) +
+               compute_per_sample_us * static_cast<double>(batch - sat);
+  }
+  return compute_base_us + marginal;
+}
+
+double GpuTimingModel::pcie_total_us(int n_samples, int batch) const {
+  APM_CHECK(n_samples >= 1 && batch >= 1);
+  const int transfers = (n_samples + batch - 1) / batch;
+  return transfers * kernel_launch_us +
+         sample_bytes * n_samples / (pcie_gbps * 1e3);
+}
+
+double CpuBackend::compute_batch(const float* inputs, int n,
+                                 EvalOutput* outs) {
+  Timer timer;
+  eval_.evaluate_batch(inputs, n, outs);
+  const double us = timer.elapsed_us();
+  if (amortized_single_us_ < 0.0 && n >= 1) {
+    amortized_single_us_ = us / n;
+  }
+  return us;
+}
+
+double CpuBackend::model_batch_us(int n) const {
+  // CPU batches scale ~linearly (no wide parallel units to saturate).
+  const double per = amortized_single_us_ > 0.0 ? amortized_single_us_ : 1.0;
+  return per * n;
+}
+
+double SimGpuBackend::compute_batch(const float* inputs, int n,
+                                    EvalOutput* outs) {
+  eval_.evaluate_batch(inputs, n, outs);
+  const double modelled = model_.batch_total_us(n);
+  if (emulate_wall_time_) busy_wait_us(modelled);
+  return modelled;
+}
+
+}  // namespace apm

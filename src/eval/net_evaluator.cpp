@@ -1,0 +1,51 @@
+#include "eval/net_evaluator.hpp"
+
+#include <cstring>
+
+#include "support/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace apm {
+
+NetEvaluator::NetEvaluator(const PolicyValueNet& net) : net_(net) {}
+
+int NetEvaluator::action_count() const { return net_.config().actions(); }
+
+std::size_t NetEvaluator::input_size() const {
+  const NetConfig& cfg = net_.config();
+  return static_cast<std::size_t>(cfg.in_channels) * cfg.height * cfg.width;
+}
+
+Activations& NetEvaluator::local_acts() {
+  const auto id = std::this_thread::get_id();
+  std::lock_guard lock(acts_mutex_);
+  auto& slot = acts_[id];
+  if (!slot) slot = std::make_unique<Activations>();
+  return *slot;
+}
+
+void NetEvaluator::evaluate(const float* input, EvalOutput& out) {
+  evaluate_batch(input, 1, &out);
+}
+
+void NetEvaluator::evaluate_batch(const float* inputs, int n,
+                                  EvalOutput* outs) {
+  APM_CHECK(n >= 1);
+  const NetConfig& cfg = net_.config();
+  Activations& acts = local_acts();
+
+  Tensor x({n, cfg.in_channels, cfg.height, cfg.width});
+  std::memcpy(x.data(), inputs, x.numel() * sizeof(float));
+  Tensor policy, value;
+  net_.predict(x, acts, policy, value);
+
+  const int actions = cfg.actions();
+  for (int i = 0; i < n; ++i) {
+    outs[i].policy.assign(
+        policy.data() + static_cast<std::size_t>(i) * actions,
+        policy.data() + static_cast<std::size_t>(i + 1) * actions);
+    outs[i].value = value[i];
+  }
+}
+
+}  // namespace apm

@@ -1,0 +1,37 @@
+#pragma once
+// Evaluator backed by a real PolicyValueNet forward pass on the CPU.
+//
+// Weights are shared read-only; each calling thread gets its own
+// Activations workspace (keyed by thread id), so concurrent evaluate()
+// calls from the shared-tree scheme are safe and allocation-converging.
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "eval/evaluator.hpp"
+#include "nn/policy_value_net.hpp"
+
+namespace apm {
+
+class NetEvaluator final : public Evaluator {
+ public:
+  // The net must outlive the evaluator. Inference only reads weights, so a
+  // trainer may swap in new weights between moves (not during a search).
+  explicit NetEvaluator(const PolicyValueNet& net);
+
+  int action_count() const override;
+  std::size_t input_size() const override;
+  void evaluate(const float* input, EvalOutput& out) override;
+  void evaluate_batch(const float* inputs, int n, EvalOutput* outs) override;
+
+ private:
+  Activations& local_acts();
+
+  const PolicyValueNet& net_;
+  std::mutex acts_mutex_;
+  std::unordered_map<std::thread::id, std::unique_ptr<Activations>> acts_;
+};
+
+}  // namespace apm

@@ -1,0 +1,105 @@
+#include "games/connect4.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace apm {
+
+Connect4::Connect4()
+    : board_(static_cast<std::size_t>(kRows) * kCols, 0),
+      zobrist_(std::make_shared<ZobristTable>(kRows * kCols)) {}
+
+std::unique_ptr<Game> Connect4::clone() const {
+  return std::make_unique<Connect4>(*this);
+}
+
+bool Connect4::is_terminal() const {
+  return winner_ != 0 || moves_ == kRows * kCols;
+}
+
+bool Connect4::is_legal(int action) const {
+  return action >= 0 && action < kCols && heights_[action] < kRows &&
+         !is_terminal();
+}
+
+void Connect4::legal_actions(std::vector<int>& out) const {
+  out.clear();
+  if (is_terminal()) return;
+  for (int c = 0; c < kCols; ++c) {
+    if (heights_[c] < kRows) out.push_back(c);
+  }
+}
+
+void Connect4::apply(int action) {
+  APM_CHECK_MSG(is_legal(action), "illegal Connect4 move");
+  const int row = heights_[action];
+  const int cell_idx = row * kCols + action;
+  board_[cell_idx] = static_cast<std::int8_t>(player_);
+  ++heights_[action];
+  hash_ ^= zobrist_->key(cell_idx, player_ == 1 ? 0 : 1);
+  hash_ ^= zobrist_->side_key();
+  last_col_ = action;
+  ++moves_;
+  if (wins_through(row, action)) winner_ = player_;
+  player_ = -player_;
+}
+
+bool Connect4::wins_through(int row, int col) const {
+  const std::int8_t colour = board_[static_cast<std::size_t>(row) * kCols + col];
+  static constexpr int kDirs[4][2] = {{0, 1}, {1, 0}, {1, 1}, {1, -1}};
+  for (const auto& dir : kDirs) {
+    int run = 1;
+    for (int sign : {1, -1}) {
+      int r = row + sign * dir[0];
+      int c = col + sign * dir[1];
+      while (r >= 0 && r < kRows && c >= 0 && c < kCols &&
+             board_[static_cast<std::size_t>(r) * kCols + c] == colour) {
+        ++run;
+        r += sign * dir[0];
+        c += sign * dir[1];
+      }
+    }
+    if (run >= 4) return true;
+  }
+  return false;
+}
+
+void Connect4::encode(float* planes) const {
+  const std::size_t plane = static_cast<std::size_t>(kRows) * kCols;
+  std::memset(planes, 0, 4 * plane * sizeof(float));
+  float* own = planes;
+  float* opp = planes + plane;
+  float* last = planes + 2 * plane;
+  float* colour = planes + 3 * plane;
+  for (std::size_t i = 0; i < plane; ++i) {
+    if (board_[i] == player_) {
+      own[i] = 1.0f;
+    } else if (board_[i] != 0) {
+      opp[i] = 1.0f;
+    }
+  }
+  if (last_col_ >= 0) {
+    const int row = heights_[last_col_] - 1;
+    last[static_cast<std::size_t>(row) * kCols + last_col_] = 1.0f;
+  }
+  if (player_ == 1) {
+    for (std::size_t i = 0; i < plane; ++i) colour[i] = 1.0f;
+  }
+}
+
+std::string Connect4::to_string() const {
+  std::ostringstream out;
+  for (int r = kRows - 1; r >= 0; --r) {
+    for (int c = 0; c < kCols; ++c) {
+      const int v = cell(r, c);
+      out << (v == 1 ? 'X' : v == -1 ? 'O' : '.');
+      if (c + 1 < kCols) out << ' ';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace apm

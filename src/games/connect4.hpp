@@ -1,0 +1,59 @@
+#pragma once
+// Connect Four on the standard 7×6 board. Secondary benchmark used by the
+// examples/tests to demonstrate that the program template is
+// benchmark-agnostic (the paper's template "allows interfacing with ...
+// various benchmarks").
+
+#include <cstdint>
+#include <memory>
+
+#include "games/game.hpp"
+#include "games/zobrist.hpp"
+
+namespace apm {
+
+class Connect4 final : public Game {
+ public:
+  Connect4();
+
+  std::unique_ptr<Game> clone() const override;
+
+  // Actions are columns.
+  int action_count() const override { return kCols; }
+  int height() const override { return kRows; }
+  int width() const override { return kCols; }
+  std::string name() const override { return "connect4"; }
+
+  int current_player() const override { return player_; }
+  bool is_terminal() const override;
+  int winner() const override { return winner_; }
+  int move_count() const override { return moves_; }
+  bool is_legal(int action) const override;
+  void legal_actions(std::vector<int>& out) const override;
+  void apply(int action) override;
+  std::uint64_t hash() const override { return hash_; }
+  void encode(float* planes) const override;
+  std::string to_string() const override;
+
+  static constexpr int kCols = 7;
+  static constexpr int kRows = 6;
+
+  // Row 0 is the bottom. Returns +1/−1/0.
+  int cell(int row, int col) const {
+    return board_[static_cast<std::size_t>(row) * kCols + col];
+  }
+
+ private:
+  bool wins_through(int row, int col) const;
+
+  int player_ = 1;
+  int winner_ = 0;
+  int moves_ = 0;
+  int last_col_ = -1;
+  std::uint64_t hash_ = 0;
+  std::int8_t heights_[kCols] = {0, 0, 0, 0, 0, 0, 0};
+  std::vector<std::int8_t> board_;
+  std::shared_ptr<const ZobristTable> zobrist_;
+};
+
+}  // namespace apm

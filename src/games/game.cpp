@@ -1,0 +1,20 @@
+#include "games/game.hpp"
+
+#include "support/check.hpp"
+
+namespace apm {
+
+float Game::terminal_value() const {
+  APM_DCHECK(is_terminal());
+  const int w = winner();
+  if (w == 0) return 0.0f;
+  return w == current_player() ? 1.0f : -1.0f;
+}
+
+int Game::num_legal_actions() const {
+  std::vector<int> actions;
+  legal_actions(actions);
+  return static_cast<int>(actions.size());
+}
+
+}  // namespace apm

@@ -1,0 +1,67 @@
+#pragma once
+// Abstract two-player, zero-sum, perfect-information game environment.
+//
+// This is the "existing high-level libraries for simulating various
+// benchmarks" interface of the paper's program template: MCTS and the
+// training pipeline only ever touch this API, so adding a benchmark means
+// implementing one subclass.
+//
+// Conventions:
+//  * Players are +1 (moves first) and −1.
+//  * Actions are dense integers in [0, action_count()).
+//  * winner() is +1/−1 for a decided game, 0 for draw-or-ongoing.
+//  * encode() writes `encode_channels() × height × width` floats from the
+//    perspective of the player to move (plane 0 = own stones), which is the
+//    input convention of PolicyValueNet.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace apm {
+
+class Game {
+ public:
+  virtual ~Game() = default;
+
+  virtual std::unique_ptr<Game> clone() const = 0;
+
+  // --- static properties ---
+  virtual int action_count() const = 0;
+  virtual int height() const = 0;
+  virtual int width() const = 0;
+  virtual int encode_channels() const { return 4; }
+  virtual std::string name() const = 0;
+
+  // --- dynamic state ---
+  virtual int current_player() const = 0;
+  virtual bool is_terminal() const = 0;
+  virtual int winner() const = 0;
+  virtual int move_count() const = 0;
+  virtual bool is_legal(int action) const = 0;
+  virtual void legal_actions(std::vector<int>& out) const = 0;
+  virtual void apply(int action) = 0;
+
+  // Incremental Zobrist hash of the position (player-to-move included).
+  virtual std::uint64_t hash() const = 0;
+
+  // NN input; see class comment for the layout contract.
+  virtual void encode(float* planes) const = 0;
+
+  virtual std::string to_string() const = 0;
+
+  // --- derived helpers ---
+  std::size_t encode_size() const {
+    return static_cast<std::size_t>(encode_channels()) * height() * width();
+  }
+
+  // Terminal value from the perspective of the player to move:
+  // −1 if the opponent just won, 0 for a draw. (The side to move can never
+  // have already won in an alternating-move game.)
+  float terminal_value() const;
+
+  int num_legal_actions() const;
+};
+
+}  // namespace apm

@@ -1,0 +1,112 @@
+#include "games/gomoku.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace apm {
+
+Gomoku::Gomoku(int size, int win_len)
+    : size_(size),
+      win_len_(win_len),
+      board_(static_cast<std::size_t>(size) * size, 0),
+      zobrist_(std::make_shared<ZobristTable>(size * size)) {
+  APM_CHECK_MSG(size >= 3 && size <= 25, "Gomoku size out of range");
+  APM_CHECK_MSG(win_len >= 3 && win_len <= size, "win length out of range");
+}
+
+std::unique_ptr<Game> Gomoku::clone() const {
+  return std::make_unique<Gomoku>(*this);
+}
+
+std::string Gomoku::name() const {
+  std::ostringstream out;
+  out << "gomoku" << size_ << "x" << size_ << "w" << win_len_;
+  return out.str();
+}
+
+bool Gomoku::is_terminal() const {
+  return winner_ != 0 || moves_ == action_count();
+}
+
+bool Gomoku::is_legal(int action) const {
+  return action >= 0 && action < action_count() && board_[action] == 0 &&
+         !is_terminal();
+}
+
+void Gomoku::legal_actions(std::vector<int>& out) const {
+  out.clear();
+  if (is_terminal()) return;
+  for (int a = 0; a < action_count(); ++a) {
+    if (board_[a] == 0) out.push_back(a);
+  }
+}
+
+void Gomoku::apply(int action) {
+  APM_CHECK_MSG(is_legal(action), "illegal Gomoku move");
+  board_[action] = static_cast<std::int8_t>(player_);
+  hash_ ^= zobrist_->key(action, player_ == 1 ? 0 : 1);
+  hash_ ^= zobrist_->side_key();
+  last_move_ = action;
+  ++moves_;
+  if (wins_through(action)) winner_ = player_;
+  player_ = -player_;
+}
+
+bool Gomoku::wins_through(int action) const {
+  const int row = action / size_;
+  const int col = action % size_;
+  const std::int8_t colour = board_[action];
+  static constexpr int kDirs[4][2] = {{0, 1}, {1, 0}, {1, 1}, {1, -1}};
+  for (const auto& dir : kDirs) {
+    int run = 1;
+    for (int sign : {1, -1}) {
+      int r = row + sign * dir[0];
+      int c = col + sign * dir[1];
+      while (r >= 0 && r < size_ && c >= 0 && c < size_ &&
+             board_[static_cast<std::size_t>(r) * size_ + c] == colour) {
+        ++run;
+        r += sign * dir[0];
+        c += sign * dir[1];
+      }
+    }
+    if (run >= win_len_) return true;
+  }
+  return false;
+}
+
+void Gomoku::encode(float* planes) const {
+  const std::size_t plane = static_cast<std::size_t>(size_) * size_;
+  std::memset(planes, 0, 4 * plane * sizeof(float));
+  float* own = planes;
+  float* opp = planes + plane;
+  float* last = planes + 2 * plane;
+  float* colour = planes + 3 * plane;
+  for (std::size_t i = 0; i < plane; ++i) {
+    if (board_[i] == player_) {
+      own[i] = 1.0f;
+    } else if (board_[i] != 0) {
+      opp[i] = 1.0f;
+    }
+  }
+  if (last_move_ >= 0) last[last_move_] = 1.0f;
+  if (player_ == 1) {
+    for (std::size_t i = 0; i < plane; ++i) colour[i] = 1.0f;
+  }
+}
+
+std::string Gomoku::to_string() const {
+  std::ostringstream out;
+  for (int r = 0; r < size_; ++r) {
+    for (int c = 0; c < size_; ++c) {
+      const int v = cell(r, c);
+      out << (v == 1 ? 'X' : v == -1 ? 'O' : '.');
+      if (c + 1 < size_) out << ' ';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace apm

@@ -1,0 +1,64 @@
+#pragma once
+// Gomoku (five-in-a-row) on an N×N board — the paper's benchmark (§5.1
+// uses 15×15). Board size and win length are configurable; Gomoku(3, 3) is
+// TicTacToe, which the tests use for exhaustive checks.
+
+#include <cstdint>
+#include <memory>
+
+#include "games/game.hpp"
+#include "games/zobrist.hpp"
+
+namespace apm {
+
+class Gomoku final : public Game {
+ public:
+  // size in [3, 25]; win_len in [3, size].
+  explicit Gomoku(int size = 15, int win_len = 5);
+
+  std::unique_ptr<Game> clone() const override;
+
+  int action_count() const override { return size_ * size_; }
+  int height() const override { return size_; }
+  int width() const override { return size_; }
+  std::string name() const override;
+
+  int current_player() const override { return player_; }
+  bool is_terminal() const override;
+  int winner() const override { return winner_; }
+  int move_count() const override { return moves_; }
+  bool is_legal(int action) const override;
+  void legal_actions(std::vector<int>& out) const override;
+  void apply(int action) override;
+  std::uint64_t hash() const override { return hash_; }
+  void encode(float* planes) const override;
+  std::string to_string() const override;
+
+  // --- Gomoku-specific ---
+  int size() const { return size_; }
+  int win_len() const { return win_len_; }
+  int last_move() const { return last_move_; }
+  // Cell contents: +1, −1 or 0.
+  int cell(int row, int col) const {
+    return board_[static_cast<std::size_t>(row) * size_ + col];
+  }
+  static int action_of(int row, int col, int size) { return row * size + col; }
+
+ private:
+  bool wins_through(int action) const;
+
+  int size_;
+  int win_len_;
+  int player_ = 1;
+  int winner_ = 0;
+  int moves_ = 0;
+  int last_move_ = -1;
+  std::uint64_t hash_ = 0;
+  std::vector<std::int8_t> board_;
+  std::shared_ptr<const ZobristTable> zobrist_;
+};
+
+// TicTacToe is Gomoku(3, 3); named factory for readability in examples.
+inline Gomoku make_tictactoe() { return Gomoku(3, 3); }
+
+}  // namespace apm

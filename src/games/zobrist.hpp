@@ -1,0 +1,33 @@
+#pragma once
+// Zobrist hashing tables, generated deterministically per board size.
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace apm {
+
+// Hash keys for up to `cells` board cells × 2 colours, plus a side-to-move
+// key. Deterministic across runs (fixed seed) so tests can pin hashes.
+class ZobristTable {
+ public:
+  explicit ZobristTable(int cells, std::uint64_t seed = 0xC0FFEE123456789ULL)
+      : keys_(static_cast<std::size_t>(cells) * 2) {
+    Rng rng(seed);
+    for (auto& k : keys_) k = rng();
+    side_key_ = rng();
+  }
+
+  // colour: 0 for player +1, 1 for player −1.
+  std::uint64_t key(int cell, int colour) const {
+    return keys_[static_cast<std::size_t>(cell) * 2 + colour];
+  }
+  std::uint64_t side_key() const { return side_key_; }
+
+ private:
+  std::vector<std::uint64_t> keys_;
+  std::uint64_t side_key_;
+};
+
+}  // namespace apm

@@ -1,0 +1,96 @@
+#pragma once
+// Configuration and result types shared by every search scheme.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/async_batch.hpp"
+
+namespace apm {
+
+// The parallel schemes of the program template (§3). kSerial is the
+// 1-worker reference; kLeafParallel / kRootParallel are the related-work
+// baselines (§2.2) used by the ablation bench.
+enum class Scheme {
+  kSerial,
+  kSharedTree,
+  kLocalTree,
+  kLeafParallel,
+  kRootParallel,
+};
+
+std::string to_string(Scheme scheme);
+
+// Lock discipline for the shared-tree scheme (ablation):
+// per-node 1-byte spinlocks + per-edge atomics (default), or one coarse
+// tree mutex exactly like Algorithm 2's "obtain lock".
+enum class LockMode { kPerNode, kCoarse };
+
+// Virtual-loss flavour (§2.1: "VL can either be a pre-defined constant
+// value [2], or a number tracking visit counts of child nodes [8]"):
+//  kConstant      — each in-flight rollout behaves as `virtual_loss` extra
+//                   visits that each returned a loss (Chaslot-style).
+//  kVisitTracking — WU-UCT-style: in-flight rollouts count as unobserved
+//                   visits (inflating N and the exploration denominator)
+//                   without pessimising Q.
+enum class VirtualLossMode { kConstant, kVisitTracking };
+
+struct MctsConfig {
+  // Playouts per move ("tree size limit per move is 1600", §5.1).
+  int num_playouts = 1600;
+  // Exploration constant c in Eq. 1.
+  float c_puct = 5.0f;
+  // Virtual-loss constant VL (§2.1): pre-defined constant variant [2].
+  float virtual_loss = 3.0f;
+  VirtualLossMode vl_mode = VirtualLossMode::kConstant;
+  // Dirichlet root noise (self-play only).
+  bool root_noise = false;
+  float dirichlet_alpha = 0.3f;
+  float noise_fraction = 0.25f;
+  // Deterministic seed for noise/tie-breaking.
+  std::uint64_t seed = 1;
+  LockMode lock_mode = LockMode::kPerNode;
+};
+
+// Per-move instrumentation. Phase times are *summed across workers* (they
+// are resource-seconds); move_seconds is the wall-clock of the move. The
+// amortized per-worker-iteration latency of §5.3 is
+// move_seconds / num_playouts (the paper divides total move time by 1600).
+struct SearchMetrics {
+  int playouts = 0;
+  int workers = 1;
+  double move_seconds = 0.0;
+  double select_seconds = 0.0;
+  double expand_seconds = 0.0;
+  double backup_seconds = 0.0;
+  double eval_seconds = 0.0;  // includes time blocked waiting for results
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  int max_depth = 0;
+  std::size_t eval_requests = 0;
+  std::size_t terminal_rollouts = 0;
+  std::size_t expansion_collisions = 0;
+  BatchQueueStats batch;
+
+  double amortized_iteration_us() const {
+    return playouts > 0 ? move_seconds * 1e6 / playouts : 0.0;
+  }
+};
+
+struct SearchResult {
+  // Normalised root visit counts over the *full* action space (zero for
+  // illegal actions) — the action prior of Algorithms 2/3.
+  std::vector<float> action_prior;
+  // argmax of visit counts.
+  int best_action = -1;
+  // Root value estimate: Σ_a N(a)·Q(a) / Σ_a N(a).
+  float root_value = 0.0f;
+  SearchMetrics metrics;
+
+  // Temperature-adjusted prior: π_a ∝ N(a)^(1/τ). τ == 1 returns
+  // action_prior unchanged; τ → 0 approaches one-hot argmax.
+  std::vector<float> prior_with_temperature(float tau) const;
+};
+
+}  // namespace apm

@@ -1,0 +1,41 @@
+#include "mcts/factory.hpp"
+
+#include "support/check.hpp"
+
+namespace apm {
+
+std::unique_ptr<MctsSearch> make_search(Scheme scheme, MctsConfig cfg,
+                                        int workers, SearchResources res) {
+  APM_CHECK_MSG(res.evaluator != nullptr || res.batch != nullptr,
+                "make_search: no evaluation resource provided");
+  switch (scheme) {
+    case Scheme::kSerial:
+      APM_CHECK_MSG(res.evaluator != nullptr,
+                    "serial search needs a synchronous evaluator");
+      return std::make_unique<SerialMcts>(cfg, *res.evaluator);
+    case Scheme::kSharedTree:
+      if (res.batch != nullptr) {
+        return std::make_unique<SharedTreeMcts>(cfg, workers, *res.batch);
+      }
+      return std::make_unique<SharedTreeMcts>(cfg, workers, *res.evaluator);
+    case Scheme::kLocalTree:
+      if (res.batch != nullptr) {
+        return std::make_unique<LocalTreeMcts>(cfg, workers, *res.batch);
+      }
+      return std::make_unique<LocalTreeMcts>(cfg, workers, *res.evaluator);
+    case Scheme::kLeafParallel:
+      APM_CHECK_MSG(res.evaluator != nullptr,
+                    "leaf-parallel search needs a synchronous evaluator");
+      return std::make_unique<LeafParallelMcts>(cfg, workers,
+                                                *res.evaluator);
+    case Scheme::kRootParallel:
+      APM_CHECK_MSG(res.evaluator != nullptr,
+                    "root-parallel search needs a synchronous evaluator");
+      return std::make_unique<RootParallelMcts>(cfg, workers,
+                                                *res.evaluator);
+  }
+  APM_CHECK_MSG(false, "unknown scheme");
+  return nullptr;
+}
+
+}  // namespace apm

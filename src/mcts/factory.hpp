@@ -1,0 +1,26 @@
+#pragma once
+// Scheme-dispatching constructor — the `flag_local` switch of Algorithm 1,
+// generalised to every implemented scheme.
+
+#include <memory>
+
+#include "mcts/baselines.hpp"
+#include "mcts/local_tree.hpp"
+#include "mcts/search.hpp"
+#include "mcts/serial.hpp"
+#include "mcts/shared_tree.hpp"
+
+namespace apm {
+
+// Evaluation resources for a search. Exactly one of `evaluator` (CPU
+// inference) or `batch` (accelerator queue) must be set for parallel
+// schemes; serial and the baselines require `evaluator`.
+struct SearchResources {
+  Evaluator* evaluator = nullptr;
+  AsyncBatchEvaluator* batch = nullptr;
+};
+
+std::unique_ptr<MctsSearch> make_search(Scheme scheme, MctsConfig cfg,
+                                        int workers, SearchResources res);
+
+}  // namespace apm

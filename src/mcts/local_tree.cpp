@@ -1,0 +1,208 @@
+#include "mcts/local_tree.hpp"
+
+#include <vector>
+
+#include "mcts/selection.hpp"
+#include "support/sync_queue.hpp"
+#include "support/timer.hpp"
+
+namespace apm {
+namespace {
+
+// A finished node evaluation travelling back to the master thread.
+struct Completion {
+  NodeId node = kNullNode;
+  std::vector<int> legal;  // captured at selection time (the master does
+                           // not retain the game state of the leaf)
+  EvalOutput out;
+};
+
+}  // namespace
+
+LocalTreeMcts::LocalTreeMcts(MctsConfig cfg, int workers, Evaluator& eval)
+    : MctsSearch(cfg),
+      workers_(workers),
+      eval_(&eval),
+      pool_(std::make_unique<ThreadPool>(static_cast<std::size_t>(workers))),
+      rng_(cfg.seed) {
+  APM_CHECK(workers >= 1);
+}
+
+LocalTreeMcts::LocalTreeMcts(MctsConfig cfg, int workers,
+                             AsyncBatchEvaluator& batch)
+    : MctsSearch(cfg), workers_(workers), batch_(&batch), rng_(cfg.seed) {
+  APM_CHECK(workers >= 1);
+}
+
+void LocalTreeMcts::evaluate_root(const Game& env) {
+  InTreeOps ops(tree_, cfg_);
+  Node& root = tree_.node(tree_.root());
+  ExpandState expected = ExpandState::kLeaf;
+  const bool claimed = root.state.compare_exchange_strong(
+      expected, ExpandState::kExpanding, std::memory_order_acq_rel);
+  APM_CHECK(claimed);
+
+  std::vector<float> input(env.encode_size());
+  env.encode(input.data());
+  EvalOutput out;
+  if (batch_ != nullptr) {
+    auto fut = batch_->submit_future(input.data());
+    batch_->flush();
+    out = fut.get();
+  } else {
+    eval_->evaluate(input.data(), out);
+  }
+  ops.expand(tree_.root(), env, out.policy, cfg_.root_noise ? &rng_ : nullptr);
+}
+
+SearchResult LocalTreeMcts::search(const Game& env) {
+  tree_.reset();
+  InTreeOps ops(tree_, cfg_);
+  SearchMetrics metrics;
+  metrics.workers = workers_;
+  Timer move_timer;
+
+  BatchQueueStats batch_before;
+  if (batch_ != nullptr) batch_before = batch_->stats();
+
+  evaluate_root(env);
+
+  SyncQueue<Completion> completions;
+  std::vector<float> input(env.encode_size());
+
+  const int total = cfg_.num_playouts;
+  int issued = 0;     // rollouts started (selection done)
+  int completed = 0;  // rollouts fully backed up
+  int in_flight = 0;  // evaluation requests outstanding
+
+  // Applies one completion: expansion + backup on the master thread.
+  auto process = [&](Completion&& c) {
+    Timer phase;
+    ops.expand_from_legal(c.node, c.legal, c.out.policy);
+    metrics.expand_seconds += phase.elapsed_seconds();
+
+    phase.reset();
+    ops.backup(c.node, c.out.value);
+    metrics.backup_seconds += phase.elapsed_seconds();
+
+    --in_flight;
+    ++completed;
+  };
+
+  auto wait_for_completion = [&] {
+    Timer wait;
+    auto c = completions.pop();
+    metrics.eval_seconds += wait.elapsed_seconds();
+    APM_CHECK_MSG(c.has_value(), "completion queue closed prematurely");
+    process(std::move(*c));
+  };
+
+  while (completed < total) {
+    // Opportunistically drain finished evaluations to keep the tree fresh.
+    while (auto c = completions.try_pop()) process(std::move(*c));
+
+    const bool pool_full = in_flight >= workers_;
+    if (issued >= total || pool_full) {
+      if (in_flight > 0) {
+        wait_for_completion();
+      }
+      continue;
+    }
+
+    // One selection on the master thread.
+    auto game = env.clone();
+    Timer phase;
+    const DescendOutcome outcome =
+        ops.descend(*game, CollisionPolicy::kBackout);
+    metrics.select_seconds += phase.elapsed_seconds();
+    metrics.max_depth = std::max(metrics.max_depth, outcome.depth);
+
+    switch (outcome.status) {
+      case DescendStatus::kCollision:
+        // The path leads into an evaluation still in flight; apply a
+        // result first so the tree can move on.
+        ++metrics.expansion_collisions;
+        wait_for_completion();
+        break;
+      case DescendStatus::kTerminal: {
+        ++metrics.terminal_rollouts;
+        phase.reset();
+        ops.backup(outcome.node, game->terminal_value());
+        metrics.backup_seconds += phase.elapsed_seconds();
+        ++issued;
+        ++completed;
+        break;
+      }
+      case DescendStatus::kLeaf: {
+        game->encode(input.data());
+        Completion c;
+        c.node = outcome.node;
+        game->legal_actions(c.legal);
+        ++metrics.eval_requests;
+        ++issued;
+        ++in_flight;
+        if (batch_ != nullptr) {
+          const NodeId node_id = outcome.node;
+          auto legal = std::move(c.legal);
+          batch_->submit(input.data(),
+                         [&completions, node_id,
+                          legal = std::move(legal)](EvalOutput out) mutable {
+                           Completion done;
+                           done.node = node_id;
+                           done.legal = std::move(legal);
+                           done.out = std::move(out);
+                           completions.push(std::move(done));
+                         });
+        } else {
+          auto state = std::make_shared<std::vector<float>>(input);
+          const NodeId node_id = outcome.node;
+          auto legal = std::move(c.legal);
+          pool_->submit([this, &completions, state, node_id,
+                         legal = std::move(legal)]() mutable {
+            Completion done;
+            done.node = node_id;
+            done.legal = std::move(legal);
+            eval_->evaluate(state->data(), done.out);
+            completions.push(std::move(done));
+          });
+        }
+        break;
+      }
+    }
+
+    // Tail flush: every remaining request has been issued, so a partial
+    // batch can never fill to the threshold on its own.
+    if (batch_ != nullptr && issued >= total && in_flight > 0) {
+      batch_->flush();
+    }
+  }
+
+  APM_CHECK(in_flight == 0);
+
+  if (batch_ != nullptr) {
+    const BatchQueueStats after = batch_->stats();
+    metrics.batch.submitted = after.submitted - batch_before.submitted;
+    metrics.batch.batches = after.batches - batch_before.batches;
+    metrics.batch.full_batches =
+        after.full_batches - batch_before.full_batches;
+    metrics.batch.max_batch = after.max_batch;
+    metrics.batch.mean_batch =
+        metrics.batch.batches > 0
+            ? static_cast<double>(metrics.batch.submitted) /
+                  static_cast<double>(metrics.batch.batches)
+            : 0.0;
+    metrics.batch.modelled_backend_us =
+        after.modelled_backend_us - batch_before.modelled_backend_us;
+  }
+
+  metrics.playouts = cfg_.num_playouts;
+  metrics.move_seconds = move_timer.elapsed_seconds();
+  metrics.nodes = tree_.node_count();
+  metrics.edges = tree_.edge_count();
+
+  SearchResult result = extract_result(tree_, env.action_count());
+  result.metrics = metrics;
+  return result;
+}
+
+}  // namespace apm

@@ -1,0 +1,36 @@
+#pragma once
+// Abstract move-level search interface implemented by every scheme.
+//
+// One search() call performs the paper's "tree-based search stage" for a
+// single move: `num_playouts` rollouts (Node Selection → Expansion →
+// Evaluation → Backup) from the given position, returning the normalised
+// root visit counts ("action prior", Algorithms 2/3) plus per-phase
+// metrics for the profiler and the benches.
+
+#include <memory>
+
+#include "games/game.hpp"
+#include "mcts/config.hpp"
+
+namespace apm {
+
+class MctsSearch {
+ public:
+  virtual ~MctsSearch() = default;
+
+  // Runs a full move's worth of playouts starting from `env` (which is not
+  // modified). Not re-entrant: one search() at a time per instance.
+  virtual SearchResult search(const Game& env) = 0;
+
+  virtual Scheme scheme() const = 0;
+  virtual int workers() const = 0;
+
+  const MctsConfig& config() const { return cfg_; }
+  MctsConfig& mutable_config() { return cfg_; }
+
+ protected:
+  explicit MctsSearch(MctsConfig cfg) : cfg_(cfg) {}
+  MctsConfig cfg_;
+};
+
+}  // namespace apm

@@ -1,0 +1,75 @@
+#include "mcts/serial.hpp"
+
+#include "mcts/selection.hpp"
+#include "support/timer.hpp"
+
+namespace apm {
+
+SerialMcts::SerialMcts(MctsConfig cfg, Evaluator& eval)
+    : MctsSearch(cfg), eval_(eval), rng_(cfg.seed) {}
+
+SearchResult SerialMcts::search(const Game& env) {
+  tree_.reset();
+  InTreeOps ops(tree_, cfg_);
+  SearchMetrics metrics;
+  metrics.workers = 1;
+  Timer move_timer;
+
+  std::vector<float> input(env.encode_size());
+  EvalOutput eval_out;
+
+  // Root preparation: claim + evaluate + expand (with optional noise).
+  {
+    Node& root = tree_.node(tree_.root());
+    ExpandState expected = ExpandState::kLeaf;
+    const bool claimed = root.state.compare_exchange_strong(
+        expected, ExpandState::kExpanding, std::memory_order_acq_rel);
+    APM_CHECK(claimed);
+    env.encode(input.data());
+    eval_.evaluate(input.data(), eval_out);
+    ops.expand(tree_.root(), env, eval_out.policy,
+               cfg_.root_noise ? &rng_ : nullptr);
+  }
+
+  for (int playout = 0; playout < cfg_.num_playouts; ++playout) {
+    auto game = env.clone();
+    Timer phase;
+    const DescendOutcome outcome =
+        ops.descend(*game, CollisionPolicy::kWait);
+    metrics.select_seconds += phase.elapsed_seconds();
+    metrics.max_depth = std::max(metrics.max_depth, outcome.depth);
+
+    if (outcome.status == DescendStatus::kTerminal) {
+      ++metrics.terminal_rollouts;
+      phase.reset();
+      ops.backup(outcome.node, game->terminal_value());
+      metrics.backup_seconds += phase.elapsed_seconds();
+      continue;
+    }
+
+    phase.reset();
+    game->encode(input.data());
+    eval_.evaluate(input.data(), eval_out);
+    ++metrics.eval_requests;
+    metrics.eval_seconds += phase.elapsed_seconds();
+
+    phase.reset();
+    ops.expand(outcome.node, *game, eval_out.policy);
+    metrics.expand_seconds += phase.elapsed_seconds();
+
+    phase.reset();
+    ops.backup(outcome.node, eval_out.value);
+    metrics.backup_seconds += phase.elapsed_seconds();
+  }
+
+  metrics.playouts = cfg_.num_playouts;
+  metrics.move_seconds = move_timer.elapsed_seconds();
+  metrics.nodes = tree_.node_count();
+  metrics.edges = tree_.edge_count();
+
+  SearchResult result = extract_result(tree_, env.action_count());
+  result.metrics = metrics;
+  return result;
+}
+
+}  // namespace apm

@@ -1,0 +1,26 @@
+#pragma once
+// Serial (1-worker) DNN-MCTS — the reference implementation every parallel
+// scheme must agree with, and the baseline of the paper's §2.1 profile
+// ("tree-based search accounts for more than 85% of the total runtime").
+
+#include "eval/evaluator.hpp"
+#include "mcts/search.hpp"
+#include "mcts/tree.hpp"
+
+namespace apm {
+
+class SerialMcts final : public MctsSearch {
+ public:
+  SerialMcts(MctsConfig cfg, Evaluator& eval);
+
+  SearchResult search(const Game& env) override;
+  Scheme scheme() const override { return Scheme::kSerial; }
+  int workers() const override { return 1; }
+
+ private:
+  Evaluator& eval_;
+  SearchTree tree_;
+  Rng rng_;
+};
+
+}  // namespace apm

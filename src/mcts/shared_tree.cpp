@@ -1,0 +1,177 @@
+#include "mcts/shared_tree.hpp"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mcts/selection.hpp"
+#include "support/timer.hpp"
+
+namespace apm {
+
+SharedTreeMcts::SharedTreeMcts(MctsConfig cfg, int workers, Evaluator& eval)
+    : MctsSearch(cfg), workers_(workers), eval_(&eval), rng_(cfg.seed) {
+  APM_CHECK(workers >= 1);
+}
+
+SharedTreeMcts::SharedTreeMcts(MctsConfig cfg, int workers,
+                               AsyncBatchEvaluator& batch)
+    : MctsSearch(cfg), workers_(workers), batch_(&batch), rng_(cfg.seed) {
+  APM_CHECK(workers >= 1);
+}
+
+void SharedTreeMcts::evaluate_root(const Game& env) {
+  InTreeOps ops(tree_, cfg_);
+  Node& root = tree_.node(tree_.root());
+  ExpandState expected = ExpandState::kLeaf;
+  const bool claimed = root.state.compare_exchange_strong(
+      expected, ExpandState::kExpanding, std::memory_order_acq_rel);
+  APM_CHECK(claimed);
+
+  std::vector<float> input(env.encode_size());
+  env.encode(input.data());
+  EvalOutput out;
+  if (batch_ != nullptr) {
+    auto fut = batch_->submit_future(input.data());
+    batch_->flush();  // single request; don't wait for a full batch
+    out = fut.get();
+  } else {
+    eval_->evaluate(input.data(), out);
+  }
+  ops.expand(tree_.root(), env, out.policy, cfg_.root_noise ? &rng_ : nullptr);
+}
+
+void SharedTreeMcts::worker_loop(const Game& env,
+                                 std::atomic<int>& playout_counter,
+                                 WorkerStats& stats) {
+  InTreeOps ops(tree_, cfg_);
+  std::vector<float> input(env.encode_size());
+  EvalOutput out;
+  const bool coarse = cfg_.lock_mode == LockMode::kCoarse;
+
+  for (;;) {
+    const int ticket = playout_counter.fetch_add(1, std::memory_order_acq_rel);
+    if (ticket >= cfg_.num_playouts) return;
+
+    Timer phase;
+    std::unique_ptr<Game> game;
+    DescendOutcome outcome;
+    if (coarse) {
+      // Never wait on a collision while holding the coarse lock: the
+      // expander needs that same lock to publish its edges. Back out,
+      // release, retry.
+      for (;;) {
+        game = env.clone();
+        {
+          std::lock_guard guard(tree_.coarse_lock());
+          outcome = ops.descend(*game, CollisionPolicy::kBackout);
+        }
+        if (outcome.status != DescendStatus::kCollision) break;
+        std::this_thread::yield();
+      }
+    } else {
+      game = env.clone();
+      outcome = ops.descend(*game, CollisionPolicy::kWait);
+    }
+    stats.select_s += phase.elapsed_seconds();
+    stats.max_depth = std::max(stats.max_depth, outcome.depth);
+
+    if (outcome.status == DescendStatus::kTerminal) {
+      ++stats.terminals;
+      phase.reset();
+      if (coarse) {
+        std::lock_guard guard(tree_.coarse_lock());
+        ops.backup(outcome.node, game->terminal_value());
+      } else {
+        ops.backup(outcome.node, game->terminal_value());
+      }
+      stats.backup_s += phase.elapsed_seconds();
+      continue;
+    }
+
+    phase.reset();
+    game->encode(input.data());
+    if (batch_ != nullptr) {
+      out = batch_->submit_future(input.data()).get();
+    } else {
+      eval_->evaluate(input.data(), out);
+    }
+    ++stats.evals;
+    stats.eval_s += phase.elapsed_seconds();
+
+    phase.reset();
+    if (coarse) {
+      std::lock_guard guard(tree_.coarse_lock());
+      ops.expand(outcome.node, *game, out.policy);
+      stats.expand_s += phase.elapsed_seconds();
+      phase.reset();
+      ops.backup(outcome.node, out.value);
+    } else {
+      ops.expand(outcome.node, *game, out.policy);
+      stats.expand_s += phase.elapsed_seconds();
+      phase.reset();
+      ops.backup(outcome.node, out.value);
+    }
+    stats.backup_s += phase.elapsed_seconds();
+  }
+}
+
+SearchResult SharedTreeMcts::search(const Game& env) {
+  tree_.reset();
+  SearchMetrics metrics;
+  metrics.workers = workers_;
+  Timer move_timer;
+
+  BatchQueueStats batch_before;
+  if (batch_ != nullptr) batch_before = batch_->stats();
+
+  evaluate_root(env);
+
+  std::atomic<int> playout_counter{0};
+  std::vector<WorkerStats> stats(static_cast<std::size_t>(workers_));
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(workers_));
+    for (int w = 0; w < workers_; ++w) {
+      threads.emplace_back([this, &env, &playout_counter, &stats, w] {
+        worker_loop(env, playout_counter, stats[w]);
+      });
+    }
+  }  // joins
+
+  if (batch_ != nullptr) {
+    batch_->drain();
+    const BatchQueueStats after = batch_->stats();
+    metrics.batch.submitted = after.submitted - batch_before.submitted;
+    metrics.batch.batches = after.batches - batch_before.batches;
+    metrics.batch.full_batches = after.full_batches - batch_before.full_batches;
+    metrics.batch.max_batch = after.max_batch;
+    metrics.batch.mean_batch =
+        metrics.batch.batches > 0
+            ? static_cast<double>(metrics.batch.submitted) /
+                  static_cast<double>(metrics.batch.batches)
+            : 0.0;
+    metrics.batch.modelled_backend_us =
+        after.modelled_backend_us - batch_before.modelled_backend_us;
+  }
+
+  for (const WorkerStats& s : stats) {
+    metrics.select_seconds += s.select_s;
+    metrics.eval_seconds += s.eval_s;
+    metrics.expand_seconds += s.expand_s;
+    metrics.backup_seconds += s.backup_s;
+    metrics.max_depth = std::max(metrics.max_depth, s.max_depth);
+    metrics.terminal_rollouts += s.terminals;
+    metrics.eval_requests += s.evals;
+  }
+  metrics.playouts = cfg_.num_playouts;
+  metrics.move_seconds = move_timer.elapsed_seconds();
+  metrics.nodes = tree_.node_count();
+  metrics.edges = tree_.edge_count();
+
+  SearchResult result = extract_result(tree_, env.action_count());
+  result.metrics = metrics;
+  return result;
+}
+
+}  // namespace apm

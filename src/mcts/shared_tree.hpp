@@ -1,0 +1,57 @@
+#pragma once
+// Shared-tree parallel DNN-MCTS (Algorithm 2, §3.1.1).
+//
+// N worker threads share one tree. Each worker runs complete rollouts:
+// select (virtual loss marks the path so workers diverge), evaluate,
+// expand, backup. Tree mutation uses per-edge atomics and per-node
+// spinlocks (LockMode::kPerNode) or one coarse lock around the in-tree
+// phases (LockMode::kCoarse — the original lock-everything variant [2],
+// kept for the ablation bench).
+//
+// Evaluation flavours:
+//  * CPU mode — each worker calls the Evaluator on its own thread
+//    ("each worker is assigned a separate CPU thread for performing one
+//     node evaluation", §5.3).
+//  * Accelerator mode — workers submit to an AsyncBatchEvaluator and block
+//    on the future; the queue's threshold is set to N by the caller, since
+//    "the communication batch size is always set to the number of threads"
+//    for the shared-tree method (§3.3).
+
+#include "eval/async_batch.hpp"
+#include "eval/evaluator.hpp"
+#include "mcts/search.hpp"
+#include "mcts/tree.hpp"
+
+namespace apm {
+
+class SharedTreeMcts final : public MctsSearch {
+ public:
+  // CPU mode.
+  SharedTreeMcts(MctsConfig cfg, int workers, Evaluator& eval);
+  // Accelerator mode (batch queue threshold should equal `workers`).
+  SharedTreeMcts(MctsConfig cfg, int workers, AsyncBatchEvaluator& batch);
+
+  SearchResult search(const Game& env) override;
+  Scheme scheme() const override { return Scheme::kSharedTree; }
+  int workers() const override { return workers_; }
+
+ private:
+  struct WorkerStats {
+    double select_s = 0, eval_s = 0, expand_s = 0, backup_s = 0;
+    int max_depth = 0;
+    std::size_t terminals = 0;
+    std::size_t evals = 0;
+  };
+
+  void worker_loop(const Game& env, std::atomic<int>& playout_counter,
+                   WorkerStats& stats);
+  void evaluate_root(const Game& env);
+
+  int workers_;
+  Evaluator* eval_ = nullptr;
+  AsyncBatchEvaluator* batch_ = nullptr;
+  SearchTree tree_;
+  Rng rng_;
+};
+
+}  // namespace apm

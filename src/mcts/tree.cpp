@@ -1,0 +1,95 @@
+#include "mcts/tree.hpp"
+
+#include <mutex>
+
+namespace apm {
+
+SearchTree::SearchTree() {
+  ensure_node_chunk(0);
+  ensure_edge_chunk(0);
+  reset();
+}
+
+SearchTree::~SearchTree() {
+  for (auto& slot : node_dir_) delete[] slot.load(std::memory_order_acquire);
+  for (auto& slot : edge_dir_) delete[] slot.load(std::memory_order_acquire);
+}
+
+void SearchTree::reset() {
+  // Arena chunks are retained; only the counters rewind. Re-initialise the
+  // root slot in place.
+  node_count_.store(0, std::memory_order_relaxed);
+  edge_count_.store(0, std::memory_order_relaxed);
+  const NodeId root_id = allocate_node(kNullNode, kNullEdge);
+  APM_CHECK(root_id == 0);
+}
+
+NodeId SearchTree::allocate_node(NodeId parent, EdgeId parent_edge) {
+  const std::size_t idx = node_count_.fetch_add(1, std::memory_order_acq_rel);
+  const std::size_t chunk_idx = idx >> kNodeShift;
+  APM_CHECK_MSG(chunk_idx < kMaxNodeChunks, "node arena exhausted");
+  ensure_node_chunk(chunk_idx);
+  Node& n = node_dir_[chunk_idx].load(std::memory_order_acquire)
+                [idx & kNodeMask];
+  n.parent = parent;
+  n.parent_edge = parent_edge;
+  n.first_edge = kNullEdge;
+  n.num_edges = 0;
+  n.state.store(ExpandState::kLeaf, std::memory_order_release);
+  return static_cast<NodeId>(idx);
+}
+
+EdgeId SearchTree::allocate_edges(std::int32_t n) {
+  APM_CHECK(n >= 0);
+  if (n == 0) return kNullEdge;
+  APM_CHECK_MSG(static_cast<std::size_t>(n) <= kEdgeMask + 1,
+                "node fanout exceeds edge chunk size");
+  for (;;) {
+    const std::size_t first = edge_count_.fetch_add(
+        static_cast<std::size_t>(n), std::memory_order_acq_rel);
+    const std::size_t last = first + static_cast<std::size_t>(n) - 1;
+    if ((first >> kEdgeShift) != (last >> kEdgeShift)) {
+      // Straddled a chunk boundary: abandon the slots (bounded waste, at
+      // most one partial chunk per straddle) and retry from the next chunk.
+      continue;
+    }
+    const std::size_t chunk_idx = first >> kEdgeShift;
+    APM_CHECK_MSG(chunk_idx < kMaxEdgeChunks, "edge arena exhausted");
+    ensure_edge_chunk(chunk_idx);
+    Edge* chunk = edge_dir_[chunk_idx].load(std::memory_order_acquire);
+    for (std::size_t i = first; i <= last; ++i) {
+      Edge& e = chunk[i & kEdgeMask];
+      e.visits.store(0, std::memory_order_relaxed);
+      e.value_sum.store(0.0f, std::memory_order_relaxed);
+      e.virtual_loss.store(0, std::memory_order_relaxed);
+      e.child.store(kNullNode, std::memory_order_relaxed);
+      e.prior = 0.0f;
+      e.action = -1;
+    }
+    return static_cast<EdgeId>(first);
+  }
+}
+
+std::size_t SearchTree::memory_bytes() const {
+  return node_count() * sizeof(Node) + edge_count() * sizeof(Edge);
+}
+
+void SearchTree::ensure_node_chunk(std::size_t chunk_idx) {
+  if (node_dir_[chunk_idx].load(std::memory_order_acquire) != nullptr) return;
+  std::lock_guard grow_guard(grow_lock_);
+  if (node_dir_[chunk_idx].load(std::memory_order_relaxed) == nullptr) {
+    node_dir_[chunk_idx].store(new Node[kNodeMask + 1],
+                               std::memory_order_release);
+  }
+}
+
+void SearchTree::ensure_edge_chunk(std::size_t chunk_idx) {
+  if (edge_dir_[chunk_idx].load(std::memory_order_acquire) != nullptr) return;
+  std::lock_guard grow_guard(grow_lock_);
+  if (edge_dir_[chunk_idx].load(std::memory_order_relaxed) == nullptr) {
+    edge_dir_[chunk_idx].store(new Edge[kEdgeMask + 1],
+                               std::memory_order_release);
+  }
+}
+
+}  // namespace apm

@@ -1,0 +1,156 @@
+#pragma once
+// Concurrent search-tree storage.
+//
+// Following the paper (§4.2): "the tree is managed as a dynamically
+// allocated array of node structs". Nodes and edges live in chunked arenas
+// addressed by 32-bit ids, so (a) allocation never invalidates concurrent
+// readers (chunks are stable once published), (b) a node's edges are
+// contiguous (one cache streak per UCT scan), and (c) a 1600-playout Gomoku
+// tree is a few MB — small enough to sit in a last-level cache, which is
+// the local-tree scheme's latency advantage (§3.1.2).
+//
+// Edge statistics are C++ atomics: visits N(s,a), value sum W(s,a), the
+// virtual-loss counter, and the child pointer. The shared-tree scheme
+// updates them from N threads; per-node spinlocks additionally serialise
+// expansion (and, in LockMode::kCoarse, a single lock serialises whole
+// phases, reproducing the original lock-everything variant [2]).
+//
+// Chunk directories are fixed-size arrays of atomic pointers: growing the
+// arena publishes a new chunk with a release store, and readers load with
+// acquire — no reader ever observes a moving directory.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/spinlock.hpp"
+
+namespace apm {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+inline constexpr NodeId kNullNode = -1;
+inline constexpr EdgeId kNullEdge = -1;
+
+// Lock-free accumulate for atomic<float> (CAS loop; portable).
+inline void atomic_add_float(std::atomic<float>& target, float delta) {
+  float current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// One (state, action) edge. ~24 bytes.
+struct Edge {
+  std::atomic<std::int32_t> visits{0};        // N(s,a)
+  std::atomic<float> value_sum{0.0f};         // W(s,a); Q = W/N
+  std::atomic<std::int32_t> virtual_loss{0};  // active VL applications
+  std::atomic<NodeId> child{kNullNode};
+  float prior = 0.0f;  // P(s,a)
+  std::int32_t action = -1;
+
+  float q() const {
+    const auto n = visits.load(std::memory_order_relaxed);
+    if (n == 0) return 0.0f;
+    return value_sum.load(std::memory_order_relaxed) / static_cast<float>(n);
+  }
+};
+
+// Expansion lifecycle: kLeaf -> kExpanding (claimed by one rollout) ->
+// kExpanded (edges valid).
+enum class ExpandState : std::uint8_t {
+  kLeaf = 0,
+  kExpanding = 1,
+  kExpanded = 2
+};
+
+struct Node {
+  NodeId parent = kNullNode;
+  EdgeId parent_edge = kNullEdge;
+  EdgeId first_edge = kNullEdge;
+  std::int32_t num_edges = 0;
+  std::atomic<ExpandState> state{ExpandState::kLeaf};
+  SpinLock lock;  // guards expansion & child-pointer installation
+};
+
+class SearchTree {
+ public:
+  SearchTree();
+  ~SearchTree();
+
+  SearchTree(const SearchTree&) = delete;
+  SearchTree& operator=(const SearchTree&) = delete;
+
+  // Discards all nodes/edges and creates a fresh root. NOT thread-safe
+  // (call between moves, with no search running).
+  void reset();
+
+  NodeId root() const { return 0; }
+
+  Node& node(NodeId id) {
+    APM_DCHECK(id >= 0 &&
+               static_cast<std::size_t>(id) <
+                   node_count_.load(std::memory_order_acquire));
+    Node* chunk = node_dir_[static_cast<std::size_t>(id) >> kNodeShift].load(
+        std::memory_order_acquire);
+    return chunk[static_cast<std::size_t>(id) & kNodeMask];
+  }
+  const Node& node(NodeId id) const {
+    return const_cast<SearchTree*>(this)->node(id);
+  }
+
+  Edge& edge(EdgeId id) {
+    APM_DCHECK(id >= 0 &&
+               static_cast<std::size_t>(id) <
+                   edge_count_.load(std::memory_order_acquire));
+    Edge* chunk = edge_dir_[static_cast<std::size_t>(id) >> kEdgeShift].load(
+        std::memory_order_acquire);
+    return chunk[static_cast<std::size_t>(id) & kEdgeMask];
+  }
+  const Edge& edge(EdgeId id) const {
+    return const_cast<SearchTree*>(this)->edge(id);
+  }
+
+  // Allocates a fresh leaf node. Thread-safe.
+  NodeId allocate_node(NodeId parent, EdgeId parent_edge);
+
+  // Allocates `n` contiguous edges (within one chunk); returns the first
+  // id. Thread-safe.
+  EdgeId allocate_edges(std::int32_t n);
+
+  std::size_t node_count() const {
+    return node_count_.load(std::memory_order_acquire);
+  }
+  std::size_t edge_count() const {
+    return edge_count_.load(std::memory_order_acquire);
+  }
+
+  // Approximate resident bytes (for the cache-fit analysis of Eq. 5).
+  std::size_t memory_bytes() const;
+
+  // Coarse-lock mode: one lock for the whole tree (Algorithm 2 verbatim).
+  SpinLock& coarse_lock() { return coarse_lock_; }
+
+  static constexpr std::size_t kNodeShift = 12;  // 4096-node chunks
+  static constexpr std::size_t kNodeMask = (1u << kNodeShift) - 1;
+  static constexpr std::size_t kEdgeShift = 16;  // 65536-edge chunks
+  static constexpr std::size_t kEdgeMask = (1u << kEdgeShift) - 1;
+  static constexpr std::size_t kMaxNodeChunks = 1024;  // ≤ 4M nodes
+  static constexpr std::size_t kMaxEdgeChunks = 1024;  // ≤ 64M edges
+
+ private:
+  void ensure_node_chunk(std::size_t chunk_idx);
+  void ensure_edge_chunk(std::size_t chunk_idx);
+
+  std::atomic<Node*> node_dir_[kMaxNodeChunks] = {};
+  std::atomic<Edge*> edge_dir_[kMaxEdgeChunks] = {};
+  std::atomic<std::size_t> node_count_{0};
+  std::atomic<std::size_t> edge_count_{0};
+  SpinLock grow_lock_;
+  SpinLock coarse_lock_;
+};
+
+}  // namespace apm

@@ -1,0 +1,91 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/ops.hpp"
+
+namespace apm {
+
+Conv2d::Conv2d(std::string name, int in_channels, int out_channels, int ksize)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      ksize_(ksize),
+      pad_(ksize / 2) {
+  APM_CHECK_MSG(ksize % 2 == 1, "Conv2d requires odd kernel size");
+  w_.init_shape(name + ".w", {out_channels, in_channels * ksize * ksize});
+  b_.init_shape(name + ".b", {out_channels});
+}
+
+void Conv2d::init(Rng& rng) {
+  const auto fan_in =
+      static_cast<float>(in_channels_ * ksize_ * ksize_);
+  w_.value.fill_randn(rng, std::sqrt(2.0f / fan_in));
+  b_.value.zero();
+}
+
+void Conv2d::forward(const Tensor& x, Tensor& y, Tensor& col,
+                     Tensor* col_cache) const {
+  APM_CHECK(x.rank() == 4 && x.dim(1) == in_channels_);
+  const int batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int hw = h * w;
+  const int kk = in_channels_ * ksize_ * ksize_;
+  y.resize({batch, out_channels_, h, w});
+  col.resize({kk, hw});
+  if (col_cache != nullptr) col_cache->resize({batch, kk, hw});
+
+  const std::size_t x_stride = static_cast<std::size_t>(in_channels_) * hw;
+  const std::size_t y_stride = static_cast<std::size_t>(out_channels_) * hw;
+  for (int i = 0; i < batch; ++i) {
+    im2col(x.data() + i * x_stride, in_channels_, h, w, ksize_, pad_,
+           col.data());
+    float* yi = y.data() + i * y_stride;
+    // y_i[Cout, HW] = W[Cout, kk] * col[kk, HW]
+    gemm(w_.value.data(), col.data(), yi, out_channels_, hw, kk,
+         /*accumulate=*/false);
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      const float bias = b_.value[oc];
+      float* row = yi + static_cast<std::size_t>(oc) * hw;
+      for (int p = 0; p < hw; ++p) row[p] += bias;
+    }
+    if (col_cache != nullptr) {
+      std::memcpy(col_cache->data() + static_cast<std::size_t>(i) * kk * hw,
+                  col.data(), static_cast<std::size_t>(kk) * hw * sizeof(float));
+    }
+  }
+}
+
+void Conv2d::backward(const Tensor& dy, const Tensor& col_cache, Tensor& dx,
+                      Tensor& dcol_scratch) {
+  APM_CHECK(dy.rank() == 4 && dy.dim(1) == out_channels_);
+  const int batch = dy.dim(0), h = dy.dim(2), w = dy.dim(3);
+  const int hw = h * w;
+  const int kk = in_channels_ * ksize_ * ksize_;
+  APM_CHECK(col_cache.rank() == 3 && col_cache.dim(0) == batch &&
+            col_cache.dim(1) == kk);
+  dx.resize({batch, in_channels_, h, w});
+  dx.zero();
+  dcol_scratch.resize({kk, hw});
+
+  const std::size_t dy_stride = static_cast<std::size_t>(out_channels_) * hw;
+  const std::size_t dx_stride = static_cast<std::size_t>(in_channels_) * hw;
+  const std::size_t col_stride = static_cast<std::size_t>(kk) * hw;
+  for (int i = 0; i < batch; ++i) {
+    const float* dyi = dy.data() + i * dy_stride;
+    const float* coli = col_cache.data() + i * col_stride;
+    // gW[Cout, kk] += dy_i[Cout, HW] * col_i[kk, HW]^T
+    gemm_abt(dyi, coli, w_.grad.data(), out_channels_, kk, hw,
+             /*accumulate=*/true);
+    // gb[oc] += sum over positions
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      b_.grad[oc] += sum(dyi + static_cast<std::size_t>(oc) * hw, hw);
+    }
+    // dcol[kk, HW] = W^T[kk, Cout] * dy_i[Cout, HW]
+    gemm_atb(w_.value.data(), dyi, dcol_scratch.data(), kk, hw, out_channels_,
+             /*accumulate=*/false);
+    col2im(dcol_scratch.data(), in_channels_, h, w, ksize_, pad_,
+           dx.data() + i * dx_stride);
+  }
+}
+
+}  // namespace apm

@@ -1,0 +1,55 @@
+#pragma once
+// Stride-1, same-padding 2-D convolution via im2col + GEMM.
+//
+// Thread-safety contract: forward() is const and reads only the weights, so
+// any number of inference threads may call it concurrently as long as each
+// supplies its own scratch tensors. backward() accumulates into the
+// parameter gradients and must be externally serialised (the training
+// pipeline is single-threaded by design, matching the paper's separate
+// "DNN training stage").
+
+#include <vector>
+
+#include "nn/param.hpp"
+#include "tensor/tensor.hpp"
+
+namespace apm {
+
+class Conv2d {
+ public:
+  // ksize must be odd; padding is ksize/2 (output size == input size).
+  Conv2d(std::string name, int in_channels, int out_channels, int ksize);
+
+  // He-normal init of weights, zero biases.
+  void init(Rng& rng);
+
+  // x: [B, Cin, H, W] -> y: [B, Cout, H, W].
+  // col: scratch resized to [Cin*k*k, H*W]; when col_cache != nullptr it
+  // receives a copy of the per-image columns (needed by backward), laid out
+  // as [B, Cin*k*k, H*W].
+  void forward(const Tensor& x, Tensor& y, Tensor& col,
+               Tensor* col_cache = nullptr) const;
+
+  // dy: [B, Cout, H, W]; col_cache from forward; dx: [B, Cin, H, W]
+  // (overwritten). Accumulates weight/bias gradients.
+  void backward(const Tensor& dy, const Tensor& col_cache, Tensor& dx,
+                Tensor& dcol_scratch);
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  int ksize() const { return ksize_; }
+
+  std::vector<Param*> params() { return {&w_, &b_}; }
+  const Param& weight() const { return w_; }
+  const Param& bias() const { return b_; }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int ksize_;
+  int pad_;
+  Param w_;  // [Cout, Cin*k*k]
+  Param b_;  // [Cout]
+};
+
+}  // namespace apm

@@ -1,0 +1,26 @@
+#pragma once
+// A learnable parameter: value + gradient accumulator.
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace apm {
+
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  void init_shape(std::string n, std::vector<int> shape) {
+    name = std::move(n);
+    value.resize(shape);
+    grad.resize(std::move(shape));
+    grad.zero();
+  }
+
+  void zero_grad() { grad.zero(); }
+  std::size_t numel() const { return value.numel(); }
+};
+
+}  // namespace apm

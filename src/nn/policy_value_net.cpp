@@ -1,0 +1,225 @@
+#include "nn/policy_value_net.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/ops.hpp"
+
+namespace apm {
+namespace {
+
+// Reinterprets a [B, C, H, W] activation as [B, C*H*W] without copying.
+void flatten_to(const Tensor& x, Tensor& flat) {
+  const int batch = x.dim(0);
+  const int features = static_cast<int>(x.numel()) / batch;
+  flat.resize({batch, features});
+  std::memcpy(flat.data(), x.data(), x.numel() * sizeof(float));
+}
+
+}  // namespace
+
+PolicyValueNet::PolicyValueNet(const NetConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      conv1_("conv1", cfg.in_channels, cfg.trunk1, 3),
+      conv2_("conv2", cfg.trunk1, cfg.trunk2, 3),
+      conv3_("conv3", cfg.trunk2, cfg.trunk3, 3),
+      conv_p_("conv_p", cfg.trunk3, cfg.policy_channels, 1),
+      conv_v_("conv_v", cfg.trunk3, cfg.value_channels, 1),
+      fc_p_("fc_p", cfg.policy_channels * cfg.height * cfg.width,
+            cfg.actions()),
+      fc_v1_("fc_v1", cfg.value_channels * cfg.height * cfg.width,
+             cfg.value_hidden),
+      fc_v2_("fc_v2", cfg.value_hidden, 1) {
+  Rng rng(seed);
+  conv1_.init(rng);
+  conv2_.init(rng);
+  conv3_.init(rng);
+  conv_p_.init(rng);
+  conv_v_.init(rng);
+  fc_p_.init(rng);
+  fc_v1_.init(rng);
+  fc_v2_.init(rng);
+}
+
+void PolicyValueNet::forward(const Tensor& x, Activations& a,
+                             bool train) const {
+  APM_CHECK(x.rank() == 4 && x.dim(1) == cfg_.in_channels &&
+            x.dim(2) == cfg_.height && x.dim(3) == cfg_.width);
+  const int batch = x.dim(0);
+
+  conv1_.forward(x, a.t1, a.col, train ? &a.col1 : nullptr);
+  a.t1r.resize(a.t1.shape());
+  relu_forward(a.t1.data(), a.t1r.data(), a.t1.numel());
+
+  conv2_.forward(a.t1r, a.t2, a.col, train ? &a.col2 : nullptr);
+  a.t2r.resize(a.t2.shape());
+  relu_forward(a.t2.data(), a.t2r.data(), a.t2.numel());
+
+  conv3_.forward(a.t2r, a.t3, a.col, train ? &a.col3 : nullptr);
+  a.t3r.resize(a.t3.shape());
+  relu_forward(a.t3.data(), a.t3r.data(), a.t3.numel());
+
+  // Policy head.
+  conv_p_.forward(a.t3r, a.p0, a.col, train ? &a.colp : nullptr);
+  a.p0r.resize(a.p0.shape());
+  relu_forward(a.p0.data(), a.p0r.data(), a.p0.numel());
+  flatten_to(a.p0r, a.p_flat);
+  fc_p_.forward(a.p_flat, a.p_logits);
+  a.p_logp.resize({batch, cfg_.actions()});
+  log_softmax_rows(a.p_logits.data(), a.p_logp.data(), batch, cfg_.actions());
+
+  // Value head.
+  conv_v_.forward(a.t3r, a.v0, a.col, train ? &a.colv : nullptr);
+  a.v0r.resize(a.v0.shape());
+  relu_forward(a.v0.data(), a.v0r.data(), a.v0.numel());
+  flatten_to(a.v0r, a.v_flat);
+  fc_v1_.forward(a.v_flat, a.v1);
+  a.v1r.resize(a.v1.shape());
+  relu_forward(a.v1.data(), a.v1r.data(), a.v1.numel());
+  fc_v2_.forward(a.v1r, a.v2);
+  a.value.resize({batch});
+  tanh_forward(a.v2.data(), a.value.data(), a.value.numel());
+}
+
+void PolicyValueNet::predict(const Tensor& x, Activations& acts,
+                             Tensor& policy, Tensor& value) const {
+  forward(x, acts, /*train=*/false);
+  const int batch = x.dim(0);
+  policy.resize({batch, cfg_.actions()});
+  for (std::size_t i = 0; i < policy.numel(); ++i)
+    policy[i] = std::exp(acts.p_logp[i]);
+  value.resize({batch});
+  std::memcpy(value.data(), acts.value.data(), batch * sizeof(float));
+}
+
+LossParts PolicyValueNet::train_step(const Tensor& x, const Tensor& target_pi,
+                                     const Tensor& target_z,
+                                     Activations& a) {
+  const int batch = x.dim(0);
+  const int actions = cfg_.actions();
+  APM_CHECK(target_pi.rank() == 2 && target_pi.dim(0) == batch &&
+            target_pi.dim(1) == actions);
+  APM_CHECK(target_z.rank() == 1 && target_z.dim(0) == batch);
+
+  forward(x, a, /*train=*/true);
+
+  LossParts loss;
+  const float inv_b = 1.0f / static_cast<float>(batch);
+
+  // --- loss + output gradients -------------------------------------------
+  // d(policy)/d(logits) for cross-entropy over log-softmax: (softmax − π)/B.
+  Tensor& dlogits = a.d1;
+  dlogits.resize({batch, actions});
+  for (int i = 0; i < batch; ++i) {
+    const float* logp = a.p_logp.data() + static_cast<std::size_t>(i) * actions;
+    const float* pi = target_pi.data() + static_cast<std::size_t>(i) * actions;
+    float* drow = dlogits.data() + static_cast<std::size_t>(i) * actions;
+    float ce = 0.0f, ent = 0.0f;
+    for (int c = 0; c < actions; ++c) {
+      const float p = std::exp(logp[c]);
+      ce -= pi[c] * logp[c];
+      ent -= p * logp[c];
+      drow[c] = (p - pi[c]) * inv_b;
+    }
+    loss.policy_loss += ce * inv_b;
+    loss.entropy += ent * inv_b;
+
+    const float v = a.value[i];
+    const float diff = v - target_z[i];
+    loss.value_loss += diff * diff * inv_b;
+  }
+  loss.total = loss.value_loss + loss.policy_loss;
+
+  // --- value-head backward -------------------------------------------------
+  // dL/dv = 2(v − z)/B; through tanh: dL/d(v2) = dL/dv · (1 − v²).
+  Tensor& dv2 = a.d2;
+  dv2.resize({batch, 1});
+  for (int i = 0; i < batch; ++i) {
+    const float v = a.value[i];
+    dv2[i] = 2.0f * (v - target_z[i]) * inv_b * (1.0f - v * v);
+  }
+  Tensor& dv1r = a.d3;
+  fc_v2_.backward(a.v1r, dv2, dv1r);
+  Tensor& dv1 = a.d4;
+  dv1.resize(a.v1.shape());
+  relu_backward(a.v1.data(), dv1r.data(), dv1.data(), a.v1.numel(),
+                /*accumulate=*/false);
+  Tensor& dv_flat = a.d5;
+  fc_v1_.backward(a.v_flat, dv1, dv_flat);
+  // Unflatten to [B, Cv, H, W] and through the value conv.
+  Tensor& dv0r = a.d6;
+  dv0r.resize(a.v0.shape());
+  std::memcpy(dv0r.data(), dv_flat.data(), dv_flat.numel() * sizeof(float));
+  Tensor dv0(a.v0.shape());
+  relu_backward(a.v0.data(), dv0r.data(), dv0.data(), a.v0.numel(),
+                /*accumulate=*/false);
+  Tensor dt3_v;
+  conv_v_.backward(dv0, a.colv, dt3_v, a.dcol);
+
+  // --- policy-head backward ------------------------------------------------
+  Tensor dp_flat;
+  fc_p_.backward(a.p_flat, dlogits, dp_flat);
+  Tensor dp0r(a.p0.shape());
+  std::memcpy(dp0r.data(), dp_flat.data(), dp_flat.numel() * sizeof(float));
+  Tensor dp0(a.p0.shape());
+  relu_backward(a.p0.data(), dp0r.data(), dp0.data(), a.p0.numel(),
+                /*accumulate=*/false);
+  Tensor dt3_p;
+  conv_p_.backward(dp0, a.colp, dt3_p, a.dcol);
+
+  // --- trunk backward --------------------------------------------------------
+  // dt3r = dt3_v + dt3_p, then back through ReLU and the trunk convs.
+  Tensor dt3(a.t3.shape());
+  for (std::size_t i = 0; i < dt3.numel(); ++i)
+    dt3[i] = dt3_v[i] + dt3_p[i];
+  Tensor dt3_pre(a.t3.shape());
+  relu_backward(a.t3.data(), dt3.data(), dt3_pre.data(), a.t3.numel(),
+                /*accumulate=*/false);
+  Tensor dt2r;
+  conv3_.backward(dt3_pre, a.col3, dt2r, a.dcol);
+  Tensor dt2_pre(a.t2.shape());
+  relu_backward(a.t2.data(), dt2r.data(), dt2_pre.data(), a.t2.numel(),
+                /*accumulate=*/false);
+  Tensor dt1r;
+  conv2_.backward(dt2_pre, a.col2, dt1r, a.dcol);
+  Tensor dt1_pre(a.t1.shape());
+  relu_backward(a.t1.data(), dt1r.data(), dt1_pre.data(), a.t1.numel(),
+                /*accumulate=*/false);
+  Tensor dx;
+  conv1_.backward(dt1_pre, a.col1, dx, a.dcol);
+
+  return loss;
+}
+
+std::vector<Param*> PolicyValueNet::params() {
+  std::vector<Param*> out;
+  for (Conv2d* c : {&conv1_, &conv2_, &conv3_, &conv_p_, &conv_v_})
+    for (Param* p : c->params()) out.push_back(p);
+  for (Linear* l : {&fc_p_, &fc_v1_, &fc_v2_})
+    for (Param* p : l->params()) out.push_back(p);
+  return out;
+}
+
+std::size_t PolicyValueNet::num_parameters() {
+  std::size_t n = 0;
+  for (Param* p : params()) n += p->numel();
+  return n;
+}
+
+void PolicyValueNet::zero_grad() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+void PolicyValueNet::copy_weights_from(PolicyValueNet& other) {
+  APM_CHECK(cfg_ == other.cfg_);
+  auto dst = params();
+  auto src = other.params();
+  APM_CHECK(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    APM_CHECK(dst[i]->numel() == src[i]->numel());
+    std::memcpy(dst[i]->value.data(), src[i]->value.data(),
+                src[i]->numel() * sizeof(float));
+  }
+}
+
+}  // namespace apm

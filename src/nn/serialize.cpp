@@ -1,0 +1,108 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "support/check.hpp"
+
+namespace apm {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'P', 'M', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  APM_CHECK_MSG(in.good(), "truncated checkpoint");
+  return value;
+}
+
+void write_config(std::ostream& out, const NetConfig& cfg) {
+  for (int v : {cfg.in_channels, cfg.height, cfg.width, cfg.trunk1,
+                cfg.trunk2, cfg.trunk3, cfg.policy_channels,
+                cfg.value_channels, cfg.value_hidden}) {
+    write_pod<std::int32_t>(out, v);
+  }
+}
+
+NetConfig read_config(std::istream& in) {
+  NetConfig cfg;
+  cfg.in_channels = read_pod<std::int32_t>(in);
+  cfg.height = read_pod<std::int32_t>(in);
+  cfg.width = read_pod<std::int32_t>(in);
+  cfg.trunk1 = read_pod<std::int32_t>(in);
+  cfg.trunk2 = read_pod<std::int32_t>(in);
+  cfg.trunk3 = read_pod<std::int32_t>(in);
+  cfg.policy_channels = read_pod<std::int32_t>(in);
+  cfg.value_channels = read_pod<std::int32_t>(in);
+  cfg.value_hidden = read_pod<std::int32_t>(in);
+  return cfg;
+}
+
+}  // namespace
+
+void save_net(PolicyValueNet& net, std::ostream& out) {
+  out.write(kMagic, sizeof kMagic);
+  write_pod(out, kVersion);
+  write_config(out, net.config());
+  const auto params = net.params();
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(params.size()));
+  for (Param* p : params) {
+    write_pod<std::uint64_t>(out, p->numel());
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->numel() * sizeof(float)));
+  }
+  APM_CHECK_MSG(out.good(), "checkpoint write failed");
+}
+
+void save_net_file(PolicyValueNet& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  APM_CHECK_MSG(out.is_open(), "cannot open checkpoint for writing");
+  save_net(net, out);
+}
+
+void load_net(PolicyValueNet& net, std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  APM_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+                "bad checkpoint magic");
+  const auto version = read_pod<std::uint32_t>(in);
+  APM_CHECK_MSG(version == kVersion, "unsupported checkpoint version");
+  const NetConfig cfg = read_config(in);
+  APM_CHECK_MSG(cfg == net.config(), "checkpoint config mismatch");
+  const auto count = read_pod<std::uint32_t>(in);
+  const auto params = net.params();
+  APM_CHECK_MSG(count == params.size(), "checkpoint param count mismatch");
+  for (Param* p : params) {
+    const auto numel = read_pod<std::uint64_t>(in);
+    APM_CHECK_MSG(numel == p->numel(), "checkpoint param size mismatch");
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    APM_CHECK_MSG(in.good(), "truncated checkpoint");
+  }
+}
+
+void load_net_file(PolicyValueNet& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  APM_CHECK_MSG(in.is_open(), "cannot open checkpoint for reading");
+  load_net(net, in);
+}
+
+NetConfig peek_net_config(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  APM_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+                "bad checkpoint magic");
+  (void)read_pod<std::uint32_t>(in);
+  return read_config(in);
+}
+
+}  // namespace apm

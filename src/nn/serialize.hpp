@@ -1,0 +1,25 @@
+#pragma once
+// Binary (de)serialization of PolicyValueNet weights.
+//
+// Format: magic "APMN" | version u32 | 9 × i32 config fields |
+// param count u32 | per param: numel u64 + raw float32 data.
+// Little-endian, host order (checkpoints are host-local artifacts).
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/policy_value_net.hpp"
+
+namespace apm {
+
+void save_net(PolicyValueNet& net, std::ostream& out);
+void save_net_file(PolicyValueNet& net, const std::string& path);
+
+// Loads into an existing net; the stored config must match net.config().
+void load_net(PolicyValueNet& net, std::istream& in);
+void load_net_file(PolicyValueNet& net, const std::string& path);
+
+// Reads just the config from a checkpoint (to construct a matching net).
+NetConfig peek_net_config(std::istream& in);
+
+}  // namespace apm

@@ -1,0 +1,76 @@
+#include "perfmodel/batch_search.hpp"
+
+#include "support/check.hpp"
+
+namespace apm {
+namespace {
+
+class MemoizedProbe {
+ public:
+  explicit MemoizedProbe(const std::function<double(int)>& probe)
+      : probe_(probe) {}
+
+  double operator()(int b) {
+    auto it = cache_.find(b);
+    if (it != cache_.end()) return it->second;
+    const double v = probe_(b);
+    cache_.emplace(b, v);
+    ++misses_;
+    return v;
+  }
+
+  int misses() const { return misses_; }
+  const std::map<int, double>& cache() const { return cache_; }
+
+ private:
+  const std::function<double(int)>& probe_;
+  std::map<int, double> cache_;
+  int misses_ = 0;
+};
+
+}  // namespace
+
+BatchSearchResult find_min_batch(int n,
+                                 const std::function<double(int)>& probe_us) {
+  APM_CHECK(n >= 1);
+  MemoizedProbe probe(probe_us);
+  int lo = 1, hi = n;
+  // Algorithm 4: FindMin(T, lo, hi).
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    const double t_mid = probe(mid);
+    const double t_next = probe(mid + 1);
+    if (t_mid >= t_next) {
+      lo = mid + 1;  // still on the decreasing slope
+    } else {
+      hi = mid;  // minimum is at mid or earlier
+    }
+  }
+  BatchSearchResult result;
+  result.best_batch = lo;
+  result.best_latency_us = probe(lo);
+  result.probes = probe.misses();
+  result.probed = probe.cache();
+  return result;
+}
+
+BatchSearchResult scan_all_batches(
+    int n, const std::function<double(int)>& probe_us) {
+  APM_CHECK(n >= 1);
+  BatchSearchResult result;
+  result.best_latency_us = probe_us(1);
+  result.best_batch = 1;
+  result.probed.emplace(1, result.best_latency_us);
+  for (int b = 2; b <= n; ++b) {
+    const double t = probe_us(b);
+    result.probed.emplace(b, t);
+    if (t < result.best_latency_us) {
+      result.best_latency_us = t;
+      result.best_batch = b;
+    }
+  }
+  result.probes = n;
+  return result;
+}
+
+}  // namespace apm

@@ -1,0 +1,32 @@
+#pragma once
+// Algorithm 4: finding the optimal accelerator communication batch size B
+// by exploiting the V-sequence property of the amortized latency T[B]
+// (§4.1 observations): the element-wise max of a monotonically decreasing
+// sequence (in-tree + PCIe) and a monotonically increasing one (GPU
+// compute) first decreases, then increases. Binary search finds the
+// minimum in O(log N) probes instead of N test runs.
+
+#include <functional>
+#include <map>
+
+namespace apm {
+
+// Result of the batch-size exploration.
+struct BatchSearchResult {
+  int best_batch = 1;
+  double best_latency_us = 0.0;
+  int probes = 0;  // distinct Test Runs executed (the O(log N) claim)
+  std::map<int, double> probed;  // B -> measured latency
+};
+
+// Finds argmin_{B in [1, n]} probe_us(B) assuming T is a V-sequence.
+// `probe_us(B)` is one "Test Run" (Algorithm 4 line 5) — a single-move
+// latency measurement; it is memoized so repeated probes are free.
+BatchSearchResult find_min_batch(int n,
+                                 const std::function<double(int)>& probe_us);
+
+// Reference exhaustive scan (for tests and the Figure-3 bench).
+BatchSearchResult scan_all_batches(int n,
+                                   const std::function<double(int)>& probe_us);
+
+}  // namespace apm

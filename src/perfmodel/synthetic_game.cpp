@@ -1,0 +1,68 @@
+#include "perfmodel/synthetic_game.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace apm {
+
+SyntheticGame::SyntheticGame(int fanout, int max_depth, int encode_side)
+    : fanout_(fanout), max_depth_(max_depth), encode_side_(encode_side) {
+  APM_CHECK(fanout >= 2);
+  APM_CHECK(max_depth >= 1);
+  APM_CHECK(encode_side >= 1);
+}
+
+std::unique_ptr<Game> SyntheticGame::clone() const {
+  return std::make_unique<SyntheticGame>(*this);
+}
+
+int SyntheticGame::winner() const {
+  if (!is_terminal()) return 0;
+  // Pseudo-random outcome keyed on the move history: ~40% +1, ~40% −1,
+  // ~20% draw.
+  std::uint64_t s = hash_;
+  const std::uint64_t r = splitmix64(s) % 10;
+  if (r < 4) return 1;
+  if (r < 8) return -1;
+  return 0;
+}
+
+void SyntheticGame::legal_actions(std::vector<int>& out) const {
+  out.clear();
+  if (is_terminal()) return;
+  out.reserve(static_cast<std::size_t>(fanout_));
+  for (int a = 0; a < fanout_; ++a) out.push_back(a);
+}
+
+void SyntheticGame::apply(int action) {
+  APM_CHECK_MSG(is_legal(action), "illegal synthetic move");
+  std::uint64_t s = hash_ + static_cast<std::uint64_t>(action) * 2654435761ULL;
+  hash_ = splitmix64(s);
+  ++depth_;
+  player_ = -player_;
+}
+
+void SyntheticGame::encode(float* planes) const {
+  const std::size_t n = encode_size();
+  std::memset(planes, 0, n * sizeof(float));
+  // Scatter a few history-dependent marks so states encode distinctly
+  // (SyntheticEvaluator hashes the encoding).
+  std::uint64_t s = hash_;
+  for (int i = 0; i < 8; ++i) {
+    planes[splitmix64(s) % n] = 1.0f;
+  }
+  planes[0] = static_cast<float>(depth_);
+  planes[1] = static_cast<float>(player_);
+}
+
+std::string SyntheticGame::to_string() const {
+  std::ostringstream out;
+  out << "synthetic(fanout=" << fanout_ << ", depth=" << depth_ << "/"
+      << max_depth_ << ")";
+  return out.str();
+}
+
+}  // namespace apm

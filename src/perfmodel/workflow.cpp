@@ -1,0 +1,43 @@
+#include "perfmodel/workflow.hpp"
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace apm {
+
+const AdaptiveDecision& WorkflowResult::decision(bool gpu, int workers) const {
+  const auto& pool = gpu ? gpu_decisions : cpu_decisions;
+  APM_CHECK(!pool.empty());
+  const AdaptiveDecision* best = &pool.front();
+  int best_gap = std::abs(best->workers - workers);
+  for (const auto& d : pool) {
+    const int gap = std::abs(d.workers - workers);
+    if (gap < best_gap) {
+      best = &d;
+      best_gap = gap;
+    }
+  }
+  return *best;
+}
+
+WorkflowResult run_config_workflow_with_costs(const WorkflowConfig& cfg,
+                                              const ProfiledCosts& costs) {
+  WorkflowResult result;
+  result.costs = costs;
+  PerfModel model(cfg.hw, costs);
+  for (int n : cfg.worker_counts) {
+    result.cpu_decisions.push_back(model.decide_cpu(n));
+    result.gpu_decisions.push_back(model.decide_gpu(n));
+  }
+  return result;
+}
+
+WorkflowResult run_config_workflow(const WorkflowConfig& cfg,
+                                   Evaluator& dnn) {
+  const ProfiledCosts costs =
+      profile_costs(cfg.algo, dnn, cfg.hw, cfg.profile_playouts);
+  return run_config_workflow_with_costs(cfg, costs);
+}
+
+}  // namespace apm

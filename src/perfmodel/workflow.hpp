@@ -1,0 +1,41 @@
+#pragma once
+// The design-configuration workflow of §4.2, end to end:
+//   1. profile single-worker operation costs (synthetic tree + random-
+//      parameter DNN) on the target CPU;
+//   2. plug them into the Eq. 3–6 models;
+//   3. decide the parallel scheme per worker count (and platform), tuning
+//      the local-tree accelerator batch size B with Algorithm 4.
+
+#include <vector>
+
+#include "perfmodel/perf_model.hpp"
+
+namespace apm {
+
+struct WorkflowConfig {
+  HardwareSpec hw;
+  AlgoSpec algo;
+  std::vector<int> worker_counts = {1, 2, 4, 8, 16, 32, 64};
+  int profile_playouts = 512;
+};
+
+struct WorkflowResult {
+  ProfiledCosts costs;
+  std::vector<AdaptiveDecision> cpu_decisions;  // one per worker count
+  std::vector<AdaptiveDecision> gpu_decisions;
+
+  // Scheme chosen for `workers` on the given platform (nearest configured
+  // worker count).
+  const AdaptiveDecision& decision(bool gpu, int workers) const;
+};
+
+// Runs the workflow with `dnn` as the evaluation cost source (pass an
+// untrained net of the target architecture, per §4.2).
+WorkflowResult run_config_workflow(const WorkflowConfig& cfg, Evaluator& dnn);
+
+// As above but with externally supplied costs (e.g. from a prior profile
+// or a test vector).
+WorkflowResult run_config_workflow_with_costs(const WorkflowConfig& cfg,
+                                              const ProfiledCosts& costs);
+
+}  // namespace apm

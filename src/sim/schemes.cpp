@@ -1,0 +1,319 @@
+#include "sim/schemes.hpp"
+
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "support/rng.hpp"
+
+namespace apm {
+namespace {
+
+// Deterministic multiplicative jitter in [1-j, 1+j].
+class Jitter {
+ public:
+  Jitter(std::uint64_t seed, double spread) : rng_(seed), spread_(spread) {}
+  double operator()(double value) {
+    return value * (1.0 + spread_ * (2.0 * rng_.uniform() - 1.0));
+  }
+
+ private:
+  Rng rng_;
+  double spread_;
+};
+
+// Collects evaluation requests until `threshold`, then fires one batched
+// GPU round (transfer on the PCIe station, then compute on the GPU
+// station, then per-request continuations). flush() dispatches a partial
+// batch — the simulators call it when no further arrivals are possible
+// (the tail of a move), mirroring AsyncBatchEvaluator.
+class SimBatcher {
+ public:
+  SimBatcher(SimEngine& engine, SimResource& pcie, SimResource& gpu,
+             const GpuTimingModel& model, int threshold)
+      : engine_(engine),
+        pcie_(pcie),
+        gpu_(gpu),
+        model_(model),
+        threshold_(threshold) {}
+
+  void add(std::function<void()> continuation) {
+    pending_.push_back(std::move(continuation));
+    if (static_cast<int>(pending_.size()) >= threshold_) dispatch();
+  }
+
+  void flush() {
+    if (!pending_.empty()) dispatch();
+  }
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t batches() const { return batches_; }
+
+ private:
+  void dispatch() {
+    auto batch = std::make_shared<std::vector<std::function<void()>>>(
+        std::move(pending_));
+    pending_.clear();
+    ++batches_;
+    const int n = static_cast<int>(batch->size());
+    pcie_.submit(model_.transfer_us(n), [this, batch, n] {
+      gpu_.submit(model_.compute_us(n), [batch] {
+        for (auto& fn : *batch) fn();
+      });
+    });
+  }
+
+  SimEngine& engine_ [[maybe_unused]];
+  SimResource& pcie_;
+  SimResource& gpu_;
+  const GpuTimingModel& model_;
+  int threshold_;
+  std::vector<std::function<void()>> pending_;
+  std::size_t batches_ = 0;
+};
+
+double intree_shared_us(const SimParams& p) {
+  PerfModel model(p.hw, p.costs);
+  return model.shared_intree_us();
+}
+
+}  // namespace
+
+SimReport simulate_serial(const SimParams& p) {
+  Jitter jitter(p.seed, p.jitter);
+  double total = 0.0;
+  for (int i = 0; i < p.playouts; ++i) {
+    total += jitter(p.costs.t_select_us + p.costs.t_expand_us +
+                    p.costs.t_backup_us + p.costs.t_dnn_cpu_us);
+  }
+  SimReport report;
+  report.scheme = Scheme::kSerial;
+  report.workers = 1;
+  report.move_us = total;
+  report.amortized_iteration_us = total / p.playouts;
+  return report;
+}
+
+// --- shared tree -------------------------------------------------------------
+
+namespace {
+
+// Common driver for shared-tree CPU/GPU: `eval` is invoked with a
+// continuation to run when the evaluation completes.
+SimReport run_shared(
+    const SimParams& p, bool gpu,
+    const std::function<void(SimEngine&, std::function<void()>)>& eval,
+    const std::function<void()>& flush_tail,
+    const std::function<std::size_t()>& batches,
+    SimEngine& engine, SimResource& shared_station) {
+  Jitter jitter(p.seed, p.jitter);
+  auto tickets = std::make_shared<int>(p.playouts);
+  auto expected_evals = std::make_shared<int>(0);
+  const double intree = intree_shared_us(p);
+
+  // One worker's iteration loop, written CPS-style over the calendar.
+  std::function<void(int)> iterate = [&, tickets, expected_evals](int worker) {
+    if (*tickets <= 0) {
+      flush_tail();  // a worker retired; a partial batch may be final
+      return;
+    }
+    --*tickets;
+    ++*expected_evals;
+    // Root/shared-memory touch (serialised across workers), then the
+    // in-tree compute on the worker's own core, then the evaluation.
+    shared_station.submit(jitter(p.costs.t_shared_access_us), [&, worker] {
+      engine.schedule(jitter(intree), [&, worker] {
+        --*expected_evals;
+        eval(engine, [&, worker] { iterate(worker); });
+        if (*tickets <= 0 && *expected_evals == 0) flush_tail();
+      });
+    });
+  };
+
+  for (int w = 0; w < p.workers; ++w) iterate(w);
+  const SimTime end = engine.run();
+
+  SimReport report;
+  report.scheme = Scheme::kSharedTree;
+  report.gpu = gpu;
+  report.workers = p.workers;
+  report.batch = gpu ? p.workers : 0;
+  report.move_us = end;
+  report.amortized_iteration_us = end / p.playouts;
+  report.master_util = shared_station.busy_time() / std::max(1e-9, end);
+  report.batches = batches();
+  report.events = engine.events_processed();
+  return report;
+}
+
+}  // namespace
+
+SimReport simulate_shared_cpu(const SimParams& p) {
+  SimEngine engine;
+  SimResource shared_station(engine, 1, "shared-memory");
+  Jitter eval_jitter(p.seed ^ 0x51ED, p.jitter);
+  // Evaluation runs on the worker's dedicated core: pure delay.
+  auto eval = [&](SimEngine& eng, std::function<void()> done) {
+    eng.schedule(eval_jitter(p.costs.t_dnn_cpu_us), std::move(done));
+  };
+  SimReport report = run_shared(
+      p, /*gpu=*/false, eval, [] {}, [] { return std::size_t{0}; }, engine,
+      shared_station);
+  return report;
+}
+
+SimReport simulate_shared_gpu(const SimParams& p) {
+  SimEngine engine;
+  SimResource shared_station(engine, 1, "shared-memory");
+  SimResource pcie(engine, 1, "pcie");
+  SimResource gpu(engine, 1, "gpu");
+  // §3.3: shared-tree batch size is always N.
+  SimBatcher batcher(engine, pcie, gpu, p.hw.gpu, p.workers);
+  auto eval = [&](SimEngine&, std::function<void()> done) {
+    batcher.add(std::move(done));
+  };
+  SimReport report = run_shared(
+      p, /*gpu=*/true, eval, [&] { batcher.flush(); },
+      [&] { return batcher.batches(); }, engine, shared_station);
+  report.eval_util = gpu.busy_time() / std::max(1e-9, report.move_us);
+  report.pcie_util = pcie.busy_time() / std::max(1e-9, report.move_us);
+  return report;
+}
+
+// --- local tree ---------------------------------------------------------------
+
+namespace {
+
+struct LocalDriver {
+  const SimParams& p;
+  SimEngine& engine;
+  SimResource& master;
+  std::function<void(std::function<void()>)> eval;
+  std::function<void()> flush_tail;
+
+  int issued = 0;
+  int completed = 0;
+  int in_flight = 0;
+  Jitter jitter{0, 0};
+
+  void try_issue() {
+    // Algorithm 3 line 12: stop issuing when the pool is at capacity.
+    while (issued < p.playouts && in_flight < p.workers) {
+      ++issued;
+      ++in_flight;
+      master.submit(jitter(p.costs.t_select_us), [this] {
+        eval([this] {
+          // Completion: expansion + backup on the master.
+          master.submit(
+              jitter(p.costs.t_expand_us + p.costs.t_backup_us), [this] {
+                --in_flight;
+                ++completed;
+                try_issue();
+                if (issued >= p.playouts) flush_tail();
+              });
+        });
+        if (issued >= p.playouts) flush_tail();
+      });
+    }
+  }
+};
+
+}  // namespace
+
+SimReport simulate_local_cpu(const SimParams& p) {
+  SimEngine engine;
+  SimResource master(engine, 1, "master");
+  SimResource pool(engine, p.workers, "eval-pool");
+  Jitter eval_jitter(p.seed ^ 0xE1A1, p.jitter);
+
+  // Local tree: in-tree ops run at cache-resident cost (§3.1.2).
+  ProfiledCosts cache_costs = p.costs;
+  PerfModel model(p.hw, p.costs);
+  const double scale =
+      model.local_intree_us() /
+      std::max(1e-9, p.costs.t_select_us + p.costs.t_expand_us +
+                         p.costs.t_backup_us);
+  cache_costs.t_select_us *= scale;
+  cache_costs.t_backup_us *= scale;
+  SimParams local_params = p;
+  local_params.costs = cache_costs;
+
+  LocalDriver driver{local_params, engine, master,
+                     [&](std::function<void()> done) {
+                       pool.submit(eval_jitter(p.costs.t_dnn_cpu_us),
+                                   std::move(done));
+                     },
+                     [] {}};
+  driver.jitter = Jitter(p.seed, p.jitter);
+  driver.try_issue();
+  const SimTime end = engine.run();
+
+  SimReport report;
+  report.scheme = Scheme::kLocalTree;
+  report.workers = p.workers;
+  report.move_us = end;
+  report.amortized_iteration_us = end / p.playouts;
+  report.master_util = master.busy_time() / std::max(1e-9, end);
+  report.eval_util =
+      pool.busy_time() / std::max(1e-9, end * p.workers);
+  report.events = engine.events_processed();
+  return report;
+}
+
+SimReport simulate_local_gpu(const SimParams& p) {
+  APM_CHECK(p.batch >= 1 && p.batch <= p.workers);
+  SimEngine engine;
+  SimResource master(engine, 1, "master");
+  SimResource pcie(engine, 1, "pcie");
+  SimResource gpu(engine, 1, "gpu");
+  SimBatcher batcher(engine, pcie, gpu, p.hw.gpu, p.batch);
+
+  ProfiledCosts cache_costs = p.costs;
+  PerfModel model(p.hw, p.costs);
+  const double scale =
+      model.local_intree_us() /
+      std::max(1e-9, p.costs.t_select_us + p.costs.t_expand_us +
+                         p.costs.t_backup_us);
+  cache_costs.t_select_us *= scale;
+  cache_costs.t_backup_us *= scale;
+  SimParams local_params = p;
+  local_params.costs = cache_costs;
+
+  LocalDriver driver{local_params, engine, master,
+                     [&](std::function<void()> done) {
+                       batcher.add(std::move(done));
+                     },
+                     [&] { batcher.flush(); }};
+  driver.jitter = Jitter(p.seed, p.jitter);
+  driver.try_issue();
+  const SimTime end = engine.run();
+
+  SimReport report;
+  report.scheme = Scheme::kLocalTree;
+  report.gpu = true;
+  report.workers = p.workers;
+  report.batch = p.batch;
+  report.move_us = end;
+  report.amortized_iteration_us = end / p.playouts;
+  report.master_util = master.busy_time() / std::max(1e-9, end);
+  report.eval_util = gpu.busy_time() / std::max(1e-9, end);
+  report.pcie_util = pcie.busy_time() / std::max(1e-9, end);
+  report.batches = batcher.batches();
+  report.events = engine.events_processed();
+  return report;
+}
+
+SimReport simulate_scheme(Scheme scheme, bool gpu, const SimParams& p) {
+  switch (scheme) {
+    case Scheme::kSerial:
+      return simulate_serial(p);
+    case Scheme::kSharedTree:
+      return gpu ? simulate_shared_gpu(p) : simulate_shared_cpu(p);
+    case Scheme::kLocalTree:
+      return gpu ? simulate_local_gpu(p) : simulate_local_cpu(p);
+    default:
+      APM_CHECK_MSG(false, "scheme not supported by the simulator");
+  }
+  return {};
+}
+
+}  // namespace apm

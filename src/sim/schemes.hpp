@@ -1,0 +1,61 @@
+#pragma once
+// Virtual-time replays of the paper's parallel schedules.
+//
+// Each simulator reproduces the orchestration of its scheme — Figure 1(b)
+// / Figure 2(b) timelines — as a queueing network:
+//
+//  * shared-tree: N worker processes; a 1-server "root/shared-memory"
+//    station with service T_shared-access serialises the per-iteration
+//    virtual-loss/root update (the latency offsets of Fig. 1(b)); in-tree
+//    compute runs on the worker's own core; evaluation either on the
+//    worker's core (CPU) or through batch → PCIe → GPU stations.
+//  * local-tree: a 1-server master station performs every selection and
+//    every expansion+backup; evaluations go to an N-server pool (CPU) or
+//    are batched into B-sized sub-batches through 1-server PCIe and GPU
+//    stations (the N/B CUDA streams of §4.1; transfer/compute overlap
+//    across sub-batches emerges from the two stations pipelining).
+//
+// Service times come from ProfiledCosts (measured on the real
+// implementation by the §4.2 profiler) and HardwareSpec; a deterministic
+// ±jitter models operation-to-operation variance.
+
+#include "mcts/config.hpp"
+#include "perfmodel/perf_model.hpp"
+
+namespace apm {
+
+struct SimParams {
+  int playouts = 1600;
+  int workers = 8;
+  int batch = 0;  // local-tree GPU sub-batch B; ignored elsewhere
+  ProfiledCosts costs;
+  HardwareSpec hw;
+  std::uint64_t seed = 42;
+  double jitter = 0.08;  // relative service-time spread
+};
+
+struct SimReport {
+  Scheme scheme = Scheme::kSerial;
+  bool gpu = false;
+  int workers = 1;
+  int batch = 0;
+  double move_us = 0.0;
+  double amortized_iteration_us = 0.0;
+  // Utilisations over the move (busy server-time / (move × servers)).
+  double master_util = 0.0;    // local-tree master / shared root station
+  double eval_util = 0.0;      // CPU eval pool or GPU
+  double pcie_util = 0.0;
+  std::size_t batches = 0;     // GPU submissions
+  std::size_t events = 0;
+};
+
+SimReport simulate_serial(const SimParams& params);
+SimReport simulate_shared_cpu(const SimParams& params);
+SimReport simulate_shared_gpu(const SimParams& params);  // batch = workers
+SimReport simulate_local_cpu(const SimParams& params);
+SimReport simulate_local_gpu(const SimParams& params);   // uses params.batch
+
+// Dispatch helper: runs the scheme the adaptive layer chose.
+SimReport simulate_scheme(Scheme scheme, bool gpu, const SimParams& params);
+
+}  // namespace apm

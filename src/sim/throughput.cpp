@@ -1,0 +1,59 @@
+#include "sim/throughput.hpp"
+
+#include <algorithm>
+
+namespace apm {
+
+double train_us_per_sample_gpu(const HardwareSpec& hw,
+                               const TrainCostParams& t) {
+  // Each SGD iteration processes one minibatch at the GPU's saturated
+  // training throughput; transfers overlap compute in steady state
+  // (device-resident replay buffer). Kernel-launch overhead per iteration
+  // comes from the shared timing model.
+  return t.sgd_iters_per_sample *
+         (t.train_batch * t.gpu_train_us_per_state +
+          hw.gpu.kernel_launch_us);
+}
+
+double train_us_per_sample_cpu(const HardwareSpec& hw,
+                               const ProfiledCosts& costs,
+                               const TrainCostParams& t) {
+  // Minibatch states spread across the training threads; per-state cost is
+  // one inference-equivalent × backward_factor.
+  const double per_state = costs.t_dnn_cpu_us * t.backward_factor;
+  const double states =
+      static_cast<double>(t.sgd_iters_per_sample) * t.train_batch;
+  return states * per_state / std::max(1, hw.train_threads);
+}
+
+ThroughputPoint throughput_point(const SimParams& base, bool gpu_platform,
+                                 const TrainCostParams& train,
+                                 const PerfModel& model) {
+  ThroughputPoint point;
+  point.workers = base.workers;
+
+  const AdaptiveDecision decision = gpu_platform
+                                        ? model.decide_gpu(base.workers)
+                                        : model.decide_cpu(base.workers);
+  point.scheme = decision.scheme;
+  point.batch = decision.batch_size;
+
+  SimParams params = base;
+  params.batch = decision.scheme == Scheme::kLocalTree && gpu_platform
+                     ? decision.batch_size
+                     : params.batch;
+  const SimReport report =
+      simulate_scheme(decision.scheme, gpu_platform, params);
+  point.search_us_per_sample = report.move_us;
+
+  point.train_us_per_sample =
+      gpu_platform ? train_us_per_sample_gpu(base.hw, train)
+                   : train_us_per_sample_cpu(base.hw, base.costs, train);
+
+  const double bottleneck_us =
+      std::max(point.search_us_per_sample, point.train_us_per_sample);
+  point.samples_per_sec = 1e6 / std::max(1e-9, bottleneck_us);
+  return point;
+}
+
+}  // namespace apm

@@ -1,0 +1,61 @@
+#pragma once
+// Training-throughput model for Figure 6 (§5.4).
+//
+// One *sample* = the data point produced by one move = 1600 worker
+// iterations (§5.1). The pipeline produces samples (tree-based search) and
+// consumes them (DNN training); producer and consumer overlap, so the
+// steady-state throughput is bounded by the slower side:
+//
+//      samples/s = 1e6 / max(T_search_per_sample, T_train_per_sample)
+//
+// Training cost per sample is derived from the same compute models as
+// inference — a training step is roughly 3× an inference of the same batch
+// (forward + backward + update):
+//   GPU platform : SGD_iters × 3 × T_GPU_compute(train_batch) / train_batch
+//                  per state, × states_per_sample
+//   CPU platform : SGD_iters × 3 × T_DNN_CPU × states / train_threads
+//                  (the paper allocates 32 CPU threads to training)
+
+#include "perfmodel/perf_model.hpp"
+#include "sim/schemes.hpp"
+
+namespace apm {
+
+struct TrainCostParams {
+  int sgd_iters_per_sample = 5;
+  int train_batch = 512;
+  double backward_factor = 3.0;  // training step vs inference cost
+  // Saturated large-batch GPU throughput per state, forward+backward+update
+  // included (µs/state). The inference-latency model (GpuTimingModel) is
+  // tuned for the small batches the search uses (B ≤ 64) and extrapolates
+  // pessimistically to training batches; large-batch training throughput
+  // is a separate, documented constant.
+  double gpu_train_us_per_state = 4.5;
+};
+
+// Per-sample training time on the GPU (µs).
+double train_us_per_sample_gpu(const HardwareSpec& hw,
+                               const TrainCostParams& t);
+
+// Per-sample training time on `train_threads` CPU threads (µs).
+double train_us_per_sample_cpu(const HardwareSpec& hw,
+                               const ProfiledCosts& costs,
+                               const TrainCostParams& t);
+
+struct ThroughputPoint {
+  int workers = 1;
+  Scheme scheme = Scheme::kSharedTree;
+  int batch = 0;
+  double search_us_per_sample = 0.0;
+  double train_us_per_sample = 0.0;
+  double samples_per_sec = 0.0;
+};
+
+// Evaluates the full §5.4 pipeline at one worker count: the adaptive layer
+// picks the scheme (and B for GPU local-tree), the DES provides the search
+// time, the training model provides the consumer time.
+ThroughputPoint throughput_point(const SimParams& base, bool gpu_platform,
+                                 const TrainCostParams& train,
+                                 const PerfModel& model);
+
+}  // namespace apm

@@ -1,0 +1,36 @@
+#pragma once
+// Lightweight runtime-check macros used across the library.
+//
+// APM_CHECK is always on (cheap invariants on hot-ish but not innermost
+// paths); APM_DCHECK compiles away in NDEBUG builds and is safe to place in
+// inner loops.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace apm {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "APM_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace apm
+
+#define APM_CHECK(cond)                                         \
+  do {                                                          \
+    if (!(cond)) ::apm::check_failed(#cond, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define APM_CHECK_MSG(cond, msg)                                \
+  do {                                                          \
+    if (!(cond)) ::apm::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define APM_DCHECK(cond) ((void)0)
+#else
+#define APM_DCHECK(cond) APM_CHECK(cond)
+#endif

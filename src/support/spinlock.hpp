@@ -1,0 +1,54 @@
+#pragma once
+// A 1-byte test-and-test-and-set spinlock.
+//
+// MCTS tree nodes carry one of these each (the paper's shared-tree method
+// locks individual nodes during virtual-loss update and backup, §3.1.1).
+// std::mutex is 40 bytes on glibc which would dominate the node size, so a
+// byte-sized TTAS lock keeps nodes compact and cache friendly. Satisfies
+// the Lockable requirements, so it works with std::scoped_lock /
+// std::lock_guard per Core Guidelines CP.20 ("use RAII, never plain
+// lock()/unlock()").
+
+#include <atomic>
+#include <thread>
+
+namespace apm {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    for (int spins = 0;; ++spins) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Test loop: spin on a plain load to avoid cache-line ping-pong.
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (spins < kSpinsBeforeYield) {
+#if defined(__x86_64__) || defined(__i386__)
+          __builtin_ia32_pause();
+#endif
+          ++spins;
+        } else {
+          std::this_thread::yield();  // oversubscribed host: let owner run
+        }
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int kSpinsBeforeYield = 64;
+  std::atomic<bool> flag_{false};
+};
+
+static_assert(sizeof(SpinLock) == 1, "SpinLock must stay 1 byte");
+
+}  // namespace apm

@@ -1,0 +1,41 @@
+#pragma once
+// Summary statistics for latency samples.
+//
+// The evaluation section of the paper reports *amortized* per-iteration
+// latencies (total move time / 1600); the profiler additionally wants
+// means, medians and tail behaviour of individual operation costs, which
+// this accumulator provides.
+
+#include <cstddef>
+#include <vector>
+
+namespace apm {
+
+// Online mean/variance (Welford) plus retained samples for percentiles.
+class SampleStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const { return count() == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  // q in [0,1]; linear interpolation between order statistics.
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+
+  void clear();
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace apm

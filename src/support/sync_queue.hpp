@@ -1,0 +1,111 @@
+#pragma once
+// Blocking multi-producer/multi-consumer queue.
+//
+// This is the FIFO "communication pipe" of the paper's local-tree method
+// (§3.1.2): the master thread pushes node-evaluation requests, worker
+// threads pop them; completed evaluations flow back through a second
+// SyncQueue. The design follows the Core Guidelines Sync_queue idiom
+// (CP.41: pre-created workers consuming from a queue; CP.42: never wait
+// without a condition).
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace apm {
+
+template <typename T>
+class SyncQueue {
+ public:
+  // capacity == 0 means unbounded.
+  explicit SyncQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  SyncQueue(const SyncQueue&) = delete;
+  SyncQueue& operator=(const SyncQueue&) = delete;
+
+  // Blocks while the queue is full (bounded mode). Returns false if the
+  // queue was closed before the item could be inserted.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || !full_locked(); });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push; fails when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || full_locked()) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Wakes all waiters; subsequent pushes fail, pops drain remaining items.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  bool full_locked() const {
+    return capacity_ != 0 && items_.size() >= capacity_;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace apm

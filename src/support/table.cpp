@@ -1,0 +1,78 @@
+#include "support/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace apm {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  APM_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  APM_CHECK_MSG(cells.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+  auto emit_rule = [&] {
+    out << "+";
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::cout << "\n== " << title << " ==\n" << to_text();
+  std::istringstream csv(to_csv());
+  for (std::string line; std::getline(csv, line);)
+    std::cout << "csv: " << line << '\n';
+  std::cout.flush();
+}
+
+}  // namespace apm

@@ -1,0 +1,37 @@
+#pragma once
+// Console table / CSV printer for the benchmark harness.
+//
+// Every figure-bench prints two artifacts: a human-readable aligned table
+// (the "rows/series the paper reports") and a machine-readable CSV block so
+// the curves can be re-plotted.
+
+#include <string>
+#include <vector>
+
+namespace apm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 3);
+
+  // Aligned, boxed text rendering.
+  std::string to_text() const;
+
+  // RFC-4180-ish CSV rendering (no quoting needed for our content).
+  std::string to_csv() const;
+
+  // Prints the table followed by a "csv:"-prefixed CSV block to stdout.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace apm

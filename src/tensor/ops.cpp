@@ -1,0 +1,216 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace apm {
+namespace {
+
+// Cache-blocking parameters sized for a typical 32 KB L1 / 512 KB L2.
+constexpr int kBlockM = 64;
+constexpr int kBlockN = 64;
+constexpr int kBlockK = 128;
+
+// Inner kernel: C[i0..i1, j0..j1] += A[i0..i1, k0..k1] * B[k0..k1, j0..j1].
+// The j-loop is innermost and contiguous in both B and C so the compiler
+// auto-vectorises it.
+void gemm_block(const float* a, const float* b, float* c, int lda, int ldb,
+                int ldc, int i0, int i1, int j0, int j1, int k0, int k1) {
+  for (int i = i0; i < i1; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * lda;
+    float* crow = c + static_cast<std::size_t>(i) * ldc;
+    for (int k = k0; k < k1; ++k) {
+      const float aik = arow[k];
+      if (aik == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(k) * ldb;
+      for (int j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, int m, int n, int k,
+          bool accumulate) {
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<std::size_t>(m) * n * sizeof(float));
+  }
+  for (int i0 = 0; i0 < m; i0 += kBlockM) {
+    const int i1 = std::min(i0 + kBlockM, m);
+    for (int kk0 = 0; kk0 < k; kk0 += kBlockK) {
+      const int kk1 = std::min(kk0 + kBlockK, k);
+      for (int j0 = 0; j0 < n; j0 += kBlockN) {
+        const int j1 = std::min(j0 + kBlockN, n);
+        gemm_block(a, b, c, k, n, n, i0, i1, j0, j1, kk0, kk1);
+      }
+    }
+  }
+}
+
+void gemm_atb(const float* a, const float* b, float* c, int m, int n, int k,
+              bool accumulate) {
+  // C[M,N] += A[K,M]^T * B[K,N]; iterate over K outer so both A and B rows
+  // stream contiguously.
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<std::size_t>(m) * n * sizeof(float));
+  }
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = a + static_cast<std::size_t>(kk) * m;
+    const float* brow = b + static_cast<std::size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+void gemm_abt(const float* a, const float* b, float* c, int m, int n, int k,
+              bool accumulate) {
+  // C[M,N] += A[M,K] * B[N,K]^T; the k-loop is a dot product over
+  // contiguous rows of A and B.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = accumulate ? crow[j] + acc : acc;
+    }
+  }
+}
+
+void im2col(const float* x, int channels, int height, int width, int ksize,
+            int pad, float* col) {
+  const int out_h = height;  // stride-1, same padding
+  const int out_w = width;
+  std::size_t idx = 0;
+  for (int c = 0; c < channels; ++c) {
+    const float* xc = x + static_cast<std::size_t>(c) * height * width;
+    for (int ky = 0; ky < ksize; ++ky) {
+      for (int kx = 0; kx < ksize; ++kx) {
+        for (int oy = 0; oy < out_h; ++oy) {
+          const int iy = oy + ky - pad;
+          if (iy < 0 || iy >= height) {
+            for (int ox = 0; ox < out_w; ++ox) col[idx++] = 0.0f;
+            continue;
+          }
+          const float* xrow = xc + static_cast<std::size_t>(iy) * width;
+          for (int ox = 0; ox < out_w; ++ox) {
+            const int ix = ox + kx - pad;
+            col[idx++] =
+                (ix >= 0 && ix < width) ? xrow[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, int channels, int height, int width, int ksize,
+            int pad, float* dx) {
+  const int out_h = height;
+  const int out_w = width;
+  std::size_t idx = 0;
+  for (int c = 0; c < channels; ++c) {
+    float* xc = dx + static_cast<std::size_t>(c) * height * width;
+    for (int ky = 0; ky < ksize; ++ky) {
+      for (int kx = 0; kx < ksize; ++kx) {
+        for (int oy = 0; oy < out_h; ++oy) {
+          const int iy = oy + ky - pad;
+          if (iy < 0 || iy >= height) {
+            idx += static_cast<std::size_t>(out_w);
+            continue;
+          }
+          float* xrow = xc + static_cast<std::size_t>(iy) * width;
+          for (int ox = 0; ox < out_w; ++ox) {
+            const int ix = ox + kx - pad;
+            if (ix >= 0 && ix < width) xrow[ix] += col[idx];
+            ++idx;
+          }
+        }
+      }
+    }
+  }
+}
+
+void relu_forward(const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void relu_backward(const float* x, const float* dy, float* dx, std::size_t n,
+                   bool accumulate) {
+  if (accumulate) {
+    for (std::size_t i = 0; i < n; ++i)
+      dx[i] += x[i] > 0.0f ? dy[i] : 0.0f;
+  } else {
+    for (std::size_t i = 0; i < n; ++i) dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+  }
+}
+
+void tanh_forward(const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+}
+
+void tanh_backward(const float* y, const float* dy, float* dx,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+}
+
+void axpy(float alpha, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void softmax_rows(const float* x, float* y, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    const float* xr = x + static_cast<std::size_t>(r) * cols;
+    float* yr = y + static_cast<std::size_t>(r) * cols;
+    float mx = xr[0];
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, xr[c]);
+    float denom = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      yr[c] = std::exp(xr[c] - mx);
+      denom += yr[c];
+    }
+    const float inv = 1.0f / denom;
+    for (int c = 0; c < cols; ++c) yr[c] *= inv;
+  }
+}
+
+void log_softmax_rows(const float* x, float* y, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    const float* xr = x + static_cast<std::size_t>(r) * cols;
+    float* yr = y + static_cast<std::size_t>(r) * cols;
+    float mx = xr[0];
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, xr[c]);
+    float denom = 0.0f;
+    for (int c = 0; c < cols; ++c) denom += std::exp(xr[c] - mx);
+    const float log_denom = std::log(denom) + mx;
+    for (int c = 0; c < cols; ++c) yr[c] = xr[c] - log_denom;
+  }
+}
+
+float sum(const float* x, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i];
+  return static_cast<float>(acc);
+}
+
+float dot(const float* a, const float* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(acc);
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  APM_CHECK(a.numel() == b.numel());
+  float mx = 0.0f;
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    mx = std::max(mx, std::fabs(a[i] - b[i]));
+  return mx;
+}
+
+}  // namespace apm

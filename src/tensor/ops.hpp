@@ -1,0 +1,73 @@
+#pragma once
+// Tensor kernels: blocked GEMM, im2col/col2im, activations, softmax.
+//
+// Layout contracts (all row-major):
+//   gemm        : C[M,N] (+)= A[M,K] * B[K,N]
+//   gemm_atb    : C[M,N] (+)= A[K,M]^T * B[K,N]
+//   gemm_abt    : C[M,N] (+)= A[M,K] * B[N,K]^T
+// These three cover forward, weight-gradient and input-gradient passes of
+// both Linear and (via im2col) Conv2d without materialising transposes.
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace apm {
+
+// --- GEMM family -----------------------------------------------------------
+
+// C[M,N] op= A[M,K]*B[K,N]; op is += when accumulate, = otherwise.
+void gemm(const float* a, const float* b, float* c, int m, int n, int k,
+          bool accumulate);
+
+// C[M,N] op= A[K,M]^T * B[K,N].
+void gemm_atb(const float* a, const float* b, float* c, int m, int n, int k,
+              bool accumulate);
+
+// C[M,N] op= A[M,K] * B[N,K]^T.
+void gemm_abt(const float* a, const float* b, float* c, int m, int n, int k,
+              bool accumulate);
+
+// --- convolution lowering ---------------------------------------------------
+
+// Lowers one image x[C,H,W] to columns col[C*k*k, H*W] for a k×k
+// convolution with `pad` zero padding and stride 1 (output spatial size
+// equals input spatial size when pad == k/2, which is all this library
+// uses).
+void im2col(const float* x, int channels, int height, int width, int ksize,
+            int pad, float* col);
+
+// Adjoint of im2col: accumulates columns back into dx[C,H,W]. dx must be
+// zeroed by the caller.
+void col2im(const float* col, int channels, int height, int width, int ksize,
+            int pad, float* dx);
+
+// --- element-wise -----------------------------------------------------------
+
+void relu_forward(const float* x, float* y, std::size_t n);
+// dx = dy where x > 0 else 0 (accumulates into dx when accumulate).
+void relu_backward(const float* x, const float* dy, float* dx, std::size_t n,
+                   bool accumulate);
+
+void tanh_forward(const float* x, float* y, std::size_t n);
+// dx = dy * (1 - y^2).
+void tanh_backward(const float* y, const float* dy, float* dx, std::size_t n);
+
+// y += x
+void axpy(float alpha, const float* x, float* y, std::size_t n);
+
+// --- softmax ----------------------------------------------------------------
+
+// Row-wise softmax: x[rows, cols] -> y[rows, cols]. Numerically stable.
+void softmax_rows(const float* x, float* y, int rows, int cols);
+
+// Row-wise log-softmax.
+void log_softmax_rows(const float* x, float* y, int rows, int cols);
+
+// --- reductions --------------------------------------------------------------
+
+float sum(const float* x, std::size_t n);
+float dot(const float* a, const float* b, std::size_t n);
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace apm

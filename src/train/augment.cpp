@@ -1,0 +1,60 @@
+#include "train/augment.hpp"
+
+#include "support/check.hpp"
+
+namespace apm {
+namespace {
+
+// Maps (row, col) under the transform; side = board edge length.
+inline void map_cell(int transform, int side, int row, int col, int& out_row,
+                     int& out_col) {
+  const int rot = transform >> 1;
+  int r = row, c = col;
+  for (int i = 0; i < rot; ++i) {  // rotate 90° clockwise
+    const int nr = c;
+    const int nc = side - 1 - r;
+    r = nr;
+    c = nc;
+  }
+  if (transform & 1) c = side - 1 - c;  // horizontal flip
+  out_row = r;
+  out_col = c;
+}
+
+}  // namespace
+
+TrainSample transform_sample(const TrainSample& sample, int channels,
+                             int side, int transform) {
+  APM_CHECK(transform >= 0 && transform < 8);
+  const std::size_t plane = static_cast<std::size_t>(side) * side;
+  APM_CHECK(sample.state.size() ==
+            static_cast<std::size_t>(channels) * plane);
+  APM_CHECK(sample.pi.size() == plane);
+
+  TrainSample out;
+  out.z = sample.z;
+  out.state.resize(sample.state.size());
+  out.pi.resize(sample.pi.size());
+  for (int r = 0; r < side; ++r) {
+    for (int c = 0; c < side; ++c) {
+      int tr, tc;
+      map_cell(transform, side, r, c, tr, tc);
+      const std::size_t src = static_cast<std::size_t>(r) * side + c;
+      const std::size_t dst = static_cast<std::size_t>(tr) * side + tc;
+      out.pi[dst] = sample.pi[src];
+      for (int ch = 0; ch < channels; ++ch) {
+        out.state[ch * plane + dst] = sample.state[ch * plane + src];
+      }
+    }
+  }
+  return out;
+}
+
+void augment_symmetries(const TrainSample& sample, int channels, int side,
+                        std::vector<TrainSample>& out) {
+  for (int t = 1; t < 8; ++t) {
+    out.push_back(transform_sample(sample, channels, side, t));
+  }
+}
+
+}  // namespace apm

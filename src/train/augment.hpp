@@ -1,0 +1,23 @@
+#pragma once
+// 8-fold dihedral symmetry augmentation for square-board samples.
+//
+// Gomoku positions (and their π targets) are equivariant under the 4
+// rotations × 2 reflections of the board; AlphaZero-style training
+// multiplies each self-play sample accordingly.
+
+#include <vector>
+
+#include "train/replay_buffer.hpp"
+
+namespace apm {
+
+// Transform index 0..7: bit 2..1 = rotation (0°, 90°, 180°, 270°),
+// bit 0 = horizontal flip after rotation. Identity is 0.
+TrainSample transform_sample(const TrainSample& sample, int channels,
+                             int side, int transform);
+
+// Appends the 7 non-identity symmetries of `sample` to `out`.
+void augment_symmetries(const TrainSample& sample, int channels, int side,
+                        std::vector<TrainSample>& out);
+
+}  // namespace apm

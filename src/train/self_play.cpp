@@ -1,0 +1,90 @@
+#include "train/self_play.hpp"
+
+#include "support/check.hpp"
+#include "support/timer.hpp"
+#include "train/augment.hpp"
+
+namespace apm {
+namespace {
+
+int sample_from(const std::vector<float>& probs, Rng& rng) {
+  const double u = rng.uniform();
+  double acc = 0.0;
+  int last_positive = -1;
+  for (std::size_t a = 0; a < probs.size(); ++a) {
+    if (probs[a] <= 0.0f) continue;
+    last_positive = static_cast<int>(a);
+    acc += probs[a];
+    if (u < acc) return static_cast<int>(a);
+  }
+  return last_positive;  // numerical tail
+}
+
+}  // namespace
+
+EpisodeStats run_self_play_episode(const Game& game, MctsSearch& search,
+                                   ReplayBuffer& buffer,
+                                   const SelfPlayConfig& cfg) {
+  EpisodeStats stats;
+  Rng rng(cfg.seed);
+  auto env = game.clone();
+
+  // Per-move records; z is filled once the outcome is known.
+  struct MoveRecord {
+    TrainSample sample;
+    int player;
+  };
+  std::vector<MoveRecord> records;
+
+  while (!env->is_terminal()) {
+    if (cfg.max_moves > 0 && stats.moves >= cfg.max_moves) break;
+    Timer timer;
+    const SearchResult result = search.search(*env);
+    stats.search_seconds += timer.elapsed_seconds();
+    stats.last_metrics = result.metrics;
+    APM_CHECK_MSG(result.best_action >= 0, "search produced no action");
+
+    MoveRecord rec;
+    rec.player = env->current_player();
+    rec.sample.state.resize(env->encode_size());
+    env->encode(rec.sample.state.data());
+    rec.sample.pi = result.action_prior;
+    records.push_back(std::move(rec));
+
+    int action;
+    if (stats.moves < cfg.temperature_moves) {
+      const auto pi = result.prior_with_temperature(cfg.temperature);
+      action = sample_from(pi, rng);
+    } else {
+      action = result.best_action;
+    }
+    APM_CHECK(env->is_legal(action));
+    env->apply(action);
+    ++stats.moves;
+  }
+
+  stats.winner = env->winner();
+  const int side = game.height();
+  const int channels = game.encode_channels();
+  const bool square = game.height() == game.width() &&
+                      static_cast<int>(records.empty()
+                                           ? 0
+                                           : records.front().sample.pi.size()) ==
+                          side * side;
+  for (MoveRecord& rec : records) {
+    rec.sample.z = stats.winner == 0
+                       ? 0.0f
+                       : (stats.winner == rec.player ? 1.0f : -1.0f);
+    if (cfg.augment && square) {
+      std::vector<TrainSample> extra;
+      augment_symmetries(rec.sample, channels, side, extra);
+      for (TrainSample& s : extra) buffer.add(std::move(s));
+      stats.samples += 7;
+    }
+    buffer.add(std::move(rec.sample));
+    ++stats.samples;
+  }
+  return stats;
+}
+
+}  // namespace apm

@@ -1,0 +1,41 @@
+#pragma once
+// Self-play episode runner — the data-collection half of Algorithm 1
+// (lines 3–12): play a game move by move, each move chosen by a full
+// tree-based search; record (state, π) per move and back-fill the final
+// reward z once the episode terminates.
+
+#include <memory>
+#include <vector>
+
+#include "games/game.hpp"
+#include "mcts/search.hpp"
+#include "train/replay_buffer.hpp"
+
+namespace apm {
+
+struct SelfPlayConfig {
+  // Moves with index < temperature_moves sample from π (exploration);
+  // later moves play argmax (the paper's "take action argmax(ap)").
+  int temperature_moves = 8;
+  float temperature = 1.0f;
+  bool augment = false;  // add 8-fold symmetries of each sample
+  std::uint64_t seed = 11;
+  int max_moves = 0;  // 0 = play to terminal
+};
+
+struct EpisodeStats {
+  int moves = 0;
+  int winner = 0;  // +1 / −1 / 0 draw
+  int samples = 0;
+  double search_seconds = 0.0;  // Σ move search wall time
+  SearchMetrics last_metrics;   // metrics of the final move
+};
+
+// Plays one episode of `game` (copied) with `search` choosing every move
+// (both players share the search/net — standard AlphaZero self-play).
+// Samples are appended to `buffer`.
+EpisodeStats run_self_play_episode(const Game& game, MctsSearch& search,
+                                   ReplayBuffer& buffer,
+                                   const SelfPlayConfig& cfg);
+
+}  // namespace apm

@@ -1,0 +1,72 @@
+#include "train/trainer.hpp"
+
+#include "support/timer.hpp"
+
+namespace apm {
+
+Trainer::Trainer(PolicyValueNet& net, TrainerConfig cfg,
+                 std::size_t buffer_capacity)
+    : net_(net),
+      cfg_(cfg),
+      buffer_(buffer_capacity),
+      optimizer_(net.params(), cfg.sgd),
+      rng_(cfg.seed) {}
+
+LossParts Trainer::train(int iters) {
+  APM_CHECK(!buffer_.empty());
+  const NetConfig& nc = net_.config();
+  const std::vector<int> state_shape = {0, nc.in_channels, nc.height,
+                                        nc.width};
+  Tensor states, pis, zs;
+  LossParts mean;
+  for (int i = 0; i < iters; ++i) {
+    buffer_.sample_batch(rng_, cfg_.batch_size, state_shape, states, pis, zs);
+    net_.zero_grad();
+    const LossParts parts = net_.train_step(states, pis, zs, acts_);
+    optimizer_.step();
+    mean.total += parts.total / iters;
+    mean.value_loss += parts.value_loss / iters;
+    mean.policy_loss += parts.policy_loss / iters;
+    mean.entropy += parts.entropy / iters;
+  }
+  return mean;
+}
+
+std::vector<LossPoint> Trainer::run(
+    const Game& game, MctsSearch& search, int episodes,
+    const SelfPlayConfig& sp_cfg,
+    const std::function<void(const LossPoint&)>& on_progress) {
+  std::vector<LossPoint> curve;
+  Timer wall;
+  SelfPlayConfig sp = sp_cfg;
+  for (int ep = 0; ep < episodes; ++ep) {
+    sp.seed = sp_cfg.seed + static_cast<std::uint64_t>(ep) * 1000003ULL;
+    Timer t;
+    const EpisodeStats stats =
+        run_self_play_episode(game, search, buffer_, sp);
+    search_seconds_ += t.elapsed_seconds();
+    total_samples_ += stats.samples;
+
+    t.reset();
+    const LossParts loss = train(cfg_.sgd_iters_per_move * stats.moves);
+    train_seconds_ += t.elapsed_seconds();
+
+    LossPoint point;
+    point.wall_seconds = wall.elapsed_seconds();
+    point.samples_seen = total_samples_;
+    point.loss = loss.total;
+    point.value_loss = loss.value_loss;
+    point.policy_loss = loss.policy_loss;
+    point.entropy = loss.entropy;
+    curve.push_back(point);
+    if (on_progress) on_progress(point);
+  }
+  return curve;
+}
+
+double Trainer::samples_per_second() const {
+  const double denom = search_seconds_ + train_seconds_;
+  return denom > 0.0 ? total_samples_ / denom : 0.0;
+}
+
+}  // namespace apm

@@ -1,0 +1,252 @@
+// Game-environment tests: Gomoku rules (all win directions, draws,
+// encoding, hashing), Connect4 gravity and wins, synthetic game.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "games/connect4.hpp"
+#include "games/gomoku.hpp"
+#include "perfmodel/synthetic_game.hpp"
+
+namespace apm {
+namespace {
+
+TEST(Gomoku, InitialState) {
+  Gomoku g(15, 5);
+  EXPECT_EQ(g.action_count(), 225);
+  EXPECT_EQ(g.current_player(), 1);
+  EXPECT_FALSE(g.is_terminal());
+  EXPECT_EQ(g.winner(), 0);
+  EXPECT_EQ(g.num_legal_actions(), 225);
+}
+
+TEST(Gomoku, HorizontalWin) {
+  Gomoku g(9, 5);
+  // X plays row 0 cols 0..4; O plays row 8.
+  for (int i = 0; i < 4; ++i) {
+    g.apply(Gomoku::action_of(0, i, 9));
+    g.apply(Gomoku::action_of(8, i, 9));
+  }
+  g.apply(Gomoku::action_of(0, 4, 9));
+  EXPECT_TRUE(g.is_terminal());
+  EXPECT_EQ(g.winner(), 1);
+  // Player to move (O) lost.
+  EXPECT_FLOAT_EQ(g.terminal_value(), -1.0f);
+}
+
+TEST(Gomoku, VerticalWinForSecondPlayer) {
+  Gomoku g(9, 5);
+  // X scatters with gaps (no line); O builds column 3.
+  const int x_cols[] = {0, 2, 4, 6, 8};
+  for (int i = 0; i < 5; ++i) {
+    g.apply(Gomoku::action_of(8, x_cols[i], 9));
+    ASSERT_FALSE(g.is_terminal());
+    g.apply(Gomoku::action_of(i, 3, 9));
+    if (g.is_terminal()) break;
+  }
+  EXPECT_TRUE(g.is_terminal());
+  EXPECT_EQ(g.winner(), -1);
+}
+
+TEST(Gomoku, DiagonalWins) {
+  for (bool anti : {false, true}) {
+    Gomoku g(9, 5);
+    for (int i = 0; i < 5; ++i) {
+      const int col = anti ? 8 - i : i;
+      g.apply(Gomoku::action_of(i, col, 9));  // X on the diagonal
+      if (g.is_terminal()) break;
+      g.apply(Gomoku::action_of(8, i, 9));  // O along the bottom
+    }
+    EXPECT_TRUE(g.is_terminal());
+    EXPECT_EQ(g.winner(), 1) << "anti=" << anti;
+  }
+}
+
+TEST(Gomoku, NoFalseWinWithGap) {
+  Gomoku g(9, 5);
+  // X: 0,1,2,3 then 5 (gap at 4) — not a win.
+  for (int c : {0, 1, 2, 3}) {
+    g.apply(Gomoku::action_of(0, c, 9));
+    g.apply(Gomoku::action_of(8, c, 9));
+  }
+  g.apply(Gomoku::action_of(0, 5, 9));
+  EXPECT_FALSE(g.is_terminal());
+}
+
+TEST(Gomoku, TicTacToeDrawIsTerminalWithNoWinner) {
+  Gomoku g = make_tictactoe();
+  // X O X / X X O / O X O — a known draw line-up.
+  const int moves[] = {0, 1, 2, 5, 3, 6, 4, 8, 7};
+  for (int m : moves) g.apply(m);
+  EXPECT_TRUE(g.is_terminal());
+  EXPECT_EQ(g.winner(), 0);
+  EXPECT_FLOAT_EQ(g.terminal_value(), 0.0f);
+}
+
+TEST(Gomoku, IllegalMovesRejected) {
+  Gomoku g = make_tictactoe();
+  g.apply(4);
+  EXPECT_FALSE(g.is_legal(4));   // occupied
+  EXPECT_FALSE(g.is_legal(-1));  // out of range
+  EXPECT_FALSE(g.is_legal(9));
+  EXPECT_TRUE(g.is_legal(0));
+}
+
+TEST(Gomoku, EncodePlanesFollowPerspective) {
+  Gomoku g(5, 4);
+  g.apply(Gomoku::action_of(2, 2, 5));  // X center
+  // Now O to move: plane 0 = O's stones (none), plane 1 = X's stone.
+  std::vector<float> planes(g.encode_size());
+  g.encode(planes.data());
+  const int plane = 25;
+  EXPECT_EQ(planes[12], 0.0f);             // own (O) plane empty
+  EXPECT_EQ(planes[plane + 12], 1.0f);     // opponent (X) stone
+  EXPECT_EQ(planes[2 * plane + 12], 1.0f); // last move marker
+  EXPECT_EQ(planes[3 * plane], 0.0f);      // colour plane: O to move
+}
+
+TEST(Gomoku, ZobristHashDistinguishesPositionsAndPlayers) {
+  Gomoku a(5, 4), b(5, 4);
+  EXPECT_EQ(a.hash(), b.hash());
+  a.apply(0);
+  EXPECT_NE(a.hash(), b.hash());
+  b.apply(1);
+  EXPECT_NE(a.hash(), b.hash());
+  // Transposition: 0,1 then 2 vs 2,1 then 0 — same stones, same player.
+  Gomoku c(5, 4), d(5, 4);
+  c.apply(0); c.apply(1); c.apply(2);
+  d.apply(2); d.apply(1); d.apply(0);
+  EXPECT_EQ(c.hash(), d.hash());
+}
+
+TEST(Gomoku, CloneIsIndependent) {
+  Gomoku g(5, 4);
+  g.apply(0);
+  auto copy = g.clone();
+  copy->apply(1);
+  EXPECT_EQ(g.move_count(), 1);
+  EXPECT_EQ(copy->move_count(), 2);
+  EXPECT_EQ(g.current_player(), -1);
+}
+
+TEST(Gomoku, FullRandomGamesTerminateConsistently) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Gomoku g(7, 4);
+    std::vector<int> legal;
+    while (!g.is_terminal()) {
+      g.legal_actions(legal);
+      ASSERT_FALSE(legal.empty());
+      g.apply(legal[rng.below(legal.size())]);
+    }
+    // Terminal: either a winner or a full board.
+    if (g.winner() == 0) {
+      EXPECT_EQ(g.move_count(), 49);
+    }
+    g.legal_actions(legal);
+    EXPECT_TRUE(legal.empty());
+  }
+}
+
+TEST(Connect4, GravityStacksPieces) {
+  Connect4 g;
+  g.apply(3);
+  g.apply(3);
+  g.apply(3);
+  EXPECT_EQ(g.cell(0, 3), 1);
+  EXPECT_EQ(g.cell(1, 3), -1);
+  EXPECT_EQ(g.cell(2, 3), 1);
+}
+
+TEST(Connect4, ColumnFullBecomesIllegal) {
+  Connect4 g;
+  for (int i = 0; i < 6; ++i) g.apply(0);
+  EXPECT_FALSE(g.is_legal(0));
+  EXPECT_EQ(g.num_legal_actions(), 6);
+}
+
+TEST(Connect4, VerticalWin) {
+  Connect4 g;
+  // X stacks column 0; O column 1.
+  for (int i = 0; i < 3; ++i) {
+    g.apply(0);
+    g.apply(1);
+  }
+  g.apply(0);
+  EXPECT_TRUE(g.is_terminal());
+  EXPECT_EQ(g.winner(), 1);
+}
+
+TEST(Connect4, HorizontalWin) {
+  Connect4 g;
+  for (int c = 0; c < 3; ++c) {
+    g.apply(c);
+    g.apply(c);  // O stacks on top
+  }
+  g.apply(3);
+  EXPECT_TRUE(g.is_terminal());
+  EXPECT_EQ(g.winner(), 1);
+}
+
+TEST(Connect4, DiagonalWin) {
+  Connect4 g;
+  // Build the classic staircase: X at (0,0),(1,1),(2,2),(3,3).
+  g.apply(0);          // X (0,0)
+  g.apply(1);          // O (0,1)
+  g.apply(1);          // X (1,1)
+  g.apply(2);          // O (0,2)
+  g.apply(3);          // X (0,3)
+  g.apply(2);          // O (1,2)
+  g.apply(2);          // X (2,2)
+  g.apply(3);          // O (1,3)
+  g.apply(4);          // X (0,4)
+  g.apply(3);          // O (2,3)
+  g.apply(3);          // X (3,3) — completes 0,0→3,3
+  EXPECT_TRUE(g.is_terminal());
+  EXPECT_EQ(g.winner(), 1);
+}
+
+TEST(Connect4, EncodeShape) {
+  Connect4 g;
+  EXPECT_EQ(g.encode_size(), 4u * 6 * 7);
+  g.apply(3);
+  std::vector<float> planes(g.encode_size());
+  g.encode(planes.data());
+  // O to move: X's stone at bottom of column 3 is in the opponent plane.
+  EXPECT_EQ(planes[42 + 3], 1.0f);
+}
+
+TEST(SyntheticGame, TerminatesAtDepthWithStableOutcome) {
+  SyntheticGame g(8, 5);
+  std::vector<int> legal;
+  while (!g.is_terminal()) {
+    g.legal_actions(legal);
+    EXPECT_EQ(legal.size(), 8u);
+    g.apply(legal[0]);
+  }
+  EXPECT_EQ(g.move_count(), 5);
+  const int w1 = g.winner();
+  EXPECT_EQ(g.winner(), w1);  // deterministic given history
+  EXPECT_GE(w1, -1);
+  EXPECT_LE(w1, 1);
+}
+
+TEST(SyntheticGame, HashDependsOnHistory) {
+  SyntheticGame a(4, 10), b(4, 10);
+  a.apply(0);
+  b.apply(1);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(SyntheticGame, EncodeDiffersAcrossStates) {
+  SyntheticGame a(4, 10);
+  std::vector<float> e1(a.encode_size()), e2(a.encode_size());
+  a.encode(e1.data());
+  a.apply(2);
+  a.encode(e2.data());
+  EXPECT_NE(e1, e2);
+}
+
+}  // namespace
+}  // namespace apm

@@ -1,0 +1,318 @@
+// NN-layer tests: forward passes vs naive references, finite-difference
+// gradient checks, loss behaviour, optimizer, serialization, thread-safe
+// inference.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/policy_value_net.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace apm {
+namespace {
+
+// Naive direct convolution (stride 1, same padding) for cross-checking.
+void naive_conv(const Tensor& x, const Param& w, const Param& b, int cin,
+                int cout, int ksize, Tensor& y) {
+  const int batch = x.dim(0), h = x.dim(2), ww = x.dim(3);
+  const int pad = ksize / 2;
+  y.resize({batch, cout, h, ww});
+  for (int n = 0; n < batch; ++n)
+    for (int oc = 0; oc < cout; ++oc)
+      for (int oy = 0; oy < h; ++oy)
+        for (int ox = 0; ox < ww; ++ox) {
+          double acc = b.value[oc];
+          for (int ic = 0; ic < cin; ++ic)
+            for (int ky = 0; ky < ksize; ++ky)
+              for (int kx = 0; kx < ksize; ++kx) {
+                const int iy = oy + ky - pad, ix = ox + kx - pad;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= ww) continue;
+                const float xv =
+                    x[((static_cast<std::size_t>(n) * cin + ic) * h + iy) *
+                          ww +
+                      ix];
+                const float wv =
+                    w.value[(static_cast<std::size_t>(oc) * cin + ic) *
+                                ksize * ksize +
+                            ky * ksize + kx];
+                acc += static_cast<double>(xv) * wv;
+              }
+          y[((static_cast<std::size_t>(n) * cout + oc) * h + oy) * ww + ox] =
+              static_cast<float>(acc);
+        }
+}
+
+TEST(Conv2d, MatchesNaiveConvolution) {
+  Rng rng(10);
+  Conv2d conv("c", 3, 5, 3);
+  conv.init(rng);
+  Tensor x = Tensor::randn({2, 3, 6, 7}, rng, 1.0f);
+  Tensor y, col;
+  conv.forward(x, y, col);
+  Tensor expect;
+  naive_conv(x, conv.weight(), conv.bias(), 3, 5, 3, expect);
+  EXPECT_LT(max_abs_diff(y, expect), 1e-3f);
+}
+
+TEST(Conv2d, OneByOneKernelIsChannelMix) {
+  Rng rng(11);
+  Conv2d conv("c", 4, 2, 1);
+  conv.init(rng);
+  Tensor x = Tensor::randn({1, 4, 3, 3}, rng, 1.0f);
+  Tensor y, col;
+  conv.forward(x, y, col);
+  Tensor expect;
+  naive_conv(x, conv.weight(), conv.bias(), 4, 2, 1, expect);
+  EXPECT_LT(max_abs_diff(y, expect), 1e-4f);
+}
+
+TEST(Linear, MatchesNaiveAffine) {
+  Rng rng(12);
+  Linear fc("f", 7, 4);
+  fc.init(rng);
+  Tensor x = Tensor::randn({3, 7}, rng, 1.0f);
+  Tensor y;
+  fc.forward(x, y);
+  for (int b = 0; b < 3; ++b)
+    for (int o = 0; o < 4; ++o) {
+      double acc = fc.weight().value[o * 7];  // placeholder init below
+      acc = 0;
+      for (int i = 0; i < 7; ++i)
+        acc += static_cast<double>(x.at2(b, i)) *
+               fc.weight().value[static_cast<std::size_t>(o) * 7 + i];
+      ASSERT_NEAR(y.at2(b, o), acc, 1e-4);  // bias is zero after init
+    }
+}
+
+// Finite-difference gradient check for the full network loss. This is the
+// strongest correctness statement about the training path: every layer's
+// backward must be right for it to pass.
+TEST(PolicyValueNet, GradientsMatchFiniteDifferences) {
+  const NetConfig cfg = NetConfig::tiny(4);
+  PolicyValueNet net(cfg, 21);
+  Rng rng(22);
+  const int batch = 2;
+  Tensor x = Tensor::randn({batch, cfg.in_channels, 4, 4}, rng, 0.5f);
+  Tensor pi({batch, cfg.actions()});
+  for (int b = 0; b < batch; ++b) {
+    float total = 0;
+    for (int a = 0; a < cfg.actions(); ++a) {
+      pi.at2(b, a) = rng.uniform_float() + 0.01f;
+      total += pi.at2(b, a);
+    }
+    for (int a = 0; a < cfg.actions(); ++a) pi.at2(b, a) /= total;
+  }
+  Tensor z({batch});
+  z[0] = 0.5f;
+  z[1] = -0.3f;
+
+  Activations acts;
+  net.zero_grad();
+  const LossParts loss = net.train_step(x, pi, z, acts);
+  ASSERT_TRUE(std::isfinite(loss.total));
+
+  // Snapshot analytic gradients before the FD probes re-run train_step
+  // (which accumulates into the grad tensors).
+  auto params = net.params();
+  std::vector<std::vector<float>> analytic(params.size());
+  for (std::size_t pi_idx = 0; pi_idx < params.size(); ++pi_idx) {
+    Param* p = params[pi_idx];
+    analytic[pi_idx].assign(p->grad.data(), p->grad.data() + p->numel());
+  }
+
+  const float eps = 1e-3f;
+  int checked = 0;
+  for (std::size_t pi_idx = 0; pi_idx < params.size(); ++pi_idx) {
+    Param* p = params[pi_idx];
+    for (std::size_t idx : {std::size_t{0}, p->numel() / 2, p->numel() - 1}) {
+      const float saved = p->value[idx];
+      p->value[idx] = saved + eps;
+      Activations tmp;
+      const LossParts up = net.train_step(x, pi, z, tmp);
+      p->value[idx] = saved - eps;
+      const LossParts down = net.train_step(x, pi, z, tmp);
+      p->value[idx] = saved;
+      const float numeric = (up.total - down.total) / (2 * eps);
+      EXPECT_NEAR(analytic[pi_idx][idx], numeric,
+                  5e-2f + 0.05f * std::fabs(numeric))
+          << p->name << "[" << idx << "]";
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 3 * 16);
+}
+
+TEST(PolicyValueNet, ForwardShapesAndRanges) {
+  const NetConfig cfg = NetConfig::tiny(5);
+  PolicyValueNet net(cfg, 5);
+  Rng rng(2);
+  Tensor x = Tensor::randn({3, cfg.in_channels, 5, 5}, rng, 1.0f);
+  Activations acts;
+  Tensor policy, value;
+  net.predict(x, acts, policy, value);
+  ASSERT_EQ(policy.dim(0), 3);
+  ASSERT_EQ(policy.dim(1), 25);
+  for (int b = 0; b < 3; ++b) {
+    float total = 0;
+    for (int a = 0; a < 25; ++a) {
+      ASSERT_GE(policy.at2(b, a), 0.0f);
+      total += policy.at2(b, a);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-4f);
+    EXPECT_GT(value[b], -1.0f);
+    EXPECT_LT(value[b], 1.0f);
+  }
+}
+
+TEST(PolicyValueNet, TrainingReducesLossOnFixedBatch) {
+  const NetConfig cfg = NetConfig::tiny(4);
+  PolicyValueNet net(cfg, 33);
+  Rng rng(34);
+  const int batch = 8;
+  Tensor x = Tensor::randn({batch, cfg.in_channels, 4, 4}, rng, 0.7f);
+  Tensor pi = Tensor::zeros({batch, cfg.actions()});
+  Tensor z({batch});
+  for (int b = 0; b < batch; ++b) {
+    pi.at2(b, b % cfg.actions()) = 1.0f;  // one-hot targets
+    z[b] = (b % 2 == 0) ? 0.8f : -0.8f;
+  }
+  SgdConfig sgd;
+  sgd.lr = 0.01f;
+  sgd.momentum = 0.9f;
+  sgd.weight_decay = 0.0f;
+  SgdOptimizer opt(net.params(), sgd);
+  Activations acts;
+
+  net.zero_grad();
+  const float initial = net.train_step(x, pi, z, acts).total;
+  opt.step();
+  float final_loss = initial;
+  for (int step = 0; step < 200; ++step) {
+    net.zero_grad();
+    final_loss = net.train_step(x, pi, z, acts).total;
+    opt.step();
+  }
+  EXPECT_LT(final_loss, initial * 0.5f) << "no learning progress";
+}
+
+TEST(PolicyValueNet, ParameterCountMatchesArchitecture) {
+  NetConfig cfg;  // paper configuration: 15×15, 5 conv + 3 FC
+  PolicyValueNet net(cfg, 1);
+  // conv1 4→32 (3x3): 32*36+32 ... just assert the total is stable and
+  // the parameter list has 8 layers × 2 tensors.
+  EXPECT_EQ(net.params().size(), 16u);
+  EXPECT_GT(net.num_parameters(), 100000u);
+}
+
+TEST(PolicyValueNet, PredictIsThreadSafe) {
+  const NetConfig cfg = NetConfig::tiny(4);
+  PolicyValueNet net(cfg, 8);
+  Rng rng(9);
+  Tensor x = Tensor::randn({1, cfg.in_channels, 4, 4}, rng, 1.0f);
+
+  Activations ref_acts;
+  Tensor ref_policy, ref_value;
+  net.predict(x, ref_acts, ref_policy, ref_value);
+
+  constexpr int kThreads = 4;
+  std::vector<float> values(kThreads);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Activations acts;
+        Tensor policy, value;
+        for (int i = 0; i < 20; ++i) net.predict(x, acts, policy, value);
+        values[t] = value[0];
+      });
+    }
+  }
+  for (float v : values) EXPECT_FLOAT_EQ(v, ref_value[0]);
+}
+
+TEST(Serialization, RoundTripsWeights) {
+  const NetConfig cfg = NetConfig::tiny(4);
+  PolicyValueNet a(cfg, 100);
+  PolicyValueNet b(cfg, 200);  // different init
+
+  std::stringstream stream;
+  save_net(a, stream);
+  load_net(b, stream);
+
+  auto pa = a.params();
+  auto pb = b.params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_LT(max_abs_diff(pa[i]->value, pb[i]->value), 1e-9f);
+  }
+}
+
+TEST(Serialization, PeekReadsConfig) {
+  const NetConfig cfg = NetConfig::tiny(6);
+  PolicyValueNet net(cfg, 1);
+  std::stringstream stream;
+  save_net(net, stream);
+  const NetConfig peeked = peek_net_config(stream);
+  EXPECT_EQ(peeked, cfg);
+}
+
+TEST(Serialization, RejectsMismatchedConfig) {
+  PolicyValueNet a(NetConfig::tiny(4), 1);
+  PolicyValueNet b(NetConfig::tiny(5), 1);
+  std::stringstream stream;
+  save_net(a, stream);
+  EXPECT_DEATH(load_net(b, stream), "config mismatch");
+}
+
+TEST(Optimizer, MomentumAccumulates) {
+  Param p;
+  p.init_shape("w", {1});
+  p.value[0] = 0.0f;
+  p.grad[0] = 1.0f;
+  SgdConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.momentum = 0.9f;
+  cfg.weight_decay = 0.0f;
+  SgdOptimizer opt({&p}, cfg);
+  opt.step();  // v = -0.1, w = -0.1
+  EXPECT_NEAR(p.value[0], -0.1f, 1e-6f);
+  opt.step();  // v = -0.9*0.1 - 0.1 = -0.19, w = -0.29
+  EXPECT_NEAR(p.value[0], -0.29f, 1e-6f);
+}
+
+TEST(Optimizer, WeightDecayShrinksWeights) {
+  Param p;
+  p.init_shape("w", {1});
+  p.value[0] = 1.0f;
+  p.grad[0] = 0.0f;
+  SgdConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.momentum = 0.0f;
+  cfg.weight_decay = 0.5f;
+  SgdOptimizer opt({&p}, cfg);
+  opt.step();
+  EXPECT_NEAR(p.value[0], 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(PolicyValueNet, CopyWeightsProducesIdenticalOutputs) {
+  const NetConfig cfg = NetConfig::tiny(4);
+  PolicyValueNet a(cfg, 1), b(cfg, 2);
+  b.copy_weights_from(a);
+  Rng rng(3);
+  Tensor x = Tensor::randn({1, cfg.in_channels, 4, 4}, rng, 1.0f);
+  Activations acts_a, acts_b;
+  Tensor pa, va, pb, vb;
+  a.predict(x, acts_a, pa, va);
+  b.predict(x, acts_b, pb, vb);
+  EXPECT_LT(max_abs_diff(pa, pb), 1e-9f);
+  EXPECT_FLOAT_EQ(va[0], vb[0]);
+}
+
+}  // namespace
+}  // namespace apm

@@ -1,0 +1,218 @@
+// In-tree operation tests: PUCT scoring (Eq. 1) against hand-computed
+// values, virtual-loss semantics, expansion prior masking, backup sign
+// alternation, Dirichlet sampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "games/gomoku.hpp"
+#include "mcts/selection.hpp"
+
+namespace apm {
+namespace {
+
+class SelectionFixture : public ::testing::Test {
+ protected:
+  SelectionFixture() : ops_(tree_, cfg_) {}
+
+  // Expands the root with `priors` over actions 0..k-1.
+  void expand_root(const std::vector<float>& priors) {
+    Node& root = tree_.node(tree_.root());
+    ExpandState expected = ExpandState::kLeaf;
+    ASSERT_TRUE(root.state.compare_exchange_strong(expected,
+                                                   ExpandState::kExpanding));
+    const EdgeId first =
+        tree_.allocate_edges(static_cast<std::int32_t>(priors.size()));
+    for (std::size_t i = 0; i < priors.size(); ++i) {
+      Edge& e = tree_.edge(first + static_cast<EdgeId>(i));
+      e.prior = priors[i];
+      e.action = static_cast<int>(i);
+    }
+    root.first_edge = first;
+    root.num_edges = static_cast<std::int32_t>(priors.size());
+    root.state.store(ExpandState::kExpanded);
+  }
+
+  MctsConfig cfg_;
+  SearchTree tree_;
+  InTreeOps ops_;
+};
+
+TEST_F(SelectionFixture, PicksHighestPriorWhenUnvisited) {
+  expand_root({0.1f, 0.6f, 0.3f});
+  const EdgeId chosen = ops_.select_edge(tree_.root());
+  EXPECT_EQ(tree_.edge(chosen).action, 1);
+}
+
+TEST_F(SelectionFixture, UctBalancesQAndPrior) {
+  cfg_.c_puct = 1.0f;
+  expand_root({0.5f, 0.5f});
+  const Node& root = tree_.node(tree_.root());
+  Edge& e0 = tree_.edge(root.first_edge);
+  // Give e0 10 visits with high Q; the second edge stays unvisited (Q=0).
+  e0.visits.store(10);
+  e0.value_sum.store(9.0f);  // Q = 0.9
+  // U0 = 0.9 + 1*0.5*sqrt(10)/11 ≈ 1.0437
+  // U1 = 0   + 1*0.5*sqrt(10)/1  ≈ 1.5811  → explore e1
+  EXPECT_EQ(ops_.select_edge(tree_.root()), root.first_edge + 1);
+
+  // With a weaker exploration constant the exploit term wins.
+  cfg_.c_puct = 0.1f;
+  // U0 = 0.9 + 0.0316*... ≈ 0.914; U1 = 0.158 → exploit e0
+  EXPECT_EQ(ops_.select_edge(tree_.root()), root.first_edge);
+}
+
+TEST_F(SelectionFixture, VirtualLossDiscouragesReselection) {
+  cfg_.virtual_loss = 3.0f;
+  expand_root({0.5f, 0.5f});
+  const Node& root = tree_.node(tree_.root());
+  Edge& e0 = tree_.edge(root.first_edge);
+  // First selection picks either (tie → first). Apply VL to e0 manually.
+  e0.virtual_loss.store(1);
+  // e0 now behaves as N=1 with W=-3: Q=-3, heavily discouraged.
+  EXPECT_EQ(ops_.select_edge(tree_.root()), root.first_edge + 1);
+}
+
+TEST_F(SelectionFixture, BackupAlternatesSignAndRevertsVl) {
+  expand_root({1.0f});
+  const Node& root = tree_.node(tree_.root());
+  const EdgeId e_root = root.first_edge;
+  tree_.edge(e_root).virtual_loss.store(1);
+  const NodeId child = ops_.get_or_create_child(tree_.root(), e_root);
+
+  // Expand child with one edge and descend once more.
+  Node& c = tree_.node(child);
+  ExpandState expected = ExpandState::kLeaf;
+  ASSERT_TRUE(c.state.compare_exchange_strong(expected,
+                                              ExpandState::kExpanding));
+  const EdgeId e_child = tree_.allocate_edges(1);
+  tree_.edge(e_child).action = 0;
+  tree_.edge(e_child).prior = 1.0f;
+  c.first_edge = e_child;
+  c.num_edges = 1;
+  c.state.store(ExpandState::kExpanded);
+  tree_.edge(e_child).virtual_loss.store(1);
+  const NodeId grandchild = ops_.get_or_create_child(child, e_child);
+
+  // Leaf value +0.8 for the player to move at the grandchild.
+  ops_.backup(grandchild, 0.8f);
+
+  // Edge into grandchild (owned by child's player): -(+0.8)... value flips
+  // once per level: edge_child gets −0.8? No: walking up from grandchild,
+  // the first edge belongs to `child`, whose player is the opponent of the
+  // grandchild player → value −0.8; next edge (root's) flips again → +0.8.
+  EXPECT_EQ(tree_.edge(e_child).visits.load(), 1);
+  EXPECT_FLOAT_EQ(tree_.edge(e_child).value_sum.load(), -0.8f);
+  EXPECT_EQ(tree_.edge(e_root).visits.load(), 1);
+  EXPECT_FLOAT_EQ(tree_.edge(e_root).value_sum.load(), 0.8f);
+  // Virtual losses reverted.
+  EXPECT_EQ(tree_.edge(e_child).virtual_loss.load(), 0);
+  EXPECT_EQ(tree_.edge(e_root).virtual_loss.load(), 0);
+}
+
+TEST_F(SelectionFixture, RevertPathClearsVlWithoutVisits) {
+  expand_root({1.0f});
+  const EdgeId e_root = tree_.node(tree_.root()).first_edge;
+  tree_.edge(e_root).virtual_loss.store(1);
+  const NodeId child = ops_.get_or_create_child(tree_.root(), e_root);
+  ops_.revert_path(child);
+  EXPECT_EQ(tree_.edge(e_root).virtual_loss.load(), 0);
+  EXPECT_EQ(tree_.edge(e_root).visits.load(), 0);
+}
+
+TEST_F(SelectionFixture, GetOrCreateChildIsIdempotent) {
+  expand_root({1.0f});
+  const EdgeId e_root = tree_.node(tree_.root()).first_edge;
+  const NodeId a = ops_.get_or_create_child(tree_.root(), e_root);
+  const NodeId b = ops_.get_or_create_child(tree_.root(), e_root);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Expansion, MasksAndNormalisesPriorsToLegalActions) {
+  MctsConfig cfg;
+  SearchTree tree;
+  InTreeOps ops(tree, cfg);
+  Gomoku game = make_tictactoe();
+  game.apply(4);  // centre occupied → 8 legal actions
+
+  Node& root = tree.node(tree.root());
+  ExpandState expected = ExpandState::kLeaf;
+  ASSERT_TRUE(root.state.compare_exchange_strong(expected,
+                                                 ExpandState::kExpanding));
+  // Policy puts weight 0.5 on the (illegal) centre; the rest uniform.
+  std::vector<float> policy(9, 0.5f / 8);
+  policy[4] = 0.5f;
+  ops.expand(tree.root(), game, policy);
+
+  EXPECT_EQ(root.num_edges, 8);
+  float total = 0.0f;
+  for (int i = 0; i < root.num_edges; ++i) {
+    const Edge& e = tree.edge(root.first_edge + i);
+    EXPECT_NE(e.action, 4);
+    total += e.prior;
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-5f);
+}
+
+TEST(Expansion, DegeneratePolicyFallsBackToUniform) {
+  MctsConfig cfg;
+  SearchTree tree;
+  InTreeOps ops(tree, cfg);
+  Gomoku game = make_tictactoe();
+
+  Node& root = tree.node(tree.root());
+  ExpandState expected = ExpandState::kLeaf;
+  ASSERT_TRUE(root.state.compare_exchange_strong(expected,
+                                                 ExpandState::kExpanding));
+  std::vector<float> policy(9, 0.0f);  // all-zero policy
+  ops.expand(tree.root(), game, policy);
+  for (int i = 0; i < root.num_edges; ++i) {
+    EXPECT_NEAR(tree.edge(root.first_edge + i).prior, 1.0f / 9, 1e-6f);
+  }
+}
+
+class DirichletAlpha : public ::testing::TestWithParam<float> {};
+
+TEST_P(DirichletAlpha, SamplesFormDistribution) {
+  Rng rng(1234);
+  std::vector<float> out;
+  for (int trial = 0; trial < 50; ++trial) {
+    sample_dirichlet(rng, GetParam(), 10, out);
+    float total = 0.0f;
+    for (float v : out) {
+      ASSERT_GE(v, 0.0f);
+      total += v;
+    }
+    ASSERT_NEAR(total, 1.0f, 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DirichletAlpha,
+                         ::testing::Values(0.03f, 0.3f, 1.0f, 5.0f));
+
+TEST(SearchResultHelpers, TemperatureSharpensAndFlattens) {
+  SearchResult r;
+  r.action_prior = {0.1f, 0.2f, 0.7f};
+  r.best_action = 2;
+  const auto sharp = r.prior_with_temperature(1e-4f);
+  EXPECT_FLOAT_EQ(sharp[2], 1.0f);
+  const auto same = r.prior_with_temperature(1.0f);
+  EXPECT_NEAR(same[2], 0.7f, 1e-5f);
+  const auto flat = r.prior_with_temperature(100.0f);
+  EXPECT_LT(flat[2], 0.4f);  // high temperature flattens
+  float total = 0;
+  for (float v : flat) total += v;
+  EXPECT_NEAR(total, 1.0f, 1e-4f);
+}
+
+TEST(SchemeNames, AllDistinct) {
+  EXPECT_EQ(to_string(Scheme::kSerial), "serial");
+  EXPECT_EQ(to_string(Scheme::kSharedTree), "shared-tree");
+  EXPECT_EQ(to_string(Scheme::kLocalTree), "local-tree");
+  EXPECT_EQ(to_string(Scheme::kLeafParallel), "leaf-parallel");
+  EXPECT_EQ(to_string(Scheme::kRootParallel), "root-parallel");
+}
+
+}  // namespace
+}  // namespace apm

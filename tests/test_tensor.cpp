@@ -1,0 +1,215 @@
+// Tensor-kernel tests: GEMM family vs naive references (parameterized over
+// shapes), im2col/col2im adjointness, activations, softmax.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace apm {
+namespace {
+
+void naive_gemm(const std::vector<float>& a, const std::vector<float>& b,
+                std::vector<float>& c, int m, int n, int k) {
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+}
+
+std::vector<float> random_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = 2.0f * rng.uniform_float() - 1.0f;
+  return v;
+}
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(GemmShapes, MatchesNaiveReference) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 73856093 ^ n * 19349663 ^ k));
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+  std::vector<float> expect(static_cast<std::size_t>(m) * n);
+  naive_gemm(a, b, expect, m, n, k);
+
+  std::vector<float> got(static_cast<std::size_t>(m) * n, -1.0f);
+  gemm(a.data(), b.data(), got.data(), m, n, k, /*accumulate=*/false);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got[i], expect[i], 1e-3f) << "i=" << i;
+}
+
+TEST_P(GemmShapes, TransposedVariantsMatch) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 83492791 ^ n ^ k * 2654435761ULL));
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+  std::vector<float> expect(static_cast<std::size_t>(m) * n);
+  naive_gemm(a, b, expect, m, n, k);
+
+  // gemm_atb: pass A laid out as [K, M] (transposed).
+  std::vector<float> a_t(static_cast<std::size_t>(k) * m);
+  for (int i = 0; i < m; ++i)
+    for (int kk = 0; kk < k; ++kk) a_t[kk * m + i] = a[i * k + kk];
+  std::vector<float> got(static_cast<std::size_t>(m) * n, 0.0f);
+  gemm_atb(a_t.data(), b.data(), got.data(), m, n, k, false);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got[i], expect[i], 1e-3f);
+
+  // gemm_abt: pass B laid out as [N, K] (transposed).
+  std::vector<float> b_t(static_cast<std::size_t>(n) * k);
+  for (int kk = 0; kk < k; ++kk)
+    for (int j = 0; j < n; ++j) b_t[j * k + kk] = b[kk * n + j];
+  std::fill(got.begin(), got.end(), 0.0f);
+  gemm_abt(a.data(), b_t.data(), got.data(), m, n, k, false);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got[i], expect[i], 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 5, 7},
+                      std::tuple{16, 16, 16}, std::tuple{65, 33, 17},
+                      std::tuple{128, 70, 129}, std::tuple{1, 64, 200},
+                      std::tuple{200, 1, 64}));
+
+TEST(Gemm, AccumulateAddsOntoC) {
+  const int m = 4, n = 4, k = 4;
+  Rng rng(1);
+  const auto a = random_vec(16, rng);
+  const auto b = random_vec(16, rng);
+  std::vector<float> base(16, 1.0f);
+  std::vector<float> expect(16);
+  naive_gemm(a, b, expect, m, n, k);
+  gemm(a.data(), b.data(), base.data(), m, n, k, /*accumulate=*/true);
+  for (int i = 0; i < 16; ++i) ASSERT_NEAR(base[i], expect[i] + 1.0f, 1e-4f);
+}
+
+TEST(Im2Col, AdjointOfCol2Im) {
+  // <im2col(x), y> == <x, col2im(y)> characterises the adjoint pair, which
+  // is exactly the property conv backward relies on.
+  const int c = 3, h = 5, w = 4, ksize = 3, pad = 1;
+  const std::size_t x_len = static_cast<std::size_t>(c) * h * w;
+  const std::size_t col_len = static_cast<std::size_t>(c) * ksize * ksize * h * w;
+  Rng rng(99);
+  const auto x = random_vec(x_len, rng);
+  const auto y = random_vec(col_len, rng);
+
+  std::vector<float> col(col_len);
+  im2col(x.data(), c, h, w, ksize, pad, col.data());
+  std::vector<float> back(x_len, 0.0f);
+  col2im(y.data(), c, h, w, ksize, pad, back.data());
+
+  const float lhs = dot(col.data(), y.data(), col_len);
+  const float rhs = dot(x.data(), back.data(), x_len);
+  EXPECT_NEAR(lhs, rhs, 1e-2f);
+}
+
+TEST(Im2Col, IdentityKernelCopiesChannels) {
+  const int c = 2, h = 3, w = 3;
+  Rng rng(3);
+  const auto x = random_vec(static_cast<std::size_t>(c) * h * w, rng);
+  std::vector<float> col(static_cast<std::size_t>(c) * h * w);
+  im2col(x.data(), c, h, w, /*ksize=*/1, /*pad=*/0, col.data());
+  for (std::size_t i = 0; i < col.size(); ++i) ASSERT_EQ(col[i], x[i]);
+}
+
+TEST(Activations, ReluForwardBackward) {
+  const float x[4] = {-1.0f, 0.0f, 2.0f, -3.0f};
+  float y[4];
+  relu_forward(x, y, 4);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  const float dy[4] = {1, 1, 1, 1};
+  float dx[4];
+  relu_backward(x, dy, dx, 4, false);
+  EXPECT_EQ(dx[0], 0.0f);
+  EXPECT_EQ(dx[2], 1.0f);
+}
+
+TEST(Activations, TanhDerivative) {
+  const float x[2] = {0.5f, -1.2f};
+  float y[2];
+  tanh_forward(x, y, 2);
+  const float dy[2] = {1.0f, 1.0f};
+  float dx[2];
+  tanh_backward(y, dy, dx, 2);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_NEAR(dx[i], 1.0f - std::tanh(x[i]) * std::tanh(x[i]), 1e-6f);
+  }
+}
+
+TEST(Softmax, RowsSumToOneAndOrderPreserved) {
+  const float x[6] = {1.0f, 2.0f, 3.0f, -1.0f, 0.0f, 1.0f};
+  float y[6];
+  softmax_rows(x, y, 2, 3);
+  for (int r = 0; r < 2; ++r) {
+    float sum_row = 0;
+    for (int c = 0; c < 3; ++c) sum_row += y[r * 3 + c];
+    EXPECT_NEAR(sum_row, 1.0f, 1e-6f);
+    EXPECT_LT(y[r * 3], y[r * 3 + 1]);
+    EXPECT_LT(y[r * 3 + 1], y[r * 3 + 2]);
+  }
+}
+
+TEST(Softmax, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(8);
+  auto x = random_vec(12, rng);
+  std::vector<float> sm(12), lsm(12);
+  softmax_rows(x.data(), sm.data(), 3, 4);
+  log_softmax_rows(x.data(), lsm.data(), 3, 4);
+  for (int i = 0; i < 12; ++i)
+    EXPECT_NEAR(lsm[i], std::log(sm[i]), 1e-5f);
+}
+
+TEST(Softmax, StableUnderLargeInputs) {
+  const float x[3] = {1000.0f, 1001.0f, 999.0f};
+  float y[3];
+  softmax_rows(x, y, 1, 3);
+  EXPECT_FALSE(std::isnan(y[0]));
+  EXPECT_NEAR(y[0] + y[1] + y[2], 1.0f, 1e-6f);
+}
+
+TEST(Tensor, ResizeAndFill) {
+  Tensor t({2, 3});
+  t.fill(2.5f);
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t[5], 2.5f);
+  t.resize({4});  // shrink: no reallocation needed
+  EXPECT_EQ(t.numel(), 4u);
+  EXPECT_EQ(t.shape_str(), "[4]");
+}
+
+TEST(Tensor, RandnMomentsPlausible) {
+  Tensor t({10000});
+  Rng rng(4);
+  t.fill_randn(rng, 2.0f);
+  double sum_v = 0, sum_sq = 0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    sum_v += t[i];
+    sum_sq += static_cast<double>(t[i]) * t[i];
+  }
+  const double mean = sum_v / t.numel();
+  const double var = sum_sq / t.numel() - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a({3}), b({3});
+  a.fill(1.0f);
+  b.fill(1.0f);
+  b[1] = 1.5f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+}
+
+}  // namespace
+}  // namespace apm

@@ -1,0 +1,132 @@
+// SearchTree arena tests: allocation, chunk growth, concurrent allocation,
+// reset reuse, atomic float accumulation.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "mcts/tree.hpp"
+
+namespace apm {
+namespace {
+
+TEST(AtomicAddFloat, AccumulatesConcurrently) {
+  std::atomic<float> total{0.0f};
+  constexpr int kThreads = 4, kIters = 10000;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kIters; ++i) atomic_add_float(total, 1.0f);
+      });
+    }
+  }
+  EXPECT_FLOAT_EQ(total.load(), kThreads * kIters);
+}
+
+TEST(SearchTree, RootExistsAfterConstruction) {
+  SearchTree tree;
+  EXPECT_EQ(tree.node_count(), 1u);
+  const Node& root = tree.node(tree.root());
+  EXPECT_EQ(root.parent, kNullNode);
+  EXPECT_EQ(root.state.load(), ExpandState::kLeaf);
+}
+
+TEST(SearchTree, AllocateNodeLinksParent) {
+  SearchTree tree;
+  const EdgeId edges = tree.allocate_edges(3);
+  const NodeId child = tree.allocate_node(tree.root(), edges + 1);
+  const Node& c = tree.node(child);
+  EXPECT_EQ(c.parent, tree.root());
+  EXPECT_EQ(c.parent_edge, edges + 1);
+  EXPECT_EQ(tree.node_count(), 2u);
+}
+
+TEST(SearchTree, EdgesInitialisedClean) {
+  SearchTree tree;
+  const EdgeId first = tree.allocate_edges(5);
+  for (int i = 0; i < 5; ++i) {
+    const Edge& e = tree.edge(first + i);
+    EXPECT_EQ(e.visits.load(), 0);
+    EXPECT_FLOAT_EQ(e.value_sum.load(), 0.0f);
+    EXPECT_EQ(e.virtual_loss.load(), 0);
+    EXPECT_EQ(e.child.load(), kNullNode);
+    EXPECT_EQ(e.action, -1);
+  }
+}
+
+TEST(SearchTree, GrowsPastOneChunk) {
+  SearchTree tree;
+  const std::size_t target = SearchTree::kNodeMask + 100;
+  for (std::size_t i = tree.node_count(); i < target; ++i) {
+    tree.allocate_node(tree.root(), kNullEdge);
+  }
+  EXPECT_EQ(tree.node_count(), target);
+  // Access nodes across the chunk boundary.
+  EXPECT_EQ(tree.node(static_cast<NodeId>(SearchTree::kNodeMask)).parent,
+            tree.root());
+  EXPECT_EQ(tree.node(static_cast<NodeId>(SearchTree::kNodeMask + 1)).parent,
+            tree.root());
+}
+
+TEST(SearchTree, EdgeRangesNeverStraddleChunks) {
+  SearchTree tree;
+  // Allocate ranges that cannot evenly pack a 65536-edge chunk; every
+  // returned range must be intra-chunk.
+  for (int i = 0; i < 2000; ++i) {
+    const std::int32_t n = 100 + (i % 57);
+    const EdgeId first = tree.allocate_edges(n);
+    const std::size_t lo = static_cast<std::size_t>(first) >>
+                           SearchTree::kEdgeShift;
+    const std::size_t hi =
+        (static_cast<std::size_t>(first) + n - 1) >> SearchTree::kEdgeShift;
+    ASSERT_EQ(lo, hi);
+  }
+}
+
+TEST(SearchTree, ConcurrentAllocationYieldsDistinctIds) {
+  SearchTree tree;
+  constexpr int kThreads = 4, kPerThread = 5000;
+  std::vector<std::vector<NodeId>> ids(kThreads);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&tree, &ids, t] {
+        ids[t].reserve(kPerThread);
+        for (int i = 0; i < kPerThread; ++i) {
+          ids[t].push_back(tree.allocate_node(0, kNullEdge));
+        }
+      });
+    }
+  }
+  std::vector<NodeId> all;
+  for (auto& v : ids) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  EXPECT_EQ(tree.node_count(), 1u + kThreads * kPerThread);
+}
+
+TEST(SearchTree, ResetRewindsAndReuses) {
+  SearchTree tree;
+  tree.allocate_edges(100);
+  tree.allocate_node(0, 0);
+  EXPECT_GT(tree.node_count(), 1u);
+  tree.reset();
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.edge_count(), 0u);
+  // Fresh allocations start clean even though chunks are reused.
+  const EdgeId e = tree.allocate_edges(4);
+  EXPECT_EQ(tree.edge(e).visits.load(), 0);
+  EXPECT_EQ(tree.node(tree.root()).state.load(), ExpandState::kLeaf);
+}
+
+TEST(SearchTree, MemoryBytesTracksCounts) {
+  SearchTree tree;
+  const std::size_t before = tree.memory_bytes();
+  tree.allocate_edges(1000);
+  EXPECT_GE(tree.memory_bytes(), before + 1000 * sizeof(Edge));
+}
+
+}  // namespace
+}  // namespace apm

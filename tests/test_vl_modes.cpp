@@ -1,0 +1,127 @@
+// Virtual-loss flavour tests (§2.1's two variants): the constant-VL [2]
+// and WU-UCT visit-tracking [8] modes must both preserve the search
+// invariants, and their U-score semantics must differ exactly as
+// documented: constant VL pessimises Q for in-flight edges, visit
+// tracking only inflates the visit counts.
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.hpp"
+#include "games/gomoku.hpp"
+#include "mcts/factory.hpp"
+#include "mcts/selection.hpp"
+
+namespace apm {
+namespace {
+
+class VlFixture : public ::testing::Test {
+ protected:
+  void expand_two_edges(float q0) {
+    Node& root = tree_.node(tree_.root());
+    ExpandState expected = ExpandState::kLeaf;
+    ASSERT_TRUE(root.state.compare_exchange_strong(
+        expected, ExpandState::kExpanding));
+    const EdgeId first = tree_.allocate_edges(2);
+    for (int i = 0; i < 2; ++i) {
+      Edge& e = tree_.edge(first + i);
+      e.prior = 0.5f;
+      e.action = i;
+    }
+    root.first_edge = first;
+    root.num_edges = 2;
+    root.state.store(ExpandState::kExpanded);
+    // Edge 0: 10 visits at mean q0. Edge 1: unvisited.
+    Edge& e0 = tree_.edge(first);
+    e0.visits.store(10);
+    e0.value_sum.store(q0 * 10);
+  }
+
+  MctsConfig cfg_;
+  SearchTree tree_;
+};
+
+TEST_F(VlFixture, ConstantModePessimisesInFlightEdge) {
+  cfg_.vl_mode = VirtualLossMode::kConstant;
+  cfg_.virtual_loss = 3.0f;
+  cfg_.c_puct = 0.1f;
+  expand_two_edges(0.6f);
+  InTreeOps ops(tree_, cfg_);
+  const EdgeId first = tree_.node(tree_.root()).first_edge;
+  // Without VL the exploit edge wins under weak exploration.
+  EXPECT_EQ(ops.select_edge(tree_.root()), first);
+  // Two in-flight rollouts on edge 0: Q_eff = (6 − 2·3)/12 = 0 → edge 1.
+  tree_.edge(first).virtual_loss.store(2);
+  EXPECT_EQ(ops.select_edge(tree_.root()), first + 1);
+}
+
+TEST_F(VlFixture, VisitTrackingKeepsObservedQ) {
+  cfg_.vl_mode = VirtualLossMode::kVisitTracking;
+  cfg_.virtual_loss = 3.0f;  // ignored by this mode's Q term
+  cfg_.c_puct = 0.05f;       // tiny exploration: decision driven by Q
+  expand_two_edges(0.6f);
+  InTreeOps ops(tree_, cfg_);
+  const EdgeId first = tree_.node(tree_.root()).first_edge;
+  tree_.edge(first).virtual_loss.store(2);
+  // Q scaled by visits/(visits+vl) = 0.6·10/12 = 0.5, still ≫ edge 1's 0.
+  EXPECT_EQ(ops.select_edge(tree_.root()), first);
+}
+
+class VlModeMatrix
+    : public ::testing::TestWithParam<std::tuple<VirtualLossMode, Scheme>> {};
+
+TEST_P(VlModeMatrix, SearchInvariantsHoldInBothModes) {
+  const auto [mode, scheme] = GetParam();
+  Gomoku g(5, 4);
+  SyntheticEvaluator eval(g.action_count(), g.encode_size(),
+                          /*latency_us=*/20.0);
+  MctsConfig cfg;
+  cfg.num_playouts = 300;
+  cfg.vl_mode = mode;
+  auto search = make_search(scheme, cfg, 8, {.evaluator = &eval});
+  const SearchResult r = search->search(g);
+  float mass = 0.0f;
+  for (float p : r.action_prior) {
+    ASSERT_GE(p, 0.0f);
+    mass += p;
+  }
+  EXPECT_NEAR(mass, 1.0f, 1e-4f);
+  EXPECT_EQ(r.metrics.playouts, 300);
+  EXPECT_GE(r.root_value, -1.0f);
+  EXPECT_LE(r.root_value, 1.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, VlModeMatrix,
+    ::testing::Values(
+        std::tuple{VirtualLossMode::kConstant, Scheme::kSharedTree},
+        std::tuple{VirtualLossMode::kConstant, Scheme::kLocalTree},
+        std::tuple{VirtualLossMode::kVisitTracking, Scheme::kSharedTree},
+        std::tuple{VirtualLossMode::kVisitTracking, Scheme::kLocalTree}),
+    [](const auto& param_info) {
+      std::string name =
+          std::get<0>(param_info.param) == VirtualLossMode::kConstant
+              ? "constant_"
+              : "wuuct_";
+      name += to_string(std::get<1>(param_info.param));
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(VlModes, BothFindTheTacticalBlock) {
+  Gomoku g = make_tictactoe();
+  for (int m : {0, 3, 1}) g.apply(m);  // O must block at 2
+  for (VirtualLossMode mode :
+       {VirtualLossMode::kConstant, VirtualLossMode::kVisitTracking}) {
+    UniformEvaluator eval(9, 4 * 9);
+    MctsConfig cfg;
+    cfg.num_playouts = 600;
+    cfg.vl_mode = mode;
+    SharedTreeMcts search(cfg, 4, eval);
+    EXPECT_EQ(search.search(g).best_action, 2);
+  }
+}
+
+}  // namespace
+}  // namespace apm
