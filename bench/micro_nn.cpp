@@ -26,7 +26,24 @@ void BM_Gemm(benchmark::State& state) {
       2.0 * n * n * n * static_cast<double>(state.iterations()) * 1e-9,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(384);
+
+void BM_GemmBiasRelu(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng, 1.0f);
+  Tensor b = Tensor::randn({n, n}, rng, 1.0f);
+  Tensor bias = Tensor::randn({n}, rng, 1.0f);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm_bias_relu(a.data(), b.data(), bias.data(), c.data(), n, n, n, true);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmBiasRelu)->Arg(256);
 
 void BM_Im2Col(benchmark::State& state) {
   const int c = 32, h = 15, w = 15, k = 3;
@@ -54,25 +71,50 @@ void BM_NetForwardTiny(benchmark::State& state) {
   state.counters["us_per_state"] = benchmark::Counter(
       static_cast<double>(state.iterations()) * batch,
       benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["evals/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * batch,
+      benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_NetForwardTiny)->Arg(1)->Arg(8)->Arg(32)
+BENCHMARK(BM_NetForwardTiny)->Arg(1)->Arg(8)->Arg(32)->Arg(128)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_NetForwardPaper15x15(benchmark::State& state) {
   // The §5.1 network: 5 conv + 3 FC on 15×15 — the T_DNN^CPU this host
-  // would plug into Eq. 3.
+  // would plug into Eq. 3. The batch sweep is the basis of T_DNN(batch):
+  // whole-batch im2col + one GEMM per layer amortises packing and epilogue
+  // cost, so per-position latency falls as the batch grows.
+  const int batch = static_cast<int>(state.range(0));
   PolicyValueNet net(NetConfig{}, 4);
   Rng rng(5);
-  Tensor x = Tensor::randn({1, 4, 15, 15}, rng, 1.0f);
+  Tensor x = Tensor::randn({batch, 4, 15, 15}, rng, 1.0f);
   Activations acts;
   Tensor policy, value;
+  // FLOPs of one forward pass per sample (5 conv + 3 FC, H=W=15).
+  const NetConfig cfg;
+  const int hw = cfg.height * cfg.width;
+  const double flops_per_sample =
+      2.0 * hw *
+          (9.0 * cfg.in_channels * cfg.trunk1 + 9.0 * cfg.trunk1 * cfg.trunk2 +
+           9.0 * cfg.trunk2 * cfg.trunk3 +
+           1.0 * cfg.trunk3 * cfg.policy_channels +
+           1.0 * cfg.trunk3 * cfg.value_channels) +
+      2.0 * (static_cast<double>(cfg.policy_channels) * hw * cfg.actions() +
+             static_cast<double>(cfg.value_channels) * hw * cfg.value_hidden +
+             cfg.value_hidden);
   for (auto _ : state) {
     net.predict(x, acts, policy, value);
     benchmark::DoNotOptimize(value.data());
   }
+  state.counters["evals/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * batch,
+      benchmark::Counter::kIsRate);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops_per_sample * batch * static_cast<double>(state.iterations()) *
+          1e-9,
+      benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_NetForwardPaper15x15)->Unit(benchmark::kMillisecond)
-    ->Iterations(3);
+BENCHMARK(BM_NetForwardPaper15x15)->Arg(1)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TrainStepTiny(benchmark::State& state) {
   PolicyValueNet net(NetConfig::tiny(9), 4);

@@ -12,7 +12,6 @@ AsyncBatchEvaluator::AsyncBatchEvaluator(InferenceBackend& backend,
       stale_flush_us_(stale_flush_us) {
   APM_CHECK(batch_threshold >= 1);
   APM_CHECK(num_streams >= 1);
-  pending_.reserve(static_cast<std::size_t>(batch_threshold));
   streams_.reserve(static_cast<std::size_t>(num_streams));
   for (int i = 0; i < num_streams; ++i) {
     streams_.emplace_back([this] { stream_loop(); });
@@ -34,17 +33,30 @@ AsyncBatchEvaluator::~AsyncBatchEvaluator() {
 
 void AsyncBatchEvaluator::submit(const float* input, Callback cb) {
   APM_CHECK(cb != nullptr);
-  Request req;
-  req.input.assign(input, input + backend_.input_size());
-  req.callback = std::move(cb);
+  const std::size_t isz = backend_.input_size();
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  std::unique_lock lock(mutex_);
-  if (pending_.empty()) oldest_pending_ = std::chrono::steady_clock::now();
-  pending_.push_back(std::move(req));
-  ++stats_.submitted;
-  if (static_cast<int>(pending_.size()) >= threshold_) {
-    dispatch_locked(lock);
+
+  // Reserve a slot under the lock; copy the planes outside it. The batch
+  // may dispatch (threshold crossing, below, or a concurrent flush) before
+  // the copy finishes — the stream thread waits on `ready` for stragglers.
+  Batch* batch = nullptr;
+  std::size_t slot = 0;
+  {
+    std::unique_lock lock(mutex_);
+    if (!pending_) pending_ = acquire_batch_locked();
+    if (pending_->callbacks.empty()) {
+      oldest_pending_ = std::chrono::steady_clock::now();
+    }
+    batch = pending_.get();
+    slot = pending_->callbacks.size();
+    pending_->callbacks.push_back(std::move(cb));
+    ++stats_.submitted;
+    if (static_cast<int>(pending_->callbacks.size()) >= threshold_) {
+      dispatch_locked(lock, DispatchReason::kThreshold);
+    }
   }
+  std::memcpy(batch->inputs.data() + slot * isz, input, isz * sizeof(float));
+  batch->ready.fetch_add(1, std::memory_order_release);
 }
 
 std::future<EvalOutput> AsyncBatchEvaluator::submit_future(
@@ -57,7 +69,9 @@ std::future<EvalOutput> AsyncBatchEvaluator::submit_future(
 
 void AsyncBatchEvaluator::flush() {
   std::unique_lock lock(mutex_);
-  if (!pending_.empty()) dispatch_locked(lock);
+  if (pending_ && !pending_->callbacks.empty()) {
+    dispatch_locked(lock, DispatchReason::kManual);
+  }
 }
 
 void AsyncBatchEvaluator::drain() {
@@ -65,7 +79,7 @@ void AsyncBatchEvaluator::drain() {
   std::unique_lock lock(mutex_);
   drained_cv_.wait(lock, [&] {
     return in_flight_.load(std::memory_order_acquire) == 0 &&
-           pending_.empty();
+           (!pending_ || pending_->callbacks.empty());
   });
 }
 
@@ -78,14 +92,36 @@ BatchQueueStats AsyncBatchEvaluator::stats() const {
   return s;
 }
 
-void AsyncBatchEvaluator::dispatch_locked(std::unique_lock<std::mutex>& lock) {
-  Batch batch;
-  batch.swap(pending_);
-  pending_.reserve(static_cast<std::size_t>(threshold_));
+std::unique_ptr<AsyncBatchEvaluator::Batch>
+AsyncBatchEvaluator::acquire_batch_locked() {
+  std::unique_ptr<Batch> b;
+  if (free_batches_.empty()) {
+    b = std::make_unique<Batch>();
+    b->callbacks.reserve(static_cast<std::size_t>(threshold_));
+  } else {
+    b = std::move(free_batches_.back());
+    free_batches_.pop_back();
+  }
+  // Full-threshold slots up front so concurrent slot copies never resize.
+  b->inputs.resize(static_cast<std::size_t>(threshold_) *
+                   backend_.input_size());
+  return b;
+}
+
+void AsyncBatchEvaluator::dispatch_locked(std::unique_lock<std::mutex>& lock,
+                                          DispatchReason reason) {
+  std::unique_ptr<Batch> batch = std::move(pending_);
   ++stats_.batches;
-  sum_batch_sizes_ += static_cast<double>(batch.size());
-  stats_.max_batch = std::max(stats_.max_batch, batch.size());
-  if (static_cast<int>(batch.size()) == threshold_) ++stats_.full_batches;
+  sum_batch_sizes_ += static_cast<double>(batch->callbacks.size());
+  stats_.max_batch = std::max(stats_.max_batch, batch->callbacks.size());
+  if (static_cast<int>(batch->callbacks.size()) == threshold_) {
+    ++stats_.full_batches;
+  }
+  switch (reason) {
+    case DispatchReason::kThreshold: ++stats_.threshold_dispatches; break;
+    case DispatchReason::kStale: ++stats_.stale_flushes; break;
+    case DispatchReason::kManual: ++stats_.manual_flushes; break;
+  }
   lock.unlock();
   const bool ok = batch_queue_.push(std::move(batch));
   APM_CHECK_MSG(ok, "batch queue closed while dispatching");
@@ -93,27 +129,31 @@ void AsyncBatchEvaluator::dispatch_locked(std::unique_lock<std::mutex>& lock) {
 }
 
 void AsyncBatchEvaluator::stream_loop() {
-  std::vector<float> inputs;
   std::vector<EvalOutput> outputs;
   while (auto batch_opt = batch_queue_.pop()) {
-    Batch& batch = *batch_opt;
-    const int n = static_cast<int>(batch.size());
-    const std::size_t isz = backend_.input_size();
-    inputs.resize(static_cast<std::size_t>(n) * isz);
-    outputs.resize(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) {
-      std::memcpy(inputs.data() + static_cast<std::size_t>(i) * isz,
-                  batch[i].input.data(), isz * sizeof(float));
+    std::unique_ptr<Batch> batch = std::move(*batch_opt);
+    const int n = static_cast<int>(batch->callbacks.size());
+    // Wait for straggler slot copies (bounded by a memcpy per submitter).
+    while (batch->ready.load(std::memory_order_acquire) != n) {
+      std::this_thread::yield();
     }
+    outputs.resize(static_cast<std::size_t>(n));
     const double modelled_us =
-        backend_.compute_batch(inputs.data(), n, outputs.data());
+        backend_.compute_batch(batch->inputs.data(), n, outputs.data());
     {
       std::lock_guard lock(mutex_);
       stats_.modelled_backend_us += modelled_us;
     }
     // Callbacks run outside any lock (CP.22).
     for (int i = 0; i < n; ++i) {
-      batch[i].callback(std::move(outputs[i]));
+      batch->callbacks[i](std::move(outputs[i]));
+    }
+    {
+      // Recycle the buffer for a future forming batch.
+      std::lock_guard lock(mutex_);
+      batch->callbacks.clear();
+      batch->ready.store(0, std::memory_order_relaxed);
+      free_batches_.push_back(std::move(batch));
     }
     if (in_flight_.fetch_sub(static_cast<std::size_t>(n),
                              std::memory_order_acq_rel) ==
@@ -130,12 +170,14 @@ void AsyncBatchEvaluator::flusher_loop(const std::stop_token& stop) {
   while (!stop.stop_requested()) {
     std::this_thread::sleep_for(period);
     std::unique_lock lock(mutex_);
-    if (!pending_.empty()) {
+    if (pending_ && !pending_->callbacks.empty()) {
       const double age_us =
           std::chrono::duration<double, std::micro>(
               std::chrono::steady_clock::now() - oldest_pending_)
               .count();
-      if (age_us >= stale_flush_us_) dispatch_locked(lock);
+      if (age_us >= stale_flush_us_) {
+        dispatch_locked(lock, DispatchReason::kStale);
+      }
     }
   }
 }

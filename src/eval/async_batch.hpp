@@ -7,6 +7,15 @@
 // can form (and dispatch) the next batch, overlapping accelerator compute
 // with in-tree operations on the master thread.
 //
+// submit() reserves a slot in the forming batch under the lock, then copies
+// the request's planes into the batch's contiguous input buffer *outside*
+// the lock (concurrent submitters copy in parallel; a per-batch readiness
+// counter lets the stream thread wait for in-flight copies before handing
+// the buffer to the backend as-is). Each input is therefore copied exactly
+// once end-to-end and the mutex never covers a memcpy. Completed buffers
+// are recycled through a small free list, keeping the steady state
+// allocation-free.
+//
 // A stale-flush timer bounds the wait for a partial batch (needed at the
 // tail of a move when fewer than B requests remain — e.g. the last
 // iterations of a 1600-playout move with B = 20), and drain() forces
@@ -31,6 +40,11 @@ struct BatchQueueStats {
   std::size_t submitted = 0;       // requests accepted
   std::size_t batches = 0;         // backend invocations
   std::size_t full_batches = 0;    // batches of exactly the threshold size
+  // Why batches were dispatched: the threshold crossing in submit(), the
+  // stale-flush timer, or an explicit flush()/drain().
+  std::size_t threshold_dispatches = 0;
+  std::size_t stale_flushes = 0;
+  std::size_t manual_flushes = 0;
   std::size_t max_batch = 0;
   double mean_batch = 0.0;
   double modelled_backend_us = 0.0;  // sum of backend-modelled latencies
@@ -49,9 +63,9 @@ class AsyncBatchEvaluator {
   AsyncBatchEvaluator(const AsyncBatchEvaluator&) = delete;
   AsyncBatchEvaluator& operator=(const AsyncBatchEvaluator&) = delete;
 
-  // Copies `input` (input_size floats). `cb` runs on a stream thread once
-  // the containing batch completes; it must not block for long and must not
-  // call back into submit() (CP.22).
+  // Copies `input` (input_size floats) into the forming batch buffer. `cb`
+  // runs on a stream thread once the containing batch completes; it must
+  // not block for long and must not call back into submit() (CP.22).
   void submit(const float* input, Callback cb);
 
   // Future-returning convenience (shared-tree workers block on these).
@@ -68,13 +82,23 @@ class AsyncBatchEvaluator {
   BatchQueueStats stats() const;
 
  private:
-  struct Request {
-    std::vector<float> input;
-    Callback callback;
+  // One forming/in-flight batch: a contiguous input buffer sized for the
+  // full threshold up front (so concurrent submitters can copy into
+  // disjoint slots without reallocation), the per-request callbacks
+  // (mutated only under the lock), and the count of completed slot copies.
+  // Heap-allocated so a submitter can keep writing its slot while the
+  // batch is already dispatched. Recycled via free_batches_.
+  struct Batch {
+    std::vector<float> inputs;       // capacity threshold * input_size
+    std::vector<Callback> callbacks;
+    std::atomic<int> ready{0};       // slots fully copied
   };
-  using Batch = std::vector<Request>;
 
-  void dispatch_locked(std::unique_lock<std::mutex>& lock);
+  enum class DispatchReason { kThreshold, kStale, kManual };
+
+  void dispatch_locked(std::unique_lock<std::mutex>& lock,
+                       DispatchReason reason);
+  std::unique_ptr<Batch> acquire_batch_locked();
   void stream_loop();
   void flusher_loop(const std::stop_token& stop);
 
@@ -83,14 +107,15 @@ class AsyncBatchEvaluator {
   const double stale_flush_us_;
 
   mutable std::mutex mutex_;
-  Batch pending_;
+  std::unique_ptr<Batch> pending_;
+  std::vector<std::unique_ptr<Batch>> free_batches_;
   std::chrono::steady_clock::time_point oldest_pending_;
   std::atomic<std::size_t> in_flight_{0};  // accepted, not yet completed
   std::condition_variable drained_cv_;
 
   BatchQueueStats stats_;
   double sum_batch_sizes_ = 0.0;
-  SyncQueue<Batch> batch_queue_;
+  SyncQueue<std::unique_ptr<Batch>> batch_queue_;
   std::vector<std::jthread> streams_;
   std::jthread flusher_;
 };

@@ -41,15 +41,26 @@ double CpuBackend::compute_batch(const float* inputs, int n,
   Timer timer;
   eval_.evaluate_batch(inputs, n, outs);
   const double us = timer.elapsed_us();
-  if (amortized_single_us_ < 0.0 && n >= 1) {
-    amortized_single_us_ = us / n;
+  if (n >= 1) {
+    // Track the best observed per-sample cost: with the batched im2col +
+    // blocked-GEMM path, larger batches amortise packing and epilogues, so
+    // the first (often batch-1) observation badly overestimates steady-state
+    // batched throughput. CAS-min: concurrent stream threads race here.
+    const double per = us / n;
+    double cur = amortized_single_us_.load(std::memory_order_relaxed);
+    while ((cur < 0.0 || per < cur) &&
+           !amortized_single_us_.compare_exchange_weak(
+               cur, per, std::memory_order_relaxed)) {
+    }
   }
   return us;
 }
 
 double CpuBackend::model_batch_us(int n) const {
-  // CPU batches scale ~linearly (no wide parallel units to saturate).
-  const double per = amortized_single_us_ > 0.0 ? amortized_single_us_ : 1.0;
+  // CPU batches scale ~linearly in the modelled regime; the per-sample
+  // coefficient reflects the best batched throughput observed so far.
+  const double cur = amortized_single_us_.load(std::memory_order_relaxed);
+  const double per = cur > 0.0 ? cur : 1.0;
   return per * n;
 }
 

@@ -18,6 +18,8 @@
 // can be overridden (they are inputs of the design-configuration workflow,
 // §4.2).
 
+#include <atomic>
+
 #include "eval/evaluator.hpp"
 
 namespace apm {
@@ -87,7 +89,9 @@ class CpuBackend final : public InferenceBackend {
 
  private:
   Evaluator& eval_;
-  double amortized_single_us_ = -1.0;  // lazily profiled for model_batch_us
+  // Best observed per-sample latency (µs); drives model_batch_us. Atomic:
+  // concurrent stream threads of an AsyncBatchEvaluator update it.
+  std::atomic<double> amortized_single_us_{-1.0};
 };
 
 // Simulated GPU: real results via the wrapped evaluator, timing from

@@ -7,7 +7,14 @@
 
 namespace apm {
 
-NetEvaluator::NetEvaluator(const PolicyValueNet& net) : net_(net) {}
+NetEvaluator::NetEvaluator(const PolicyValueNet& net, int gemm_threads)
+    : net_(net) {
+  APM_CHECK(gemm_threads >= 0);
+  if (gemm_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(gemm_threads));
+  }
+}
 
 int NetEvaluator::action_count() const { return net_.config().actions(); }
 
@@ -16,11 +23,11 @@ std::size_t NetEvaluator::input_size() const {
   return static_cast<std::size_t>(cfg.in_channels) * cfg.height * cfg.width;
 }
 
-Activations& NetEvaluator::local_acts() {
+NetEvaluator::Workspace& NetEvaluator::local_workspace() {
   const auto id = std::this_thread::get_id();
   std::lock_guard lock(acts_mutex_);
-  auto& slot = acts_[id];
-  if (!slot) slot = std::make_unique<Activations>();
+  auto& slot = slots_[id];
+  if (!slot) slot = std::make_unique<Workspace>();
   return *slot;
 }
 
@@ -32,19 +39,18 @@ void NetEvaluator::evaluate_batch(const float* inputs, int n,
                                   EvalOutput* outs) {
   APM_CHECK(n >= 1);
   const NetConfig& cfg = net_.config();
-  Activations& acts = local_acts();
+  Workspace& ws = local_workspace();
 
-  Tensor x({n, cfg.in_channels, cfg.height, cfg.width});
-  std::memcpy(x.data(), inputs, x.numel() * sizeof(float));
-  Tensor policy, value;
-  net_.predict(x, acts, policy, value);
+  ws.x.resize({n, cfg.in_channels, cfg.height, cfg.width});
+  std::memcpy(ws.x.data(), inputs, ws.x.numel() * sizeof(float));
+  net_.predict(ws.x, ws.acts, ws.policy, ws.value, pool_.get());
 
   const int actions = cfg.actions();
   for (int i = 0; i < n; ++i) {
     outs[i].policy.assign(
-        policy.data() + static_cast<std::size_t>(i) * actions,
-        policy.data() + static_cast<std::size_t>(i + 1) * actions);
-    outs[i].value = value[i];
+        ws.policy.data() + static_cast<std::size_t>(i) * actions,
+        ws.policy.data() + static_cast<std::size_t>(i + 1) * actions);
+    outs[i].value = ws.value[i];
   }
 }
 

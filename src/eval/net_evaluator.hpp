@@ -1,9 +1,16 @@
 #pragma once
 // Evaluator backed by a real PolicyValueNet forward pass on the CPU.
 //
-// Weights are shared read-only; each calling thread gets its own
-// Activations workspace (keyed by thread id), so concurrent evaluate()
-// calls from the shared-tree scheme are safe and allocation-converging.
+// Weights are shared read-only; each calling thread gets its own workspace
+// (Activations + input/output tensors, keyed by thread id), so concurrent
+// evaluate() calls from the shared-tree scheme are safe and the hot path is
+// allocation-free once the per-thread workspaces are warm.
+//
+// An optional intra-op thread pool shards each conv GEMM's row-blocks
+// (ParallelGemm), so a single large batch from AsyncBatchEvaluator uses
+// multiple cores even when only one stream thread drives the backend. The
+// pool is dedicated to GEMM work — it is never handed MCTS tasks, so the
+// fork-join inside gemm cannot deadlock against tree-search jobs.
 
 #include <memory>
 #include <mutex>
@@ -12,6 +19,7 @@
 
 #include "eval/evaluator.hpp"
 #include "nn/policy_value_net.hpp"
+#include "support/thread_pool.hpp"
 
 namespace apm {
 
@@ -19,19 +27,35 @@ class NetEvaluator final : public Evaluator {
  public:
   // The net must outlive the evaluator. Inference only reads weights, so a
   // trainer may swap in new weights between moves (not during a search).
-  explicit NetEvaluator(const PolicyValueNet& net);
+  // gemm_threads > 0 spawns a dedicated intra-op pool of that many workers;
+  // 0 keeps every GEMM on the calling thread.
+  explicit NetEvaluator(const PolicyValueNet& net, int gemm_threads = 0);
 
   int action_count() const override;
   std::size_t input_size() const override;
   void evaluate(const float* input, EvalOutput& out) override;
   void evaluate_batch(const float* inputs, int n, EvalOutput* outs) override;
 
+  int gemm_threads() const {
+    return pool_ ? static_cast<int>(pool_->num_threads()) : 0;
+  }
+
  private:
-  Activations& local_acts();
+  // Everything one calling thread needs to run predict() without touching
+  // the allocator: activations, the staged input batch and the outputs.
+  struct Workspace {
+    Activations acts;
+    Tensor x;
+    Tensor policy;
+    Tensor value;
+  };
+
+  Workspace& local_workspace();
 
   const PolicyValueNet& net_;
+  std::unique_ptr<ThreadPool> pool_;
   std::mutex acts_mutex_;
-  std::unordered_map<std::thread::id, std::unique_ptr<Activations>> acts_;
+  std::unordered_map<std::thread::id, std::unique_ptr<Workspace>> slots_;
 };
 
 }  // namespace apm

@@ -24,33 +24,56 @@ void Conv2d::init(Rng& rng) {
   b_.value.zero();
 }
 
-void Conv2d::forward(const Tensor& x, Tensor& y, Tensor& col,
-                     Tensor* col_cache) const {
+void Conv2d::forward(const Tensor& x, Tensor& y, ConvWorkspace& ws,
+                     Tensor* col_cache, bool fuse_relu,
+                     ThreadPool* pool) const {
   APM_CHECK(x.rank() == 4 && x.dim(1) == in_channels_);
   const int batch = x.dim(0), h = x.dim(2), w = x.dim(3);
   const int hw = h * w;
   const int kk = in_channels_ * ksize_ * ksize_;
   y.resize({batch, out_channels_, h, w});
-  col.resize({kk, hw});
-  if (col_cache != nullptr) col_cache->resize({batch, kk, hw});
+  ws.col.resize({kk, batch * hw});
 
-  const std::size_t x_stride = static_cast<std::size_t>(in_channels_) * hw;
-  const std::size_t y_stride = static_cast<std::size_t>(out_channels_) * hw;
-  for (int i = 0; i < batch; ++i) {
-    im2col(x.data() + i * x_stride, in_channels_, h, w, ksize_, pad_,
-           col.data());
-    float* yi = y.data() + i * y_stride;
-    // y_i[Cout, HW] = W[Cout, kk] * col[kk, HW]
-    gemm(w_.value.data(), col.data(), yi, out_channels_, hw, kk,
-         /*accumulate=*/false);
-    for (int oc = 0; oc < out_channels_; ++oc) {
-      const float bias = b_.value[oc];
-      float* row = yi + static_cast<std::size_t>(oc) * hw;
-      for (int p = 0; p < hw; ++p) row[p] += bias;
+  im2col_batched(x.data(), batch, in_channels_, h, w, ksize_, pad_,
+                 ws.col.data());
+  if (col_cache != nullptr) {
+    // Backward consumes per-sample columns [B, kk, HW]; slice them out of
+    // the batch-major buffer (row r of sample b is col[r] + b*HW).
+    col_cache->resize({batch, kk, hw});
+    for (int b = 0; b < batch; ++b) {
+      float* dst = col_cache->data() + static_cast<std::size_t>(b) * kk * hw;
+      for (int r = 0; r < kk; ++r) {
+        std::memcpy(dst + static_cast<std::size_t>(r) * hw,
+                    ws.col.data() + (static_cast<std::size_t>(r) * batch +
+                                     b) * hw,
+                    static_cast<std::size_t>(hw) * sizeof(float));
+      }
     }
-    if (col_cache != nullptr) {
-      std::memcpy(col_cache->data() + static_cast<std::size_t>(i) * kk * hw,
-                  col.data(), static_cast<std::size_t>(kk) * hw * sizeof(float));
+  }
+
+  if (batch == 1) {
+    // y[Cout, HW] = W[Cout, kk] * col[kk, HW] + b, fused epilogue.
+    gemm_bias_relu_parallel(pool, w_.value.data(), ws.col.data(),
+                            b_.value.data(), y.data(), out_channels_, hw, kk,
+                            fuse_relu);
+    return;
+  }
+  // ybuf[Cout, B*HW] = W[Cout, kk] * col[kk, B*HW] + b, then permute the
+  // channel-major GEMM output back to [B, Cout, HW]. The permute is one
+  // contiguous HW-row copy per (b, oc) — negligible next to the 2·kk
+  // FLOPs/element GEMM it amortises.
+  ws.ybuf.resize({out_channels_, batch * hw});
+  gemm_bias_relu_parallel(pool, w_.value.data(), ws.col.data(),
+                          b_.value.data(), ws.ybuf.data(), out_channels_,
+                          batch * hw, kk, fuse_relu);
+  for (int b = 0; b < batch; ++b) {
+    float* yb = y.data() +
+                static_cast<std::size_t>(b) * out_channels_ * hw;
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      std::memcpy(yb + static_cast<std::size_t>(oc) * hw,
+                  ws.ybuf.data() +
+                      (static_cast<std::size_t>(oc) * batch + b) * hw,
+                  static_cast<std::size_t>(hw) * sizeof(float));
     }
   }
 }

@@ -1,12 +1,18 @@
 #pragma once
-// Stride-1, same-padding 2-D convolution via im2col + GEMM.
+// Stride-1, same-padding 2-D convolution via whole-batch im2col + one GEMM.
+//
+// forward() lowers the entire batch at once (col buffer [Cin*k*k, B*H*W])
+// and runs a single large GEMM per layer instead of B tiny ones, with the
+// bias broadcast and optional ReLU fused into the GEMM store epilogue. All
+// scratch lives in a caller-owned ConvWorkspace so the inference hot path
+// allocates nothing once the workspace is warm.
 //
 // Thread-safety contract: forward() is const and reads only the weights, so
 // any number of inference threads may call it concurrently as long as each
-// supplies its own scratch tensors. backward() accumulates into the
-// parameter gradients and must be externally serialised (the training
-// pipeline is single-threaded by design, matching the paper's separate
-// "DNN training stage").
+// supplies its own workspace. backward() accumulates into the parameter
+// gradients and must be externally serialised (the training pipeline is
+// single-threaded by design, matching the paper's separate "DNN training
+// stage").
 
 #include <vector>
 
@@ -14,6 +20,15 @@
 #include "tensor/tensor.hpp"
 
 namespace apm {
+
+class ThreadPool;
+
+// Reusable scratch for conv forward: the batched im2col buffer and the
+// pre-permute GEMM output. One per inference thread, shared by all layers.
+struct ConvWorkspace {
+  Tensor col;   // [Cin*k*k, B*H*W]
+  Tensor ybuf;  // [Cout, B*H*W] (GEMM output before the B-major permute)
+};
 
 class Conv2d {
  public:
@@ -23,12 +38,13 @@ class Conv2d {
   // He-normal init of weights, zero biases.
   void init(Rng& rng);
 
-  // x: [B, Cin, H, W] -> y: [B, Cout, H, W].
-  // col: scratch resized to [Cin*k*k, H*W]; when col_cache != nullptr it
-  // receives a copy of the per-image columns (needed by backward), laid out
-  // as [B, Cin*k*k, H*W].
-  void forward(const Tensor& x, Tensor& y, Tensor& col,
-               Tensor* col_cache = nullptr) const;
+  // x: [B, Cin, H, W] -> y: [B, Cout, H, W] (ReLU'd when fuse_relu).
+  // ws: caller-owned scratch. When col_cache != nullptr it receives the
+  // per-image columns (needed by backward), laid out as [B, Cin*k*k, H*W].
+  // `pool` shards the GEMM row-blocks (nullptr = serial).
+  void forward(const Tensor& x, Tensor& y, ConvWorkspace& ws,
+               Tensor* col_cache = nullptr, bool fuse_relu = false,
+               ThreadPool* pool = nullptr) const;
 
   // dy: [B, Cout, H, W]; col_cache from forward; dx: [B, Cin, H, W]
   // (overwritten). Accumulates weight/bias gradients.

@@ -18,17 +18,13 @@ void Linear::init(Rng& rng) {
   b_.value.zero();
 }
 
-void Linear::forward(const Tensor& x, Tensor& y) const {
+void Linear::forward(const Tensor& x, Tensor& y, bool fuse_relu) const {
   APM_CHECK(x.rank() == 2 && x.dim(1) == in_);
   const int batch = x.dim(0);
   y.resize({batch, out_});
-  // y[B, Out] = x[B, In] * W[Out, In]^T
-  gemm_abt(x.data(), w_.value.data(), y.data(), batch, out_, in_,
-           /*accumulate=*/false);
-  for (int i = 0; i < batch; ++i) {
-    float* row = y.data() + static_cast<std::size_t>(i) * out_;
-    for (int o = 0; o < out_; ++o) row[o] += b_.value[o];
-  }
+  // y[B, Out] = x[B, In] * W[Out, In]^T + b, fused epilogue.
+  gemm_abt_bias_relu(x.data(), w_.value.data(), b_.value.data(), y.data(),
+                     batch, out_, in_, fuse_relu);
 }
 
 void Linear::backward(const Tensor& x, const Tensor& dy, Tensor& dx) {

@@ -18,8 +18,9 @@ class Linear {
   // Xavier-uniform init of weights, zero biases.
   void init(Rng& rng);
 
-  // x: [B, In] -> y: [B, Out].
-  void forward(const Tensor& x, Tensor& y) const;
+  // x: [B, In] -> y: [B, Out], ReLU'd when fuse_relu. Bias and activation
+  // are applied in the GEMM store epilogue (no separate passes over y).
+  void forward(const Tensor& x, Tensor& y, bool fuse_relu = false) const;
 
   // dy: [B, Out], x from forward; dx: [B, In] (overwritten).
   void backward(const Tensor& x, const Tensor& dy, Tensor& dx);

@@ -8,12 +8,12 @@
 namespace apm {
 namespace {
 
-// Reinterprets a [B, C, H, W] activation as [B, C*H*W] without copying.
-void flatten_to(const Tensor& x, Tensor& flat) {
+// Reinterprets a [B, C, H, W] activation as [B, C*H*W]. Row-major storage
+// makes the flatten a pure shape change — no copy on the predict hot path.
+void flatten_view(Tensor& x) {
   const int batch = x.dim(0);
   const int features = static_cast<int>(x.numel()) / batch;
-  flat.resize({batch, features});
-  std::memcpy(flat.data(), x.data(), x.numel() * sizeof(float));
+  x.reshape({batch, features});
 }
 
 }  // namespace
@@ -41,39 +41,63 @@ PolicyValueNet::PolicyValueNet(const NetConfig& cfg, std::uint64_t seed)
   fc_v2_.init(rng);
 }
 
-void PolicyValueNet::forward(const Tensor& x, Activations& a,
-                             bool train) const {
+void PolicyValueNet::forward(const Tensor& x, Activations& a, bool train,
+                             ThreadPool* pool) const {
   APM_CHECK(x.rank() == 4 && x.dim(1) == cfg_.in_channels &&
             x.dim(2) == cfg_.height && x.dim(3) == cfg_.width);
   const int batch = x.dim(0);
 
-  conv1_.forward(x, a.t1, a.col, train ? &a.col1 : nullptr);
+  if (!train) {
+    // Inference: ReLU fused into each conv/linear GEMM epilogue, so each
+    // layer makes one pass over its output and the pre-activation tensors
+    // are never materialised.
+    conv1_.forward(x, a.t1r, a.conv_ws, nullptr, /*fuse_relu=*/true, pool);
+    conv2_.forward(a.t1r, a.t2r, a.conv_ws, nullptr, true, pool);
+    conv3_.forward(a.t2r, a.t3r, a.conv_ws, nullptr, true, pool);
+
+    conv_p_.forward(a.t3r, a.p0r, a.conv_ws, nullptr, true, pool);
+    flatten_view(a.p0r);
+    fc_p_.forward(a.p0r, a.p_logits);
+    // p_logp is left untouched: predict() softmaxes the logits directly,
+    // and only the training loss consumes log-probabilities.
+
+    conv_v_.forward(a.t3r, a.v0r, a.conv_ws, nullptr, true, pool);
+    flatten_view(a.v0r);
+    fc_v1_.forward(a.v0r, a.v1r, /*fuse_relu=*/true);
+    fc_v2_.forward(a.v1r, a.v2);
+    a.value.resize({batch});
+    tanh_forward(a.v2.data(), a.value.data(), a.value.numel());
+    return;
+  }
+
+  // Training: keep pre-activations and col caches for backward.
+  conv1_.forward(x, a.t1, a.conv_ws, &a.col1, false, pool);
   a.t1r.resize(a.t1.shape());
   relu_forward(a.t1.data(), a.t1r.data(), a.t1.numel());
 
-  conv2_.forward(a.t1r, a.t2, a.col, train ? &a.col2 : nullptr);
+  conv2_.forward(a.t1r, a.t2, a.conv_ws, &a.col2, false, pool);
   a.t2r.resize(a.t2.shape());
   relu_forward(a.t2.data(), a.t2r.data(), a.t2.numel());
 
-  conv3_.forward(a.t2r, a.t3, a.col, train ? &a.col3 : nullptr);
+  conv3_.forward(a.t2r, a.t3, a.conv_ws, &a.col3, false, pool);
   a.t3r.resize(a.t3.shape());
   relu_forward(a.t3.data(), a.t3r.data(), a.t3.numel());
 
   // Policy head.
-  conv_p_.forward(a.t3r, a.p0, a.col, train ? &a.colp : nullptr);
+  conv_p_.forward(a.t3r, a.p0, a.conv_ws, &a.colp, false, pool);
   a.p0r.resize(a.p0.shape());
   relu_forward(a.p0.data(), a.p0r.data(), a.p0.numel());
-  flatten_to(a.p0r, a.p_flat);
-  fc_p_.forward(a.p_flat, a.p_logits);
+  flatten_view(a.p0r);
+  fc_p_.forward(a.p0r, a.p_logits);
   a.p_logp.resize({batch, cfg_.actions()});
   log_softmax_rows(a.p_logits.data(), a.p_logp.data(), batch, cfg_.actions());
 
   // Value head.
-  conv_v_.forward(a.t3r, a.v0, a.col, train ? &a.colv : nullptr);
+  conv_v_.forward(a.t3r, a.v0, a.conv_ws, &a.colv, false, pool);
   a.v0r.resize(a.v0.shape());
   relu_forward(a.v0.data(), a.v0r.data(), a.v0.numel());
-  flatten_to(a.v0r, a.v_flat);
-  fc_v1_.forward(a.v_flat, a.v1);
+  flatten_view(a.v0r);
+  fc_v1_.forward(a.v0r, a.v1);
   a.v1r.resize(a.v1.shape());
   relu_forward(a.v1.data(), a.v1r.data(), a.v1.numel());
   fc_v2_.forward(a.v1r, a.v2);
@@ -82,12 +106,12 @@ void PolicyValueNet::forward(const Tensor& x, Activations& a,
 }
 
 void PolicyValueNet::predict(const Tensor& x, Activations& acts,
-                             Tensor& policy, Tensor& value) const {
-  forward(x, acts, /*train=*/false);
+                             Tensor& policy, Tensor& value,
+                             ThreadPool* pool) const {
+  forward(x, acts, /*train=*/false, pool);
   const int batch = x.dim(0);
   policy.resize({batch, cfg_.actions()});
-  for (std::size_t i = 0; i < policy.numel(); ++i)
-    policy[i] = std::exp(acts.p_logp[i]);
+  softmax_rows(acts.p_logits.data(), policy.data(), batch, cfg_.actions());
   value.resize({batch});
   std::memcpy(value.data(), acts.value.data(), batch * sizeof(float));
 }
@@ -108,7 +132,7 @@ LossParts PolicyValueNet::train_step(const Tensor& x, const Tensor& target_pi,
 
   // --- loss + output gradients -------------------------------------------
   // d(policy)/d(logits) for cross-entropy over log-softmax: (softmax − π)/B.
-  Tensor& dlogits = a.d1;
+  Tensor& dlogits = a.dlogits;
   dlogits.resize({batch, actions});
   for (int i = 0; i < batch; ++i) {
     const float* logp = a.p_logp.data() + static_cast<std::size_t>(i) * actions;
@@ -132,61 +156,65 @@ LossParts PolicyValueNet::train_step(const Tensor& x, const Tensor& target_pi,
 
   // --- value-head backward -------------------------------------------------
   // dL/dv = 2(v − z)/B; through tanh: dL/d(v2) = dL/dv · (1 − v²).
-  Tensor& dv2 = a.d2;
+  Tensor& dv2 = a.dv2;
   dv2.resize({batch, 1});
   for (int i = 0; i < batch; ++i) {
     const float v = a.value[i];
     dv2[i] = 2.0f * (v - target_z[i]) * inv_b * (1.0f - v * v);
   }
-  Tensor& dv1r = a.d3;
+  Tensor& dv1r = a.dv1r;
   fc_v2_.backward(a.v1r, dv2, dv1r);
-  Tensor& dv1 = a.d4;
+  Tensor& dv1 = a.dv1;
   dv1.resize(a.v1.shape());
   relu_backward(a.v1.data(), dv1r.data(), dv1.data(), a.v1.numel(),
                 /*accumulate=*/false);
-  Tensor& dv_flat = a.d5;
-  fc_v1_.backward(a.v_flat, dv1, dv_flat);
-  // Unflatten to [B, Cv, H, W] and through the value conv.
-  Tensor& dv0r = a.d6;
-  dv0r.resize(a.v0.shape());
-  std::memcpy(dv0r.data(), dv_flat.data(), dv_flat.numel() * sizeof(float));
-  Tensor dv0(a.v0.shape());
+  // a.v0r is the [B, Cv·H·W] flat view of the conv output; the gradient
+  // comes out flat and is un-flattened to [B, Cv, H, W] by a reshape — no
+  // copy either way.
+  Tensor& dv0r = a.dv0r;
+  fc_v1_.backward(a.v0r, dv1, dv0r);
+  dv0r.reshape(a.v0.shape());
+  Tensor& dv0 = a.dv0;
+  dv0.resize(a.v0.shape());
   relu_backward(a.v0.data(), dv0r.data(), dv0.data(), a.v0.numel(),
                 /*accumulate=*/false);
-  Tensor dt3_v;
+  Tensor& dt3_v = a.dt3_v;
   conv_v_.backward(dv0, a.colv, dt3_v, a.dcol);
 
   // --- policy-head backward ------------------------------------------------
-  Tensor dp_flat;
-  fc_p_.backward(a.p_flat, dlogits, dp_flat);
-  Tensor dp0r(a.p0.shape());
-  std::memcpy(dp0r.data(), dp_flat.data(), dp_flat.numel() * sizeof(float));
-  Tensor dp0(a.p0.shape());
+  Tensor& dp0r = a.dp0r;
+  fc_p_.backward(a.p0r, dlogits, dp0r);
+  dp0r.reshape(a.p0.shape());
+  Tensor& dp0 = a.dp0;
+  dp0.resize(a.p0.shape());
   relu_backward(a.p0.data(), dp0r.data(), dp0.data(), a.p0.numel(),
                 /*accumulate=*/false);
-  Tensor dt3_p;
+  Tensor& dt3_p = a.dt3_p;
   conv_p_.backward(dp0, a.colp, dt3_p, a.dcol);
 
   // --- trunk backward --------------------------------------------------------
   // dt3r = dt3_v + dt3_p, then back through ReLU and the trunk convs.
-  Tensor dt3(a.t3.shape());
+  Tensor& dt3 = a.dt3;
+  dt3.resize(a.t3.shape());
   for (std::size_t i = 0; i < dt3.numel(); ++i)
     dt3[i] = dt3_v[i] + dt3_p[i];
-  Tensor dt3_pre(a.t3.shape());
+  Tensor& dt3_pre = a.dt3_pre;
+  dt3_pre.resize(a.t3.shape());
   relu_backward(a.t3.data(), dt3.data(), dt3_pre.data(), a.t3.numel(),
                 /*accumulate=*/false);
-  Tensor dt2r;
+  Tensor& dt2r = a.dt2r;
   conv3_.backward(dt3_pre, a.col3, dt2r, a.dcol);
-  Tensor dt2_pre(a.t2.shape());
+  Tensor& dt2_pre = a.dt2_pre;
+  dt2_pre.resize(a.t2.shape());
   relu_backward(a.t2.data(), dt2r.data(), dt2_pre.data(), a.t2.numel(),
                 /*accumulate=*/false);
-  Tensor dt1r;
+  Tensor& dt1r = a.dt1r;
   conv2_.backward(dt2_pre, a.col2, dt1r, a.dcol);
-  Tensor dt1_pre(a.t1.shape());
+  Tensor& dt1_pre = a.dt1_pre;
+  dt1_pre.resize(a.t1.shape());
   relu_backward(a.t1.data(), dt1r.data(), dt1_pre.data(), a.t1.numel(),
                 /*accumulate=*/false);
-  Tensor dx;
-  conv1_.backward(dt1_pre, a.col1, dx, a.dcol);
+  conv1_.backward(dt1_pre, a.col1, a.dx, a.dcol);
 
   return loss;
 }

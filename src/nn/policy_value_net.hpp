@@ -53,17 +53,27 @@ struct NetConfig {
   }
 };
 
-// Per-call workspace: all intermediate activations plus col caches.
-// Reused across calls; owns no weights. One per inference thread.
+// Per-call workspace: all intermediate activations plus col caches and
+// every training-time temporary, so neither forward() nor train_step()
+// allocates once the workspace is warm. Reused across calls; owns no
+// weights. One per inference thread.
+//
+// Inference (train == false) writes only the post-ReLU tensors (the ReLU is
+// fused into each layer's GEMM epilogue); the pre-activation tensors are
+// populated only when training, where backward needs them. p0r/v0r are left
+// reshaped to [B, C·H·W] after forward — flattening is a view change on the
+// contiguous [B, C, H, W] layout, not a copy.
 struct Activations {
-  Tensor t1, t1r, t2, t2r, t3, t3r;          // trunk pre/post ReLU
-  Tensor p0, p0r, p_flat, p_logits, p_logp;  // policy head
-  Tensor v0, v0r, v_flat, v1, v1r, v2, value;  // value head
-  Tensor col;                                // shared im2col scratch
+  Tensor t1, t1r, t2, t2r, t3, t3r;      // trunk pre/post ReLU
+  Tensor p0, p0r, p_logits, p_logp;      // policy head
+  Tensor v0, v0r, v1, v1r, v2, value;    // value head
+  ConvWorkspace conv_ws;                 // shared im2col + GEMM-out scratch
   // caches kept only when training (forward(train=true)):
   Tensor col1, col2, col3, colp, colv;
   // backward scratch:
-  Tensor d1, d2, d3, d4, d5, d6, dcol;
+  Tensor dlogits, dv2, dv1r, dv1, dv0r, dv0, dt3_v;
+  Tensor dp0r, dp0, dt3_p;
+  Tensor dt3, dt3_pre, dt2r, dt2_pre, dt1r, dt1_pre, dx, dcol;
 };
 
 // Loss breakdown returned by train_step (all means over the batch).
@@ -81,15 +91,19 @@ class PolicyValueNet {
   const NetConfig& config() const { return cfg_; }
 
   // Forward pass. x: [B, Cin, H, W].
-  // After the call: acts.p_logp is [B, A] log-probabilities and acts.value
-  // is [B] in (−1, 1). When train == true the col caches needed by
-  // backward() are retained.
-  void forward(const Tensor& x, Activations& acts, bool train = false) const;
+  // After the call: acts.p_logits is [B, A] policy logits and acts.value is
+  // [B] in (−1, 1). When train == true the col caches needed by backward()
+  // are retained and acts.p_logp additionally holds the [B, A]
+  // log-probabilities (inference skips that reduction; predict() softmaxes
+  // the logits directly). `pool` shards the conv GEMMs across a thread
+  // pool dedicated to intra-op parallelism (nullptr = serial).
+  void forward(const Tensor& x, Activations& acts, bool train = false,
+               ThreadPool* pool = nullptr) const;
 
   // Convenience inference API: fills policy (softmax probabilities, [B, A])
   // and values ([B]).
   void predict(const Tensor& x, Activations& acts, Tensor& policy,
-               Tensor& value) const;
+               Tensor& value, ThreadPool* pool = nullptr) const;
 
   // One SGD-ready step: forward(train), compute Eq. 2 loss against
   // (target_pi [B, A], target_z [B]), backprop into parameter gradients.

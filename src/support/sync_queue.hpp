@@ -27,6 +27,14 @@ class SyncQueue {
   SyncQueue(const SyncQueue&) = delete;
   SyncQueue& operator=(const SyncQueue&) = delete;
 
+  // All notify calls below run while holding the mutex. Notifying after
+  // unlock is the usual contention optimisation, but it lets a consumer
+  // observe the item and destroy the queue while the producer is still
+  // inside notify_one on the freed condition variable (TSan flags it on the
+  // local-tree result queue, which dies at the end of every search()).
+  // Under-lock notification sequences destruction strictly after the
+  // notifier releases the mutex.
+
   // Blocks while the queue is full (bounded mode). Returns false if the
   // queue was closed before the item could be inserted.
   bool push(T item) {
@@ -34,18 +42,15 @@ class SyncQueue {
     not_full_.wait(lock, [&] { return closed_ || !full_locked(); });
     if (closed_) return false;
     items_.push_back(std::move(item));
-    lock.unlock();
     not_empty_.notify_one();
     return true;
   }
 
   // Non-blocking push; fails when full or closed.
   bool try_push(T item) {
-    {
-      std::lock_guard lock(mutex_);
-      if (closed_ || full_locked()) return false;
-      items_.push_back(std::move(item));
-    }
+    std::lock_guard lock(mutex_);
+    if (closed_ || full_locked()) return false;
+    items_.push_back(std::move(item));
     not_empty_.notify_one();
     return true;
   }
@@ -57,7 +62,6 @@ class SyncQueue {
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
     not_full_.notify_one();
     return item;
   }
@@ -68,17 +72,14 @@ class SyncQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
     not_full_.notify_one();
     return item;
   }
 
   // Wakes all waiters; subsequent pushes fail, pops drain remaining items.
   void close() {
-    {
-      std::lock_guard lock(mutex_);
-      closed_ = true;
-    }
+    std::lock_guard lock(mutex_);
+    closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }

@@ -3,106 +3,386 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
+
+#include "support/thread_pool.hpp"
 
 namespace apm {
 namespace {
 
-// Cache-blocking parameters sized for a typical 32 KB L1 / 512 KB L2.
-constexpr int kBlockM = 64;
-constexpr int kBlockN = 64;
-constexpr int kBlockK = 128;
+// GEMM blocking. The micro-kernel computes an MR x NR tile of C with the
+// accumulators held in registers across the whole K loop; the packing
+// blocks are sized so one B panel (KC x NR floats = 16 KB) lives in L1 and
+// one packed A block (MC x KC = 64 KB) in L2.
+constexpr int kMR = 4;
+constexpr int kNR = 16;
+constexpr int kMC = 64;    // rows of C per packed-A block == parallel grain
+constexpr int kKC = 256;   // K depth per packing pass
+constexpr int kNC = 1024;  // columns of C per packed-B block
 
-// Inner kernel: C[i0..i1, j0..j1] += A[i0..i1, k0..k1] * B[k0..k1, j0..j1].
-// The j-loop is innermost and contiguous in both B and C so the compiler
-// auto-vectorises it.
-void gemm_block(const float* a, const float* b, float* c, int lda, int ldb,
-                int ldc, int i0, int i1, int j0, int j1, int k0, int k1) {
-  for (int i = i0; i < i1; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * lda;
-    float* crow = c + static_cast<std::size_t>(i) * ldc;
-    for (int k = k0; k < k1; ++k) {
-      const float aik = arow[k];
-      if (aik == 0.0f) continue;
-      const float* brow = b + static_cast<std::size_t>(k) * ldb;
-      for (int j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+// Per-thread packing buffers (sized once, reused across calls).
+float* pack_buffer(std::vector<float>& buf, std::size_t n) {
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+thread_local std::vector<float> tl_apack;
+thread_local std::vector<float> tl_bpack;
+
+// Packs an mc x kc block of A into kMR-row panels: panel ip holds rows
+// [ip*MR, ip*MR+MR) transposed to ap[p*MR + r], zero-padded past mc so the
+// micro-kernel never branches on the row remainder.
+void pack_a(const float* a, int lda, int mc, int kc, float* dst) {
+  const int panels = (mc + kMR - 1) / kMR;
+  for (int ip = 0; ip < panels; ++ip) {
+    const int rows = std::min(kMR, mc - ip * kMR);
+    const float* src = a + static_cast<std::size_t>(ip) * kMR * lda;
+    float* d = dst + static_cast<std::size_t>(ip) * kc * kMR;
+    for (int p = 0; p < kc; ++p) {
+      for (int r = 0; r < rows; ++r)
+        d[p * kMR + r] = src[static_cast<std::size_t>(r) * lda + p];
+      for (int r = rows; r < kMR; ++r) d[p * kMR + r] = 0.0f;
     }
   }
+}
+
+// Same panels from an A stored transposed ([K, M] row-major): rows of the
+// logical A block are contiguous in the source, so this is a strided copy.
+void pack_a_t(const float* at, int ldat, int mc, int kc, float* dst) {
+  const int panels = (mc + kMR - 1) / kMR;
+  for (int ip = 0; ip < panels; ++ip) {
+    const int rows = std::min(kMR, mc - ip * kMR);
+    const float* src = at + static_cast<std::size_t>(ip) * kMR;
+    float* d = dst + static_cast<std::size_t>(ip) * kc * kMR;
+    for (int p = 0; p < kc; ++p) {
+      const float* srow = src + static_cast<std::size_t>(p) * ldat;
+      for (int r = 0; r < rows; ++r) d[p * kMR + r] = srow[r];
+      for (int r = rows; r < kMR; ++r) d[p * kMR + r] = 0.0f;
+    }
+  }
+}
+
+// Packs a kc x nc block of B into kNR-column panels bp[p*NR + j],
+// zero-padded past nc.
+void pack_b(const float* b, int ldb, int kc, int nc, float* dst) {
+  const int panels = (nc + kNR - 1) / kNR;
+  for (int jp = 0; jp < panels; ++jp) {
+    const int cols = std::min(kNR, nc - jp * kNR);
+    const float* src = b + static_cast<std::size_t>(jp) * kNR;
+    float* d = dst + static_cast<std::size_t>(jp) * kc * kNR;
+    for (int p = 0; p < kc; ++p) {
+      const float* srow = src + static_cast<std::size_t>(p) * ldb;
+      for (int j = 0; j < cols; ++j) d[p * kNR + j] = srow[j];
+      for (int j = cols; j < kNR; ++j) d[p * kNR + j] = 0.0f;
+    }
+  }
+}
+
+// Same panels from a B stored transposed ([N, K] row-major): column j of
+// the logical block is source row j.
+void pack_b_t(const float* bt, int ldbt, int kc, int nc, float* dst) {
+  const int panels = (nc + kNR - 1) / kNR;
+  for (int jp = 0; jp < panels; ++jp) {
+    const int cols = std::min(kNR, nc - jp * kNR);
+    const float* src = bt + static_cast<std::size_t>(jp) * kNR * ldbt;
+    float* d = dst + static_cast<std::size_t>(jp) * kc * kNR;
+    for (int j = 0; j < cols; ++j) {
+      const float* srow = src + static_cast<std::size_t>(j) * ldbt;
+      for (int p = 0; p < kc; ++p) d[p * kNR + j] = srow[p];
+    }
+    for (int j = cols; j < kNR; ++j)
+      for (int p = 0; p < kc; ++p) d[p * kNR + j] = 0.0f;
+  }
+}
+
+// 4x16 register-blocked micro-kernel: acc[4][16] += Ap * Bp over kc, the
+// 8 accumulators (4 rows x 2 vectors) held in registers across the whole K
+// loop. GCC's auto-vectoriser rejects this shape as "not profitable", so
+// the vectors are spelled out with the GCC/Clang vector extension — 8-lane
+// ops lower to AVX/NEON as available. There is no zero-skip branch (it
+// defeats unrolling and costs more than it saves on dense panels).
+#if defined(__GNUC__) || defined(__clang__)
+using v8f = float __attribute__((vector_size(32), aligned(4)));
+
+void micro_kernel_4x16(const float* __restrict ap, const float* __restrict bp,
+                       int kc, float* __restrict acc) {
+  v8f c00{}, c01{}, c10{}, c11{}, c20{}, c21{}, c30{}, c31{};
+  for (int p = 0; p < kc; ++p) {
+    // memcpy loads keep the panel reads unaligned-safe and avoid passing
+    // vector types across function boundaries (-Wpsabi on non-AVX builds).
+    v8f b0, b1;
+    std::memcpy(&b0, bp + static_cast<std::size_t>(p) * kNR, sizeof(b0));
+    std::memcpy(&b1, bp + static_cast<std::size_t>(p) * kNR + 8, sizeof(b1));
+    const float a0 = ap[p * kMR + 0];
+    const float a1 = ap[p * kMR + 1];
+    const float a2 = ap[p * kMR + 2];
+    const float a3 = ap[p * kMR + 3];
+    c00 += a0 * b0;
+    c01 += a0 * b1;
+    c10 += a1 * b0;
+    c11 += a1 * b1;
+    c20 += a2 * b0;
+    c21 += a2 * b1;
+    c30 += a3 * b0;
+    c31 += a3 * b1;
+  }
+  std::memcpy(acc + 0 * kNR, &c00, 32);
+  std::memcpy(acc + 0 * kNR + 8, &c01, 32);
+  std::memcpy(acc + 1 * kNR, &c10, 32);
+  std::memcpy(acc + 1 * kNR + 8, &c11, 32);
+  std::memcpy(acc + 2 * kNR, &c20, 32);
+  std::memcpy(acc + 2 * kNR + 8, &c21, 32);
+  std::memcpy(acc + 3 * kNR, &c30, 32);
+  std::memcpy(acc + 3 * kNR + 8, &c31, 32);
+}
+#else
+void micro_kernel_4x16(const float* __restrict ap, const float* __restrict bp,
+                       int kc, float* __restrict acc) {
+  float c0[kNR] = {0.0f}, c1[kNR] = {0.0f};
+  float c2[kNR] = {0.0f}, c3[kNR] = {0.0f};
+  for (int p = 0; p < kc; ++p) {
+    const float* __restrict bv = bp + static_cast<std::size_t>(p) * kNR;
+    const float a0 = ap[p * kMR + 0];
+    const float a1 = ap[p * kMR + 1];
+    const float a2 = ap[p * kMR + 2];
+    const float a3 = ap[p * kMR + 3];
+    for (int j = 0; j < kNR; ++j) c0[j] += a0 * bv[j];
+    for (int j = 0; j < kNR; ++j) c1[j] += a1 * bv[j];
+    for (int j = 0; j < kNR; ++j) c2[j] += a2 * bv[j];
+    for (int j = 0; j < kNR; ++j) c3[j] += a3 * bv[j];
+  }
+  std::memcpy(acc + 0 * kNR, c0, sizeof(c0));
+  std::memcpy(acc + 1 * kNR, c1, sizeof(c1));
+  std::memcpy(acc + 2 * kNR, c2, sizeof(c2));
+  std::memcpy(acc + 3 * kNR, c3, sizeof(c3));
+}
+#endif
+
+// Writes one micro-tile into C. `first` selects store vs accumulate for the
+// leading K block; `last` applies the fused bias/ReLU epilogue once the full
+// K extent has been reduced.
+void store_tile(float* c, int ldc, const float* acc, int i0, int j0, int mr,
+                int nr, bool first, bool last, bool accumulate,
+                const float* row_bias, const float* col_bias, bool relu) {
+  for (int i = 0; i < mr; ++i) {
+    float* crow = c + static_cast<std::size_t>(i0 + i) * ldc + j0;
+    const float* arow = acc + static_cast<std::size_t>(i) * kNR;
+    if (first && !accumulate) {
+      for (int j = 0; j < nr; ++j) crow[j] = arow[j];
+    } else {
+      for (int j = 0; j < nr; ++j) crow[j] += arow[j];
+    }
+    if (last) {
+      if (row_bias != nullptr) {
+        const float bi = row_bias[i0 + i];
+        for (int j = 0; j < nr; ++j) crow[j] += bi;
+      }
+      if (col_bias != nullptr) {
+        for (int j = 0; j < nr; ++j) crow[j] += col_bias[j0 + j];
+      }
+      if (relu) {
+        for (int j = 0; j < nr; ++j) crow[j] = std::max(crow[j], 0.0f);
+      }
+    }
+  }
+}
+
+// GEMM over the column range [jc_begin, jc_end) of C: packs B/A into the
+// calling thread's buffers and runs the kc / m-block / micro-kernel loops.
+// The arithmetic performed for each C element is independent of how the
+// caller splits the column range or shards the m-block loop, which is what
+// makes the parallel paths bitwise deterministic.
+void gemm_region(ThreadPool* pool, const float* a, bool a_trans,
+                 const float* b, bool b_trans, const float* row_bias,
+                 const float* col_bias, float* c, int m, int n, int k,
+                 bool accumulate, bool relu, int jc_begin, int jc_end) {
+  const int m_blocks = (m + kMC - 1) / kMC;
+  for (int jc = jc_begin; jc < jc_end; jc += kNC) {
+    const int nc = std::min(kNC, jc_end - jc);
+    const int n_panels = (nc + kNR - 1) / kNR;
+    for (int kc0 = 0; kc0 < k; kc0 += kKC) {
+      const int kc = std::min(kKC, k - kc0);
+      const bool first = kc0 == 0;
+      const bool last = kc0 + kc == k;
+      float* bpack = pack_buffer(
+          tl_bpack, static_cast<std::size_t>(n_panels) * kc * kNR);
+      if (b_trans) {
+        pack_b_t(b + static_cast<std::size_t>(jc) * k + kc0, k, kc, nc,
+                 bpack);
+      } else {
+        pack_b(b + static_cast<std::size_t>(kc0) * n + jc, n, kc, nc, bpack);
+      }
+      parallel_for(pool, 0, m_blocks, 1, [&, bpack](int ib0, int ib1) {
+        for (int ib = ib0; ib < ib1; ++ib) {
+          const int i0 = ib * kMC;
+          const int mc = std::min(kMC, m - i0);
+          const int m_panels = (mc + kMR - 1) / kMR;
+          float* apack = pack_buffer(
+              tl_apack, static_cast<std::size_t>(m_panels) * kc * kMR);
+          if (a_trans) {
+            pack_a_t(a + static_cast<std::size_t>(kc0) * m + i0, m, mc, kc,
+                     apack);
+          } else {
+            pack_a(a + static_cast<std::size_t>(i0) * k + kc0, k, mc, kc,
+                   apack);
+          }
+          float acc[kMR * kNR];
+          for (int jp = 0; jp < n_panels; ++jp) {
+            const float* bp = bpack + static_cast<std::size_t>(jp) * kc * kNR;
+            const int nr = std::min(kNR, nc - jp * kNR);
+            for (int ip = 0; ip < m_panels; ++ip) {
+              const float* ap =
+                  apack + static_cast<std::size_t>(ip) * kc * kMR;
+              const int mr = std::min(kMR, mc - ip * kMR);
+              micro_kernel_4x16(ap, bp, kc, acc);
+              store_tile(c, n, acc, i0 + ip * kMR, jc + jp * kNR, mr, nr,
+                         first, last, accumulate, row_bias, col_bias, relu);
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+// Shared GEMM driver. a_trans: A passed as [K, M]; b_trans: B passed as
+// [N, K]. Parallel sharding picks the wider dimension: when C has several
+// kNC column blocks (the whole-batch conv shape, N = B·H·W), workers take
+// disjoint column ranges — parallelism then grows with the batch size,
+// which is what makes large evaluator batches scale across cores. Otherwise
+// row-blocks are sharded inside the single column region. Either way every
+// C element is produced by exactly one thread with the identical blocking
+// and accumulation order as the serial path, so threaded and serial results
+// are bitwise equal. Bias epilogues require accumulate == false.
+void gemm_driver(ThreadPool* pool, const float* a, bool a_trans,
+                 const float* b, bool b_trans, const float* row_bias,
+                 const float* col_bias, float* c, int m, int n, int k,
+                 bool accumulate, bool relu) {
+  APM_DCHECK(m >= 0 && n >= 0 && k >= 0);
+  APM_DCHECK(!(accumulate && (row_bias || col_bias || relu)));
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    // Degenerate reduction: C is the epilogue of an empty sum.
+    for (int i = 0; i < m; ++i) {
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      if (!accumulate) std::memset(crow, 0, static_cast<std::size_t>(n) * 4);
+      if (row_bias) for (int j = 0; j < n; ++j) crow[j] += row_bias[i];
+      if (col_bias) for (int j = 0; j < n; ++j) crow[j] += col_bias[j];
+      if (relu) for (int j = 0; j < n; ++j) crow[j] = std::max(crow[j], 0.0f);
+    }
+    return;
+  }
+
+  if (pool != nullptr) {
+    // A C element's accumulation order depends only on the kc blocking, so
+    // any column split is bitwise-safe; quantize chunks to the panel width
+    // and aim for ~2 chunks per worker (the parallel_for caller executes
+    // chunks too) so parallelism tracks N = B·H·W rather than N/kNC.
+    const int workers = static_cast<int>(pool->num_threads()) + 1;
+    int chunk = n / (2 * workers) / kNR * kNR;
+    chunk = std::max(chunk, kNR);
+    const int col_chunks = (n + chunk - 1) / chunk;
+    const int m_blocks = (m + kMC - 1) / kMC;
+    if (col_chunks >= 2 && col_chunks >= m_blocks) {
+      parallel_for(pool, 0, col_chunks, 1, [&](int cb0, int cb1) {
+        for (int cb = cb0; cb < cb1; ++cb) {
+          gemm_region(nullptr, a, a_trans, b, b_trans, row_bias, col_bias, c,
+                      m, n, k, accumulate, relu, cb * chunk,
+                      std::min((cb + 1) * chunk, n));
+        }
+      });
+      return;
+    }
+    // Tall-and-narrow C: shard the row blocks inside one column region.
+    gemm_region(pool, a, a_trans, b, b_trans, row_bias, col_bias, c, m, n, k,
+                accumulate, relu, 0, n);
+    return;
+  }
+  gemm_region(nullptr, a, a_trans, b, b_trans, row_bias, col_bias, c, m, n,
+              k, accumulate, relu, 0, n);
 }
 
 }  // namespace
 
 void gemm(const float* a, const float* b, float* c, int m, int n, int k,
           bool accumulate) {
-  if (!accumulate) {
-    std::memset(c, 0, static_cast<std::size_t>(m) * n * sizeof(float));
-  }
-  for (int i0 = 0; i0 < m; i0 += kBlockM) {
-    const int i1 = std::min(i0 + kBlockM, m);
-    for (int kk0 = 0; kk0 < k; kk0 += kBlockK) {
-      const int kk1 = std::min(kk0 + kBlockK, k);
-      for (int j0 = 0; j0 < n; j0 += kBlockN) {
-        const int j1 = std::min(j0 + kBlockN, n);
-        gemm_block(a, b, c, k, n, n, i0, i1, j0, j1, kk0, kk1);
-      }
-    }
-  }
+  gemm_driver(nullptr, a, false, b, false, nullptr, nullptr, c, m, n, k,
+              accumulate, false);
+}
+
+void gemm_parallel(ThreadPool* pool, const float* a, const float* b, float* c,
+                   int m, int n, int k, bool accumulate) {
+  gemm_driver(pool, a, false, b, false, nullptr, nullptr, c, m, n, k,
+              accumulate, false);
+}
+
+void gemm_bias_relu(const float* a, const float* b, const float* bias,
+                    float* c, int m, int n, int k, bool relu) {
+  gemm_driver(nullptr, a, false, b, false, bias, nullptr, c, m, n, k, false,
+              relu);
+}
+
+void gemm_bias_relu_parallel(ThreadPool* pool, const float* a, const float* b,
+                             const float* bias, float* c, int m, int n, int k,
+                             bool relu) {
+  gemm_driver(pool, a, false, b, false, bias, nullptr, c, m, n, k, false,
+              relu);
 }
 
 void gemm_atb(const float* a, const float* b, float* c, int m, int n, int k,
               bool accumulate) {
-  // C[M,N] += A[K,M]^T * B[K,N]; iterate over K outer so both A and B rows
-  // stream contiguously.
-  if (!accumulate) {
-    std::memset(c, 0, static_cast<std::size_t>(m) * n * sizeof(float));
-  }
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = a + static_cast<std::size_t>(kk) * m;
-    const float* brow = b + static_cast<std::size_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = c + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  gemm_driver(nullptr, a, true, b, false, nullptr, nullptr, c, m, n, k,
+              accumulate, false);
 }
 
 void gemm_abt(const float* a, const float* b, float* c, int m, int n, int k,
               bool accumulate) {
-  // C[M,N] += A[M,K] * B[N,K]^T; the k-loop is a dot product over
-  // contiguous rows of A and B.
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    float* crow = c + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b + static_cast<std::size_t>(j) * k;
-      float acc = 0.0f;
-      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = accumulate ? crow[j] + acc : acc;
-    }
-  }
+  gemm_driver(nullptr, a, false, b, true, nullptr, nullptr, c, m, n, k,
+              accumulate, false);
+}
+
+void gemm_abt_bias_relu(const float* a, const float* b, const float* bias,
+                        float* c, int m, int n, int k, bool relu) {
+  gemm_driver(nullptr, a, false, b, true, nullptr, bias, c, m, n, k, false,
+              relu);
 }
 
 void im2col(const float* x, int channels, int height, int width, int ksize,
             int pad, float* col) {
+  im2col_batched(x, 1, channels, height, width, ksize, pad, col);
+}
+
+void im2col_batched(const float* x, int batch, int channels, int height,
+                    int width, int ksize, int pad, float* col) {
   const int out_h = height;  // stride-1, same padding
   const int out_w = width;
-  std::size_t idx = 0;
+  const std::size_t hw = static_cast<std::size_t>(out_h) * out_w;
+  const std::size_t bhw = static_cast<std::size_t>(batch) * hw;
   for (int c = 0; c < channels; ++c) {
-    const float* xc = x + static_cast<std::size_t>(c) * height * width;
     for (int ky = 0; ky < ksize; ++ky) {
       for (int kx = 0; kx < ksize; ++kx) {
-        for (int oy = 0; oy < out_h; ++oy) {
-          const int iy = oy + ky - pad;
-          if (iy < 0 || iy >= height) {
-            for (int ox = 0; ox < out_w; ++ox) col[idx++] = 0.0f;
-            continue;
-          }
-          const float* xrow = xc + static_cast<std::size_t>(iy) * width;
-          for (int ox = 0; ox < out_w; ++ox) {
-            const int ix = ox + kx - pad;
-            col[idx++] =
-                (ix >= 0 && ix < width) ? xrow[ix] : 0.0f;
+        const std::size_t row = (static_cast<std::size_t>(c) * ksize + ky) *
+                                    ksize + kx;
+        float* dst_row = col + row * bhw;
+        for (int b = 0; b < batch; ++b) {
+          const float* xc =
+              x + (static_cast<std::size_t>(b) * channels + c) * hw;
+          float* dst = dst_row + static_cast<std::size_t>(b) * hw;
+          for (int oy = 0; oy < out_h; ++oy) {
+            const int iy = oy + ky - pad;
+            float* drow = dst + static_cast<std::size_t>(oy) * out_w;
+            if (iy < 0 || iy >= height) {
+              std::memset(drow, 0, static_cast<std::size_t>(out_w) * 4);
+              continue;
+            }
+            const float* xrow = xc + static_cast<std::size_t>(iy) * width;
+            const int x0 = std::max(0, pad - kx);           // first ox in range
+            const int x1 = std::min(out_w, width + pad - kx);  // one past last
+            for (int ox = 0; ox < x0; ++ox) drow[ox] = 0.0f;
+            if (x1 > x0) {
+              std::memcpy(drow + x0, xrow + x0 + kx - pad,
+                          static_cast<std::size_t>(x1 - x0) * 4);
+            }
+            for (int ox = std::max(x0, x1); ox < out_w; ++ox) drow[ox] = 0.0f;
           }
         }
       }

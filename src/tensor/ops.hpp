@@ -1,5 +1,6 @@
 #pragma once
-// Tensor kernels: blocked GEMM, im2col/col2im, activations, softmax.
+// Tensor kernels: packed register-blocked GEMM, im2col/col2im, activations,
+// softmax.
 //
 // Layout contracts (all row-major):
 //   gemm        : C[M,N] (+)= A[M,K] * B[K,N]
@@ -7,6 +8,17 @@
 //   gemm_abt    : C[M,N] (+)= A[M,K] * B[N,K]^T
 // These three cover forward, weight-gradient and input-gradient passes of
 // both Linear and (via im2col) Conv2d without materialising transposes.
+//
+// The gemm/gemm_atb family runs on one shared driver: A and B are packed
+// into L1-resident panels and consumed by a 4x16 register-blocked
+// micro-kernel (MR x NR accumulators held across the whole K loop, no
+// per-element branches). The driver optionally
+//   * fuses a per-row bias broadcast and a ReLU into the store epilogue
+//     (one pass over C instead of GEMM + bias pass + ReLU pass), and
+//   * shards M row-blocks across a ThreadPool (ParallelGemm). Each output
+//     element is produced by exactly one thread with the identical blocking
+//     and accumulation order as the serial path, so threaded and serial
+//     results are bitwise equal.
 
 #include <cstddef>
 
@@ -14,11 +26,30 @@
 
 namespace apm {
 
+class ThreadPool;
+
 // --- GEMM family -----------------------------------------------------------
 
 // C[M,N] op= A[M,K]*B[K,N]; op is += when accumulate, = otherwise.
 void gemm(const float* a, const float* b, float* c, int m, int n, int k,
           bool accumulate);
+
+// ParallelGemm: same contract as gemm(); row-blocks of C are sharded across
+// `pool` (nullptr falls back to the serial path). Bitwise deterministic
+// versus the serial result.
+void gemm_parallel(ThreadPool* pool, const float* a, const float* b, float* c,
+                   int m, int n, int k, bool accumulate);
+
+// Fused epilogue: C[M,N] = A[M,K]*B[K,N] + bias[i] (broadcast along the
+// row), then ReLU when `relu`. `bias` may be nullptr (no bias). This is the
+// convolution forward shape, where row i is output channel i.
+void gemm_bias_relu(const float* a, const float* b, const float* bias,
+                    float* c, int m, int n, int k, bool relu);
+
+// ParallelGemm variant of the fused kernel.
+void gemm_bias_relu_parallel(ThreadPool* pool, const float* a, const float* b,
+                             const float* bias, float* c, int m, int n, int k,
+                             bool relu);
 
 // C[M,N] op= A[K,M]^T * B[K,N].
 void gemm_atb(const float* a, const float* b, float* c, int m, int n, int k,
@@ -28,6 +59,12 @@ void gemm_atb(const float* a, const float* b, float* c, int m, int n, int k,
 void gemm_abt(const float* a, const float* b, float* c, int m, int n, int k,
               bool accumulate);
 
+// Fused linear-layer forward: C[M,N] = A[M,K]*B[N,K]^T + bias[j] (broadcast
+// down the column, i.e. per output feature), then ReLU when `relu`. `bias`
+// may be nullptr.
+void gemm_abt_bias_relu(const float* a, const float* b, const float* bias,
+                        float* c, int m, int n, int k, bool relu);
+
 // --- convolution lowering ---------------------------------------------------
 
 // Lowers one image x[C,H,W] to columns col[C*k*k, H*W] for a k×k
@@ -36,6 +73,12 @@ void gemm_abt(const float* a, const float* b, float* c, int m, int n, int k,
 // uses).
 void im2col(const float* x, int channels, int height, int width, int ksize,
             int pad, float* col);
+
+// Whole-batch lowering: x[B,C,H,W] -> col[C*k*k, B*H*W] with column index
+// b*H*W + oy*W + ox. One call feeds a single large GEMM covering the entire
+// batch (N = B·H·W) instead of B tiny per-sample GEMMs.
+void im2col_batched(const float* x, int batch, int channels, int height,
+                    int width, int ksize, int pad, float* col);
 
 // Adjoint of im2col: accumulates columns back into dx[C,H,W]. dx must be
 // zeroed by the caller.

@@ -17,6 +17,16 @@ void Tensor::resize(std::vector<int> shape) {
   if (data_.size() < n) data_.resize(n);
 }
 
+void Tensor::reshape(std::vector<int> shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    APM_CHECK_MSG(d >= 0, "negative tensor dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  APM_CHECK_MSG(n == numel_, "reshape must preserve the element count");
+  shape_ = std::move(shape);
+}
+
 std::string Tensor::shape_str() const {
   std::ostringstream out;
   out << '[';

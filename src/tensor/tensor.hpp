@@ -29,6 +29,10 @@ class Tensor {
   // Reshapes, reallocating only when the element count grows.
   void resize(std::vector<int> shape);
 
+  // Reinterprets the same storage under a new shape with an identical
+  // element count — a true view change, no copy and no reallocation.
+  void reshape(std::vector<int> shape);
+
   // --- shape ---
   const std::vector<int>& shape() const { return shape_; }
   int dim(std::size_t i) const {

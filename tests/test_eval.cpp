@@ -150,6 +150,33 @@ TEST(CpuBackend, ModelledLatencyTracksMeasured) {
   EXPECT_NEAR(backend.model_batch_us(4), 4 * measured, measured);
 }
 
+TEST(NetEvaluator, IntraOpPoolBitwiseMatchesSerial) {
+  // The intra-op GEMM pool shards conv row/column blocks; results must be
+  // bit-identical to the serial evaluator (the ParallelGemm determinism
+  // contract, observed end-to-end).
+  PolicyValueNet net(NetConfig::tiny(9), 11);
+  NetEvaluator serial(net, /*gemm_threads=*/0);
+  NetEvaluator pooled(net, /*gemm_threads=*/2);
+  EXPECT_EQ(pooled.gemm_threads(), 2);
+
+  // Batch 26 on the 9x9 board gives the conv GEMMs N = 26*81 = 2106
+  // columns — enough column chunks that the driver actually takes the
+  // sharded path (a small batch would degenerate to the serial code and
+  // make this test vacuous).
+  const int batch = 26;
+  const std::size_t isz = serial.input_size();
+  Rng rng(77);
+  std::vector<float> inputs(batch * isz);
+  for (auto& v : inputs) v = rng.uniform_float();
+  std::vector<EvalOutput> a(batch), b(batch);
+  serial.evaluate_batch(inputs.data(), batch, a.data());
+  pooled.evaluate_batch(inputs.data(), batch, b.data());
+  for (int i = 0; i < batch; ++i) {
+    ASSERT_EQ(a[i].policy, b[i].policy) << "i=" << i;
+    ASSERT_EQ(a[i].value, b[i].value) << "i=" << i;
+  }
+}
+
 TEST(AsyncBatch, ThresholdTriggersDispatch) {
   SyntheticEvaluator eval(5, 2);
   GpuTimingModel model;
@@ -192,6 +219,27 @@ TEST(AsyncBatch, StaleFlushCompletesWithoutExplicitFlush) {
   auto fut = queue.submit_future(input);
   EXPECT_EQ(fut.wait_for(std::chrono::seconds(5)),
             std::future_status::ready);
+  EXPECT_EQ(queue.stats().stale_flushes, 1u);
+  EXPECT_EQ(queue.stats().threshold_dispatches, 0u);
+}
+
+TEST(AsyncBatch, DispatchReasonCounters) {
+  SyntheticEvaluator eval(5, 2);
+  GpuTimingModel model;
+  SimGpuBackend backend(eval, model);
+  AsyncBatchEvaluator queue(backend, /*threshold=*/4, /*streams=*/1,
+                            /*stale_flush_us=*/0.0);
+  const float input[2] = {1, 2};
+  std::vector<std::future<EvalOutput>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(queue.submit_future(input));
+  for (int i = 0; i < 2; ++i) futures.push_back(queue.submit_future(input));
+  queue.flush();
+  for (auto& f : futures) f.get();
+  const BatchQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.threshold_dispatches, 1u);
+  EXPECT_EQ(stats.manual_flushes, 1u);
+  EXPECT_EQ(stats.stale_flushes, 0u);
 }
 
 TEST(AsyncBatch, DrainWaitsForEverything) {

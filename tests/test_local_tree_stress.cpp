@@ -26,18 +26,23 @@ MctsConfig cfg(int playouts) {
 
 TEST(LocalTree, SlowEvaluationsExposeCollisions) {
   // Narrow game (fanout 2) + slow evals: the master repeatedly selects into
-  // in-flight nodes and must back out — the kCollision path.
+  // in-flight nodes and must back out — the kCollision path. Whether a
+  // single 100-playout search collides depends on OS scheduling (notably on
+  // single-core hosts), so the property is asserted over a few attempts.
   SyntheticGame game(2, 30);
   SyntheticEvaluator eval(game.action_count(), game.encode_size(),
                           /*latency_us=*/200.0);
   LocalTreeMcts search(cfg(100), 8, eval);
-  const SearchResult r = search.search(game);
-  EXPECT_EQ(r.metrics.playouts, 100);
-  EXPECT_GT(r.metrics.expansion_collisions, 0u)
-      << "narrow+slow workload should collide";
-  float mass = 0;
-  for (float p : r.action_prior) mass += p;
-  EXPECT_NEAR(mass, 1.0f, 1e-4f);
+  std::size_t collisions = 0;
+  for (int attempt = 0; attempt < 5 && collisions == 0; ++attempt) {
+    const SearchResult r = search.search(game);
+    EXPECT_EQ(r.metrics.playouts, 100);
+    collisions += r.metrics.expansion_collisions;
+    float mass = 0;
+    for (float p : r.action_prior) mass += p;
+    EXPECT_NEAR(mass, 1.0f, 1e-4f);
+  }
+  EXPECT_GT(collisions, 0u) << "narrow+slow workload should collide";
 }
 
 TEST(LocalTree, CapacityNeverExceedsWorkers) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <thread>
 
@@ -54,8 +55,9 @@ TEST(Conv2d, MatchesNaiveConvolution) {
   Conv2d conv("c", 3, 5, 3);
   conv.init(rng);
   Tensor x = Tensor::randn({2, 3, 6, 7}, rng, 1.0f);
-  Tensor y, col;
-  conv.forward(x, y, col);
+  Tensor y;
+  ConvWorkspace ws;
+  conv.forward(x, y, ws);
   Tensor expect;
   naive_conv(x, conv.weight(), conv.bias(), 3, 5, 3, expect);
   EXPECT_LT(max_abs_diff(y, expect), 1e-3f);
@@ -66,11 +68,118 @@ TEST(Conv2d, OneByOneKernelIsChannelMix) {
   Conv2d conv("c", 4, 2, 1);
   conv.init(rng);
   Tensor x = Tensor::randn({1, 4, 3, 3}, rng, 1.0f);
-  Tensor y, col;
-  conv.forward(x, y, col);
+  Tensor y;
+  ConvWorkspace ws;
+  conv.forward(x, y, ws);
   Tensor expect;
   naive_conv(x, conv.weight(), conv.bias(), 4, 2, 1, expect);
   EXPECT_LT(max_abs_diff(y, expect), 1e-4f);
+}
+
+TEST(Conv2d, BatchedForwardMatchesPerSamplePath) {
+  // The whole-batch im2col + single-GEMM path must agree with running the
+  // same convolution one sample at a time (the seed's per-sample scheme) —
+  // ISSUE-1 acceptance bound: 1e-4 max-abs-diff.
+  Rng rng(14);
+  Conv2d conv("c", 3, 6, 3);
+  conv.init(rng);
+  const int batch = 5, h = 9, w = 9;
+  Tensor x = Tensor::randn({batch, 3, h, w}, rng, 1.0f);
+
+  Tensor y_batched;
+  ConvWorkspace ws;
+  conv.forward(x, y_batched, ws);
+
+  const std::size_t sample = static_cast<std::size_t>(3) * h * w;
+  Tensor xi({1, 3, h, w}), yi;
+  ConvWorkspace ws1;
+  for (int b = 0; b < batch; ++b) {
+    std::memcpy(xi.data(), x.data() + b * sample, sample * sizeof(float));
+    conv.forward(xi, yi, ws1);
+    float mx = 0.0f;
+    const float* yb =
+        y_batched.data() + static_cast<std::size_t>(b) * yi.numel();
+    for (std::size_t i = 0; i < yi.numel(); ++i)
+      mx = std::max(mx, std::fabs(yb[i] - yi[i]));
+    EXPECT_LT(mx, 1e-4f) << "sample " << b;
+  }
+}
+
+TEST(PolicyValueNet, BatchedPredictMatchesPerSample) {
+  const NetConfig cfg = NetConfig::tiny(7);
+  PolicyValueNet net(cfg, 33);
+  Rng rng(34);
+  const int batch = 6;
+  Tensor x = Tensor::randn({batch, cfg.in_channels, 7, 7}, rng, 1.0f);
+  Activations acts;
+  Tensor policy, value;
+  net.predict(x, acts, policy, value);
+
+  const std::size_t sample =
+      static_cast<std::size_t>(cfg.in_channels) * 7 * 7;
+  Tensor xi({1, cfg.in_channels, 7, 7});
+  Activations acts1;
+  Tensor p1, v1;
+  for (int b = 0; b < batch; ++b) {
+    std::memcpy(xi.data(), x.data() + b * sample, sample * sizeof(float));
+    net.predict(xi, acts1, p1, v1);
+    for (int a = 0; a < cfg.actions(); ++a) {
+      ASSERT_NEAR(policy.at2(b, a), p1[a], 1e-4f) << "b=" << b << " a=" << a;
+    }
+    ASSERT_NEAR(value[b], v1[0], 1e-4f) << "b=" << b;
+  }
+}
+
+TEST(Conv2d, FusedReluMatchesSeparateRelu) {
+  Rng rng(15);
+  Conv2d conv("c", 2, 4, 3);
+  conv.init(rng);
+  Tensor x = Tensor::randn({3, 2, 6, 5}, rng, 1.0f);
+  ConvWorkspace ws;
+  Tensor y_plain, y_fused;
+  conv.forward(x, y_plain, ws);
+  conv.forward(x, y_fused, ws, nullptr, /*fuse_relu=*/true);
+  Tensor expect(y_plain.shape());
+  relu_forward(y_plain.data(), expect.data(), y_plain.numel());
+  EXPECT_EQ(max_abs_diff(y_fused, expect), 0.0f);
+}
+
+TEST(Conv2d, BatchedColCacheMatchesPerSampleIm2col) {
+  // Training keeps per-sample columns; slicing them out of the batch-major
+  // buffer must reproduce exactly what per-sample im2col produces.
+  Rng rng(16);
+  Conv2d conv("c", 2, 3, 3);
+  conv.init(rng);
+  const int batch = 4, h = 5, w = 6;
+  const int kk = 2 * 3 * 3, hw = h * w;
+  Tensor x = Tensor::randn({batch, 2, h, w}, rng, 1.0f);
+  Tensor y, cache;
+  ConvWorkspace ws;
+  conv.forward(x, y, ws, &cache);
+  ASSERT_EQ(cache.dim(0), batch);
+  std::vector<float> single(static_cast<std::size_t>(kk) * hw);
+  for (int b = 0; b < batch; ++b) {
+    im2col(x.data() + static_cast<std::size_t>(b) * 2 * hw, 2, h, w, 3, 1,
+           single.data());
+    const float* cb = cache.data() + static_cast<std::size_t>(b) * kk * hw;
+    for (std::size_t i = 0; i < single.size(); ++i)
+      ASSERT_EQ(cb[i], single[i]) << "b=" << b << " i=" << i;
+  }
+}
+
+TEST(Linear, FusedReluMatchesSeparateRelu) {
+  Rng rng(13);
+  Linear fc("f", 11, 6);
+  fc.init(rng);
+  // Non-zero bias so the fused epilogue's bias term is exercised.
+  fc.params()[1]->value.fill_randn(rng, 0.5f);
+  Tensor x = Tensor::randn({4, 11}, rng, 1.0f);
+  Tensor y_plain, y_fused;
+  fc.forward(x, y_plain);
+  fc.forward(x, y_fused, /*fuse_relu=*/true);
+  Tensor expect(y_plain.shape());
+  relu_forward(y_plain.data(), expect.data(), y_plain.numel());
+  EXPECT_EQ(max_abs_diff(y_fused, expect), 0.0f);
 }
 
 TEST(Linear, MatchesNaiveAffine) {

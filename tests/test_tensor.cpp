@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <tuple>
 #include <vector>
 
+#include "support/thread_pool.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 
@@ -79,7 +82,140 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 5, 7},
                       std::tuple{16, 16, 16}, std::tuple{65, 33, 17},
                       std::tuple{128, 70, 129}, std::tuple{1, 64, 200},
-                      std::tuple{200, 1, 64}));
+                      std::tuple{200, 1, 64},
+                      // Ragged shapes straddling the packing tiles
+                      // (MR=4, NR=16, MC=64, KC=256): row/column/depth
+                      // remainders and the multi-KC epilogue ordering.
+                      std::tuple{4, 16, 256}, std::tuple{5, 17, 257},
+                      std::tuple{67, 31, 300}, std::tuple{70, 47, 513},
+                      std::tuple{129, 18, 64}, std::tuple{63, 15, 255}));
+
+TEST(Gemm, FusedBiasReluMatchesSeparatePasses) {
+  for (const auto [m, n, k] :
+       {std::tuple{7, 30, 19}, std::tuple{65, 17, 260}}) {
+    Rng rng(static_cast<std::uint64_t>(m + n + k));
+    const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+    const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+    const auto bias = random_vec(static_cast<std::size_t>(m), rng);
+
+    std::vector<float> expect(static_cast<std::size_t>(m) * n);
+    naive_gemm(a, b, expect, m, n, k);
+    for (int i = 0; i < m; ++i)
+      for (int j = 0; j < n; ++j) {
+        float& v = expect[static_cast<std::size_t>(i) * n + j];
+        v = std::max(v + bias[i], 0.0f);
+      }
+
+    std::vector<float> got(static_cast<std::size_t>(m) * n, -7.0f);
+    gemm_bias_relu(a.data(), b.data(), bias.data(), got.data(), m, n, k,
+                   /*relu=*/true);
+    for (std::size_t i = 0; i < got.size(); ++i)
+      ASSERT_NEAR(got[i], expect[i], 1e-3f) << "i=" << i;
+
+    // relu=false keeps negative outputs.
+    std::vector<float> no_relu(static_cast<std::size_t>(m) * n);
+    gemm_bias_relu(a.data(), b.data(), bias.data(), no_relu.data(), m, n, k,
+                   /*relu=*/false);
+    bool saw_negative = false;
+    for (float v : no_relu) saw_negative = saw_negative || v < 0.0f;
+    EXPECT_TRUE(saw_negative);
+  }
+}
+
+TEST(Gemm, FusedAbtBiasReluMatchesSeparatePasses) {
+  const int m = 9, n = 21, k = 130;
+  Rng rng(31);
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+  const auto bias = random_vec(static_cast<std::size_t>(n), rng);
+
+  std::vector<float> expect(static_cast<std::size_t>(m) * n);
+  naive_gemm(a, b, expect, m, n, k);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      float& v = expect[static_cast<std::size_t>(i) * n + j];
+      v = std::max(v + bias[j], 0.0f);
+    }
+
+  // gemm_abt consumes B as [N, K].
+  std::vector<float> b_t(static_cast<std::size_t>(n) * k);
+  for (int kk = 0; kk < k; ++kk)
+    for (int j = 0; j < n; ++j) b_t[j * k + kk] = b[kk * n + j];
+  std::vector<float> got(static_cast<std::size_t>(m) * n);
+  gemm_abt_bias_relu(a.data(), b_t.data(), bias.data(), got.data(), m, n, k,
+                     /*relu=*/true);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got[i], expect[i], 1e-3f) << "i=" << i;
+}
+
+TEST(Gemm, ParallelBitwiseEqualsSerial) {
+  // The sharded path must produce bit-identical results: each C element is
+  // computed by exactly one thread with the same blocking and accumulation
+  // order as the serial kernel. Shapes cover both sharding strategies —
+  // row-block sharding (single column block) and column-range sharding
+  // (n > one NC block, the whole-batch conv shape).
+  ThreadPool pool(3);
+  for (const auto [m, n, k] :
+       {std::tuple{130, 95, 300}, std::tuple{70, 2100, 90},
+        std::tuple{3, 1025, 513}}) {
+    Rng rng(static_cast<std::uint64_t>(m ^ (n << 8) ^ k));
+    const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+    const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+    std::vector<float> serial(static_cast<std::size_t>(m) * n);
+    std::vector<float> threaded(static_cast<std::size_t>(m) * n);
+    gemm(a.data(), b.data(), serial.data(), m, n, k, /*accumulate=*/false);
+    gemm_parallel(&pool, a.data(), b.data(), threaded.data(), m, n, k,
+                  /*accumulate=*/false);
+    ASSERT_EQ(std::memcmp(serial.data(), threaded.data(),
+                          serial.size() * sizeof(float)),
+              0)
+        << "m=" << m << " n=" << n << " k=" << k;
+
+    // Fused-epilogue parallel path as well.
+    const auto bias = random_vec(static_cast<std::size_t>(m), rng);
+    gemm_bias_relu(a.data(), b.data(), bias.data(), serial.data(), m, n, k,
+                   true);
+    gemm_bias_relu_parallel(&pool, a.data(), b.data(), bias.data(),
+                            threaded.data(), m, n, k, true);
+    ASSERT_EQ(std::memcmp(serial.data(), threaded.data(),
+                          serial.size() * sizeof(float)),
+              0);
+  }
+}
+
+TEST(Im2Col, BatchedMatchesPerSample) {
+  const int batch = 3, c = 2, h = 5, w = 4, ksize = 3, pad = 1;
+  const int hw = h * w;
+  const int kk = c * ksize * ksize;
+  Rng rng(17);
+  const auto x =
+      random_vec(static_cast<std::size_t>(batch) * c * hw, rng);
+
+  std::vector<float> batched(static_cast<std::size_t>(kk) * batch * hw);
+  im2col_batched(x.data(), batch, c, h, w, ksize, pad, batched.data());
+
+  std::vector<float> single(static_cast<std::size_t>(kk) * hw);
+  for (int b = 0; b < batch; ++b) {
+    im2col(x.data() + static_cast<std::size_t>(b) * c * hw, c, h, w, ksize,
+           pad, single.data());
+    for (int r = 0; r < kk; ++r)
+      for (int p = 0; p < hw; ++p) {
+        ASSERT_EQ(batched[(static_cast<std::size_t>(r) * batch + b) * hw + p],
+                  single[static_cast<std::size_t>(r) * hw + p])
+            << "b=" << b << " r=" << r << " p=" << p;
+      }
+  }
+}
+
+TEST(Tensor, ReshapeIsAView) {
+  Tensor t({2, 3, 4});
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(i);
+  const float* before = t.data();
+  t.reshape({6, 4});
+  EXPECT_EQ(t.data(), before);  // no reallocation, no copy
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_FLOAT_EQ(t.at2(5, 3), 23.0f);
+}
 
 TEST(Gemm, AccumulateAddsOntoC) {
   const int m = 4, n = 4, k = 4;
