@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "perfmodel/adaptive.hpp"
 #include "perfmodel/batch_search.hpp"
 #include "sim/throughput.hpp"
 #include "support/table.hpp"
@@ -88,5 +89,47 @@ int main() {
       "\ncheck (paper): CPU-GPU ramps near-linearly then flattens past "
       "N=16 (training-bound);\nCPU-only is training-bound (32 CPU threads) "
       "almost immediately.\n");
+
+  // --- runtime adaptation replay (SearchEngine's controller in the DES) ---
+  // The offline table above freezes one scheme per N. The AdaptiveController
+  // instead re-evaluates the models per move from live costs. Replay: the
+  // in-tree selection cost drifts ×8 mid-game (late-game trees blow past
+  // the cache; DDR-heavy descents) and back, each move's DES run is fed to
+  // the controller, and the scheme follows the crossover — local-tree while
+  // eval-bound, shared-tree while in-tree-bound.
+  {
+    const int n = 16;
+    AdaptiveConfig acfg;
+    acfg.gpu = false;
+    acfg.worker_candidates = {n};  // fixed worker budget; adapt the scheme
+    acfg.ewma_alpha = 0.5;
+    acfg.hysteresis = 0.10;
+    acfg.dwell_moves = 1;
+    const AdaptiveDecision d0 = model.decide_cpu(n);
+    AdaptiveController ctl(hw, costs, acfg, d0.scheme, n, 1);
+
+    Table replay({"move", "select_us(live)", "scheme", "DES move_us",
+                  "switched"});
+    for (int move = 0; move < 18; ++move) {
+      ProfiledCosts live = costs;
+      if (move >= 6 && move < 12) live.t_select_us *= 8.0;  // cache cliff
+      SimParams p;
+      p.playouts = 1600;
+      p.costs = live;
+      p.hw = hw;
+      p.workers = n;
+      const SimReport rep =
+          simulate_scheme(ctl.scheme(), /*gpu=*/false, p);
+      ctl.observe_costs(live);
+      const AdaptivePlan plan = ctl.plan();
+      replay.add_row({std::to_string(move), Table::fmt(live.t_select_us, 1),
+                      to_string(rep.scheme), Table::fmt(rep.move_us, 0),
+                      plan.switched ? to_string(plan.scheme) : "-"});
+    }
+    replay.print("runtime adaptation replay at N=16 (CPU platform)");
+    std::printf("controller switches during replay: %d (expect 2: "
+                "local->shared at the cliff, shared->local after)\n",
+                ctl.switches());
+  }
   return 0;
 }

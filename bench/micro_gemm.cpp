@@ -154,6 +154,52 @@ int main(int argc, char** argv) {
                "GFLOP/s");
   }
 
+  // --- gemm_abt pack variants ----------------------------------------------
+  // gemm_abt (linear forward / conv weight-grad: C = A·Bᵀ with B stored
+  // [N,K]) packs B panels by strided gather — each packed column walks K
+  // with stride 1 but hops rows of B. The alternative materialises Bᵀ once
+  // (naive transpose) and runs the unit-stride gemm pack. The verdict
+  // (ROADMAP follow-up) decides whether gemm_abt deserves its own
+  // transposed-pack kernel: ratio > 1 means pre-transposing beats the
+  // gather pack even after paying for the transpose.
+  {
+    struct Shape {
+      int m, n, k;
+      const char* tag;
+    };
+    for (const Shape s : {Shape{256, 256, 256, "256"},
+                          Shape{128, 1152, 900, "wgrad"}}) {
+      Tensor a = Tensor::randn({s.m, s.k}, rng, 1.0f);
+      Tensor bt = Tensor::randn({s.n, s.k}, rng, 1.0f);  // B as [N,K]
+      Tensor btrans({s.k, s.n});
+      Tensor c({s.m, s.n});
+      const double s_gather = best_seconds([&] {
+        gemm_abt(a.data(), bt.data(), c.data(), s.m, s.n, s.k, false);
+      });
+      const double s_pre = best_seconds([&] {
+        for (int j = 0; j < s.n; ++j) {
+          const float* src = bt.data() + static_cast<std::size_t>(j) * s.k;
+          for (int kk = 0; kk < s.k; ++kk) {
+            btrans[static_cast<std::size_t>(kk) * s.n + j] = src[kk];
+          }
+        }
+        gemm(a.data(), btrans.data(), c.data(), s.m, s.n, s.k, false);
+      });
+      const double g_gather = gflops(s.m, s.n, s.k, s_gather);
+      const double g_pre = gflops(s.m, s.n, s.k, s_pre);
+      std::printf(
+          "gemm_abt %-5s (%dx%dx%d): gather-pack %7.2f GFLOP/s   "
+          "pre-transpose %7.2f GFLOP/s   (pretrans/gather %.2fx)\n",
+          s.tag, s.m, s.n, s.k, g_gather, g_pre, g_pre / g_gather);
+      json.entry(std::string("gemm_abt_gather_") + s.tag, g_gather,
+                 "GFLOP/s");
+      json.entry(std::string("gemm_abt_pretrans_") + s.tag, g_pre,
+                 "GFLOP/s");
+      json.entry(std::string("gemm_abt_pretrans_speedup_") + s.tag,
+                 g_pre / g_gather, "x");
+    }
+  }
+
   // --- ParallelGemm sharding at 512^3 --------------------------------------
   {
     const int n = 512;

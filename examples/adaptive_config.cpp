@@ -1,11 +1,26 @@
-// Design-configuration workflow walkthrough (§4.2): profiles the in-tree
+// Adaptive-parallelism walkthrough, offline AND online halves.
+//
+// Part 1 — design-configuration workflow (§4.2): profiles the in-tree
 // operations and the DNN on this host, plugs the costs into the Eq. 3–6
 // models, and prints the scheme decision per worker count for the CPU-only
 // and CPU-GPU platforms, including the Algorithm-4 batch search trace.
+//
+// Part 2 — the runtime half: the §4.2 decision seeds a SearchEngine
+// (mcts/engine.hpp), the long-lived entry point that plays whole games.
+// Per move it (a) reuses the played move's subtree via
+// SearchTree::advance_root — crediting the carried visit mass against the
+// playout budget — and (b) folds the move's measured SearchMetrics into
+// live ProfiledCosts (EWMA) and re-evaluates the Eq. 3–6 models, switching
+// scheme/workers/batch-threshold in place when another configuration is
+// predicted faster past a hysteresis margin. The per-move trace printed
+// below is the same EngineMoveStats record that
+// run_self_play_episode(SearchEngine&) surfaces in EpisodeStats.
 
 #include <cstdio>
 
 #include "eval/net_evaluator.hpp"
+#include "games/gomoku.hpp"
+#include "mcts/engine.hpp"
 #include "perfmodel/batch_search.hpp"
 #include "perfmodel/workflow.hpp"
 #include "support/table.hpp"
@@ -60,6 +75,49 @@ int main() {
       found.best_batch, found.best_latency_us, found.probes);
   for (const auto& [b, t] : found.probed) {
     std::printf("  probed B=%-3d -> %.2f us\n", b, t);
+  }
+
+  // --- Part 2: the runtime engine ----------------------------------------
+  // Seed the engine with this host's profiled costs and the design-time
+  // decision for a small worker budget, then play one short game. Note the
+  // reuse column: after the first move every search starts from the kept
+  // subtree, and the credited visits shrink the playout budget.
+  {
+    std::printf("\nSearchEngine: adaptive game loop (5x5 gomoku demo)\n");
+    apm::Gomoku game(5, 4);
+    apm::PolicyValueNet demo_net(apm::NetConfig::tiny(5), /*seed=*/5);
+    apm::NetEvaluator demo_eval(demo_net);
+
+    apm::EngineConfig ec;
+    ec.mcts.num_playouts = 96;
+    ec.hw = wf.hw;
+    ec.seed_costs = c;
+    const apm::AdaptiveDecision& seed_decision = result.decision(false, 4);
+    ec.scheme = seed_decision.scheme;
+    ec.workers = seed_decision.workers;
+    ec.adaptive.worker_candidates = {1, 2, 4, 8};
+    apm::SearchEngine engine(ec, {.evaluator = &demo_eval});
+
+    apm::Table trace({"move", "scheme", "N", "reused", "budget", "cur_us",
+                      "best_us", "switch"});
+    auto env = game.clone();
+    for (int move = 0; move < 6 && !env->is_terminal(); ++move) {
+      const apm::SearchResult r = engine.search(*env);
+      const apm::EngineMoveStats& ms = engine.move_log().back();
+      trace.add_row({std::to_string(ms.move), apm::to_string(ms.scheme),
+                     std::to_string(ms.workers),
+                     std::to_string(ms.reused_visits),
+                     std::to_string(ms.playout_budget),
+                     apm::Table::fmt(ms.current_predicted_us, 2),
+                     apm::Table::fmt(ms.predicted_us, 2),
+                     ms.switched ? apm::to_string(ms.next_scheme) : "-"});
+      env->apply(r.best_action);
+      engine.advance(r.best_action);  // keep the subtree for the next move
+    }
+    trace.print("per-move engine trace (live costs re-fed to Eq. 3-6)");
+    std::printf("engine switches: %d, final scheme: %s (N=%d)\n",
+                engine.switch_count(),
+                apm::to_string(engine.scheme()).c_str(), engine.workers());
   }
   return 0;
 }

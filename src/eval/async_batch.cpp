@@ -67,6 +67,26 @@ std::future<EvalOutput> AsyncBatchEvaluator::submit_future(
   return fut;
 }
 
+void AsyncBatchEvaluator::set_batch_threshold(int threshold) {
+  APM_CHECK(threshold >= 1);
+  std::unique_lock lock(mutex_);
+  if (threshold == threshold_) return;
+  // Dispatch everything formed under the OLD threshold: those buffers were
+  // sized for it, and straggler copies may still be writing into them.
+  // Loop: dispatch_locked() drops the lock to push, so a racing submit()
+  // can install a fresh pending batch in that window.
+  while (pending_ && !pending_->callbacks.empty()) {
+    dispatch_locked(lock, DispatchReason::kManual);
+  }
+  // A leftover empty batch has no reserved slots (slots are taken under the
+  // lock), so no copy is in flight — recycle it; acquire_batch_locked()
+  // re-sizes its buffer for the new threshold.
+  if (pending_) {
+    free_batches_.push_back(std::move(pending_));
+  }
+  threshold_ = threshold;
+}
+
 void AsyncBatchEvaluator::flush() {
   std::unique_lock lock(mutex_);
   if (pending_ && !pending_->callbacks.empty()) {

@@ -77,7 +77,16 @@ class AsyncBatchEvaluator {
   // flush() + wait until every accepted request has completed.
   void drain();
 
-  int batch_threshold() const { return threshold_; }
+  // Runtime re-tune (the adaptive engine's B switch, §3.3/Algorithm 4): any
+  // forming partial batch is dispatched first, so in-flight slot copies
+  // never race a buffer resize; batches formed afterwards use the new
+  // threshold. Safe to call concurrently with submit().
+  void set_batch_threshold(int threshold);
+
+  int batch_threshold() const {
+    std::lock_guard lock(mutex_);
+    return threshold_;
+  }
   int num_streams() const { return static_cast<int>(streams_.size()); }
   BatchQueueStats stats() const;
 
@@ -103,7 +112,7 @@ class AsyncBatchEvaluator {
   void flusher_loop(const std::stop_token& stop);
 
   InferenceBackend& backend_;
-  const int threshold_;
+  int threshold_;  // guarded by mutex_ (runtime-tunable)
   const double stale_flush_us_;
 
   mutable std::mutex mutex_;

@@ -7,8 +7,9 @@
 
 namespace apm {
 
-NetEvaluator::NetEvaluator(const PolicyValueNet& net, int gemm_threads)
-    : net_(net) {
+NetEvaluator::NetEvaluator(const PolicyValueNet& net, int gemm_threads,
+                           std::size_t conv_col_budget_bytes)
+    : net_(net), conv_col_budget_bytes_(conv_col_budget_bytes) {
   APM_CHECK(gemm_threads >= 0);
   if (gemm_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(
@@ -27,7 +28,10 @@ NetEvaluator::Workspace& NetEvaluator::local_workspace() {
   const auto id = std::this_thread::get_id();
   std::lock_guard lock(acts_mutex_);
   auto& slot = slots_[id];
-  if (!slot) slot = std::make_unique<Workspace>();
+  if (!slot) {
+    slot = std::make_unique<Workspace>();
+    slot->acts.conv_ws.col_budget_bytes = conv_col_budget_bytes_;
+  }
   return *slot;
 }
 

@@ -28,8 +28,12 @@ class NetEvaluator final : public Evaluator {
   // The net must outlive the evaluator. Inference only reads weights, so a
   // trainer may swap in new weights between moves (not during a search).
   // gemm_threads > 0 spawns a dedicated intra-op pool of that many workers;
-  // 0 keeps every GEMM on the calling thread.
-  explicit NetEvaluator(const PolicyValueNet& net, int gemm_threads = 0);
+  // 0 keeps every GEMM on the calling thread. conv_col_budget_bytes bounds
+  // each workspace's conv scratch so large batches are lowered in
+  // cache-resident sub-batches (0 = ConvWorkspace default; pass
+  // conv_col_budget_bytes(hw) when a HardwareSpec is available).
+  explicit NetEvaluator(const PolicyValueNet& net, int gemm_threads = 0,
+                        std::size_t conv_col_budget_bytes = 0);
 
   int action_count() const override;
   std::size_t input_size() const override;
@@ -54,6 +58,7 @@ class NetEvaluator final : public Evaluator {
 
   const PolicyValueNet& net_;
   std::unique_ptr<ThreadPool> pool_;
+  std::size_t conv_col_budget_bytes_;
   std::mutex acts_mutex_;
   std::unordered_map<std::thread::id, std::unique_ptr<Workspace>> slots_;
 };

@@ -50,6 +50,8 @@ SearchResult RootParallelMcts::search(const Game& env) {
     result.metrics.backup_seconds += p.metrics.backup_seconds;
     result.metrics.eval_seconds += p.metrics.eval_seconds;
     result.metrics.eval_requests += p.metrics.eval_requests;
+    result.metrics.expansions += p.metrics.expansions;
+    result.metrics.sum_depth += p.metrics.sum_depth;
     result.metrics.terminal_rollouts += p.metrics.terminal_rollouts;
     result.metrics.nodes += p.metrics.nodes;
     result.metrics.edges += p.metrics.edges;
@@ -72,8 +74,8 @@ SearchResult RootParallelMcts::search(const Game& env) {
 }
 
 LeafParallelMcts::LeafParallelMcts(MctsConfig cfg, int workers,
-                                   Evaluator& eval)
-    : MctsSearch(cfg),
+                                   Evaluator& eval, SearchTree* shared_tree)
+    : MctsSearch(cfg, shared_tree),
       workers_(workers),
       eval_(eval),
       pool_(static_cast<std::size_t>(workers)),
@@ -82,16 +84,16 @@ LeafParallelMcts::LeafParallelMcts(MctsConfig cfg, int workers,
 }
 
 SearchResult LeafParallelMcts::search(const Game& env) {
-  tree_.reset();
-  InTreeOps ops(tree_, cfg_);
   SearchMetrics metrics;
+  const bool reuse = begin_move(metrics);
+  InTreeOps ops(tree_, cfg_);
   metrics.workers = workers_;
   Timer move_timer;
 
   std::vector<float> input(env.encode_size());
   EvalOutput root_out;
 
-  {
+  if (!reuse) {
     Node& root = tree_.node(tree_.root());
     ExpandState expected = ExpandState::kLeaf;
     APM_CHECK(root.state.compare_exchange_strong(
@@ -100,6 +102,8 @@ SearchResult LeafParallelMcts::search(const Game& env) {
     eval_.evaluate(input.data(), root_out);
     ops.expand(tree_.root(), env, root_out.policy,
                cfg_.root_noise ? &rng_ : nullptr);
+  } else if (cfg_.root_noise) {
+    ops.mix_root_noise(rng_);
   }
 
   int playouts_done = 0;
@@ -111,6 +115,7 @@ SearchResult LeafParallelMcts::search(const Game& env) {
         ops.descend(*game, CollisionPolicy::kWait);
     metrics.select_seconds += phase.elapsed_seconds();
     metrics.max_depth = std::max(metrics.max_depth, outcome.depth);
+    metrics.sum_depth += outcome.depth;
 
     if (outcome.status == DescendStatus::kTerminal) {
       ++metrics.terminal_rollouts;
@@ -136,6 +141,7 @@ SearchResult LeafParallelMcts::search(const Game& env) {
 
     phase.reset();
     ops.expand(outcome.node, *game, outs[0].policy);
+    ++metrics.expansions;
     metrics.expand_seconds += phase.elapsed_seconds();
 
     phase.reset();

@@ -16,13 +16,14 @@
 
 #include "eval/evaluator.hpp"
 #include "mcts/search.hpp"
-#include "mcts/tree.hpp"
 #include "support/thread_pool.hpp"
 
 namespace apm {
 
 class RootParallelMcts final : public MctsSearch {
  public:
+  // Root-parallel cannot reuse a shared arena (each worker grows a private
+  // tree), so set_reuse_next() is a no-op for this scheme.
   RootParallelMcts(MctsConfig cfg, int workers, Evaluator& eval);
 
   SearchResult search(const Game& env) override;
@@ -36,7 +37,8 @@ class RootParallelMcts final : public MctsSearch {
 
 class LeafParallelMcts final : public MctsSearch {
  public:
-  LeafParallelMcts(MctsConfig cfg, int workers, Evaluator& eval);
+  LeafParallelMcts(MctsConfig cfg, int workers, Evaluator& eval,
+                   SearchTree* shared_tree = nullptr);
 
   SearchResult search(const Game& env) override;
   Scheme scheme() const override { return Scheme::kLeafParallel; }
@@ -46,7 +48,6 @@ class LeafParallelMcts final : public MctsSearch {
   int workers_;
   Evaluator& eval_;
   ThreadPool pool_;
-  SearchTree tree_;
   Rng rng_;
 };
 

@@ -68,13 +68,27 @@ struct SearchMetrics {
   std::size_t nodes = 0;
   std::size_t edges = 0;
   int max_depth = 0;
+  // Σ descent depth across playouts; sum_depth / playouts is the mean path
+  // length the adaptive controller feeds back into the Eq. 3–6 models.
+  double sum_depth = 0.0;
   std::size_t eval_requests = 0;
+  // Nodes newly expanded during this search (== fresh DNN evaluations that
+  // produced edges). With cross-move tree reuse this is the per-move cost
+  // the reused subtree saves.
+  std::size_t expansions = 0;
   std::size_t terminal_rollouts = 0;
   std::size_t expansion_collisions = 0;
+  // Tree reuse accounting: subtree carried over from the previous move
+  // (zero when the search started from a fresh root).
+  std::size_t reused_nodes = 0;
+  std::int64_t reused_visits = 0;
   BatchQueueStats batch;
 
   double amortized_iteration_us() const {
     return playouts > 0 ? move_seconds * 1e6 / playouts : 0.0;
+  }
+  double mean_depth() const {
+    return playouts > 0 ? sum_depth / playouts : 0.0;
   }
 };
 

@@ -1,0 +1,123 @@
+#include "mcts/engine.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace apm {
+
+SearchEngine::SearchEngine(EngineConfig cfg, SearchResources res)
+    : cfg_(cfg),
+      res_(res),
+      controller_(cfg.hw, cfg.seed_costs, cfg.adaptive, cfg.scheme,
+                  cfg.workers, cfg.batch_threshold) {
+  APM_CHECK_MSG(res_.evaluator != nullptr || res_.batch != nullptr,
+                "SearchEngine: no evaluation resource provided");
+  rebuild_driver(cfg_.scheme, cfg_.workers, cfg_.batch_threshold);
+}
+
+int SearchEngine::batch_threshold() const {
+  return res_.batch != nullptr ? res_.batch->batch_threshold()
+                               : cfg_.batch_threshold;
+}
+
+void SearchEngine::rebuild_driver(Scheme scheme, int workers,
+                                  int batch_threshold) {
+  // The driver is rebuilt, the arena is not: the new scheme inherits the
+  // tree exactly as the old scheme left it.
+  driver_ = make_search(scheme, cfg_.mcts, workers, res_, &tree_);
+  if (res_.batch != nullptr) {
+    // §3.3: shared-tree batches are always N; local-tree uses the tuned B.
+    const int threshold =
+        scheme == Scheme::kSharedTree ? workers : std::max(1, batch_threshold);
+    res_.batch->set_batch_threshold(threshold);
+  }
+}
+
+SearchResult SearchEngine::search(const Game& env) {
+  EngineMoveStats ms;
+  ms.move = move_index_;
+  ms.scheme = driver_->scheme();
+  ms.workers = driver_->workers();
+  ms.batch_threshold = batch_threshold();
+
+  // Tree-reuse budget credit: visits already banked at the (advanced) root
+  // count toward this move's playout target.
+  int budget = cfg_.mcts.num_playouts;
+  if (pending_reuse_) {
+    ms.reused_tree = true;
+    ms.reused_visits = reusable_visits_;
+    if (cfg_.count_reused_visits) {
+      budget = std::max<int>(
+          cfg_.min_playouts,
+          budget - static_cast<int>(std::min<std::int64_t>(
+                       reusable_visits_, cfg_.mcts.num_playouts)));
+    }
+    driver_->set_reuse_next(true);
+  }
+  ms.playout_budget = budget;
+  driver_->mutable_config().num_playouts = budget;
+
+  SearchResult result = driver_->search(env);
+  driver_->mutable_config().num_playouts = cfg_.mcts.num_playouts;
+  pending_reuse_ = false;
+  reusable_visits_ = 0;
+  ms.metrics = result.metrics;
+
+  if (cfg_.adapt) {
+    if (cost_feed_) {
+      controller_.observe_costs(cost_feed_(move_index_));
+    } else {
+      controller_.observe(result.metrics);
+    }
+    const AdaptivePlan plan = controller_.plan();
+    ms.predicted_us = plan.predicted_us;
+    ms.current_predicted_us = plan.current_predicted_us;
+    if (plan.switched) {
+      // Only the GPU-platform controller tunes B (Algorithm 4); the CPU
+      // decision always reports batch_size = 1, which must not clobber the
+      // configured evaluator threshold.
+      const int batch = cfg_.adaptive.gpu ? plan.batch_size
+                                          : cfg_.batch_threshold;
+      rebuild_driver(plan.scheme, plan.workers, batch);
+      ms.switched = true;
+      ++switches_;
+    }
+  }
+  ms.next_scheme = driver_->scheme();
+  ms.next_workers = driver_->workers();
+  ms.next_batch_threshold = batch_threshold();
+
+  log_.push_back(ms);
+  ++move_index_;
+  return result;
+}
+
+void SearchEngine::advance(int action) {
+  if (!cfg_.reuse_tree) {
+    tree_.reset();
+    pending_reuse_ = false;
+    reusable_visits_ = 0;
+    return;
+  }
+  const bool kept = tree_.advance_root(action);
+  pending_reuse_ = kept;
+  reusable_visits_ = kept ? tree_.root_visit_total() : 0;
+}
+
+void SearchEngine::reset_game() {
+  tree_.reset();
+  pending_reuse_ = false;
+  reusable_visits_ = 0;
+  // Bound the adaptation trace across long runs (thousands of episodes):
+  // keep only the most recent entries. Safe here — episode consumers slice
+  // the log only after their episode ends, and every episode starts with
+  // reset_game().
+  constexpr std::size_t kMaxLogEntries = 4096;
+  if (log_.size() > kMaxLogEntries) {
+    log_.erase(log_.begin(),
+               log_.end() - static_cast<std::ptrdiff_t>(kMaxLogEntries));
+  }
+}
+
+}  // namespace apm

@@ -1,0 +1,129 @@
+#pragma once
+// Long-lived adaptive search engine — owns the game lifecycle the one-shot
+// MctsSearch objects cannot: one SearchEngine serves a whole game (or many
+// self-play games), keeping three durable pieces across moves:
+//
+//  * the tree arena — advance_root() carries the played move's subtree to
+//    the next move (AlphaZero-standard tree reuse), and the engine credits
+//    the carried visit mass against the playout budget so a warm tree does
+//    measurably fewer expansions per move;
+//  * the scheme driver — Serial/SharedTree/LocalTree run as interchangeable
+//    drivers over the shared arena, so a runtime switch hands the reused
+//    tree to the new scheme instead of discarding it;
+//  * the adaptive controller — per move, measured SearchMetrics are folded
+//    into live ProfiledCosts (EWMA) and the Eq. 3–6 models are
+//    re-evaluated; when another (scheme, N, B) beats the current one past a
+//    hysteresis margin the engine rebuilds the driver and re-tunes the
+//    AsyncBatchEvaluator threshold in place.
+//
+// Typical use (see examples/adaptive_config.cpp):
+//   SearchEngine engine(cfg, {.evaluator = &eval});
+//   while (!env->is_terminal()) {
+//     SearchResult r = engine.search(*env);   // one move
+//     env->apply(r.best_action);
+//     engine.advance(r.best_action);          // keep the subtree
+//   }
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mcts/factory.hpp"
+#include "perfmodel/adaptive.hpp"
+
+namespace apm {
+
+struct EngineConfig {
+  MctsConfig mcts;
+
+  // Initial configuration (typically the §4.2 design-time decision).
+  Scheme scheme = Scheme::kSerial;
+  int workers = 1;
+  int batch_threshold = 1;  // applied when a batch evaluator is supplied
+
+  // Cross-move tree reuse.
+  bool reuse_tree = true;
+  // When true, visits carried over at the new root count toward the
+  // per-move playout budget (the reuse saving); when false every move runs
+  // the full num_playouts on top of the reused tree.
+  bool count_reused_visits = true;
+  int min_playouts = 16;  // budget floor after reuse credit
+
+  // Runtime adaptation.
+  bool adapt = true;
+  AdaptiveConfig adaptive;
+  HardwareSpec hw;
+  // Design-time seed for the live cost model; zero-initialised costs are
+  // fine (the first observed move dominates via EWMA warmup).
+  ProfiledCosts seed_costs;
+};
+
+// Per-move engine telemetry — the adaptation trace surfaced through
+// EpisodeStats so a self-play run can show when and why the engine
+// switched.
+struct EngineMoveStats {
+  int move = 0;
+  Scheme scheme = Scheme::kSerial;
+  int workers = 1;
+  int batch_threshold = 1;
+  bool switched = false;        // configuration changed after this move
+  Scheme next_scheme = Scheme::kSerial;  // config for the next move
+  int next_workers = 1;
+  int next_batch_threshold = 1;
+  bool reused_tree = false;
+  std::int64_t reused_visits = 0;
+  std::size_t reused_nodes = 0;
+  int playout_budget = 0;
+  double predicted_us = 0.0;          // controller's pick under live costs
+  double current_predicted_us = 0.0;  // this move's config under live costs
+  SearchMetrics metrics;
+};
+
+class SearchEngine {
+ public:
+  SearchEngine(EngineConfig cfg, SearchResources res);
+
+  // Runs one move's search from `env`. The caller owns move selection;
+  // report the chosen action (and the opponent's reply) via advance().
+  SearchResult search(const Game& env);
+
+  // Advances the engine past a played move: the subtree under `action`
+  // becomes the next root (tree reuse); everything else is discarded.
+  void advance(int action);
+
+  // Discards the tree for a fresh game. Controller state (live costs,
+  // dwell) intentionally survives — hardware does not change between games.
+  void reset_game();
+
+  Scheme scheme() const { return driver_->scheme(); }
+  int workers() const { return driver_->workers(); }
+  int batch_threshold() const;
+  int switch_count() const { return switches_; }
+  const std::vector<EngineMoveStats>& move_log() const { return log_; }
+  SearchTree& tree() { return tree_; }
+  const AdaptiveController& controller() const { return controller_; }
+
+  // Test/replay hook: overrides the measured per-move costs with a
+  // synthetic feed (move index -> cost sample) so adaptation paths can be
+  // driven deterministically.
+  void set_cost_feed(std::function<ProfiledCosts(int move)> feed) {
+    cost_feed_ = std::move(feed);
+  }
+
+ private:
+  void rebuild_driver(Scheme scheme, int workers, int batch_threshold);
+
+  EngineConfig cfg_;
+  SearchResources res_;
+  SearchTree tree_;
+  AdaptiveController controller_;
+  std::unique_ptr<MctsSearch> driver_;
+  std::function<ProfiledCosts(int)> cost_feed_;
+  std::vector<EngineMoveStats> log_;
+  int move_index_ = 0;
+  int switches_ = 0;
+  bool pending_reuse_ = false;
+  std::int64_t reusable_visits_ = 0;
+};
+
+}  // namespace apm

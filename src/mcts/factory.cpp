@@ -5,29 +5,34 @@
 namespace apm {
 
 std::unique_ptr<MctsSearch> make_search(Scheme scheme, MctsConfig cfg,
-                                        int workers, SearchResources res) {
+                                        int workers, SearchResources res,
+                                        SearchTree* shared_tree) {
   APM_CHECK_MSG(res.evaluator != nullptr || res.batch != nullptr,
                 "make_search: no evaluation resource provided");
   switch (scheme) {
     case Scheme::kSerial:
       APM_CHECK_MSG(res.evaluator != nullptr,
                     "serial search needs a synchronous evaluator");
-      return std::make_unique<SerialMcts>(cfg, *res.evaluator);
+      return std::make_unique<SerialMcts>(cfg, *res.evaluator, shared_tree);
     case Scheme::kSharedTree:
       if (res.batch != nullptr) {
-        return std::make_unique<SharedTreeMcts>(cfg, workers, *res.batch);
+        return std::make_unique<SharedTreeMcts>(cfg, workers, *res.batch,
+                                                shared_tree);
       }
-      return std::make_unique<SharedTreeMcts>(cfg, workers, *res.evaluator);
+      return std::make_unique<SharedTreeMcts>(cfg, workers, *res.evaluator,
+                                              shared_tree);
     case Scheme::kLocalTree:
       if (res.batch != nullptr) {
-        return std::make_unique<LocalTreeMcts>(cfg, workers, *res.batch);
+        return std::make_unique<LocalTreeMcts>(cfg, workers, *res.batch,
+                                               shared_tree);
       }
-      return std::make_unique<LocalTreeMcts>(cfg, workers, *res.evaluator);
+      return std::make_unique<LocalTreeMcts>(cfg, workers, *res.evaluator,
+                                             shared_tree);
     case Scheme::kLeafParallel:
       APM_CHECK_MSG(res.evaluator != nullptr,
                     "leaf-parallel search needs a synchronous evaluator");
-      return std::make_unique<LeafParallelMcts>(cfg, workers,
-                                                *res.evaluator);
+      return std::make_unique<LeafParallelMcts>(cfg, workers, *res.evaluator,
+                                                shared_tree);
     case Scheme::kRootParallel:
       APM_CHECK_MSG(res.evaluator != nullptr,
                     "root-parallel search needs a synchronous evaluator");

@@ -20,7 +20,11 @@ struct SearchResources {
   AsyncBatchEvaluator* batch = nullptr;
 };
 
+// `shared_tree` != nullptr runs the scheme over an externally owned arena
+// (the SearchEngine's long-lived tree, surviving moves and scheme
+// switches); nullptr keeps the historical per-search-object private tree.
 std::unique_ptr<MctsSearch> make_search(Scheme scheme, MctsConfig cfg,
-                                        int workers, SearchResources res);
+                                        int workers, SearchResources res,
+                                        SearchTree* shared_tree = nullptr);
 
 }  // namespace apm

@@ -19,8 +19,9 @@ struct Completion {
 
 }  // namespace
 
-LocalTreeMcts::LocalTreeMcts(MctsConfig cfg, int workers, Evaluator& eval)
-    : MctsSearch(cfg),
+LocalTreeMcts::LocalTreeMcts(MctsConfig cfg, int workers, Evaluator& eval,
+                             SearchTree* shared_tree)
+    : MctsSearch(cfg, shared_tree),
       workers_(workers),
       eval_(&eval),
       pool_(std::make_unique<ThreadPool>(static_cast<std::size_t>(workers))),
@@ -29,8 +30,12 @@ LocalTreeMcts::LocalTreeMcts(MctsConfig cfg, int workers, Evaluator& eval)
 }
 
 LocalTreeMcts::LocalTreeMcts(MctsConfig cfg, int workers,
-                             AsyncBatchEvaluator& batch)
-    : MctsSearch(cfg), workers_(workers), batch_(&batch), rng_(cfg.seed) {
+                             AsyncBatchEvaluator& batch,
+                             SearchTree* shared_tree)
+    : MctsSearch(cfg, shared_tree),
+      workers_(workers),
+      batch_(&batch),
+      rng_(cfg.seed) {
   APM_CHECK(workers >= 1);
 }
 
@@ -56,16 +61,20 @@ void LocalTreeMcts::evaluate_root(const Game& env) {
 }
 
 SearchResult LocalTreeMcts::search(const Game& env) {
-  tree_.reset();
-  InTreeOps ops(tree_, cfg_);
   SearchMetrics metrics;
+  const bool reuse = begin_move(metrics);
+  InTreeOps ops(tree_, cfg_);
   metrics.workers = workers_;
   Timer move_timer;
 
   BatchQueueStats batch_before;
   if (batch_ != nullptr) batch_before = batch_->stats();
 
-  evaluate_root(env);
+  if (!reuse) {
+    evaluate_root(env);
+  } else if (cfg_.root_noise) {
+    ops.mix_root_noise(rng_);
+  }
 
   SyncQueue<Completion> completions;
   std::vector<float> input(env.encode_size());
@@ -79,6 +88,7 @@ SearchResult LocalTreeMcts::search(const Game& env) {
   auto process = [&](Completion&& c) {
     Timer phase;
     ops.expand_from_legal(c.node, c.legal, c.out.policy);
+    ++metrics.expansions;
     metrics.expand_seconds += phase.elapsed_seconds();
 
     phase.reset();
@@ -116,6 +126,7 @@ SearchResult LocalTreeMcts::search(const Game& env) {
         ops.descend(*game, CollisionPolicy::kBackout);
     metrics.select_seconds += phase.elapsed_seconds();
     metrics.max_depth = std::max(metrics.max_depth, outcome.depth);
+    metrics.sum_depth += outcome.depth;
 
     switch (outcome.status) {
       case DescendStatus::kCollision:

@@ -27,7 +27,6 @@
 #include "eval/async_batch.hpp"
 #include "eval/evaluator.hpp"
 #include "mcts/search.hpp"
-#include "mcts/tree.hpp"
 #include "support/thread_pool.hpp"
 
 namespace apm {
@@ -35,9 +34,11 @@ namespace apm {
 class LocalTreeMcts final : public MctsSearch {
  public:
   // CPU mode: spawns a private pool of `workers` evaluation threads.
-  LocalTreeMcts(MctsConfig cfg, int workers, Evaluator& eval);
+  LocalTreeMcts(MctsConfig cfg, int workers, Evaluator& eval,
+                SearchTree* shared_tree = nullptr);
   // Accelerator mode: requests go to the batch queue.
-  LocalTreeMcts(MctsConfig cfg, int workers, AsyncBatchEvaluator& batch);
+  LocalTreeMcts(MctsConfig cfg, int workers, AsyncBatchEvaluator& batch,
+                SearchTree* shared_tree = nullptr);
 
   SearchResult search(const Game& env) override;
   Scheme scheme() const override { return Scheme::kLocalTree; }
@@ -50,7 +51,6 @@ class LocalTreeMcts final : public MctsSearch {
   Evaluator* eval_ = nullptr;
   AsyncBatchEvaluator* batch_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;  // CPU mode only
-  SearchTree tree_;
   Rng rng_;
 };
 

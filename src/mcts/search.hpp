@@ -6,11 +6,21 @@
 // Evaluation → Backup) from the given position, returning the normalised
 // root visit counts ("action prior", Algorithms 2/3) plus per-phase
 // metrics for the profiler and the benches.
+//
+// Tree ownership: every scheme runs over a SearchTree arena. Standalone
+// construction owns a private arena (the historical behaviour — each
+// search() resets it); the SearchEngine instead passes one long-lived
+// shared arena to whichever driver is currently active, so the tree — and
+// the subtree kept by SearchTree::advance_root() — survives across moves
+// AND across runtime scheme switches. A driver only reuses the prepared
+// tree when the owner arms set_reuse_next(); a plain search() call still
+// starts from scratch, so direct users are unaffected.
 
 #include <memory>
 
 #include "games/game.hpp"
 #include "mcts/config.hpp"
+#include "mcts/tree.hpp"
 
 namespace apm {
 
@@ -28,9 +38,46 @@ class MctsSearch {
   const MctsConfig& config() const { return cfg_; }
   MctsConfig& mutable_config() { return cfg_; }
 
+  SearchTree& tree() { return tree_; }
+
+  // Arms cross-move tree reuse for the next search() only: the driver skips
+  // the arena reset and the root evaluation, continuing from the subtree
+  // the caller prepared via SearchTree::advance_root(). Ignored by schemes
+  // that cannot reuse a tree (root-parallel grows fresh per-worker trees).
+  void set_reuse_next(bool reuse) { reuse_next_ = reuse; }
+
  protected:
-  explicit MctsSearch(MctsConfig cfg) : cfg_(cfg) {}
+  explicit MctsSearch(MctsConfig cfg, SearchTree* shared_tree = nullptr)
+      : cfg_(cfg),
+        owned_tree_(shared_tree ? nullptr : std::make_unique<SearchTree>()),
+        tree_(shared_tree ? *shared_tree : *owned_tree_) {}
+
+  // Consumes the reuse flag; true only when the prepared root is actually
+  // expanded (otherwise the search must evaluate it from scratch anyway).
+  bool take_reuse() {
+    const bool armed = reuse_next_;
+    reuse_next_ = false;
+    return armed && tree_.node(tree_.root()).state.load(
+                        std::memory_order_acquire) == ExpandState::kExpanded;
+  }
+
+  // Shared search() prologue: resets the arena unless reuse was armed, and
+  // records the carried-over subtree in the metrics. Returns whether the
+  // root evaluation can be skipped.
+  bool begin_move(SearchMetrics& metrics) {
+    const bool reuse = take_reuse();
+    if (!reuse) tree_.reset();
+    metrics.reused_nodes = reuse ? tree_.node_count() : 0;
+    metrics.reused_visits = reuse ? tree_.root_visit_total() : 0;
+    return reuse;
+  }
+
   MctsConfig cfg_;
+  std::unique_ptr<SearchTree> owned_tree_;
+  SearchTree& tree_;
+
+ private:
+  bool reuse_next_ = false;
 };
 
 }  // namespace apm

@@ -219,6 +219,22 @@ void InTreeOps::backup(NodeId leaf, float leaf_value) {
   }
 }
 
+void InTreeOps::mix_root_noise(Rng& rng) {
+  Node& root = tree_.node(tree_.root());
+  if (root.state.load(std::memory_order_acquire) != ExpandState::kExpanded ||
+      root.num_edges == 0) {
+    return;
+  }
+  std::vector<float> noise;
+  sample_dirichlet(rng, cfg_.dirichlet_alpha,
+                   static_cast<std::size_t>(root.num_edges), noise);
+  for (std::int32_t i = 0; i < root.num_edges; ++i) {
+    Edge& e = tree_.edge(root.first_edge + i);
+    e.prior = (1.0f - cfg_.noise_fraction) * e.prior +
+              cfg_.noise_fraction * noise[i];
+  }
+}
+
 void InTreeOps::revert_path(NodeId node_id) {
   while (node_id != kNullNode) {
     const Node& n = tree_.node(node_id);

@@ -80,6 +80,12 @@ class InTreeOps {
   // visit (used when a rollout is abandoned).
   void revert_path(NodeId node);
 
+  // Mixes fresh Dirichlet noise into the (already expanded) root's priors —
+  // self-play exploration on a reused root, where expand() never runs. The
+  // convex mix of two distributions stays normalised. No-op on an
+  // unexpanded root.
+  void mix_root_noise(Rng& rng);
+
   // Ensures edge->child exists, creating a leaf node under the parent's
   // lock on first use.
   NodeId get_or_create_child(NodeId parent, EdgeId edge_id);

@@ -5,21 +5,22 @@
 
 namespace apm {
 
-SerialMcts::SerialMcts(MctsConfig cfg, Evaluator& eval)
-    : MctsSearch(cfg), eval_(eval), rng_(cfg.seed) {}
+SerialMcts::SerialMcts(MctsConfig cfg, Evaluator& eval,
+                       SearchTree* shared_tree)
+    : MctsSearch(cfg, shared_tree), eval_(eval), rng_(cfg.seed) {}
 
 SearchResult SerialMcts::search(const Game& env) {
-  tree_.reset();
-  InTreeOps ops(tree_, cfg_);
   SearchMetrics metrics;
+  const bool reuse = begin_move(metrics);
+  InTreeOps ops(tree_, cfg_);
   metrics.workers = 1;
   Timer move_timer;
 
   std::vector<float> input(env.encode_size());
   EvalOutput eval_out;
 
-  // Root preparation: claim + evaluate + expand (with optional noise).
-  {
+  if (!reuse) {
+    // Root preparation: claim + evaluate + expand (with optional noise).
     Node& root = tree_.node(tree_.root());
     ExpandState expected = ExpandState::kLeaf;
     const bool claimed = root.state.compare_exchange_strong(
@@ -29,6 +30,8 @@ SearchResult SerialMcts::search(const Game& env) {
     eval_.evaluate(input.data(), eval_out);
     ops.expand(tree_.root(), env, eval_out.policy,
                cfg_.root_noise ? &rng_ : nullptr);
+  } else if (cfg_.root_noise) {
+    ops.mix_root_noise(rng_);
   }
 
   for (int playout = 0; playout < cfg_.num_playouts; ++playout) {
@@ -38,6 +41,7 @@ SearchResult SerialMcts::search(const Game& env) {
         ops.descend(*game, CollisionPolicy::kWait);
     metrics.select_seconds += phase.elapsed_seconds();
     metrics.max_depth = std::max(metrics.max_depth, outcome.depth);
+    metrics.sum_depth += outcome.depth;
 
     if (outcome.status == DescendStatus::kTerminal) {
       ++metrics.terminal_rollouts;
@@ -55,6 +59,7 @@ SearchResult SerialMcts::search(const Game& env) {
 
     phase.reset();
     ops.expand(outcome.node, *game, eval_out.policy);
+    ++metrics.expansions;
     metrics.expand_seconds += phase.elapsed_seconds();
 
     phase.reset();

@@ -5,13 +5,15 @@
 
 #include "eval/evaluator.hpp"
 #include "mcts/search.hpp"
-#include "mcts/tree.hpp"
 
 namespace apm {
 
 class SerialMcts final : public MctsSearch {
  public:
-  SerialMcts(MctsConfig cfg, Evaluator& eval);
+  // `shared_tree` != nullptr runs over an externally owned arena (engine
+  // mode, enabling cross-move reuse); nullptr owns a private tree.
+  SerialMcts(MctsConfig cfg, Evaluator& eval,
+             SearchTree* shared_tree = nullptr);
 
   SearchResult search(const Game& env) override;
   Scheme scheme() const override { return Scheme::kSerial; }
@@ -19,7 +21,6 @@ class SerialMcts final : public MctsSearch {
 
  private:
   Evaluator& eval_;
-  SearchTree tree_;
   Rng rng_;
 };
 

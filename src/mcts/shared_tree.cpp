@@ -9,14 +9,22 @@
 
 namespace apm {
 
-SharedTreeMcts::SharedTreeMcts(MctsConfig cfg, int workers, Evaluator& eval)
-    : MctsSearch(cfg), workers_(workers), eval_(&eval), rng_(cfg.seed) {
+SharedTreeMcts::SharedTreeMcts(MctsConfig cfg, int workers, Evaluator& eval,
+                               SearchTree* shared_tree)
+    : MctsSearch(cfg, shared_tree),
+      workers_(workers),
+      eval_(&eval),
+      rng_(cfg.seed) {
   APM_CHECK(workers >= 1);
 }
 
 SharedTreeMcts::SharedTreeMcts(MctsConfig cfg, int workers,
-                               AsyncBatchEvaluator& batch)
-    : MctsSearch(cfg), workers_(workers), batch_(&batch), rng_(cfg.seed) {
+                               AsyncBatchEvaluator& batch,
+                               SearchTree* shared_tree)
+    : MctsSearch(cfg, shared_tree),
+      workers_(workers),
+      batch_(&batch),
+      rng_(cfg.seed) {
   APM_CHECK(workers >= 1);
 }
 
@@ -75,6 +83,7 @@ void SharedTreeMcts::worker_loop(const Game& env,
     }
     stats.select_s += phase.elapsed_seconds();
     stats.max_depth = std::max(stats.max_depth, outcome.depth);
+    stats.sum_depth += outcome.depth;
 
     if (outcome.status == DescendStatus::kTerminal) {
       ++stats.terminals;
@@ -112,20 +121,26 @@ void SharedTreeMcts::worker_loop(const Game& env,
       phase.reset();
       ops.backup(outcome.node, out.value);
     }
+    ++stats.expansions;
     stats.backup_s += phase.elapsed_seconds();
   }
 }
 
 SearchResult SharedTreeMcts::search(const Game& env) {
-  tree_.reset();
   SearchMetrics metrics;
+  const bool reuse = begin_move(metrics);
   metrics.workers = workers_;
   Timer move_timer;
 
   BatchQueueStats batch_before;
   if (batch_ != nullptr) batch_before = batch_->stats();
 
-  evaluate_root(env);
+  if (!reuse) {
+    evaluate_root(env);
+  } else if (cfg_.root_noise) {
+    InTreeOps ops(tree_, cfg_);
+    ops.mix_root_noise(rng_);
+  }
 
   std::atomic<int> playout_counter{0};
   std::vector<WorkerStats> stats(static_cast<std::size_t>(workers_));
@@ -161,8 +176,10 @@ SearchResult SharedTreeMcts::search(const Game& env) {
     metrics.expand_seconds += s.expand_s;
     metrics.backup_seconds += s.backup_s;
     metrics.max_depth = std::max(metrics.max_depth, s.max_depth);
+    metrics.sum_depth += s.sum_depth;
     metrics.terminal_rollouts += s.terminals;
     metrics.eval_requests += s.evals;
+    metrics.expansions += s.expansions;
   }
   metrics.playouts = cfg_.num_playouts;
   metrics.move_seconds = move_timer.elapsed_seconds();

@@ -20,16 +20,17 @@
 #include "eval/async_batch.hpp"
 #include "eval/evaluator.hpp"
 #include "mcts/search.hpp"
-#include "mcts/tree.hpp"
 
 namespace apm {
 
 class SharedTreeMcts final : public MctsSearch {
  public:
   // CPU mode.
-  SharedTreeMcts(MctsConfig cfg, int workers, Evaluator& eval);
+  SharedTreeMcts(MctsConfig cfg, int workers, Evaluator& eval,
+                 SearchTree* shared_tree = nullptr);
   // Accelerator mode (batch queue threshold should equal `workers`).
-  SharedTreeMcts(MctsConfig cfg, int workers, AsyncBatchEvaluator& batch);
+  SharedTreeMcts(MctsConfig cfg, int workers, AsyncBatchEvaluator& batch,
+                 SearchTree* shared_tree = nullptr);
 
   SearchResult search(const Game& env) override;
   Scheme scheme() const override { return Scheme::kSharedTree; }
@@ -39,8 +40,10 @@ class SharedTreeMcts final : public MctsSearch {
   struct WorkerStats {
     double select_s = 0, eval_s = 0, expand_s = 0, backup_s = 0;
     int max_depth = 0;
+    double sum_depth = 0;
     std::size_t terminals = 0;
     std::size_t evals = 0;
+    std::size_t expansions = 0;
   };
 
   void worker_loop(const Game& env, std::atomic<int>& playout_counter,
@@ -50,7 +53,6 @@ class SharedTreeMcts final : public MctsSearch {
   int workers_;
   Evaluator* eval_ = nullptr;
   AsyncBatchEvaluator* batch_ = nullptr;
-  SearchTree tree_;
   Rng rng_;
 };
 

@@ -1,6 +1,7 @@
 #include "mcts/tree.hpp"
 
 #include <mutex>
+#include <vector>
 
 namespace apm {
 
@@ -22,6 +23,131 @@ void SearchTree::reset() {
   edge_count_.store(0, std::memory_order_relaxed);
   const NodeId root_id = allocate_node(kNullNode, kNullEdge);
   APM_CHECK(root_id == 0);
+}
+
+std::int64_t SearchTree::root_visit_total() const {
+  const Node& r = node(root());
+  if (r.state.load(std::memory_order_acquire) != ExpandState::kExpanded) {
+    return 0;
+  }
+  std::int64_t total = 0;
+  for (std::int32_t i = 0; i < r.num_edges; ++i) {
+    total += edge(r.first_edge + i).visits.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+bool SearchTree::advance_root(int action) {
+  const Node& old_root = node(root());
+  EdgeId kept_edge = kNullEdge;
+  if (old_root.state.load(std::memory_order_acquire) ==
+      ExpandState::kExpanded) {
+    for (std::int32_t i = 0; i < old_root.num_edges; ++i) {
+      if (edge(old_root.first_edge + i).action == action) {
+        kept_edge = old_root.first_edge + i;
+        break;
+      }
+    }
+  }
+  const NodeId kept = kept_edge == kNullEdge
+                          ? kNullNode
+                          : edge(kept_edge).child.load(std::memory_order_acquire);
+  if (kept == kNullNode) {
+    reset();
+    return false;
+  }
+
+  // Snapshot the kept subtree's payload before rewinding the arena: the
+  // compacted copy is written over the same chunks, so old slots cannot be
+  // read once materialisation starts.
+  struct SnapNode {
+    std::int32_t parent_snap = -1;  // index into the snapshot, -1 for root
+    std::int32_t parent_slot = 0;   // edge index within the parent's block
+    std::int32_t num_edges = 0;
+    ExpandState state = ExpandState::kLeaf;
+    std::size_t edge_begin = 0;     // offset into snap_edges
+  };
+  struct SnapEdge {
+    std::int32_t visits = 0;
+    float value_sum = 0.0f;
+    float prior = 0.0f;
+    std::int32_t action = -1;
+  };
+  std::vector<SnapNode> snap_nodes;
+  std::vector<SnapEdge> snap_edges;
+  // BFS queue of (old node id, snapshot index) — parents always precede
+  // their children, which the rebuild below relies on.
+  std::vector<NodeId> old_ids;
+  snap_nodes.reserve(node_count());
+  old_ids.push_back(kept);
+  {
+    SnapNode sn;
+    snap_nodes.push_back(sn);
+  }
+  for (std::size_t i = 0; i < old_ids.size(); ++i) {
+    const Node& n = node(old_ids[i]);
+    SnapNode& sn = snap_nodes[i];
+    ExpandState st = n.state.load(std::memory_order_acquire);
+    // A claimed-but-never-expanded node has no published edges; between
+    // moves no rollout is in flight, so it is semantically a leaf.
+    if (st == ExpandState::kExpanding) st = ExpandState::kLeaf;
+    sn.state = st;
+    if (st != ExpandState::kExpanded) continue;
+    sn.num_edges = n.num_edges;
+    sn.edge_begin = snap_edges.size();
+    for (std::int32_t e = 0; e < n.num_edges; ++e) {
+      const Edge& edge_ref = edge(n.first_edge + e);
+      SnapEdge se;
+      se.visits = edge_ref.visits.load(std::memory_order_acquire);
+      se.value_sum = edge_ref.value_sum.load(std::memory_order_acquire);
+      se.prior = edge_ref.prior;
+      se.action = edge_ref.action;
+      APM_DCHECK(edge_ref.virtual_loss.load(std::memory_order_acquire) == 0);
+      snap_edges.push_back(se);
+      const NodeId child = edge_ref.child.load(std::memory_order_acquire);
+      if (child != kNullNode) {
+        SnapNode child_snap;
+        child_snap.parent_snap = static_cast<std::int32_t>(i);
+        child_snap.parent_slot = e;
+        old_ids.push_back(child);
+        snap_nodes.push_back(child_snap);
+      }
+    }
+  }
+
+  // Materialise the compacted subtree. BFS order means a node's parent (and
+  // the parent's edge block) is always rebuilt before the node itself.
+  reset();
+  std::vector<NodeId> new_ids(snap_nodes.size(), kNullNode);
+  std::vector<EdgeId> new_first(snap_nodes.size(), kNullEdge);
+  for (std::size_t i = 0; i < snap_nodes.size(); ++i) {
+    const SnapNode& sn = snap_nodes[i];
+    if (i == 0) {
+      new_ids[0] = root();  // reset() re-created node 0 as a fresh leaf
+    } else {
+      const EdgeId parent_edge =
+          new_first[sn.parent_snap] + sn.parent_slot;
+      new_ids[i] = allocate_node(new_ids[sn.parent_snap], parent_edge);
+      edge(parent_edge).child.store(new_ids[i], std::memory_order_release);
+    }
+    Node& n = node(new_ids[i]);
+    if (sn.num_edges > 0) {
+      const EdgeId first = allocate_edges(sn.num_edges);
+      new_first[i] = first;
+      for (std::int32_t e = 0; e < sn.num_edges; ++e) {
+        const SnapEdge& se = snap_edges[sn.edge_begin + e];
+        Edge& dst = edge(first + e);
+        dst.visits.store(se.visits, std::memory_order_relaxed);
+        dst.value_sum.store(se.value_sum, std::memory_order_relaxed);
+        dst.prior = se.prior;
+        dst.action = se.action;
+      }
+      n.first_edge = first;
+      n.num_edges = sn.num_edges;
+    }
+    n.state.store(sn.state, std::memory_order_release);
+  }
+  return true;
 }
 
 NodeId SearchTree::allocate_node(NodeId parent, EdgeId parent_edge) {

@@ -88,6 +88,21 @@ class SearchTree {
   // (call between moves, with no search running).
   void reset();
 
+  // Cross-move tree reuse (AlphaZero-style): makes the child reached by
+  // `action` from the current root the new root, keeping that subtree's
+  // statistics and discarding every sibling subtree. The kept subtree is
+  // compacted to the front of the arena, so the discarded nodes' storage is
+  // reclaimed (the arena counters rewind to the subtree size). Returns
+  // false — and leaves the tree freshly reset() — when there is nothing to
+  // reuse (root unexpanded, action never visited, or child never created).
+  // NOT thread-safe (call between moves, with no search running).
+  bool advance_root(int action);
+
+  // Σ_a N(root, a) — the visit mass already accumulated at the root (used
+  // by the engine to credit reused visits against the playout budget).
+  // Returns 0 when the root is unexpanded.
+  std::int64_t root_visit_total() const;
+
   NodeId root() const { return 0; }
 
   Node& node(NodeId id) {

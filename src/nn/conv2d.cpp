@@ -1,5 +1,6 @@
 #include "nn/conv2d.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -32,48 +33,68 @@ void Conv2d::forward(const Tensor& x, Tensor& y, ConvWorkspace& ws,
   const int hw = h * w;
   const int kk = in_channels_ * ksize_ * ksize_;
   y.resize({batch, out_channels_, h, w});
-  ws.col.resize({kk, batch * hw});
+  if (col_cache != nullptr) col_cache->resize({batch, kk, hw});
 
-  im2col_batched(x.data(), batch, in_channels_, h, w, ksize_, pad_,
-                 ws.col.data());
-  if (col_cache != nullptr) {
-    // Backward consumes per-sample columns [B, kk, HW]; slice them out of
-    // the batch-major buffer (row r of sample b is col[r] + b*HW).
-    col_cache->resize({batch, kk, hw});
-    for (int b = 0; b < batch; ++b) {
-      float* dst = col_cache->data() + static_cast<std::size_t>(b) * kk * hw;
-      for (int r = 0; r < kk; ++r) {
-        std::memcpy(dst + static_cast<std::size_t>(r) * hw,
-                    ws.col.data() + (static_cast<std::size_t>(r) * batch +
-                                     b) * hw,
-                    static_cast<std::size_t>(hw) * sizeof(float));
+  // Cache-resident sub-batching: lower at most `chunk` samples at a time so
+  // the col buffer plus the pre-permute GEMM output stay within the
+  // workspace budget. Splitting the GEMM's N dimension keeps the per-element
+  // K-accumulation order intact, so chunked output is bitwise identical to
+  // the monolithic pass.
+  const std::size_t budget = ws.col_budget_bytes != 0
+                                 ? ws.col_budget_bytes
+                                 : ConvWorkspace::kDefaultColBudgetBytes;
+  const std::size_t bytes_per_sample =
+      static_cast<std::size_t>(kk + out_channels_) * hw * sizeof(float);
+  const int chunk = std::clamp(
+      static_cast<int>(budget / std::max<std::size_t>(1, bytes_per_sample)),
+      1, batch);
+
+  ws.col.resize({kk, chunk * hw});
+  if (chunk > 1) ws.ybuf.resize({out_channels_, chunk * hw});
+  const std::size_t x_stride = static_cast<std::size_t>(in_channels_) * hw;
+  const std::size_t y_stride = static_cast<std::size_t>(out_channels_) * hw;
+  for (int b0 = 0; b0 < batch; b0 += chunk) {
+    const int bs = std::min(chunk, batch - b0);
+    im2col_batched(x.data() + b0 * x_stride, bs, in_channels_, h, w, ksize_,
+                   pad_, ws.col.data());
+    if (col_cache != nullptr) {
+      // Backward consumes per-sample columns [B, kk, HW]; slice them out of
+      // the chunk-major buffer (row r of chunk-sample b is col[r] + b*HW).
+      for (int b = 0; b < bs; ++b) {
+        float* dst = col_cache->data() +
+                     static_cast<std::size_t>(b0 + b) * kk * hw;
+        for (int r = 0; r < kk; ++r) {
+          std::memcpy(dst + static_cast<std::size_t>(r) * hw,
+                      ws.col.data() +
+                          (static_cast<std::size_t>(r) * bs + b) * hw,
+                      static_cast<std::size_t>(hw) * sizeof(float));
+        }
       }
     }
-  }
 
-  if (batch == 1) {
-    // y[Cout, HW] = W[Cout, kk] * col[kk, HW] + b, fused epilogue.
+    if (bs == 1) {
+      // y_b[Cout, HW] = W[Cout, kk] * col[kk, HW] + b, fused epilogue —
+      // channel-major output IS the sample's layout, no permute needed.
+      gemm_bias_relu_parallel(pool, w_.value.data(), ws.col.data(),
+                              b_.value.data(), y.data() + b0 * y_stride,
+                              out_channels_, hw, kk, fuse_relu);
+      continue;
+    }
+    // ybuf[Cout, bs*HW] = W[Cout, kk] * col[kk, bs*HW] + b, then permute
+    // the channel-major GEMM output back to [bs, Cout, HW]. The permute is
+    // one contiguous HW-row copy per (b, oc) — negligible next to the 2·kk
+    // FLOPs/element GEMM it amortises.
     gemm_bias_relu_parallel(pool, w_.value.data(), ws.col.data(),
-                            b_.value.data(), y.data(), out_channels_, hw, kk,
-                            fuse_relu);
-    return;
-  }
-  // ybuf[Cout, B*HW] = W[Cout, kk] * col[kk, B*HW] + b, then permute the
-  // channel-major GEMM output back to [B, Cout, HW]. The permute is one
-  // contiguous HW-row copy per (b, oc) — negligible next to the 2·kk
-  // FLOPs/element GEMM it amortises.
-  ws.ybuf.resize({out_channels_, batch * hw});
-  gemm_bias_relu_parallel(pool, w_.value.data(), ws.col.data(),
-                          b_.value.data(), ws.ybuf.data(), out_channels_,
-                          batch * hw, kk, fuse_relu);
-  for (int b = 0; b < batch; ++b) {
-    float* yb = y.data() +
-                static_cast<std::size_t>(b) * out_channels_ * hw;
-    for (int oc = 0; oc < out_channels_; ++oc) {
-      std::memcpy(yb + static_cast<std::size_t>(oc) * hw,
-                  ws.ybuf.data() +
-                      (static_cast<std::size_t>(oc) * batch + b) * hw,
-                  static_cast<std::size_t>(hw) * sizeof(float));
+                            b_.value.data(), ws.ybuf.data(), out_channels_,
+                            bs * hw, kk, fuse_relu);
+    for (int b = 0; b < bs; ++b) {
+      float* yb = y.data() + (b0 + b) * y_stride;
+      for (int oc = 0; oc < out_channels_; ++oc) {
+        std::memcpy(yb + static_cast<std::size_t>(oc) * hw,
+                    ws.ybuf.data() +
+                        (static_cast<std::size_t>(oc) * bs + b) * hw,
+                    static_cast<std::size_t>(hw) * sizeof(float));
+      }
     }
   }
 }

@@ -25,9 +25,20 @@ class ThreadPool;
 
 // Reusable scratch for conv forward: the batched im2col buffer and the
 // pre-permute GEMM output. One per inference thread, shared by all layers.
+//
+// col_budget_bytes bounds the resident scratch (col chunk + ybuf chunk):
+// very large batches are lowered in cache-resident sub-batches instead of
+// one monolithic col buffer (conv3 at B=128 on the paper net is a ≈66 MB
+// col — far off the cache cliff). 0 selects kDefaultColBudgetBytes;
+// callers with a HardwareSpec should use conv_col_budget_bytes(hw)
+// (perfmodel/hardware.hpp), which derives the budget from the L2 size plus
+// the per-thread LLC share.
 struct ConvWorkspace {
-  Tensor col;   // [Cin*k*k, B*H*W]
-  Tensor ybuf;  // [Cout, B*H*W] (GEMM output before the B-major permute)
+  static constexpr std::size_t kDefaultColBudgetBytes = 4u << 20;
+
+  Tensor col;   // [Cin*k*k, chunk*H*W]
+  Tensor ybuf;  // [Cout, chunk*H*W] (GEMM output before the B-major permute)
+  std::size_t col_budget_bytes = 0;  // 0 = kDefaultColBudgetBytes
 };
 
 class Conv2d {

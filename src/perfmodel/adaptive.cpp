@@ -1,0 +1,137 @@
+#include "perfmodel/adaptive.hpp"
+
+#include <algorithm>
+
+#include "mcts/tree.hpp"
+#include "support/check.hpp"
+
+namespace apm {
+namespace {
+
+double ewma(double current, double sample, double alpha) {
+  return (1.0 - alpha) * current + alpha * sample;
+}
+
+}  // namespace
+
+AdaptiveController::AdaptiveController(HardwareSpec hw,
+                                       ProfiledCosts seed_costs,
+                                       AdaptiveConfig cfg, Scheme scheme,
+                                       int workers, int batch_size)
+    : hw_(hw),
+      costs_(seed_costs),
+      cfg_(cfg),
+      scheme_(scheme),
+      workers_(workers),
+      batch_(std::max(1, batch_size)) {
+  APM_CHECK(workers >= 1);
+  APM_CHECK(cfg_.ewma_alpha > 0.0 && cfg_.ewma_alpha <= 1.0);
+  APM_CHECK(cfg_.hysteresis >= 0.0);
+  if (cfg_.worker_candidates.empty()) {
+    cfg_.worker_candidates.push_back(workers);
+  }
+}
+
+ProfiledCosts AdaptiveController::costs_from_metrics(
+    const SearchMetrics& metrics, const HardwareSpec& hw) {
+  ProfiledCosts sample;
+  const double playouts = std::max(1, metrics.playouts);
+  const double expansions =
+      static_cast<double>(std::max<std::size_t>(1, metrics.expansions));
+  const double evals =
+      static_cast<double>(std::max<std::size_t>(1, metrics.eval_requests));
+  // Phase times are resource-seconds summed across workers, so dividing by
+  // the collective iteration count yields the per-iteration per-worker cost
+  // the Eq. 3–6 models expect.
+  sample.t_select_us = metrics.select_seconds * 1e6 / playouts;
+  sample.t_expand_us = metrics.expand_seconds * 1e6 / expansions;
+  sample.t_backup_us = metrics.backup_seconds * 1e6 / playouts;
+  // eval_seconds includes queue/blocking time — the latency a worker
+  // actually experiences per request, which is what the wave models bound.
+  sample.t_dnn_cpu_us = metrics.eval_seconds * 1e6 / evals;
+  sample.mean_depth = std::max(1.0, metrics.mean_depth());
+  sample.t_shared_access_us = hw.ddr_access_us * sample.mean_depth;
+  sample.tree_bytes =
+      metrics.nodes * sizeof(Node) + metrics.edges * sizeof(Edge);
+  return sample;
+}
+
+void AdaptiveController::observe(const SearchMetrics& metrics) {
+  observe_costs(costs_from_metrics(metrics, hw_));
+}
+
+void AdaptiveController::observe_costs(const ProfiledCosts& sample) {
+  const double a = cfg_.ewma_alpha;
+  costs_.t_select_us = ewma(costs_.t_select_us, sample.t_select_us, a);
+  costs_.t_expand_us = ewma(costs_.t_expand_us, sample.t_expand_us, a);
+  costs_.t_backup_us = ewma(costs_.t_backup_us, sample.t_backup_us, a);
+  costs_.t_dnn_cpu_us = ewma(costs_.t_dnn_cpu_us, sample.t_dnn_cpu_us, a);
+  costs_.t_shared_access_us =
+      ewma(costs_.t_shared_access_us, sample.t_shared_access_us, a);
+  costs_.mean_depth = ewma(costs_.mean_depth, sample.mean_depth, a);
+  costs_.tree_bytes = static_cast<std::size_t>(
+      ewma(static_cast<double>(costs_.tree_bytes),
+           static_cast<double>(sample.tree_bytes), a));
+  ++observed_moves_;
+}
+
+double AdaptiveController::predict_us(const PerfModel& model, Scheme scheme,
+                                      int workers, int batch) const {
+  switch (scheme) {
+    case Scheme::kLocalTree:
+      return cfg_.gpu ? model.local_gpu_us(workers,
+                                           std::clamp(batch, 1, workers))
+                      : model.local_cpu_us(workers);
+    case Scheme::kSerial:
+      // Serial is the 1-worker shared-tree degenerate case (no staggering,
+      // but Eq. 3 at N=1 only adds one access term).
+      return cfg_.gpu ? model.shared_gpu_us(1) : model.shared_cpu_us(1);
+    default:
+      return cfg_.gpu ? model.shared_gpu_us(workers)
+                      : model.shared_cpu_us(workers);
+  }
+}
+
+AdaptivePlan AdaptiveController::plan() {
+  const PerfModel model(hw_, costs_);
+  AdaptivePlan out;
+  out.current_predicted_us = predict_us(model, scheme_, workers_, batch_);
+
+  AdaptiveDecision best;
+  double best_us = 0.0;
+  bool first = true;
+  for (const int n : cfg_.worker_candidates) {
+    if (n < 1) continue;
+    const AdaptiveDecision d =
+        cfg_.gpu ? model.decide_gpu(n) : model.decide_cpu(n);
+    const double us = std::min(d.predicted_shared_us, d.predicted_local_us);
+    if (first || us < best_us) {
+      best = d;
+      best_us = us;
+      first = false;
+    }
+  }
+  ++moves_since_switch_;
+
+  out.predicted_us = best_us;
+  const bool different = best.scheme != scheme_ || best.workers != workers_ ||
+                         (cfg_.gpu && best.batch_size != batch_);
+  const bool clears_margin =
+      best_us < out.current_predicted_us * (1.0 - cfg_.hysteresis);
+  if (!first && different && clears_margin &&
+      observed_moves_ >= cfg_.warmup_moves &&
+      moves_since_switch_ > cfg_.dwell_moves) {
+    scheme_ = best.scheme;
+    workers_ = best.workers;
+    batch_ = std::max(1, best.batch_size);
+    out.switched = true;
+    ++switches_;
+    moves_since_switch_ = 0;
+  }
+  out.scheme = scheme_;
+  out.workers = workers_;
+  out.batch_size = batch_;
+  return out;
+}
+
+}  // namespace apm

@@ -1,0 +1,95 @@
+#pragma once
+// Runtime half of the paper's adaptive parallelism: the offline workflow
+// (§4.2) seeds the Eq. 3–6 models with design-time ProfiledCosts; this
+// controller keeps those costs *live* by folding each move's measured
+// SearchMetrics in with an EWMA and re-evaluating the models per move. When
+// another (scheme, N, B) configuration's predicted amortized latency beats
+// the current one by more than a hysteresis margin — and a dwell period has
+// passed — it recommends a switch. The SearchEngine applies the switch by
+// rebuilding the scheme driver over the shared tree arena, so the search
+// tree survives the handover.
+//
+// Hysteresis + dwell exist because profiled costs are noisy move to move:
+// without them the controller would flap between two near-equal
+// configurations, paying the (small but non-zero) switch cost every move
+// and destroying batch-formation locality in the evaluator queue.
+
+#include <vector>
+
+#include "mcts/config.hpp"
+#include "perfmodel/perf_model.hpp"
+
+namespace apm {
+
+struct AdaptiveConfig {
+  // EWMA weight of the newest cost sample (1.0 = trust only the last move).
+  double ewma_alpha = 0.3;
+  // Fractional predicted improvement another configuration must show over
+  // the current one before a switch fires (0.1 = 10% faster).
+  double hysteresis = 0.10;
+  // Minimum moves between two switches.
+  int dwell_moves = 1;
+  // Moves observed before the first switch is allowed (the design-time seed
+  // costs dominate until then).
+  int warmup_moves = 1;
+  // Platform: false = CPU-only (Eq. 3 vs 5), true = CPU+accelerator
+  // (Eq. 4 vs 6 with Algorithm-4 B search).
+  bool gpu = false;
+  // Candidate worker counts re-evaluated each move (empty = keep the
+  // initial worker count and only re-decide the scheme/batch).
+  std::vector<int> worker_candidates = {1, 2, 4, 8, 16, 32, 64};
+};
+
+// One per-move recommendation.
+struct AdaptivePlan {
+  Scheme scheme = Scheme::kSerial;
+  int workers = 1;
+  int batch_size = 1;
+  bool switched = false;          // configuration changed this move
+  double predicted_us = 0.0;      // amortized us/iter of the recommendation
+  double current_predicted_us = 0.0;  // same model, current configuration
+};
+
+class AdaptiveController {
+ public:
+  AdaptiveController(HardwareSpec hw, ProfiledCosts seed_costs,
+                     AdaptiveConfig cfg, Scheme scheme, int workers,
+                     int batch_size = 1);
+
+  // Folds one move's measured metrics into the live costs (EWMA).
+  void observe(const SearchMetrics& metrics);
+
+  // Folds an externally supplied cost sample (tests, DES replays).
+  void observe_costs(const ProfiledCosts& sample);
+
+  // Re-evaluates Eq. 3–6 under the live costs and commits a switch when it
+  // clears the hysteresis margin and the dwell period.
+  AdaptivePlan plan();
+
+  // Derives a ProfiledCosts sample from per-move metrics (exposed so DES
+  // replays and tests share the exact conversion).
+  static ProfiledCosts costs_from_metrics(const SearchMetrics& metrics,
+                                          const HardwareSpec& hw);
+
+  const ProfiledCosts& costs() const { return costs_; }
+  Scheme scheme() const { return scheme_; }
+  int workers() const { return workers_; }
+  int batch_size() const { return batch_; }
+  int switches() const { return switches_; }
+
+ private:
+  double predict_us(const PerfModel& model, Scheme scheme, int workers,
+                    int batch) const;
+
+  HardwareSpec hw_;
+  ProfiledCosts costs_;
+  AdaptiveConfig cfg_;
+  Scheme scheme_;
+  int workers_;
+  int batch_;
+  int observed_moves_ = 0;
+  int moves_since_switch_ = 0;
+  int switches_ = 0;
+};
+
+}  // namespace apm

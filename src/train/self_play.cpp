@@ -1,5 +1,7 @@
 #include "train/self_play.hpp"
 
+#include <functional>
+
 #include "support/check.hpp"
 #include "support/timer.hpp"
 #include "train/augment.hpp"
@@ -20,11 +22,13 @@ int sample_from(const std::vector<float>& probs, Rng& rng) {
   return last_positive;  // numerical tail
 }
 
-}  // namespace
-
-EpisodeStats run_self_play_episode(const Game& game, MctsSearch& search,
-                                   ReplayBuffer& buffer,
-                                   const SelfPlayConfig& cfg) {
+// Core episode loop shared by the MctsSearch and SearchEngine entry points:
+// `step` runs one move's search, `played` (optional) observes the chosen
+// action before it is applied.
+EpisodeStats play_episode(
+    const Game& game, ReplayBuffer& buffer, const SelfPlayConfig& cfg,
+    const std::function<SearchResult(const Game&)>& step,
+    const std::function<void(int)>& played) {
   EpisodeStats stats;
   Rng rng(cfg.seed);
   auto env = game.clone();
@@ -39,7 +43,7 @@ EpisodeStats run_self_play_episode(const Game& game, MctsSearch& search,
   while (!env->is_terminal()) {
     if (cfg.max_moves > 0 && stats.moves >= cfg.max_moves) break;
     Timer timer;
-    const SearchResult result = search.search(*env);
+    const SearchResult result = step(*env);
     stats.search_seconds += timer.elapsed_seconds();
     stats.last_metrics = result.metrics;
     APM_CHECK_MSG(result.best_action >= 0, "search produced no action");
@@ -59,6 +63,7 @@ EpisodeStats run_self_play_episode(const Game& game, MctsSearch& search,
       action = result.best_action;
     }
     APM_CHECK(env->is_legal(action));
+    if (played) played(action);
     env->apply(action);
     ++stats.moves;
   }
@@ -83,6 +88,37 @@ EpisodeStats run_self_play_episode(const Game& game, MctsSearch& search,
     }
     buffer.add(std::move(rec.sample));
     ++stats.samples;
+  }
+  return stats;
+}
+
+}  // namespace
+
+EpisodeStats run_self_play_episode(const Game& game, MctsSearch& search,
+                                   ReplayBuffer& buffer,
+                                   const SelfPlayConfig& cfg) {
+  return play_episode(
+      game, buffer, cfg,
+      [&search](const Game& env) { return search.search(env); }, nullptr);
+}
+
+EpisodeStats run_self_play_episode(const Game& game, SearchEngine& engine,
+                                   ReplayBuffer& buffer,
+                                   const SelfPlayConfig& cfg) {
+  engine.reset_game();
+  const std::size_t log_begin = engine.move_log().size();
+  EpisodeStats stats = play_episode(
+      game, buffer, cfg,
+      [&engine](const Game& env) { return engine.search(env); },
+      [&engine](int action) { engine.advance(action); });
+  // Surface the engine's adaptation trace for this episode.
+  const auto& log = engine.move_log();
+  for (std::size_t i = log_begin; i < log.size(); ++i) {
+    const EngineMoveStats& m = log[i];
+    stats.per_move.push_back(m);
+    if (m.switched) ++stats.scheme_switches;
+    if (m.reused_tree) ++stats.reused_moves;
+    stats.reused_visits += m.reused_visits;
   }
   return stats;
 }

@@ -3,11 +3,19 @@
 // (lines 3–12): play a game move by move, each move chosen by a full
 // tree-based search; record (state, π) per move and back-fill the final
 // reward z once the episode terminates.
+//
+// Two entry points: the historical one drives a bare MctsSearch (fresh
+// tree per move, fixed scheme); the SearchEngine overload drives the
+// adaptive engine instead — the played move is fed back via
+// engine.advance() so the subtree survives to the next move, and the
+// engine's per-move adaptation trace (scheme/worker/batch switches, reuse
+// accounting) is surfaced in EpisodeStats.
 
 #include <memory>
 #include <vector>
 
 #include "games/game.hpp"
+#include "mcts/engine.hpp"
 #include "mcts/search.hpp"
 #include "train/replay_buffer.hpp"
 
@@ -29,12 +37,24 @@ struct EpisodeStats {
   int samples = 0;
   double search_seconds = 0.0;  // Σ move search wall time
   SearchMetrics last_metrics;   // metrics of the final move
+  // Engine-mode extras (empty/zero for the bare-MctsSearch overload):
+  int scheme_switches = 0;      // runtime configuration changes this episode
+  int reused_moves = 0;         // moves that started from a reused subtree
+  std::int64_t reused_visits = 0;  // Σ visit mass carried across moves
+  std::vector<EngineMoveStats> per_move;  // full adaptation trace
 };
 
 // Plays one episode of `game` (copied) with `search` choosing every move
 // (both players share the search/net — standard AlphaZero self-play).
 // Samples are appended to `buffer`.
 EpisodeStats run_self_play_episode(const Game& game, MctsSearch& search,
+                                   ReplayBuffer& buffer,
+                                   const SelfPlayConfig& cfg);
+
+// Engine-driven episode: tree reuse across moves, runtime adaptation, and
+// the per-move trace in EpisodeStats. Starts from a fresh tree
+// (engine.reset_game()).
+EpisodeStats run_self_play_episode(const Game& game, SearchEngine& engine,
                                    ReplayBuffer& buffer,
                                    const SelfPlayConfig& cfg);
 

@@ -1,0 +1,279 @@
+// Adaptive engine tests: the AdaptiveController's crossover switching and
+// hysteresis (synthetic cost feeds), the runtime batch-threshold re-tune,
+// and a SearchEngine-driven self-play episode that logs a live scheme
+// switch through EpisodeStats.
+
+#include <gtest/gtest.h>
+
+#include "eval/net_evaluator.hpp"
+#include "games/gomoku.hpp"
+#include "mcts/engine.hpp"
+#include "perfmodel/adaptive.hpp"
+#include "train/self_play.hpp"
+
+namespace apm {
+namespace {
+
+// Hardware with no cache-residency adjustment, so the fed in-tree costs are
+// exactly what the Eq. 3–6 models consume.
+HardwareSpec flat_hardware() {
+  HardwareSpec hw;
+  hw.ddr_access_us = 0.0;
+  hw.llc_access_us = 0.0;
+  return hw;
+}
+
+ProfiledCosts make_costs(double select_us, double dnn_us,
+                         double shared_access_us) {
+  ProfiledCosts c;
+  c.t_select_us = select_us;
+  c.t_expand_us = 0.5;
+  c.t_backup_us = 0.5;
+  c.t_dnn_cpu_us = dnn_us;
+  c.t_shared_access_us = shared_access_us;
+  c.mean_depth = 4.0;
+  c.tree_bytes = 1 << 20;
+  return c;
+}
+
+AdaptiveConfig trusting_config(std::vector<int> candidates) {
+  AdaptiveConfig cfg;
+  cfg.ewma_alpha = 1.0;  // trust the latest sample outright
+  cfg.hysteresis = 0.10;
+  cfg.dwell_moves = 0;
+  cfg.warmup_moves = 1;
+  cfg.gpu = false;
+  cfg.worker_candidates = std::move(candidates);
+  return cfg;
+}
+
+TEST(AdaptiveController, SwitchesAtPerfModelCrossoverAndBack) {
+  const HardwareSpec hw = flat_hardware();
+  // Eval-bound regime: Eq. 5 (local) beats Eq. 3 (shared) at N=8.
+  const ProfiledCosts eval_bound = make_costs(5.0, 800.0, 2.0);
+  // In-tree-bound regime: the serialised local master (Eq. 5's N·T_in-tree
+  // term) loses decisively to the shared tree.
+  const ProfiledCosts intree_bound = make_costs(60.0, 100.0, 2.0);
+  // Shared-access-heavy regime: Eq. 3's N·T_access term dominates → local.
+  const ProfiledCosts access_bound = make_costs(5.0, 800.0, 20.0);
+
+  AdaptiveController ctl(hw, eval_bound, trusting_config({8}),
+                         Scheme::kLocalTree, 8);
+
+  ctl.observe_costs(eval_bound);
+  AdaptivePlan plan = ctl.plan();
+  EXPECT_FALSE(plan.switched);
+  EXPECT_EQ(ctl.scheme(), Scheme::kLocalTree);
+
+  ctl.observe_costs(intree_bound);
+  plan = ctl.plan();
+  EXPECT_TRUE(plan.switched);
+  EXPECT_EQ(ctl.scheme(), Scheme::kSharedTree);
+  EXPECT_LT(plan.predicted_us, plan.current_predicted_us);
+
+  ctl.observe_costs(access_bound);
+  plan = ctl.plan();
+  EXPECT_TRUE(plan.switched);
+  EXPECT_EQ(ctl.scheme(), Scheme::kLocalTree);
+  EXPECT_EQ(ctl.switches(), 2);
+}
+
+TEST(AdaptiveController, PicksGlobalBestWorkerCount) {
+  const HardwareSpec hw = flat_hardware();
+  const ProfiledCosts costs = make_costs(5.0, 150.0, 2.0);
+  const std::vector<int> candidates = {1, 2, 4, 8, 16, 32, 64};
+
+  // Expected winner straight from the perf model.
+  const PerfModel model(hw, costs);
+  Scheme best_scheme = Scheme::kSerial;
+  int best_n = 1;
+  double best_us = 0.0;
+  bool first = true;
+  for (const int n : candidates) {
+    const AdaptiveDecision d = model.decide_cpu(n);
+    const double us = std::min(d.predicted_shared_us, d.predicted_local_us);
+    if (first || us < best_us) {
+      best_scheme = d.scheme;
+      best_n = d.workers;
+      best_us = us;
+      first = false;
+    }
+  }
+
+  AdaptiveController ctl(hw, costs, trusting_config(candidates),
+                         Scheme::kSerial, 1);
+  ctl.observe_costs(costs);
+  const AdaptivePlan plan = ctl.plan();
+  EXPECT_TRUE(plan.switched);
+  EXPECT_EQ(ctl.scheme(), best_scheme);
+  EXPECT_EQ(ctl.workers(), best_n);
+  EXPECT_NE(best_n, 1);  // the model must actually prefer parallelism here
+}
+
+TEST(AdaptiveController, HysteresisPreventsFlappingOnNoisyCosts) {
+  const HardwareSpec hw = flat_hardware();
+  // Near the N=8 crossover: local wave 8·(I+1) ≈ shared wave 8·A + I+1 + D
+  // with I = select+expand+backup, A = 1, D = 700.
+  const double base_select = 100.2;  // I ≈ 101.2 → both waves ≈ 809.5 µs
+  const ProfiledCosts base = make_costs(base_select, 700.0, 1.0);
+
+  AdaptiveController ctl(hw, base, trusting_config({8}), Scheme::kLocalTree,
+                         8);
+  // ±5% oscillation around the crossover: predicted gains stay inside the
+  // 10% hysteresis margin, so the controller must not flap.
+  for (int move = 0; move < 20; ++move) {
+    const double wiggle = move % 2 == 0 ? 1.05 : 0.95;
+    ctl.observe_costs(make_costs(base_select * wiggle, 700.0, 1.0));
+    ctl.plan();
+  }
+  EXPECT_EQ(ctl.switches(), 0);
+  EXPECT_EQ(ctl.scheme(), Scheme::kLocalTree);
+
+  // A decisive shift still gets through immediately.
+  ctl.observe_costs(make_costs(base_select * 4.0, 700.0, 1.0));
+  const AdaptivePlan plan = ctl.plan();
+  EXPECT_TRUE(plan.switched);
+  EXPECT_EQ(ctl.scheme(), Scheme::kSharedTree);
+}
+
+TEST(AdaptiveController, DwellBlocksBackToBackSwitches) {
+  const HardwareSpec hw = flat_hardware();
+  const ProfiledCosts local_best = make_costs(5.0, 800.0, 2.0);
+  const ProfiledCosts shared_best = make_costs(60.0, 100.0, 2.0);
+  AdaptiveConfig cfg = trusting_config({8});
+  cfg.dwell_moves = 3;
+  AdaptiveController ctl(hw, local_best, cfg, Scheme::kLocalTree, 8);
+
+  ctl.observe_costs(shared_best);
+  EXPECT_FALSE(ctl.plan().switched);  // dwell not yet satisfied
+  ctl.observe_costs(shared_best);
+  EXPECT_FALSE(ctl.plan().switched);
+  ctl.observe_costs(shared_best);
+  EXPECT_FALSE(ctl.plan().switched);
+  ctl.observe_costs(shared_best);
+  EXPECT_TRUE(ctl.plan().switched);  // 4th move clears dwell_moves = 3
+  EXPECT_EQ(ctl.scheme(), Scheme::kSharedTree);
+}
+
+TEST(AsyncBatchThreshold, RuntimeRetuneFlushesAndApplies) {
+  Gomoku g(5, 4);
+  SyntheticEvaluator eval(g.action_count(), g.encode_size());
+  GpuTimingModel model;
+  SimGpuBackend backend(eval, model);
+  AsyncBatchEvaluator batch(backend, /*threshold=*/4, /*streams=*/1,
+                            /*stale_flush_us=*/0.0);
+  std::vector<float> input(g.encode_size(), 0.0f);
+
+  // Two requests sit below the threshold of 4...
+  auto f1 = batch.submit_future(input.data());
+  auto f2 = batch.submit_future(input.data());
+  // ...until the re-tune dispatches the partial batch and lowers B.
+  batch.set_batch_threshold(2);
+  f1.get();
+  f2.get();
+  EXPECT_EQ(batch.batch_threshold(), 2);
+
+  // New batches dispatch at the new threshold without a flush.
+  auto f3 = batch.submit_future(input.data());
+  auto f4 = batch.submit_future(input.data());
+  f3.get();
+  f4.get();
+  const BatchQueueStats stats = batch.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_GE(stats.threshold_dispatches, 1u);
+  batch.drain();
+}
+
+TEST(SearchEngine, AppliesSharedTreeBatchConvention) {
+  // §3.3: shared-tree batch threshold is always N — the engine re-tunes the
+  // queue to the worker count when it installs a shared-tree driver.
+  Gomoku g(5, 4);
+  SyntheticEvaluator eval(g.action_count(), g.encode_size());
+  GpuTimingModel model;
+  SimGpuBackend backend(eval, model);
+  AsyncBatchEvaluator batch(backend, /*threshold=*/1, /*streams=*/1,
+                            /*stale_flush_us=*/300.0);
+
+  EngineConfig ec;
+  ec.mcts.num_playouts = 40;
+  ec.scheme = Scheme::kSharedTree;
+  ec.workers = 8;
+  ec.adapt = false;
+  SearchEngine engine(ec, {.batch = &batch});
+  EXPECT_EQ(engine.batch_threshold(), 8);
+}
+
+TEST(SearchEngine, EpisodeLogsRuntimeSwitchFromSyntheticCostFeed) {
+  // Acceptance path: a self-play episode through the engine, with a
+  // synthetic cost feed standing in for the measured per-move metrics,
+  // must log a runtime scheme switch and surface it via EpisodeStats.
+  Gomoku g(5, 4);
+  UniformEvaluator eval(g.action_count(), g.encode_size());
+
+  EngineConfig ec;
+  ec.mcts.num_playouts = 80;
+  ec.scheme = Scheme::kLocalTree;
+  ec.workers = 8;  // the Eq. 3/5 crossover needs enough parallelism to bite
+  ec.hw = flat_hardware();
+  ec.seed_costs = make_costs(5.0, 800.0, 2.0);
+  ec.adaptive = trusting_config({8});
+  SearchEngine engine(ec, {.evaluator = &eval});
+  // Moves 0–1 look eval-bound (local-tree correct); from move 2 the live
+  // costs turn in-tree-bound, which Eq. 3 vs Eq. 5 resolves to shared-tree.
+  engine.set_cost_feed([](int move) {
+    return move < 2 ? make_costs(5.0, 800.0, 2.0)
+                    : make_costs(60.0, 100.0, 2.0);
+  });
+
+  ReplayBuffer buffer(4096);
+  SelfPlayConfig sp;
+  sp.max_moves = 6;
+  sp.temperature_moves = 0;  // deterministic argmax play
+  const EpisodeStats stats = run_self_play_episode(g, engine, buffer, sp);
+
+  EXPECT_GE(stats.scheme_switches, 1);
+  ASSERT_EQ(stats.per_move.size(), static_cast<std::size_t>(stats.moves));
+  bool saw_switch_to_shared = false;
+  for (const EngineMoveStats& m : stats.per_move) {
+    if (m.switched && m.next_scheme == Scheme::kSharedTree) {
+      saw_switch_to_shared = true;
+    }
+  }
+  EXPECT_TRUE(saw_switch_to_shared);
+  EXPECT_EQ(engine.scheme(), Scheme::kSharedTree);
+
+  // Tree reuse ran alongside adaptation: every move after the first starts
+  // from the played move's subtree, including across the scheme switch.
+  EXPECT_EQ(stats.reused_moves, stats.moves - 1);
+  EXPECT_GT(stats.reused_visits, 0);
+}
+
+TEST(SearchEngine, ReuseDisabledMatchesBareDriver) {
+  // With reuse and adaptation off, the engine is a thin wrapper: identical
+  // results to a standalone serial search on the same positions.
+  Gomoku g(5, 4);
+  UniformEvaluator eval(g.action_count(), g.encode_size());
+  MctsConfig cfg;
+  cfg.num_playouts = 150;
+  cfg.seed = 9;
+
+  EngineConfig ec;
+  ec.mcts = cfg;
+  ec.scheme = Scheme::kSerial;
+  ec.reuse_tree = false;
+  ec.adapt = false;
+  SearchEngine engine(ec, {.evaluator = &eval});
+  SerialMcts bare(cfg, eval);
+
+  auto env = g.clone();
+  for (int move = 0; move < 3; ++move) {
+    const SearchResult re = engine.search(*env);
+    const SearchResult rb = bare.search(*env);
+    ASSERT_EQ(re.action_prior, rb.action_prior) << "move " << move;
+    env->apply(rb.best_action);
+    engine.advance(rb.best_action);
+  }
+}
+
+}  // namespace
+}  // namespace apm

@@ -8,6 +8,7 @@
 
 #include "eval/net_evaluator.hpp"
 #include "games/gomoku.hpp"
+#include "mcts/engine.hpp"
 #include "mcts/factory.hpp"
 
 namespace apm {
@@ -234,6 +235,119 @@ TEST(NetBackedSearch, RealNetworkOnSmallBoard) {
   EXPECT_GE(r.best_action, 0);
   EXPECT_LT(r.best_action, 25);
   EXPECT_GT(r.metrics.eval_requests, 0u);
+}
+
+// --- cross-move tree reuse ---------------------------------------------------
+
+TEST(TreeReuse, ReusedSerialSearchIsDeterministic) {
+  // Two independent arenas driven through the same search → advance_root →
+  // reused-search sequence must produce identical results at every move:
+  // the reused search is a pure function of (config, position, kept tree),
+  // not of instance state.
+  Gomoku g(5, 4);
+  UniformEvaluator eval(g.action_count(), g.encode_size());
+  auto play = [&](std::vector<SearchResult>& out) {
+    SearchTree arena;
+    SerialMcts search(quick_config(200), eval, &arena);
+    auto env = g.clone();
+    for (int move = 0; move < 3; ++move) {
+      const SearchResult r = search.search(*env);
+      out.push_back(r);
+      env->apply(r.best_action);
+      arena.advance_root(r.best_action);
+      search.set_reuse_next(true);
+    }
+  };
+  std::vector<SearchResult> a, b;
+  play(a);
+  play(b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].best_action, b[i].best_action) << "move " << i;
+    EXPECT_EQ(a[i].action_prior, b[i].action_prior) << "move " << i;
+  }
+  // Moves after the first actually reused a subtree.
+  EXPECT_GT(a[1].metrics.reused_nodes, 0u);
+  EXPECT_GT(a[1].metrics.reused_visits, 0);
+}
+
+TEST(TreeReuse, FewerExpansionsThanFreshTreeAtEqualBudget) {
+  // Equal per-move playout target (root visit mass): the reuse engine
+  // credits the carried subtree's visits against the budget, so it runs
+  // measurably fewer expansions per move than the fresh-tree engine while
+  // ending at the same root visit total.
+  Gomoku g(5, 4);
+  // Value-bearing evaluator + low exploration so visits concentrate on the
+  // principal variation — the subtree a real (trained-net) search carries.
+  SyntheticEvaluator eval(g.action_count(), g.encode_size());
+  MctsConfig cfg = quick_config(300);
+  cfg.c_puct = 1.0f;
+
+  // Fixed trajectory so both engines search identical positions.
+  std::vector<int> trajectory;
+  {
+    SerialMcts scout(cfg, eval);
+    auto env = g.clone();
+    for (int move = 0; move < 4; ++move) {
+      const SearchResult r = scout.search(*env);
+      trajectory.push_back(r.best_action);
+      env->apply(r.best_action);
+    }
+  }
+
+  auto run = [&](bool reuse) {
+    EngineConfig ec;
+    ec.mcts = cfg;
+    ec.scheme = Scheme::kSerial;
+    ec.workers = 1;
+    ec.reuse_tree = reuse;
+    ec.adapt = false;
+    SearchEngine engine(ec, {.evaluator = &eval});
+    auto env = g.clone();
+    std::size_t expansions = 0;
+    for (const int action : trajectory) {
+      const SearchResult r = engine.search(*env);
+      expansions += r.metrics.expansions;
+      env->apply(action);
+      engine.advance(action);
+    }
+    return expansions;
+  };
+
+  const std::size_t fresh = run(false);
+  const std::size_t reused = run(true);
+  EXPECT_LT(reused, fresh);
+  // The saving is the reused visit mass, minus terminal rollouts — demand a
+  // real margin, not an off-by-one.
+  EXPECT_LT(reused, fresh - fresh / 10);
+}
+
+TEST(TreeReuse, SharedArenaSurvivesSchemeSwitch) {
+  // A scheme switch hands the reused tree to the new driver: search with
+  // local-tree, advance, then search the next position with shared-tree
+  // over the same arena — the second search starts from the kept subtree.
+  Gomoku g(5, 4);
+  SyntheticEvaluator eval(g.action_count(), g.encode_size());
+  SearchTree arena;
+  MctsConfig cfg = quick_config(240);
+
+  LocalTreeMcts local(cfg, 2, eval, &arena);
+  auto env = g.clone();
+  const SearchResult r1 = local.search(*env);
+  env->apply(r1.best_action);
+  ASSERT_TRUE(arena.advance_root(r1.best_action));
+  const std::int64_t carried = arena.root_visit_total();
+  ASSERT_GT(carried, 0);
+
+  SharedTreeMcts shared(cfg, 2, eval, &arena);
+  shared.set_reuse_next(true);
+  const SearchResult r2 = shared.search(*env);
+  EXPECT_EQ(r2.metrics.reused_visits, carried);
+  EXPECT_GT(r2.metrics.reused_nodes, 0u);
+  // Visit conservation still holds on the merged tree.
+  float mass = 0.0f;
+  for (float p : r2.action_prior) mass += p;
+  EXPECT_NEAR(mass, 1.0f, 1e-4f);
 }
 
 TEST(RootNoise, ChangesExplorationButKeepsDistribution) {

@@ -128,5 +128,122 @@ TEST(SearchTree, MemoryBytesTracksCounts) {
   EXPECT_GE(tree.memory_bytes(), before + 1000 * sizeof(Edge));
 }
 
+// --- cross-move tree reuse (advance_root) -----------------------------------
+
+namespace {
+
+// Expands `node` with `n` edges (actions 100+i, prior 1/n) and returns the
+// first edge id.
+EdgeId expand_manually(SearchTree& tree, NodeId node, int n) {
+  Node& nd = tree.node(node);
+  const EdgeId first = tree.allocate_edges(n);
+  for (int i = 0; i < n; ++i) {
+    Edge& e = tree.edge(first + i);
+    e.action = 100 + i;
+    e.prior = 1.0f / static_cast<float>(n);
+  }
+  nd.first_edge = first;
+  nd.num_edges = n;
+  nd.state.store(ExpandState::kExpanded);
+  return first;
+}
+
+}  // namespace
+
+TEST(SearchTreeAdvanceRoot, KeepsSubtreeStatsAndFreesSiblings) {
+  SearchTree tree;
+  // root --(a=100, 10 visits)--> c0 --(a=100, 3 visits)--> g (leaf)
+  //      \-(a=101,  5 visits)--> c1 --(a=100, 2 visits)--> g1 (leaf)
+  const EdgeId re = expand_manually(tree, tree.root(), 2);
+  tree.edge(re).visits.store(10);
+  tree.edge(re).value_sum.store(4.0f);
+  tree.edge(re + 1).visits.store(5);
+  tree.edge(re + 1).value_sum.store(-1.0f);
+
+  const NodeId c0 = tree.allocate_node(tree.root(), re);
+  tree.edge(re).child.store(c0);
+  const NodeId c1 = tree.allocate_node(tree.root(), re + 1);
+  tree.edge(re + 1).child.store(c1);
+
+  const EdgeId c0e = expand_manually(tree, c0, 1);
+  tree.edge(c0e).visits.store(3);
+  tree.edge(c0e).value_sum.store(1.5f);
+  tree.edge(c0e).prior = 0.625f;
+  const NodeId g = tree.allocate_node(c0, c0e);
+  tree.edge(c0e).child.store(g);
+
+  const EdgeId c1e = expand_manually(tree, c1, 1);
+  tree.edge(c1e).visits.store(2);
+  const NodeId g1 = tree.allocate_node(c1, c1e);
+  tree.edge(c1e).child.store(g1);
+
+  EXPECT_EQ(tree.root_visit_total(), 15);
+  EXPECT_EQ(tree.node_count(), 5u);
+
+  ASSERT_TRUE(tree.advance_root(100));
+
+  // The discarded sibling subtree's storage is reclaimed: only c0 and g
+  // remain, and only c0's edge block.
+  EXPECT_EQ(tree.node_count(), 2u);
+  EXPECT_EQ(tree.edge_count(), 1u);
+
+  const Node& root = tree.node(tree.root());
+  EXPECT_EQ(root.parent, kNullNode);
+  EXPECT_EQ(root.state.load(), ExpandState::kExpanded);
+  ASSERT_EQ(root.num_edges, 1);
+  const Edge& kept = tree.edge(root.first_edge);
+  EXPECT_EQ(kept.action, 100);
+  EXPECT_EQ(kept.visits.load(), 3);
+  EXPECT_FLOAT_EQ(kept.value_sum.load(), 1.5f);
+  EXPECT_FLOAT_EQ(kept.prior, 0.625f);
+  EXPECT_EQ(tree.root_visit_total(), 3);
+
+  // The grandchild survived and is correctly re-linked.
+  const NodeId new_g = kept.child.load();
+  ASSERT_NE(new_g, kNullNode);
+  EXPECT_EQ(tree.node(new_g).parent, tree.root());
+  EXPECT_EQ(tree.node(new_g).parent_edge, root.first_edge);
+  EXPECT_EQ(tree.node(new_g).state.load(), ExpandState::kLeaf);
+}
+
+TEST(SearchTreeAdvanceRoot, ChainedAdvancesWalkTheTree) {
+  SearchTree tree;
+  const EdgeId re = expand_manually(tree, tree.root(), 2);
+  tree.edge(re).visits.store(8);
+  const NodeId c0 = tree.allocate_node(tree.root(), re);
+  tree.edge(re).child.store(c0);
+  const EdgeId c0e = expand_manually(tree, c0, 2);
+  tree.edge(c0e + 1).visits.store(4);
+  const NodeId g = tree.allocate_node(c0, c0e + 1);
+  tree.edge(c0e + 1).child.store(g);
+
+  ASSERT_TRUE(tree.advance_root(100));  // -> c0
+  ASSERT_TRUE(tree.advance_root(101));  // -> g
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.node(tree.root()).state.load(), ExpandState::kLeaf);
+  EXPECT_EQ(tree.root_visit_total(), 0);
+}
+
+TEST(SearchTreeAdvanceRoot, ResetsWhenNothingToReuse) {
+  SearchTree tree;
+  // Unexpanded root: nothing to advance into.
+  EXPECT_FALSE(tree.advance_root(3));
+  EXPECT_EQ(tree.node_count(), 1u);
+
+  // Expanded root, but the action's child node was never created.
+  const EdgeId re = expand_manually(tree, tree.root(), 2);
+  (void)re;
+  EXPECT_FALSE(tree.advance_root(100));
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.node(tree.root()).state.load(), ExpandState::kLeaf);
+
+  // Expanded root, but the requested action does not exist.
+  const EdgeId re2 = expand_manually(tree, tree.root(), 2);
+  const NodeId c = tree.allocate_node(tree.root(), re2);
+  tree.edge(re2).child.store(c);
+  EXPECT_FALSE(tree.advance_root(999));
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
 }  // namespace
 }  // namespace apm
