@@ -72,27 +72,35 @@ int main() {
 
     PolicyValueNet net(NetConfig::tiny(kBoard), /*seed=*/29);  // same init ∀N
     NetEvaluator evaluator(net);
-    MctsConfig mcts;
-    mcts.num_playouts = kPlayouts;
-    mcts.root_noise = true;
-    mcts.seed = 100 + n;
-    auto search = make_search(d.scheme, mcts, n, {.evaluator = &evaluator});
 
     TrainerConfig tc;
     tc.sgd_iters_per_move = 3;
     tc.batch_size = 24;
     tc.sgd.lr = 5e-3f;
     Trainer trainer(net, tc, 50000);
-    SelfPlayConfig self_play;
-    self_play.temperature_moves = 6;
-    self_play.augment = true;
-    self_play.seed = 1000;  // identical openings across N
+
+    // Episodes run through the match service (two concurrent games per
+    // wave), each game on its own engine frozen to this N's DES-chosen
+    // scheme — the adaptive-vs-frozen comparison keeps the config fixed.
+    ServiceConfig sc;
+    sc.engine.mcts.num_playouts = kPlayouts;
+    sc.engine.mcts.root_noise = true;
+    sc.engine.mcts.seed = 100 + static_cast<std::uint64_t>(n);
+    sc.engine.scheme = d.scheme;
+    sc.engine.workers = n;
+    sc.engine.adapt = false;
+    sc.slots = 2;
+    sc.workers = 2;
+    sc.self_play.temperature_moves = 6;
+    sc.self_play.augment = true;
+    sc.self_play.seed = 1000;  // identical openings across N
+    MatchService service(sc, game, {.evaluator = &evaluator});
 
     int episode = 0;
     double virtual_s = 0.0;
     int prev_samples = 0;
     float last_loss = 0.0f;
-    trainer.run(game, *search, kEpisodes, self_play,
+    trainer.run(service, kEpisodes,
                 [&](const LossPoint& p) {
                   virtual_s += (p.samples_seen - prev_samples) *
                                virtual_us_per_sample * 1e-6 / 8.0;

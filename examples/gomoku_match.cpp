@@ -47,18 +47,21 @@ int main(int argc, char** argv) {
   apm::PolicyValueNet net_b(apm::NetConfig::tiny(board), 11);
   {
     apm::NetEvaluator eval(net_a);
-    apm::MctsConfig mcts;
-    mcts.num_playouts = playouts;
-    mcts.root_noise = true;
-    apm::SerialMcts search(mcts, eval);
     apm::TrainerConfig tc;
     tc.sgd_iters_per_move = 4;
     tc.batch_size = 32;
     apm::Trainer trainer(net_a, tc, 20000);
-    apm::SelfPlayConfig sp;
-    sp.augment = true;
+    apm::ServiceConfig sc;
+    sc.engine.mcts.num_playouts = playouts;
+    sc.engine.mcts.root_noise = true;
+    sc.engine.scheme = apm::Scheme::kSerial;
+    sc.engine.adapt = false;
+    sc.slots = 2;
+    sc.workers = 2;
+    sc.self_play.augment = true;
+    apm::MatchService service(sc, game, {.evaluator = &eval});
     std::printf("pre-training agent A for 4 episodes...\n");
-    trainer.run(game, search, 4, sp);
+    trainer.run(service, 4);
   }
 
   apm::NetEvaluator eval_a(net_a), eval_b(net_b);

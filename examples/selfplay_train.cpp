@@ -1,15 +1,17 @@
-// Full Algorithm-1 training loop on a small board: self-play data
-// collection with a parallel search, SGD updates, loss reporting, and a
+// Full Algorithm-1 training loop on a small board, routed through the
+// concurrent match service: self-play episodes run `slots` games at a time,
+// each game on its own adaptive SearchEngine (cross-move tree reuse +
+// runtime scheme switching), all sharing one NetEvaluator so concurrent
+// games keep it busy; SGD updates run between waves; loss reporting and a
 // checkpoint at the end.
 //
-// Usage: selfplay_train [episodes] [board] [playouts] [workers]
+// Usage: selfplay_train [episodes] [board] [playouts] [workers] [slots]
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "eval/net_evaluator.hpp"
 #include "games/gomoku.hpp"
-#include "mcts/factory.hpp"
 #include "nn/serialize.hpp"
 #include "train/trainer.hpp"
 
@@ -18,15 +20,27 @@ int main(int argc, char** argv) {
   const int board = argc > 2 ? std::atoi(argv[2]) : 5;
   const int playouts = argc > 3 ? std::atoi(argv[3]) : 64;
   const int workers = argc > 4 ? std::atoi(argv[4]) : 4;
+  const int slots = argc > 5 ? std::atoi(argv[5]) : 3;
 
   const apm::Gomoku game(board, board >= 5 ? 4 : 3);
   apm::PolicyValueNet net(apm::NetConfig::tiny(board), /*seed=*/3);
   apm::NetEvaluator evaluator(net);
 
-  apm::MctsConfig mcts;
-  mcts.num_playouts = playouts;
-  mcts.root_noise = true;  // exploration during self-play
-  apm::LocalTreeMcts search(mcts, workers, evaluator);
+  // Service path: one engine per concurrent game. Each engine starts on the
+  // local-tree scheme and may re-decide (scheme, N) — and with it the
+  // virtual-loss constant — per move from live costs; `slots` games share
+  // the evaluator so the pipeline never idles on a single game's tail.
+  apm::ServiceConfig sc;
+  sc.engine.mcts.num_playouts = playouts;
+  sc.engine.mcts.root_noise = true;  // exploration during self-play
+  sc.engine.scheme = apm::Scheme::kLocalTree;
+  sc.engine.workers = workers;
+  sc.engine.adaptive.worker_candidates = {1, 2, workers};
+  sc.slots = slots;
+  sc.workers = slots;  // one service thread per concurrent game
+  sc.self_play.temperature_moves = board;  // explore the opening
+  sc.self_play.augment = true;
+  apm::MatchService service(sc, game, {.evaluator = &evaluator});
 
   apm::TrainerConfig tc;
   tc.sgd_iters_per_move = 4;
@@ -34,17 +48,13 @@ int main(int argc, char** argv) {
   tc.sgd.lr = 5e-3f;
   apm::Trainer trainer(net, tc, /*buffer_capacity=*/20000);
 
-  apm::SelfPlayConfig sp;
-  sp.temperature_moves = board;  // explore the opening
-  sp.augment = true;
-
   std::printf("training %dx%d gomoku: %d episodes, %d playouts/move, "
-              "%d workers (local-tree)\n",
-              board, board, episodes, playouts, workers);
+              "%d workers (adaptive engines), %d concurrent games\n",
+              board, board, episodes, playouts, workers, slots);
   std::printf("%-8s %-10s %-8s %-8s %-8s %-8s\n", "episode", "samples",
               "loss", "value", "policy", "entropy");
   int episode = 0;
-  trainer.run(game, search, episodes, sp,
+  trainer.run(service, episodes,
               [&episode](const apm::LossPoint& p) {
                 std::printf("%-8d %-10d %-8.3f %-8.3f %-8.3f %-8.3f\n",
                             ++episode, p.samples_seen, p.loss, p.value_loss,
@@ -52,6 +62,10 @@ int main(int argc, char** argv) {
                 std::fflush(stdout);
               });
 
+  const apm::ServiceStats ss = service.stats();
+  std::printf("service: %d games, %.1f moves/s aggregate, %d scheme "
+              "switches across engines\n",
+              ss.games_completed, ss.moves_per_second, ss.scheme_switches);
   std::printf("throughput: %.2f samples/s (search+train, §5.4 metric)\n",
               trainer.samples_per_second());
   apm::save_net_file(net, "gomoku_net.ckpt");

@@ -4,6 +4,36 @@
 
 namespace apm {
 
+BatchQueueStats stats_delta(const BatchQueueStats& now,
+                            const BatchQueueStats& base) {
+  BatchQueueStats d;
+  d.submitted = now.submitted - base.submitted;
+  d.batches = now.batches - base.batches;
+  d.full_batches = now.full_batches - base.full_batches;
+  d.threshold_dispatches = now.threshold_dispatches - base.threshold_dispatches;
+  d.stale_flushes = now.stale_flushes - base.stale_flushes;
+  d.manual_flushes = now.manual_flushes - base.manual_flushes;
+  d.mean_batch = d.batches > 0 ? static_cast<double>(d.submitted) /
+                                     static_cast<double>(d.batches)
+                               : 0.0;
+  d.modelled_backend_us = now.modelled_backend_us - base.modelled_backend_us;
+  d.fill_histogram = now.fill_histogram;
+  for (std::size_t i = 0;
+       i < base.fill_histogram.size() && i < d.fill_histogram.size(); ++i) {
+    d.fill_histogram[i] -= base.fill_histogram[i];
+  }
+  for (std::size_t size = 0; size < d.fill_histogram.size(); ++size) {
+    if (d.fill_histogram[size] > 0) d.max_batch = size;
+  }
+  d.tag_slots = now.tag_slots;
+  for (std::size_t i = 0; i < base.tag_slots.size() && i < d.tag_slots.size();
+       ++i) {
+    d.tag_slots[i] -= base.tag_slots[i];
+  }
+  d.untagged_slots = now.untagged_slots - base.untagged_slots;
+  return d;
+}
+
 AsyncBatchEvaluator::AsyncBatchEvaluator(InferenceBackend& backend,
                                          int batch_threshold, int num_streams,
                                          double stale_flush_us)
@@ -31,7 +61,7 @@ AsyncBatchEvaluator::~AsyncBatchEvaluator() {
   batch_queue_.close();
 }
 
-void AsyncBatchEvaluator::submit(const float* input, Callback cb) {
+void AsyncBatchEvaluator::submit(const float* input, Callback cb, int tag) {
   APM_CHECK(cb != nullptr);
   const std::size_t isz = backend_.input_size();
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
@@ -51,6 +81,14 @@ void AsyncBatchEvaluator::submit(const float* input, Callback cb) {
     slot = pending_->callbacks.size();
     pending_->callbacks.push_back(std::move(cb));
     ++stats_.submitted;
+    if (tag >= 0) {
+      if (stats_.tag_slots.size() <= static_cast<std::size_t>(tag)) {
+        stats_.tag_slots.resize(static_cast<std::size_t>(tag) + 1, 0);
+      }
+      ++stats_.tag_slots[static_cast<std::size_t>(tag)];
+    } else {
+      ++stats_.untagged_slots;
+    }
     if (static_cast<int>(pending_->callbacks.size()) >= threshold_) {
       dispatch_locked(lock, DispatchReason::kThreshold);
     }
@@ -59,11 +97,13 @@ void AsyncBatchEvaluator::submit(const float* input, Callback cb) {
   batch->ready.fetch_add(1, std::memory_order_release);
 }
 
-std::future<EvalOutput> AsyncBatchEvaluator::submit_future(
-    const float* input) {
+std::future<EvalOutput> AsyncBatchEvaluator::submit_future(const float* input,
+                                                           int tag) {
   auto promise = std::make_shared<std::promise<EvalOutput>>();
   std::future<EvalOutput> fut = promise->get_future();
-  submit(input, [promise](EvalOutput out) { promise->set_value(std::move(out)); });
+  submit(
+      input, [promise](EvalOutput out) { promise->set_value(std::move(out)); },
+      tag);
   return fut;
 }
 
@@ -95,12 +135,19 @@ void AsyncBatchEvaluator::flush() {
 }
 
 void AsyncBatchEvaluator::drain() {
-  flush();
   std::unique_lock lock(mutex_);
-  drained_cv_.wait(lock, [&] {
-    return in_flight_.load(std::memory_order_acquire) == 0 &&
-           (!pending_ || pending_->callbacks.empty());
-  });
+  for (;;) {
+    // Re-flush on every pass: while we waited, a racing submitter may have
+    // installed a fresh partial batch and blocked on its future — without
+    // this loop that submitter (and drain) would wait forever on a batch
+    // that can no longer fill.
+    if (pending_ && !pending_->callbacks.empty()) {
+      dispatch_locked(lock, DispatchReason::kManual);
+      continue;  // dispatch_locked dropped the lock; re-check from scratch
+    }
+    if (in_flight_.load(std::memory_order_acquire) == 0) return;
+    drained_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
 }
 
 BatchQueueStats AsyncBatchEvaluator::stats() const {
@@ -132,8 +179,13 @@ void AsyncBatchEvaluator::dispatch_locked(std::unique_lock<std::mutex>& lock,
                                           DispatchReason reason) {
   std::unique_ptr<Batch> batch = std::move(pending_);
   ++stats_.batches;
-  sum_batch_sizes_ += static_cast<double>(batch->callbacks.size());
-  stats_.max_batch = std::max(stats_.max_batch, batch->callbacks.size());
+  const std::size_t size = batch->callbacks.size();
+  sum_batch_sizes_ += static_cast<double>(size);
+  stats_.max_batch = std::max(stats_.max_batch, size);
+  if (stats_.fill_histogram.size() <= size) {
+    stats_.fill_histogram.resize(size + 1, 0);
+  }
+  ++stats_.fill_histogram[size];
   if (static_cast<int>(batch->callbacks.size()) == threshold_) {
     ++stats_.full_batches;
   }

@@ -48,7 +48,25 @@ struct BatchQueueStats {
   std::size_t max_batch = 0;
   double mean_batch = 0.0;
   double modelled_backend_us = 0.0;  // sum of backend-modelled latencies
+  // Batch-fill histogram: fill_histogram[s] counts dispatched batches of
+  // size s (index 0 unused). In multi-producer service mode this is the
+  // cross-game batch-formation evidence (ISSUE 3).
+  std::vector<std::size_t> fill_histogram;
+  // Per-submitter occupancy: tag_slots[tag] counts accepted requests from
+  // that tag (a MatchService game slot); untagged submissions (tag < 0)
+  // accumulate in untagged_slots.
+  std::vector<std::size_t> tag_slots;
+  std::size_t untagged_slots = 0;
 };
+
+// Field-wise `now - base` between two stats snapshots of the same queue
+// (vector counters diffed element-wise; mean_batch recomputed from the
+// diffed sums; max_batch recomputed from the histogram delta, since a
+// lifetime maximum cannot be subtracted). Used by every consumer that
+// attributes a window of shared-queue activity — per-move driver metrics
+// and the MatchService's service-era stats.
+BatchQueueStats stats_delta(const BatchQueueStats& now,
+                            const BatchQueueStats& base);
 
 class AsyncBatchEvaluator {
  public:
@@ -66,15 +84,22 @@ class AsyncBatchEvaluator {
   // Copies `input` (input_size floats) into the forming batch buffer. `cb`
   // runs on a stream thread once the containing batch completes; it must
   // not block for long and must not call back into submit() (CP.22).
-  void submit(const float* input, Callback cb);
+  // `tag` >= 0 attributes the request to a submitter (a MatchService game
+  // slot) in the stats; negative = untagged.
+  void submit(const float* input, Callback cb, int tag = -1);
 
   // Future-returning convenience (shared-tree workers block on these).
-  std::future<EvalOutput> submit_future(const float* input);
+  std::future<EvalOutput> submit_future(const float* input, int tag = -1);
 
   // Dispatches the current partial batch immediately (if any).
   void flush();
 
-  // flush() + wait until every accepted request has completed.
+  // Flushes and waits until every accepted request has completed. Partial
+  // batches formed by racing submitters are re-flushed while waiting, so a
+  // submitter blocked on a future it queued into a below-threshold batch is
+  // always woken — the multi-producer shutdown path (a MatchService
+  // stopping mid-game) cannot deadlock here. Only an unbounded stream of
+  // *new* submissions keeps drain() from returning.
   void drain();
 
   // Runtime re-tune (the adaptive engine's B switch, §3.3/Algorithm 4): any
@@ -88,6 +113,10 @@ class AsyncBatchEvaluator {
     return threshold_;
   }
   int num_streams() const { return static_cast<int>(streams_.size()); }
+  // The stale-flush timer period (µs); 0 when the timer is disabled.
+  // Multi-producer users (MatchService) require it for liveness at game
+  // tails, where the remaining producers cannot fill a batch.
+  double stale_flush_us() const { return stale_flush_us_; }
   BatchQueueStats stats() const;
 
  private:

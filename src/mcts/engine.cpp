@@ -1,16 +1,38 @@
 #include "mcts/engine.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/check.hpp"
 
 namespace apm {
+namespace {
+
+// Seeds the controller's VL-re-tune references from the engine's search
+// config: the configured constant/mode is what the initial configuration
+// was tuned for. A deliberately disabled virtual loss (<= 0, with no
+// explicit base) turns the re-tune off entirely — the controller's
+// sentinel fallback must not silently resurrect a penalty the user
+// switched off.
+EngineConfig normalized(EngineConfig cfg) {
+  if (cfg.adaptive.base_virtual_loss <= 0.0f) {
+    if (cfg.mcts.virtual_loss <= 0.0f) {
+      cfg.adaptive.tune_virtual_loss = false;
+    } else {
+      cfg.adaptive.base_virtual_loss = cfg.mcts.virtual_loss;
+    }
+  }
+  cfg.adaptive.base_vl_mode = cfg.mcts.vl_mode;
+  return cfg;
+}
+
+}  // namespace
 
 SearchEngine::SearchEngine(EngineConfig cfg, SearchResources res)
-    : cfg_(cfg),
+    : cfg_(normalized(std::move(cfg))),
       res_(res),
-      controller_(cfg.hw, cfg.seed_costs, cfg.adaptive, cfg.scheme,
-                  cfg.workers, cfg.batch_threshold) {
+      controller_(cfg_.hw, cfg_.seed_costs, cfg_.adaptive, cfg_.scheme,
+                  cfg_.workers, cfg_.batch_threshold) {
   APM_CHECK_MSG(res_.evaluator != nullptr || res_.batch != nullptr,
                 "SearchEngine: no evaluation resource provided");
   rebuild_driver(cfg_.scheme, cfg_.workers, cfg_.batch_threshold);
@@ -25,8 +47,23 @@ void SearchEngine::rebuild_driver(Scheme scheme, int workers,
                                   int batch_threshold) {
   // The driver is rebuilt, the arena is not: the new scheme inherits the
   // tree exactly as the old scheme left it.
-  driver_ = make_search(scheme, cfg_.mcts, workers, res_, &tree_);
-  if (res_.batch != nullptr) {
+  MctsConfig mcts = cfg_.mcts;
+  if (cfg_.adapt && cfg_.adaptive.tune_virtual_loss) {
+    // WU-UCT follow-up: VL tracks the in-flight parallelism of the
+    // installed configuration, applied through the driver config exactly
+    // like the batch threshold below. When the queue is service-owned
+    // (manage_batch_threshold off) the plan's B is NOT applied to it, so
+    // VL must follow the queue's actual dispatch granularity instead.
+    int vl_batch = batch_threshold;
+    if (res_.batch != nullptr && !cfg_.manage_batch_threshold) {
+      vl_batch = res_.batch->batch_threshold();
+    }
+    mcts.virtual_loss =
+        controller_.planned_virtual_loss(scheme, workers, vl_batch);
+    mcts.vl_mode = controller_.planned_vl_mode(scheme, workers, vl_batch);
+  }
+  driver_ = make_search(scheme, mcts, workers, res_, &tree_);
+  if (res_.batch != nullptr && cfg_.manage_batch_threshold) {
     // §3.3: shared-tree batches are always N; local-tree uses the tuned B.
     const int threshold =
         scheme == Scheme::kSharedTree ? workers : std::max(1, batch_threshold);
@@ -40,6 +77,8 @@ SearchResult SearchEngine::search(const Game& env) {
   ms.scheme = driver_->scheme();
   ms.workers = driver_->workers();
   ms.batch_threshold = batch_threshold();
+  ms.virtual_loss = driver_->config().virtual_loss;
+  ms.vl_mode = driver_->config().vl_mode;
 
   // Tree-reuse budget credit: visits already banked at the (advanced) root
   // count toward this move's playout target.
@@ -87,6 +126,7 @@ SearchResult SearchEngine::search(const Game& env) {
   ms.next_scheme = driver_->scheme();
   ms.next_workers = driver_->workers();
   ms.next_batch_threshold = batch_threshold();
+  ms.next_virtual_loss = driver_->config().virtual_loss;
 
   log_.push_back(ms);
   ++move_index_;

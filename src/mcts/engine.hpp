@@ -40,6 +40,10 @@ struct EngineConfig {
   Scheme scheme = Scheme::kSerial;
   int workers = 1;
   int batch_threshold = 1;  // applied when a batch evaluator is supplied
+  // When false the engine never calls set_batch_threshold on the supplied
+  // AsyncBatchEvaluator: a shared multi-producer queue (MatchService) is
+  // tuned by its owner, and K per-game engines must not fight over it.
+  bool manage_batch_threshold = true;
 
   // Cross-move tree reuse.
   bool reuse_tree = true;
@@ -70,6 +74,12 @@ struct EngineMoveStats {
   Scheme next_scheme = Scheme::kSerial;  // config for the next move
   int next_workers = 1;
   int next_batch_threshold = 1;
+  // Virtual-loss constant/flavour the driver ran with this move and the
+  // re-tuned value installed for the next (the WU-UCT follow-up: VL shrinks
+  // as the chosen batch/worker count shrinks).
+  float virtual_loss = 0.0f;
+  VirtualLossMode vl_mode = VirtualLossMode::kConstant;
+  float next_virtual_loss = 0.0f;
   bool reused_tree = false;
   std::int64_t reused_visits = 0;
   std::size_t reused_nodes = 0;
@@ -98,6 +108,9 @@ class SearchEngine {
   Scheme scheme() const { return driver_->scheme(); }
   int workers() const { return driver_->workers(); }
   int batch_threshold() const;
+  // The (possibly re-tuned) VL the current driver runs with.
+  float virtual_loss() const { return driver_->config().virtual_loss; }
+  VirtualLossMode vl_mode() const { return driver_->config().vl_mode; }
   int switch_count() const { return switches_; }
   const std::vector<EngineMoveStats>& move_log() const { return log_; }
   SearchTree& tree() { return tree_; }

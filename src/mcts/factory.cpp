@@ -4,15 +4,16 @@
 
 namespace apm {
 
-std::unique_ptr<MctsSearch> make_search(Scheme scheme, MctsConfig cfg,
-                                        int workers, SearchResources res,
-                                        SearchTree* shared_tree) {
-  APM_CHECK_MSG(res.evaluator != nullptr || res.batch != nullptr,
-                "make_search: no evaluation resource provided");
+namespace {
+
+std::unique_ptr<MctsSearch> build(Scheme scheme, MctsConfig cfg, int workers,
+                                  const SearchResources& res,
+                                  SearchTree* shared_tree) {
   switch (scheme) {
     case Scheme::kSerial:
-      APM_CHECK_MSG(res.evaluator != nullptr,
-                    "serial search needs a synchronous evaluator");
+      if (res.batch != nullptr) {
+        return std::make_unique<SerialMcts>(cfg, *res.batch, shared_tree);
+      }
       return std::make_unique<SerialMcts>(cfg, *res.evaluator, shared_tree);
     case Scheme::kSharedTree:
       if (res.batch != nullptr) {
@@ -41,6 +42,19 @@ std::unique_ptr<MctsSearch> make_search(Scheme scheme, MctsConfig cfg,
   }
   APM_CHECK_MSG(false, "unknown scheme");
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<MctsSearch> make_search(Scheme scheme, MctsConfig cfg,
+                                        int workers, SearchResources res,
+                                        SearchTree* shared_tree) {
+  APM_CHECK_MSG(res.evaluator != nullptr || res.batch != nullptr,
+                "make_search: no evaluation resource provided");
+  std::unique_ptr<MctsSearch> search =
+      build(scheme, cfg, workers, res, shared_tree);
+  search->set_batch_tag(res.batch_tag);
+  return search;
 }
 
 }  // namespace apm

@@ -14,10 +14,14 @@ namespace apm {
 
 // Evaluation resources for a search. Exactly one of `evaluator` (CPU
 // inference) or `batch` (accelerator queue) must be set for parallel
-// schemes; serial and the baselines require `evaluator`.
+// schemes and serial (which prefer `batch` when both are set); the
+// baselines require `evaluator`. `batch_tag` (>= 0) tags every request this
+// search submits to `batch`, so a shared multi-producer queue can attribute
+// batch occupancy per game slot (MatchService).
 struct SearchResources {
   Evaluator* evaluator = nullptr;
   AsyncBatchEvaluator* batch = nullptr;
+  int batch_tag = -1;
 };
 
 // `shared_tree` != nullptr runs the scheme over an externally owned arena

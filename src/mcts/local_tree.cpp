@@ -51,8 +51,10 @@ void LocalTreeMcts::evaluate_root(const Game& env) {
   env.encode(input.data());
   EvalOutput out;
   if (batch_ != nullptr) {
-    auto fut = batch_->submit_future(input.data());
-    batch_->flush();
+    auto fut = batch_->submit_future(input.data(), batch_tag());
+    // Sole producer only: on a tagged multi-producer queue the flush would
+    // dispatch other games' forming batches (stale timer covers the wait).
+    if (batch_tag() < 0) batch_->flush();
     out = fut.get();
   } else {
     eval_->evaluate(input.data(), out);
@@ -163,7 +165,8 @@ SearchResult LocalTreeMcts::search(const Game& env) {
                            done.legal = std::move(legal);
                            done.out = std::move(out);
                            completions.push(std::move(done));
-                         });
+                         },
+                         batch_tag());
         } else {
           auto state = std::make_shared<std::vector<float>>(input);
           const NodeId node_id = outcome.node;
@@ -182,8 +185,12 @@ SearchResult LocalTreeMcts::search(const Game& env) {
     }
 
     // Tail flush: every remaining request has been issued, so a partial
-    // batch can never fill to the threshold on its own.
-    if (batch_ != nullptr && issued >= total && in_flight > 0) {
+    // batch can never fill to the threshold on its own. Sole producer
+    // only — on a tagged multi-producer queue other games keep filling
+    // batches and the stale timer bounds the stragglers' wait, while a
+    // flush here would dispatch those games' forming batches early.
+    if (batch_ != nullptr && batch_tag() < 0 && issued >= total &&
+        in_flight > 0) {
       batch_->flush();
     }
   }
@@ -191,19 +198,9 @@ SearchResult LocalTreeMcts::search(const Game& env) {
   APM_CHECK(in_flight == 0);
 
   if (batch_ != nullptr) {
-    const BatchQueueStats after = batch_->stats();
-    metrics.batch.submitted = after.submitted - batch_before.submitted;
-    metrics.batch.batches = after.batches - batch_before.batches;
-    metrics.batch.full_batches =
-        after.full_batches - batch_before.full_batches;
-    metrics.batch.max_batch = after.max_batch;
-    metrics.batch.mean_batch =
-        metrics.batch.batches > 0
-            ? static_cast<double>(metrics.batch.submitted) /
-                  static_cast<double>(metrics.batch.batches)
-            : 0.0;
-    metrics.batch.modelled_backend_us =
-        after.modelled_backend_us - batch_before.modelled_backend_us;
+    // The tail flush above already dispatched our stragglers, so no drain
+    // is needed before reading the sole-producer delta.
+    finish_batch_metrics(*batch_, batch_before, metrics, reuse);
   }
 
   metrics.playouts = cfg_.num_playouts;

@@ -46,6 +46,12 @@ class MctsSearch {
   // that cannot reuse a tree (root-parallel grows fresh per-worker trees).
   void set_reuse_next(bool reuse) { reuse_next_ = reuse; }
 
+  // Submitter tag passed with every AsyncBatchEvaluator request, so a
+  // shared multi-producer queue (MatchService) can attribute batch
+  // occupancy to this search's game slot. Negative = untagged (default).
+  void set_batch_tag(int tag) { batch_tag_ = tag; }
+  int batch_tag() const { return batch_tag_; }
+
  protected:
   explicit MctsSearch(MctsConfig cfg, SearchTree* shared_tree = nullptr)
       : cfg_(cfg),
@@ -72,12 +78,30 @@ class MctsSearch {
     return reuse;
   }
 
+  // Shared epilogue for drivers running over an AsyncBatchEvaluator: fills
+  // metrics.batch with this move's global-queue delta when this driver is
+  // the sole producer (untagged), or with just its own submission count
+  // when tagged on a shared multi-producer queue — there the global
+  // counters mix in other games' traffic, and ServiceStats attributes
+  // occupancy via the tags instead. `before` is the stats snapshot taken
+  // at the top of the move; `reuse` credits the skipped root evaluation.
+  void finish_batch_metrics(const AsyncBatchEvaluator& batch,
+                            const BatchQueueStats& before,
+                            SearchMetrics& metrics, bool reuse) const {
+    if (batch_tag() < 0) {
+      metrics.batch = stats_delta(batch.stats(), before);
+    } else {
+      metrics.batch.submitted = metrics.eval_requests + (reuse ? 0 : 1);
+    }
+  }
+
   MctsConfig cfg_;
   std::unique_ptr<SearchTree> owned_tree_;
   SearchTree& tree_;
 
  private:
   bool reuse_next_ = false;
+  int batch_tag_ = -1;
 };
 
 }  // namespace apm

@@ -7,7 +7,36 @@ namespace apm {
 
 SerialMcts::SerialMcts(MctsConfig cfg, Evaluator& eval,
                        SearchTree* shared_tree)
-    : MctsSearch(cfg, shared_tree), eval_(eval), rng_(cfg.seed) {}
+    : MctsSearch(cfg, shared_tree), eval_(&eval), rng_(cfg.seed) {}
+
+SerialMcts::SerialMcts(MctsConfig cfg, AsyncBatchEvaluator& batch,
+                       SearchTree* shared_tree)
+    : MctsSearch(cfg, shared_tree), batch_(&batch), rng_(cfg.seed) {
+  // Leaf requests never flush (see eval_state), so with one in-flight
+  // request a below-threshold batch only ever dispatches via the stale
+  // timer or a concurrent producer. Require the timer — without it this
+  // configuration is a silent deadlock, not a slow path.
+  APM_CHECK_MSG(batch.stale_flush_us() > 0.0,
+                "serial search over a batch queue needs the stale-flush "
+                "timer (a single in-flight request cannot fill a batch)");
+}
+
+void SerialMcts::eval_state(const float* input, EvalOutput& out,
+                            bool flush_partial) {
+  if (batch_ != nullptr) {
+    auto fut = batch_->submit_future(input, batch_tag());
+    // Leaf requests deliberately do NOT flush: with one in-flight request
+    // per serial game, batches only form across concurrent games sharing
+    // the queue (threshold crossing) or via the stale-flush timer. The
+    // root flush is also suppressed on a tagged (multi-producer) queue —
+    // it would dispatch other games' forming partial batches, and the
+    // stale timer already bounds the root's wait.
+    if (flush_partial && batch_tag() < 0) batch_->flush();
+    out = fut.get();
+  } else {
+    eval_->evaluate(input, out);
+  }
+}
 
 SearchResult SerialMcts::search(const Game& env) {
   SearchMetrics metrics;
@@ -19,6 +48,9 @@ SearchResult SerialMcts::search(const Game& env) {
   std::vector<float> input(env.encode_size());
   EvalOutput eval_out;
 
+  BatchQueueStats batch_before;
+  if (batch_ != nullptr) batch_before = batch_->stats();
+
   if (!reuse) {
     // Root preparation: claim + evaluate + expand (with optional noise).
     Node& root = tree_.node(tree_.root());
@@ -27,7 +59,7 @@ SearchResult SerialMcts::search(const Game& env) {
         expected, ExpandState::kExpanding, std::memory_order_acq_rel);
     APM_CHECK(claimed);
     env.encode(input.data());
-    eval_.evaluate(input.data(), eval_out);
+    eval_state(input.data(), eval_out, /*flush_partial=*/true);
     ops.expand(tree_.root(), env, eval_out.policy,
                cfg_.root_noise ? &rng_ : nullptr);
   } else if (cfg_.root_noise) {
@@ -53,7 +85,7 @@ SearchResult SerialMcts::search(const Game& env) {
 
     phase.reset();
     game->encode(input.data());
-    eval_.evaluate(input.data(), eval_out);
+    eval_state(input.data(), eval_out, /*flush_partial=*/false);
     ++metrics.eval_requests;
     metrics.eval_seconds += phase.elapsed_seconds();
 
@@ -71,6 +103,9 @@ SearchResult SerialMcts::search(const Game& env) {
   metrics.move_seconds = move_timer.elapsed_seconds();
   metrics.nodes = tree_.node_count();
   metrics.edges = tree_.edge_count();
+  if (batch_ != nullptr) {
+    finish_batch_metrics(*batch_, batch_before, metrics, reuse);
+  }
 
   SearchResult result = extract_result(tree_, env.action_count());
   result.metrics = metrics;

@@ -2,7 +2,20 @@
 // Serial (1-worker) DNN-MCTS — the reference implementation every parallel
 // scheme must agree with, and the baseline of the paper's §2.1 profile
 // ("tree-based search accounts for more than 85% of the total runtime").
+//
+// Two evaluation flavours:
+//  * Synchronous — evaluate() on the calling thread (the historical mode).
+//  * Batch queue — each leaf goes to an AsyncBatchEvaluator and the driver
+//    blocks on the future. Alone this is strictly slower (one in-flight
+//    request can never fill a batch; every eval waits for the stale-flush
+//    timer), which is exactly the single-game starvation the MatchService
+//    fixes: K concurrent serial games share one queue and their single
+//    requests coalesce into cross-game batches. Requires a queue with the
+//    stale-flush timer enabled (or a concurrent producer filling batches);
+//    the search result is identical either way — the scheme stays fully
+//    sequential in-game.
 
+#include "eval/async_batch.hpp"
 #include "eval/evaluator.hpp"
 #include "mcts/search.hpp"
 
@@ -14,13 +27,22 @@ class SerialMcts final : public MctsSearch {
   // mode, enabling cross-move reuse); nullptr owns a private tree.
   SerialMcts(MctsConfig cfg, Evaluator& eval,
              SearchTree* shared_tree = nullptr);
+  // Batch-queue mode (service/multi-producer use; see the header comment).
+  SerialMcts(MctsConfig cfg, AsyncBatchEvaluator& batch,
+             SearchTree* shared_tree = nullptr);
 
   SearchResult search(const Game& env) override;
   Scheme scheme() const override { return Scheme::kSerial; }
   int workers() const override { return 1; }
 
  private:
-  Evaluator& eval_;
+  // Evaluates one encoded state through whichever resource this driver was
+  // built over; `flush_partial` dispatches the forming batch immediately
+  // (the root evaluation, which nothing else will ever join in-game).
+  void eval_state(const float* input, EvalOutput& out, bool flush_partial);
+
+  Evaluator* eval_ = nullptr;
+  AsyncBatchEvaluator* batch_ = nullptr;
   Rng rng_;
 };
 

@@ -40,8 +40,11 @@ void SharedTreeMcts::evaluate_root(const Game& env) {
   env.encode(input.data());
   EvalOutput out;
   if (batch_ != nullptr) {
-    auto fut = batch_->submit_future(input.data());
-    batch_->flush();  // single request; don't wait for a full batch
+    auto fut = batch_->submit_future(input.data(), batch_tag());
+    // Sole producer: don't wait for a batch that can't fill. On a tagged
+    // multi-producer queue the flush would dispatch other games' forming
+    // batches; the stale timer bounds the root's wait there instead.
+    if (batch_tag() < 0) batch_->flush();
     out = fut.get();
   } else {
     eval_->evaluate(input.data(), out);
@@ -101,7 +104,7 @@ void SharedTreeMcts::worker_loop(const Game& env,
     phase.reset();
     game->encode(input.data());
     if (batch_ != nullptr) {
-      out = batch_->submit_future(input.data()).get();
+      out = batch_->submit_future(input.data(), batch_tag()).get();
     } else {
       eval_->evaluate(input.data(), out);
     }
@@ -154,22 +157,6 @@ SearchResult SharedTreeMcts::search(const Game& env) {
     }
   }  // joins
 
-  if (batch_ != nullptr) {
-    batch_->drain();
-    const BatchQueueStats after = batch_->stats();
-    metrics.batch.submitted = after.submitted - batch_before.submitted;
-    metrics.batch.batches = after.batches - batch_before.batches;
-    metrics.batch.full_batches = after.full_batches - batch_before.full_batches;
-    metrics.batch.max_batch = after.max_batch;
-    metrics.batch.mean_batch =
-        metrics.batch.batches > 0
-            ? static_cast<double>(metrics.batch.submitted) /
-                  static_cast<double>(metrics.batch.batches)
-            : 0.0;
-    metrics.batch.modelled_backend_us =
-        after.modelled_backend_us - batch_before.modelled_backend_us;
-  }
-
   for (const WorkerStats& s : stats) {
     metrics.select_seconds += s.select_s;
     metrics.eval_seconds += s.eval_s;
@@ -181,6 +168,15 @@ SearchResult SharedTreeMcts::search(const Game& env) {
     metrics.eval_requests += s.evals;
     metrics.expansions += s.expansions;
   }
+  if (batch_ != nullptr) {
+    // Sole producer: settle the queue before reading the delta. On a
+    // tagged multi-producer queue drain() would stall on other games'
+    // traffic — and is unnecessary, since our workers block on their own
+    // futures, so nothing of ours is still in flight here.
+    if (batch_tag() < 0) batch_->drain();
+    finish_batch_metrics(*batch_, batch_before, metrics, reuse);
+  }
+
   metrics.playouts = cfg_.num_playouts;
   metrics.move_seconds = move_timer.elapsed_seconds();
   metrics.nodes = tree_.node_count();

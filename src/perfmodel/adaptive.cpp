@@ -30,6 +30,57 @@ AdaptiveController::AdaptiveController(HardwareSpec hw,
   if (cfg_.worker_candidates.empty()) {
     cfg_.worker_candidates.push_back(workers);
   }
+  // VL re-tune references: default the base constant to the MctsConfig
+  // default and the base in-flight count to the *initial* configuration —
+  // the design-time pair the constant was (implicitly) tuned for.
+  if (cfg_.base_virtual_loss <= 0.0f) {
+    cfg_.base_virtual_loss = MctsConfig{}.virtual_loss;
+  }
+  if (cfg_.base_inflight <= 0) {
+    cfg_.base_inflight = planned_inflight(scheme_, workers_, batch_);
+  }
+  APM_CHECK(cfg_.min_virtual_loss > 0.0f);
+  // Keep the clamp range well-formed when the configured constant already
+  // sits below the floor (clamp with hi < lo is UB).
+  cfg_.min_virtual_loss =
+      std::min(cfg_.min_virtual_loss, cfg_.base_virtual_loss);
+}
+
+int AdaptiveController::planned_inflight(Scheme scheme, int workers,
+                                         int batch) const {
+  switch (scheme) {
+    case Scheme::kSerial:
+      return 1;
+    case Scheme::kLocalTree:
+      // Over the accelerator queue the master's outstanding window is
+      // dispatch-granular: shrinking B shrinks the concurrently unobserved
+      // rollouts even at fixed N (the ISSUE-3 "VL shrinks with B" lever).
+      return cfg_.gpu ? std::min(workers, std::max(1, batch))
+                      : std::max(1, workers);
+    default:
+      return std::max(1, workers);
+  }
+}
+
+float AdaptiveController::planned_virtual_loss(Scheme scheme, int workers,
+                                               int batch) const {
+  if (!cfg_.tune_virtual_loss) return cfg_.base_virtual_loss;
+  const double scale =
+      static_cast<double>(planned_inflight(scheme, workers, batch)) /
+      static_cast<double>(std::max(1, cfg_.base_inflight));
+  const double vl = cfg_.base_virtual_loss * scale;
+  return static_cast<float>(
+      std::clamp(vl, static_cast<double>(cfg_.min_virtual_loss),
+                 static_cast<double>(cfg_.base_virtual_loss)));
+}
+
+VirtualLossMode AdaptiveController::planned_vl_mode(Scheme scheme, int workers,
+                                                    int batch) const {
+  if (!cfg_.tune_virtual_loss) return cfg_.base_vl_mode;
+  return planned_inflight(scheme, workers, batch) <=
+                 cfg_.visit_tracking_at_or_below
+             ? VirtualLossMode::kVisitTracking
+             : cfg_.base_vl_mode;
 }
 
 ProfiledCosts AdaptiveController::costs_from_metrics(
@@ -131,6 +182,8 @@ AdaptivePlan AdaptiveController::plan() {
   out.scheme = scheme_;
   out.workers = workers_;
   out.batch_size = batch_;
+  out.virtual_loss = planned_virtual_loss(scheme_, workers_, batch_);
+  out.vl_mode = planned_vl_mode(scheme_, workers_, batch_);
   return out;
 }
 

@@ -38,6 +38,32 @@ struct AdaptiveConfig {
   // Candidate worker counts re-evaluated each move (empty = keep the
   // initial worker count and only re-decide the scheme/batch).
   std::vector<int> worker_candidates = {1, 2, 4, 8, 16, 32, 64};
+
+  // --- virtual-loss re-tune (the WU-UCT follow-up) -----------------------
+  // The VL constant exists to spread concurrent in-flight rollouts across
+  // the tree; WU-UCT (Liu et al.) argues the penalty should track the
+  // in-flight parallelism, which here shrinks whenever a switch shrinks the
+  // chosen batch size / worker count. When enabled, plan() recommends
+  //   VL = clamp(base_virtual_loss * inflight / base_inflight,
+  //              min_virtual_loss, base_virtual_loss)
+  // where inflight = 1 (serial), N (tree-parallel CPU), or min(N, B)
+  // (local-tree over the accelerator queue, where the master keeps at most
+  // one dispatch granularity outstanding per wave slot). The SearchEngine
+  // applies the recommendation through the driver config the same way
+  // set_batch_threshold applies B.
+  bool tune_virtual_loss = true;
+  // Reference VL and the in-flight count it was tuned for. Non-positive =
+  // derive from the engine's MctsConfig / initial configuration (the
+  // SearchEngine fills these in).
+  float base_virtual_loss = 0.0f;
+  int base_inflight = 0;
+  float min_virtual_loss = 0.5f;
+  // Mode recommended while the in-flight count stays above the threshold
+  // below (the SearchEngine seeds it from MctsConfig::vl_mode).
+  VirtualLossMode base_vl_mode = VirtualLossMode::kConstant;
+  // At or below this in-flight count the constant penalty buys nothing and
+  // biases Q; recommend the unbiased WU-UCT visit-tracking flavour instead.
+  int visit_tracking_at_or_below = 1;
 };
 
 // One per-move recommendation.
@@ -48,6 +74,10 @@ struct AdaptivePlan {
   bool switched = false;          // configuration changed this move
   double predicted_us = 0.0;      // amortized us/iter of the recommendation
   double current_predicted_us = 0.0;  // same model, current configuration
+  // Virtual-loss recommendation for the committed configuration (equals the
+  // base constant/mode when tune_virtual_loss is off).
+  float virtual_loss = 0.0f;
+  VirtualLossMode vl_mode = VirtualLossMode::kConstant;
 };
 
 class AdaptiveController {
@@ -70,6 +100,15 @@ class AdaptiveController {
   // replays and tests share the exact conversion).
   static ProfiledCosts costs_from_metrics(const SearchMetrics& metrics,
                                           const HardwareSpec& hw);
+
+  // --- virtual-loss re-tune (WU-UCT follow-up; see AdaptiveConfig) -------
+  // In-flight rollouts the given configuration sustains.
+  int planned_inflight(Scheme scheme, int workers, int batch) const;
+  // The VL constant / flavour recommended for that configuration. With
+  // tune_virtual_loss off these return the base constant / mode unchanged.
+  float planned_virtual_loss(Scheme scheme, int workers, int batch) const;
+  VirtualLossMode planned_vl_mode(Scheme scheme, int workers,
+                                  int batch) const;
 
   const ProfiledCosts& costs() const { return costs_; }
   Scheme scheme() const { return scheme_; }

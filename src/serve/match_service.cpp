@@ -1,0 +1,268 @@
+#include "serve/match_service.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace apm {
+
+MatchService::MatchService(ServiceConfig cfg, const Game& game,
+                           SearchResources res)
+    : cfg_(std::move(cfg)), proto_(game.clone()), res_(res) {
+  APM_CHECK(cfg_.slots >= 1);
+  APM_CHECK(cfg_.workers >= 1);
+  APM_CHECK_MSG(res_.evaluator != nullptr || res_.batch != nullptr,
+                "MatchService: no evaluation resource provided");
+  if (res_.batch != nullptr) {
+    APM_CHECK_MSG(res_.batch->stale_flush_us() > 0.0,
+                  "MatchService over a batch queue needs the stale-flush "
+                  "timer: at a game tail the remaining games cannot fill a "
+                  "batch, and the timer bounds their wait");
+    if (cfg_.batch_threshold > 0) {
+      res_.batch->set_batch_threshold(cfg_.batch_threshold);
+    }
+    batch_start_ = res_.batch->stats();
+  }
+  // The service owns the shared queue's tuning; per-game engines must not
+  // re-tune it on their own scheme switches.
+  cfg_.engine.manage_batch_threshold = false;
+
+  slots_.reserve(static_cast<std::size_t>(cfg_.slots));
+  free_slots_.reserve(static_cast<std::size_t>(cfg_.slots));
+  for (int i = 0; i < cfg_.slots; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+    slots_.back()->id = i;
+    free_slots_.push_back(slots_.back().get());
+  }
+}
+
+MatchService::~MatchService() { stop(); }
+
+bool MatchService::enqueue(int games) {
+  APM_CHECK(games >= 0);
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return false;  // racing a shutdown: refuse, don't abort
+    pending_games_ += games;
+  }
+  work_cv_.notify_all();
+  return true;
+}
+
+void MatchService::start() {
+  std::lock_guard lock(mutex_);
+  APM_CHECK_MSG(!stop_, "MatchService: start() after stop()");
+  if (started_) return;
+  started_ = true;
+  wall_timer_.reset();
+  threads_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int w = 0; w < cfg_.workers; ++w) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void MatchService::claim_locked(Slot& slot) {
+  slot.game_id = next_game_id_++;
+  --pending_games_;
+  ++active_games_;
+  slot.search_seconds = 0.0;
+}
+
+void MatchService::build_slot(Slot& slot) {
+  // Runs outside the lock on the exclusively-owned slot; everything read
+  // here (cfg_, res_, proto_) is immutable after construction.
+  //
+  // Per-game seeds are a pure function of the game id, so a game's move
+  // sequence is independent of the worker count and of scheduling order.
+  EngineConfig ec = cfg_.engine;
+  ec.mcts.seed = cfg_.engine.mcts.seed +
+                 static_cast<std::uint64_t>(slot.game_id) *
+                     cfg_.engine_seed_stride;
+  SelfPlayConfig sp = cfg_.self_play;
+  sp.seed = cfg_.self_play.seed + static_cast<std::uint64_t>(slot.game_id) *
+                                      cfg_.game_seed_stride;
+
+  SearchResources res = res_;
+  res.batch_tag = slot.id;  // attribute shared-queue occupancy to this slot
+  slot.engine = std::make_unique<SearchEngine>(ec, res);
+  slot.runner = std::make_unique<EpisodeRunner>(*proto_, sp);
+}
+
+GameRecord MatchService::retire_slot(Slot& slot, bool completed) {
+  GameRecord rec;
+  rec.game_id = slot.game_id;
+  rec.completed = completed;
+  EpisodeStats stats = slot.runner->finish(
+      [&rec](TrainSample&& s) { rec.samples.push_back(std::move(s)); });
+  fold_engine_trace(stats, *slot.engine, 0);
+  rec.stats = std::move(stats);
+  return rec;
+}
+
+void MatchService::commit_locked(Slot& slot, GameRecord&& rec) {
+  if (rec.completed) {
+    ++games_completed_;
+  } else {
+    ++games_abandoned_;
+  }
+  moves_ += rec.stats.moves;
+  samples_ += rec.stats.samples;
+  scheme_switches_ += rec.stats.scheme_switches;
+  reused_visits_ += rec.stats.reused_visits;
+  search_seconds_ += slot.search_seconds;
+  for (const EngineMoveStats& m : rec.stats.per_move) {
+    eval_requests_ += m.metrics.eval_requests;
+  }
+  completed_.push_back(std::move(rec));
+
+  slot.engine.reset();
+  slot.runner.reset();
+  slot.game_id = -1;
+  free_slots_.push_back(&slot);
+}
+
+void MatchService::worker_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || !ready_.empty() ||
+             (pending_games_ > 0 && !free_slots_.empty());
+    });
+    if (stop_) return;
+
+    Slot* slot = nullptr;
+    bool fresh = false;
+    if (!ready_.empty()) {
+      slot = ready_.front();
+      ready_.pop_front();
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      claim_locked(*slot);
+      fresh = true;
+    }
+    // More work may remain (another ready slot, another seatable game) —
+    // hand it to a sibling before going heads-down on this move.
+    if (!ready_.empty() || (pending_games_ > 0 && !free_slots_.empty())) {
+      work_cv_.notify_one();
+    }
+    lock.unlock();
+    if (fresh) build_slot(*slot);
+
+    // The move runs outside the lock; `slot` is exclusively ours until we
+    // requeue it. Tree reuse: the played action is fed back via advance().
+    Timer move_timer;
+    slot->runner->step(
+        [&](const Game& env) { return slot->engine->search(env); },
+        [&](int action) { slot->engine->advance(action); });
+    slot->search_seconds += move_timer.elapsed_seconds();
+
+    const bool done = slot->runner->done();
+    GameRecord rec;
+    if (done) {
+      // Retire outside the lock too (augmentation copies samples).
+      rec = retire_slot(*slot, /*completed=*/true);
+    }
+
+    lock.lock();
+    if (done) {
+      --active_games_;
+      commit_locked(*slot, std::move(rec));
+      if (pending_games_ > 0) {
+        work_cv_.notify_one();  // the freed slot is seatable
+      } else if (active_games_ == 0) {
+        idle_cv_.notify_all();
+      }
+    } else {
+      ready_.push_back(slot);
+    }
+  }
+}
+
+void MatchService::drain() {
+  std::unique_lock lock(mutex_);
+  APM_CHECK_MSG(started_ || (pending_games_ == 0 && active_games_ == 0),
+                "MatchService: drain() before start()");
+  idle_cv_.wait(lock, [&] {
+    return stop_ || (pending_games_ == 0 && active_games_ == 0);
+  });
+}
+
+void MatchService::stop() {
+  std::vector<std::thread> to_join;
+  {
+    std::unique_lock lock(mutex_);
+    if (stopping_) {
+      // A racing stop() owns the teardown (threads_ was swapped out —
+      // joining here would double-join); wait for it to finish instead.
+      stopped_cv_.wait(lock, [&] { return stopped_; });
+      return;
+    }
+    stopping_ = true;
+    stop_ = true;
+    if (started_) final_wall_seconds_ = wall_timer_.elapsed_seconds();
+    to_join.swap(threads_);
+  }
+  work_cv_.notify_all();
+  idle_cv_.notify_all();
+  // Workers finish their in-flight move, then exit. A worker blocked on a
+  // shared-queue future is woken by the stale-flush timer (required at
+  // construction), so the join below is bounded by one move's tail.
+  for (std::thread& t : to_join) t.join();
+
+  std::lock_guard lock(mutex_);
+  ready_.clear();
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    if (slot->game_id < 0) continue;
+    --active_games_;
+    // Retire the abandoned game as a completed=false record: the moves it
+    // played (and its adaptation trace) stay observable, and callers can
+    // filter its truncated samples by the flag.
+    commit_locked(*slot, retire_slot(*slot, /*completed=*/false));
+  }
+  stopped_ = true;
+  stopped_cv_.notify_all();
+}
+
+std::vector<GameRecord> MatchService::take_completed() {
+  std::vector<GameRecord> out;
+  {
+    std::lock_guard lock(mutex_);
+    out.swap(completed_);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GameRecord& a, const GameRecord& b) {
+              return a.game_id < b.game_id;
+            });
+  return out;
+}
+
+ServiceStats MatchService::stats() const {
+  std::lock_guard lock(mutex_);
+  ServiceStats s;
+  s.slots = cfg_.slots;
+  s.workers = cfg_.workers;
+  s.games_completed = games_completed_;
+  s.games_abandoned = games_abandoned_;
+  s.games_pending = pending_games_;
+  s.games_active = active_games_;
+  s.moves = moves_;
+  s.samples = samples_;
+  s.eval_requests = eval_requests_;
+  s.scheme_switches = scheme_switches_;
+  s.reused_visits = reused_visits_;
+  s.search_seconds = search_seconds_;
+  s.wall_seconds =
+      started_ && !stop_ ? wall_timer_.elapsed_seconds() : final_wall_seconds_;
+  if (s.wall_seconds > 0.0) {
+    s.moves_per_second = s.moves / s.wall_seconds;
+    s.evals_per_second = static_cast<double>(s.eval_requests) / s.wall_seconds;
+  }
+  if (res_.batch != nullptr) {
+    s.batch = stats_delta(res_.batch->stats(), batch_start_);
+    s.mean_batch_fill = s.batch.mean_batch;
+  }
+  return s;
+}
+
+}  // namespace apm

@@ -1,0 +1,198 @@
+#pragma once
+// Concurrent match service — the multi-game serving layer of the ROADMAP's
+// "serve heavy traffic" step.
+//
+// The paper's batching lever (Eq. 3–6, Fig. 6) starves when one search
+// tree cannot supply a full batch: a single serial game has exactly one
+// leaf evaluation in flight, so the AsyncBatchEvaluator either dispatches
+// batches of 1 or stalls on the stale-flush timer. The MatchService runs K
+// concurrent games, each owned by its own adaptive SearchEngine (private
+// arena + AdaptiveController + cross-move tree reuse), all submitting leaf
+// evaluations to ONE shared AsyncBatchEvaluator/backend pair — so batches
+// form *across* games (Batch MCTS, Cazenave 2021) and the accelerator sees
+// threshold-sized batches even when every individual game is a starved
+// single-stream producer.
+//
+// Scheduling: K game slots are multiplexed over a fixed pool of W worker
+// threads at move granularity. A worker pops a ready slot, plays exactly
+// one move (engine.search → temperature sampling → engine.advance), and
+// requeues the slot — so one thread serves many games and a long move in
+// one game never blocks the others' progress. Finished games retire their
+// samples into a completed-game queue and the freed slot is reseated from
+// the pending counter. Per-game seeds (engine + self-play) derive from the
+// game id alone, never from W or from which worker played which move; with
+// a deterministic engine template (serial scheme, adaptation off — the
+// configuration the determinism test pins) per-game results are therefore
+// independent of the worker count: batch composition changes with W,
+// per-request results do not. Adaptive or tree-parallel engine templates
+// remain timing-dependent by design (measured costs drive the switches).
+//
+// Lifecycle: enqueue(n) adds games; start() spawns the worker pool;
+// drain() blocks until every queued game has completed; stop() halts after
+// in-flight moves, abandons mid-game slots, and joins the pool (the
+// destructor calls it). The shared queue's stale-flush timer is required
+// in batch mode: at a game tail the remaining producers cannot fill a
+// batch, and the timer is what bounds their wait (AsyncBatchEvaluator's
+// drain() re-flush loop covers the same hazard on the evaluator side).
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mcts/engine.hpp"
+#include "support/timer.hpp"
+#include "train/self_play.hpp"
+
+namespace apm {
+
+struct ServiceConfig {
+  // Per-game engine template. The service derives each game's search seed
+  // from it and forces manage_batch_threshold = false (the service owns the
+  // shared queue's threshold; K engines must not fight over it).
+  EngineConfig engine;
+  // Per-game self-play template; each game's seed is offset by game id so
+  // results are a function of the game id only, not of scheduling.
+  SelfPlayConfig self_play;
+  int slots = 4;    // K concurrent games
+  int workers = 2;  // threads multiplexing the slots at move granularity
+  // > 0: applied once to the shared AsyncBatchEvaluator at construction
+  // (the cross-game batch threshold); 0 keeps the queue's current setting.
+  int batch_threshold = 0;
+  // Seed strides between consecutive game ids (self-play / engine search).
+  std::uint64_t game_seed_stride = 1000003ULL;
+  std::uint64_t engine_seed_stride = 7919ULL;
+};
+
+// One finished (or abandoned) game.
+struct GameRecord {
+  int game_id = -1;
+  bool completed = false;  // false = stop() abandoned it mid-game
+  EpisodeStats stats;
+  std::vector<TrainSample> samples;
+};
+
+// Aggregate service telemetry. `batch` is the shared queue's delta since
+// service construction — fill_histogram is the cross-game batch-formation
+// evidence, tag_slots attributes batch occupancy per game slot.
+struct ServiceStats {
+  int slots = 0;
+  int workers = 0;
+  int games_completed = 0;
+  int games_abandoned = 0;
+  int games_pending = 0;
+  int games_active = 0;
+  int moves = 0;
+  std::int64_t samples = 0;
+  std::size_t eval_requests = 0;  // Σ over completed games' per-move metrics
+  int scheme_switches = 0;
+  std::int64_t reused_visits = 0;
+  double search_seconds = 0.0;  // Σ per-move wall across games (resource-s)
+  double wall_seconds = 0.0;    // service wall clock since start()
+  double moves_per_second = 0.0;
+  double evals_per_second = 0.0;
+  // Shared-queue mean dispatched batch size. Exact after drain()/stop();
+  // read mid-run it over-counts slightly, since window-submitted includes
+  // requests still sitting in the forming (undispatched) batch.
+  double mean_batch_fill = 0.0;
+  BatchQueueStats batch;
+};
+
+class MatchService {
+ public:
+  // `game` is cloned per seated episode; `res` is the shared evaluation
+  // resource every per-game engine submits to. Batch mode (res.batch set)
+  // requires the queue's stale-flush timer (liveness at game tails).
+  MatchService(ServiceConfig cfg, const Game& game, SearchResources res);
+  ~MatchService();
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+
+  // Adds `games` to the pending queue (playable once start() has run).
+  // Returns false — without enqueuing — once stop() has been requested, so
+  // a producer racing a shutdown can bail out instead of aborting.
+  bool enqueue(int games);
+
+  // Spawns the worker pool (idempotent). Not restartable after stop().
+  void start();
+
+  // Blocks until every enqueued game has completed.
+  void drain();
+
+  // Stops after in-flight moves complete, retires seated games as
+  // completed=false records, joins the pool. Terminal: the service cannot
+  // be started again. Safe to call concurrently / repeatedly.
+  void stop();
+
+  // Moves out every finished game so far, ordered by game id. After a
+  // stop(), abandoned games appear with completed == false (their samples
+  // are truncated mid-episode — filter by the flag before training).
+  std::vector<GameRecord> take_completed();
+
+  ServiceStats stats() const;
+  int slots() const { return cfg_.slots; }
+  int workers() const { return cfg_.workers; }
+
+ private:
+  // One concurrent game: engine + episode state machine, exclusively owned
+  // by whichever worker popped it from ready_ (never aliased — a slot is in
+  // exactly one of: ready_, free_slots_, a worker's hands).
+  struct Slot {
+    int id = 0;
+    int game_id = -1;  // -1 = idle
+    std::unique_ptr<SearchEngine> engine;
+    std::unique_ptr<EpisodeRunner> runner;
+    double search_seconds = 0.0;
+  };
+
+  void worker_loop();
+  // Seating is split so engine/runner construction never holds mutex_:
+  // claim_locked() assigns the game id and counters under the lock;
+  // build_slot() does the heavy construction on the exclusively-owned slot.
+  void claim_locked(Slot& slot);
+  void build_slot(Slot& slot);
+  // Finalizes a slot's episode into a GameRecord (z back-fill, sample
+  // collection, engine-trace fold) — the single retire path for finished
+  // (completed=true) and stop()-abandoned (completed=false) games.
+  static GameRecord retire_slot(Slot& slot, bool completed);
+  void commit_locked(Slot& slot, GameRecord&& rec);
+
+  ServiceConfig cfg_;
+  std::unique_ptr<Game> proto_;
+  SearchResources res_;
+  BatchQueueStats batch_start_;  // shared-queue snapshot at construction
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: ready slot / seatable game
+  std::condition_variable idle_cv_;  // drain(): all games finished
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::deque<Slot*> ready_;
+  std::vector<Slot*> free_slots_;
+  std::vector<std::thread> threads_;
+  std::vector<GameRecord> completed_;
+  int pending_games_ = 0;
+  int active_games_ = 0;
+  int next_game_id_ = 0;
+  bool started_ = false;
+  bool stop_ = false;
+  bool stopping_ = false;  // a stop() call owns the teardown
+  bool stopped_ = false;   // teardown finished
+  std::condition_variable stopped_cv_;
+
+  // Aggregates (guarded by mutex_).
+  int games_completed_ = 0;
+  int games_abandoned_ = 0;
+  int moves_ = 0;
+  std::int64_t samples_ = 0;
+  std::size_t eval_requests_ = 0;
+  int scheme_switches_ = 0;
+  std::int64_t reused_visits_ = 0;
+  double search_seconds_ = 0.0;
+  Timer wall_timer_;
+  double final_wall_seconds_ = 0.0;
+};
+
+}  // namespace apm

@@ -1,7 +1,5 @@
 #include "train/self_play.hpp"
 
-#include <functional>
-
 #include "support/check.hpp"
 #include "support/timer.hpp"
 #include "train/augment.hpp"
@@ -22,74 +20,98 @@ int sample_from(const std::vector<float>& probs, Rng& rng) {
   return last_positive;  // numerical tail
 }
 
+}  // namespace
+
+EpisodeRunner::EpisodeRunner(const Game& game, const SelfPlayConfig& cfg)
+    : cfg_(cfg),
+      height_(game.height()),
+      width_(game.width()),
+      channels_(game.encode_channels()),
+      rng_(cfg.seed),
+      env_(game.clone()) {}
+
+bool EpisodeRunner::done() const {
+  return env_->is_terminal() ||
+         (cfg_.max_moves > 0 && stats_.moves >= cfg_.max_moves);
+}
+
+void EpisodeRunner::step(const SearchFn& search, const PlayedFn& played) {
+  if (done()) return;
+  Timer timer;
+  const SearchResult result = search(*env_);
+  stats_.search_seconds += timer.elapsed_seconds();
+  stats_.last_metrics = result.metrics;
+  APM_CHECK_MSG(result.best_action >= 0, "search produced no action");
+
+  MoveRecord rec;
+  rec.player = env_->current_player();
+  rec.sample.state.resize(env_->encode_size());
+  env_->encode(rec.sample.state.data());
+  rec.sample.pi = result.action_prior;
+  records_.push_back(std::move(rec));
+
+  int action;
+  if (stats_.moves < cfg_.temperature_moves) {
+    const auto pi = result.prior_with_temperature(cfg_.temperature);
+    action = sample_from(pi, rng_);
+  } else {
+    action = result.best_action;
+  }
+  APM_CHECK(env_->is_legal(action));
+  if (played) played(action);
+  env_->apply(action);
+  ++stats_.moves;
+}
+
+EpisodeStats EpisodeRunner::finish(const SampleSink& sink) {
+  stats_.winner = env_->winner();
+  const int side = height_;
+  const bool square =
+      height_ == width_ &&
+      static_cast<int>(records_.empty() ? 0
+                                        : records_.front().sample.pi.size()) ==
+          side * side;
+  for (MoveRecord& rec : records_) {
+    rec.sample.z = stats_.winner == 0
+                       ? 0.0f
+                       : (stats_.winner == rec.player ? 1.0f : -1.0f);
+    if (cfg_.augment && square) {
+      std::vector<TrainSample> extra;
+      augment_symmetries(rec.sample, channels_, side, extra);
+      for (TrainSample& s : extra) sink(std::move(s));
+      stats_.samples += 7;
+    }
+    sink(std::move(rec.sample));
+    ++stats_.samples;
+  }
+  records_.clear();
+  return stats_;
+}
+
+void fold_engine_trace(EpisodeStats& stats, const SearchEngine& engine,
+                       std::size_t log_begin) {
+  const auto& log = engine.move_log();
+  for (std::size_t i = log_begin; i < log.size(); ++i) {
+    const EngineMoveStats& m = log[i];
+    stats.per_move.push_back(m);
+    if (m.switched) ++stats.scheme_switches;
+    if (m.reused_tree) ++stats.reused_moves;
+    stats.reused_visits += m.reused_visits;
+  }
+}
+
+namespace {
+
 // Core episode loop shared by the MctsSearch and SearchEngine entry points:
 // `step` runs one move's search, `played` (optional) observes the chosen
 // action before it is applied.
-EpisodeStats play_episode(
-    const Game& game, ReplayBuffer& buffer, const SelfPlayConfig& cfg,
-    const std::function<SearchResult(const Game&)>& step,
-    const std::function<void(int)>& played) {
-  EpisodeStats stats;
-  Rng rng(cfg.seed);
-  auto env = game.clone();
-
-  // Per-move records; z is filled once the outcome is known.
-  struct MoveRecord {
-    TrainSample sample;
-    int player;
-  };
-  std::vector<MoveRecord> records;
-
-  while (!env->is_terminal()) {
-    if (cfg.max_moves > 0 && stats.moves >= cfg.max_moves) break;
-    Timer timer;
-    const SearchResult result = step(*env);
-    stats.search_seconds += timer.elapsed_seconds();
-    stats.last_metrics = result.metrics;
-    APM_CHECK_MSG(result.best_action >= 0, "search produced no action");
-
-    MoveRecord rec;
-    rec.player = env->current_player();
-    rec.sample.state.resize(env->encode_size());
-    env->encode(rec.sample.state.data());
-    rec.sample.pi = result.action_prior;
-    records.push_back(std::move(rec));
-
-    int action;
-    if (stats.moves < cfg.temperature_moves) {
-      const auto pi = result.prior_with_temperature(cfg.temperature);
-      action = sample_from(pi, rng);
-    } else {
-      action = result.best_action;
-    }
-    APM_CHECK(env->is_legal(action));
-    if (played) played(action);
-    env->apply(action);
-    ++stats.moves;
-  }
-
-  stats.winner = env->winner();
-  const int side = game.height();
-  const int channels = game.encode_channels();
-  const bool square = game.height() == game.width() &&
-                      static_cast<int>(records.empty()
-                                           ? 0
-                                           : records.front().sample.pi.size()) ==
-                          side * side;
-  for (MoveRecord& rec : records) {
-    rec.sample.z = stats.winner == 0
-                       ? 0.0f
-                       : (stats.winner == rec.player ? 1.0f : -1.0f);
-    if (cfg.augment && square) {
-      std::vector<TrainSample> extra;
-      augment_symmetries(rec.sample, channels, side, extra);
-      for (TrainSample& s : extra) buffer.add(std::move(s));
-      stats.samples += 7;
-    }
-    buffer.add(std::move(rec.sample));
-    ++stats.samples;
-  }
-  return stats;
+EpisodeStats play_episode(const Game& game, ReplayBuffer& buffer,
+                          const SelfPlayConfig& cfg,
+                          const EpisodeRunner::SearchFn& step,
+                          const EpisodeRunner::PlayedFn& played) {
+  EpisodeRunner runner(game, cfg);
+  while (!runner.done()) runner.step(step, played);
+  return runner.finish([&buffer](TrainSample&& s) { buffer.add(std::move(s)); });
 }
 
 }  // namespace
@@ -112,14 +134,7 @@ EpisodeStats run_self_play_episode(const Game& game, SearchEngine& engine,
       [&engine](const Game& env) { return engine.search(env); },
       [&engine](int action) { engine.advance(action); });
   // Surface the engine's adaptation trace for this episode.
-  const auto& log = engine.move_log();
-  for (std::size_t i = log_begin; i < log.size(); ++i) {
-    const EngineMoveStats& m = log[i];
-    stats.per_move.push_back(m);
-    if (m.switched) ++stats.scheme_switches;
-    if (m.reused_tree) ++stats.reused_moves;
-    stats.reused_visits += m.reused_visits;
-  }
+  fold_engine_trace(stats, engine, log_begin);
   return stats;
 }
 

@@ -4,13 +4,17 @@
 // tree-based search; record (state, π) per move and back-fill the final
 // reward z once the episode terminates.
 //
-// Two entry points: the historical one drives a bare MctsSearch (fresh
+// Three entry points: the historical one drives a bare MctsSearch (fresh
 // tree per move, fixed scheme); the SearchEngine overload drives the
 // adaptive engine instead — the played move is fed back via
 // engine.advance() so the subtree survives to the next move, and the
 // engine's per-move adaptation trace (scheme/worker/batch switches, reuse
-// accounting) is surfaced in EpisodeStats.
+// accounting) is surfaced in EpisodeStats. EpisodeRunner is the resumable
+// core both are built on: it advances one move per step() call, so a
+// MatchService worker can interleave moves of many concurrent games on one
+// thread pool (serve/match_service.hpp).
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -43,6 +47,56 @@ struct EpisodeStats {
   std::int64_t reused_visits = 0;  // Σ visit mass carried across moves
   std::vector<EngineMoveStats> per_move;  // full adaptation trace
 };
+
+// One self-play episode as a resumable per-move state machine. step() runs
+// exactly one move (search → temperature sampling → apply); finish() does
+// the terminal bookkeeping (z back-fill, 8-fold augmentation) and hands
+// every TrainSample to a sink. Stepping is single-owner: one caller at a
+// time, but ownership may hop between threads move to move (the
+// MatchService slot scheduler does exactly that).
+class EpisodeRunner {
+ public:
+  using SearchFn = std::function<SearchResult(const Game&)>;
+  using PlayedFn = std::function<void(int)>;
+  using SampleSink = std::function<void(TrainSample&&)>;
+
+  EpisodeRunner(const Game& game, const SelfPlayConfig& cfg);
+
+  bool done() const;
+  const Game& env() const { return *env_; }
+  int moves() const { return stats_.moves; }
+
+  // Runs one move: `search` produces the move's SearchResult; `played`
+  // (optional) observes the chosen action before it is applied — the
+  // engine-mode hook for SearchEngine::advance(). No-op once done().
+  void step(const SearchFn& search, const PlayedFn& played = nullptr);
+
+  // Terminal bookkeeping: fills z from the outcome, applies augmentation,
+  // hands every sample to `sink`, and returns the episode stats. Call once,
+  // after done() (or earlier to finalize a truncated episode).
+  EpisodeStats finish(const SampleSink& sink);
+
+ private:
+  struct MoveRecord {
+    TrainSample sample;
+    int player;
+  };
+
+  SelfPlayConfig cfg_;
+  int height_;
+  int width_;
+  int channels_;
+  Rng rng_;
+  std::unique_ptr<Game> env_;
+  EpisodeStats stats_;
+  std::vector<MoveRecord> records_;
+};
+
+// Folds an engine's per-move adaptation trace (log entries from index
+// `log_begin` on) into episode stats — shared by the SearchEngine episode
+// entry point and the MatchService.
+void fold_engine_trace(EpisodeStats& stats, const SearchEngine& engine,
+                       std::size_t log_begin);
 
 // Plays one episode of `game` (copied) with `search` choosing every move
 // (both players share the search/net — standard AlphaZero self-play).

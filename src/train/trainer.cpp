@@ -1,5 +1,7 @@
 #include "train/trainer.hpp"
 
+#include <algorithm>
+
 #include "support/timer.hpp"
 
 namespace apm {
@@ -33,33 +35,42 @@ LossParts Trainer::train(int iters) {
 }
 
 std::vector<LossPoint> Trainer::run(
-    const Game& game, MctsSearch& search, int episodes,
-    const SelfPlayConfig& sp_cfg,
+    MatchService& service, int episodes,
     const std::function<void(const LossPoint&)>& on_progress) {
   std::vector<LossPoint> curve;
+  curve.reserve(static_cast<std::size_t>(std::max(0, episodes)));
   Timer wall;
-  SelfPlayConfig sp = sp_cfg;
-  for (int ep = 0; ep < episodes; ++ep) {
-    sp.seed = sp_cfg.seed + static_cast<std::uint64_t>(ep) * 1000003ULL;
+  service.start();
+  int remaining = episodes;
+  while (remaining > 0) {
+    // One wave: as many concurrent games as the service has slots. SGD must
+    // wait for the wave — inference reads the weights a train step writes.
+    const int wave = std::min(remaining, service.slots());
     Timer t;
-    const EpisodeStats stats =
-        run_self_play_episode(game, search, buffer_, sp);
+    if (!service.enqueue(wave)) break;  // service stopped: partial curve
+    service.drain();
     search_seconds_ += t.elapsed_seconds();
-    total_samples_ += stats.samples;
 
-    t.reset();
-    const LossParts loss = train(cfg_.sgd_iters_per_move * stats.moves);
-    train_seconds_ += t.elapsed_seconds();
+    for (GameRecord& rec : service.take_completed()) {
+      if (!rec.completed) continue;  // stop() raced the wave: skip truncated
+      for (TrainSample& s : rec.samples) buffer_.add(std::move(s));
+      total_samples_ += rec.stats.samples;
 
-    LossPoint point;
-    point.wall_seconds = wall.elapsed_seconds();
-    point.samples_seen = total_samples_;
-    point.loss = loss.total;
-    point.value_loss = loss.value_loss;
-    point.policy_loss = loss.policy_loss;
-    point.entropy = loss.entropy;
-    curve.push_back(point);
-    if (on_progress) on_progress(point);
+      t.reset();
+      const LossParts loss = train(cfg_.sgd_iters_per_move * rec.stats.moves);
+      train_seconds_ += t.elapsed_seconds();
+
+      LossPoint point;
+      point.wall_seconds = wall.elapsed_seconds();
+      point.samples_seen = total_samples_;
+      point.loss = loss.total;
+      point.value_loss = loss.value_loss;
+      point.policy_loss = loss.policy_loss;
+      point.entropy = loss.entropy;
+      curve.push_back(point);
+      if (on_progress) on_progress(point);
+    }
+    remaining -= wave;
   }
   return curve;
 }

@@ -3,13 +3,19 @@
 // iterative pipeline: self-play episodes produce samples, SGD iterations
 // consume them, and a throughput meter reports the §5.4 metric
 // (samples/second over search + update time).
+//
+// Episode generation runs through the MatchService: waves of concurrent
+// games, each on its own adaptive SearchEngine (tree reuse + runtime
+// scheme switching), all sharing one evaluation resource so batches form
+// across games. SGD runs between waves — inference reads the weights, so
+// updates must never overlap a running search.
 
 #include <functional>
 #include <vector>
 
-#include "mcts/search.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/policy_value_net.hpp"
+#include "serve/match_service.hpp"
 #include "train/replay_buffer.hpp"
 #include "train/self_play.hpp"
 
@@ -44,12 +50,15 @@ class Trainer {
   // returns the mean loss parts. Requires a non-empty buffer.
   LossParts train(int iters);
 
-  // Full Algorithm-1 loop: `episodes` episodes of self-play on `game`
-  // using `search`, with cfg.sgd_iters_per_move SGD iterations after every
-  // move's worth of samples. `on_progress` (optional) observes each loss
-  // point as it is produced.
-  std::vector<LossPoint> run(const Game& game, MctsSearch& search,
-                             int episodes, const SelfPlayConfig& sp_cfg,
+  // Full Algorithm-1 loop, routed through the concurrent match service:
+  // `episodes` self-play games are generated in waves of up to
+  // service.slots() concurrent games (the service owns the per-game
+  // adaptive engines and the shared evaluator), then each completed
+  // episode's samples get cfg.sgd_iters_per_move × moves SGD iterations —
+  // one LossPoint per episode, as before. The service must be freshly
+  // constructed over the evaluator that reads this trainer's net; the
+  // trainer starts it and leaves it drained (caller stops it).
+  std::vector<LossPoint> run(MatchService& service, int episodes,
                              const std::function<void(const LossPoint&)>&
                                  on_progress = nullptr);
 

@@ -155,6 +155,103 @@ TEST(AdaptiveController, DwellBlocksBackToBackSwitches) {
   EXPECT_EQ(ctl.scheme(), Scheme::kSharedTree);
 }
 
+TEST(AdaptiveController, VirtualLossTracksInflightParallelism) {
+  // WU-UCT follow-up: the VL constant scales with the in-flight rollouts of
+  // the candidate configuration, floored at min_virtual_loss and capped at
+  // the base constant; at in-flight <= 1 the unbiased visit-tracking
+  // flavour is recommended.
+  AdaptiveConfig cfg = trusting_config({8});
+  cfg.base_virtual_loss = 4.0f;
+  AdaptiveController ctl(flat_hardware(), make_costs(5.0, 800.0, 2.0), cfg,
+                         Scheme::kLocalTree, 8);  // base in-flight = 8
+  EXPECT_FLOAT_EQ(ctl.planned_virtual_loss(Scheme::kLocalTree, 8, 1), 4.0f);
+  EXPECT_FLOAT_EQ(ctl.planned_virtual_loss(Scheme::kSharedTree, 4, 4), 2.0f);
+  EXPECT_FLOAT_EQ(ctl.planned_virtual_loss(Scheme::kSerial, 1, 1), 0.5f);
+  EXPECT_EQ(ctl.planned_vl_mode(Scheme::kSerial, 1, 1),
+            VirtualLossMode::kVisitTracking);
+  EXPECT_EQ(ctl.planned_vl_mode(Scheme::kSharedTree, 8, 8),
+            VirtualLossMode::kConstant);
+}
+
+TEST(AdaptiveController, GpuVirtualLossShrinksWithBatchSize) {
+  // On the accelerator platform the local-tree in-flight window is
+  // dispatch-granular: min(N, B). Shrinking B at fixed N shrinks VL.
+  AdaptiveConfig cfg = trusting_config({8});
+  cfg.gpu = true;
+  cfg.base_virtual_loss = 4.0f;
+  AdaptiveController ctl(flat_hardware(), make_costs(5.0, 800.0, 2.0), cfg,
+                         Scheme::kLocalTree, 8, /*batch_size=*/8);
+  EXPECT_FLOAT_EQ(ctl.planned_virtual_loss(Scheme::kLocalTree, 8, 8), 4.0f);
+  EXPECT_FLOAT_EQ(ctl.planned_virtual_loss(Scheme::kLocalTree, 8, 4), 2.0f);
+  EXPECT_FLOAT_EQ(ctl.planned_virtual_loss(Scheme::kLocalTree, 8, 2), 1.0f);
+  // plan() reports the VL of whatever configuration it committed.
+  ctl.observe_costs(make_costs(5.0, 800.0, 2.0));
+  const AdaptivePlan plan = ctl.plan();
+  EXPECT_FLOAT_EQ(plan.virtual_loss,
+                  ctl.planned_virtual_loss(ctl.scheme(), ctl.workers(),
+                                           ctl.batch_size()));
+  EXPECT_EQ(plan.vl_mode, ctl.planned_vl_mode(ctl.scheme(), ctl.workers(),
+                                              ctl.batch_size()));
+}
+
+TEST(SearchEngine, AppliesVirtualLossFloorForSerialDriver) {
+  // A serial driver has one rollout in flight; when the configured VL
+  // constant was tuned for a larger in-flight reference (base_inflight, the
+  // MatchService template case: serial per-game engines whose template came
+  // from a parallel tuning), the engine installs the floored constant and
+  // the unbiased visit-tracking flavour at construction.
+  Gomoku g(5, 4);
+  UniformEvaluator eval(g.action_count(), g.encode_size());
+
+  EngineConfig ec;
+  ec.mcts.num_playouts = 20;
+  ec.mcts.virtual_loss = 4.0f;  // seeds adaptive.base_virtual_loss
+  ec.scheme = Scheme::kSerial;
+  ec.adaptive.base_inflight = 8;  // the constant was tuned for 8 in flight
+  ec.adaptive.worker_candidates = {1};
+  SearchEngine engine(ec, {.evaluator = &eval});
+  EXPECT_FLOAT_EQ(engine.virtual_loss(), 0.5f);  // 4.0 × 1/8
+  EXPECT_EQ(engine.vl_mode(), VirtualLossMode::kVisitTracking);
+}
+
+TEST(SearchEngine, GpuSwitchToTunedBatchShrinksVirtualLoss) {
+  // The paper-shaped GPU-platform switch: shared-tree at N=64 (batch = N)
+  // loses to local-tree with the Algorithm-4 tuned B* < N once in-tree
+  // costs are cheap — and the re-tune must shrink VL along with the
+  // dispatch granularity (in-flight = min(N, B*)).
+  Gomoku g(5, 4);
+  SyntheticEvaluator eval(g.action_count(), g.encode_size());
+  GpuTimingModel model;
+  SimGpuBackend backend(eval, model);
+  AsyncBatchEvaluator batch(backend, /*threshold=*/1, /*streams=*/1,
+                            /*stale_flush_us=*/300.0);
+
+  EngineConfig ec;
+  ec.mcts.num_playouts = 64;
+  ec.mcts.virtual_loss = 4.0f;
+  ec.scheme = Scheme::kSharedTree;
+  ec.workers = 64;
+  ec.batch_threshold = 64;
+  ec.hw = flat_hardware();
+  ec.seed_costs = make_costs(3.0, 800.0, 2.0);
+  ec.adaptive = trusting_config({64});
+  ec.adaptive.gpu = true;
+  SearchEngine engine(ec, {.batch = &batch});
+  EXPECT_FLOAT_EQ(engine.virtual_loss(), 4.0f);  // shared(64) = the base
+
+  engine.set_cost_feed([](int) { return make_costs(3.0, 800.0, 2.0); });
+  engine.search(g);
+  ASSERT_EQ(engine.switch_count(), 1);
+  ASSERT_EQ(engine.scheme(), Scheme::kLocalTree);
+  const EngineMoveStats& ms = engine.move_log().back();
+  EXPECT_LT(ms.next_batch_threshold, 64);  // Algorithm 4 picked B* < N
+  EXPECT_LT(engine.virtual_loss(), 4.0f);  // and VL shrank with it
+  EXPECT_FLOAT_EQ(engine.virtual_loss(),
+                  std::max(0.5f, 4.0f * ms.next_batch_threshold / 64.0f));
+  EXPECT_FLOAT_EQ(ms.virtual_loss, 4.0f);
+  EXPECT_FLOAT_EQ(ms.next_virtual_loss, engine.virtual_loss());
+}
+
 TEST(AsyncBatchThreshold, RuntimeRetuneFlushesAndApplies) {
   Gomoku g(5, 4);
   SyntheticEvaluator eval(g.action_count(), g.encode_size());

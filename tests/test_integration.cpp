@@ -76,7 +76,6 @@ TEST(Trainer, LossDecreasesOverPipelineRun) {
   const Gomoku game = make_tictactoe();
   PolicyValueNet net(NetConfig::tiny(3), 7);
   NetEvaluator eval(net);
-  SerialMcts search(small_search(40), eval);
 
   TrainerConfig tc;
   tc.sgd_iters_per_move = 4;
@@ -84,10 +83,18 @@ TEST(Trainer, LossDecreasesOverPipelineRun) {
   tc.sgd.lr = 0.01f;
   Trainer trainer(net, tc, 4096);
 
-  SelfPlayConfig sp;
-  sp.temperature_moves = 3;
-  sp.augment = true;
-  const auto curve = trainer.run(game, search, /*episodes=*/8, sp);
+  // Trainer::run generates episodes through the concurrent match service
+  // (two serial-engine games at a time over the shared evaluator).
+  ServiceConfig sc;
+  sc.engine.mcts = small_search(40);
+  sc.engine.scheme = Scheme::kSerial;
+  sc.engine.adapt = false;
+  sc.slots = 2;
+  sc.workers = 2;
+  sc.self_play.temperature_moves = 3;
+  sc.self_play.augment = true;
+  MatchService service(sc, game, {.evaluator = &eval});
+  const auto curve = trainer.run(service, /*episodes=*/8);
   ASSERT_EQ(curve.size(), 8u);
   for (const auto& point : curve) {
     EXPECT_TRUE(std::isfinite(point.loss));
@@ -105,14 +112,21 @@ TEST(Trainer, ParallelSearchFeedsSamePipeline) {
   const Gomoku game = make_tictactoe();
   PolicyValueNet net(NetConfig::tiny(3), 7);
   NetEvaluator eval(net);
-  LocalTreeMcts search(small_search(32), 4, eval);
 
   TrainerConfig tc;
   tc.sgd_iters_per_move = 2;
   tc.batch_size = 8;
   Trainer trainer(net, tc, 1024);
-  SelfPlayConfig sp;
-  const auto curve = trainer.run(game, search, 2, sp);
+
+  ServiceConfig sc;
+  sc.engine.mcts = small_search(32);
+  sc.engine.scheme = Scheme::kLocalTree;
+  sc.engine.workers = 4;
+  sc.engine.adapt = false;
+  sc.slots = 2;
+  sc.workers = 2;
+  MatchService service(sc, game, {.evaluator = &eval});
+  const auto curve = trainer.run(service, 2);
   EXPECT_EQ(curve.size(), 2u);
   EXPECT_GT(trainer.buffer().size(), 0u);
 }
@@ -161,13 +175,18 @@ TEST(Checkpointing, TrainedNetSurvivesSaveLoadWithSameSearchBehaviour) {
   PolicyValueNet net(NetConfig::tiny(3), 7);
   {
     NetEvaluator eval(net);
-    SerialMcts search(small_search(24), eval);
     TrainerConfig tc;
     tc.sgd_iters_per_move = 2;
     tc.batch_size = 8;
     Trainer trainer(net, tc, 512);
-    SelfPlayConfig sp;
-    trainer.run(game, search, 2, sp);
+    ServiceConfig sc;
+    sc.engine.mcts = small_search(24);
+    sc.engine.scheme = Scheme::kSerial;
+    sc.engine.adapt = false;
+    sc.slots = 2;
+    sc.workers = 2;
+    MatchService service(sc, game, {.evaluator = &eval});
+    trainer.run(service, 2);
   }
 
   std::stringstream stream;
