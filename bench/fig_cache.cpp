@@ -1,0 +1,179 @@
+// Eval-cache bench (ISSUE 4): sweeps concurrent games K and cache capacity
+// (including cache-off) on the MatchService's shared queue and records the
+// dedupe win — evals saved (cache hits + in-flight coalesces), the
+// resulting hit rate, unique backend evaluations, and aggregate served
+// evals/s — into a JSON baseline (default BENCH_cache.json, or argv[1]).
+//
+// Setup mirrors fig_service_throughput: K serial-engine Gomoku games share
+// one AsyncBatchEvaluator (threshold 4) over a wall-emulated A6000 model,
+// fixed seeds, adaptation off — so per-game move sequences are a function
+// of the game id only. That determinism is also the correctness check this
+// bench enforces: with exact 64-bit coalescing, every game must finish with
+// the same winner and move count whether the cache is on or off, while the
+// backend performs strictly fewer evaluations.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/gpu_model.hpp"
+#include "games/gomoku.hpp"
+#include "serve/match_service.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace apm;
+
+struct JsonWriter {
+  std::FILE* f;
+  bool first = true;
+
+  void entry(const std::string& name, double value, const char* unit) {
+    std::fprintf(f, "%s\n  {\"name\": \"%s\", \"value\": %.4f, \"unit\": \"%s\"}",
+                 first ? "" : ",", name.c_str(), value, unit);
+    first = false;
+  }
+};
+
+struct RunResult {
+  ServiceStats stats;
+  CacheStats cache;
+  std::vector<int> winners;  // by game id (result-identity check)
+  std::vector<int> moves;
+};
+
+// Plays 2·K games on K slots over a fresh shared queue; cache_capacity 0
+// runs without a cache attached.
+RunResult run_service(const Game& game, int concurrent_games,
+                      std::size_t cache_capacity) {
+  SyntheticEvaluator eval(game.action_count(), game.encode_size());
+  SimGpuBackend backend(eval, GpuTimingModel{}, /*emulate_wall_time=*/true);
+  EvalCache cache({.capacity = cache_capacity ? cache_capacity : 1,
+                   .shards = 8,
+                   .ways = 4});
+  AsyncBatchEvaluator queue(backend, /*batch_threshold=*/4, /*num_streams=*/2,
+                            /*stale_flush_us=*/1500.0);
+  if (cache_capacity > 0) queue.set_cache(&cache);
+
+  ServiceConfig sc;
+  sc.engine.mcts.num_playouts = 64;
+  sc.engine.scheme = Scheme::kSerial;
+  sc.engine.adapt = false;
+  sc.slots = concurrent_games;
+  sc.workers = 8;
+
+  RunResult r;
+  {
+    MatchService service(sc, game, {.batch = &queue});
+    service.enqueue(2 * concurrent_games);
+    service.start();
+    service.drain();
+    r.stats = service.stats();
+    for (const GameRecord& rec : service.take_completed()) {
+      r.winners.push_back(rec.stats.winner);
+      r.moves.push_back(rec.stats.moves);
+    }
+    service.stop();
+  }
+  r.cache = cache.stats();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_cache.json";
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "[");
+  JsonWriter json{f};
+
+  std::printf(
+      "=== eval cache: cross-game dedupe at the shared queue ===\n"
+      "shared AsyncBatchEvaluator, threshold 4, wall-emulated A6000 model;\n"
+      "serial engines, fixed seeds (deterministic), 2K games on K slots\n\n");
+
+  const Gomoku game(5, 4);
+  const std::size_t kDefaultCapacity = 1 << 14;
+
+  // --- K sweep, cache on vs off -------------------------------------------
+  Table ksweep({"K games", "cache", "demand", "unique", "saved", "hit rate",
+                "mean fill", "evals/s"});
+  bool results_identical = true;
+  bool strictly_fewer = true;
+  double hit_rate_k4 = 0.0;
+  for (const int k : {1, 2, 4, 8}) {
+    const RunResult off = run_service(game, k, 0);
+    const RunResult on = run_service(game, k, kDefaultCapacity);
+    results_identical = results_identical && on.winners == off.winners &&
+                        on.moves == off.moves;
+    strictly_fewer =
+        strictly_fewer && on.stats.batch.submitted < off.stats.batch.submitted;
+    if (k == 4) hit_rate_k4 = on.stats.cache_hit_rate;
+
+    for (const auto* r : {&off, &on}) {
+      const bool cached = r == &on;
+      const std::size_t saved =
+          r->stats.cache_hits + r->stats.coalesced_evals;
+      ksweep.add_row({std::to_string(k), cached ? "on" : "off",
+                      std::to_string(r->stats.eval_requests),
+                      std::to_string(r->stats.batch.submitted),
+                      std::to_string(saved),
+                      Table::fmt(r->stats.cache_hit_rate, 3),
+                      Table::fmt(r->stats.mean_batch_fill, 2),
+                      Table::fmt(r->stats.evals_per_second, 0)});
+      const std::string suffix =
+          "_k" + std::to_string(k) + (cached ? "_cached" : "_nocache");
+      json.entry("cache_evals_saved" + suffix, static_cast<double>(saved),
+                 "evals");
+      json.entry("cache_unique_evals" + suffix,
+                 static_cast<double>(r->stats.batch.submitted), "evals");
+      json.entry("cache_hit_rate" + suffix, r->stats.cache_hit_rate,
+                 "fraction");
+      json.entry("cache_evals_per_s" + suffix, r->stats.evals_per_second,
+                 "evals/s");
+      json.entry("cache_mean_fill" + suffix, r->stats.mean_batch_fill,
+                 "requests/batch");
+    }
+  }
+  ksweep.print("K sweep: cache on vs off (16k-entry cache)");
+
+  // --- capacity sweep at K = 4 --------------------------------------------
+  Table csweep({"capacity", "unique", "saved", "hit rate", "evictions",
+                "evals/s"});
+  for (const std::size_t cap : {std::size_t{256}, std::size_t{1} << 12,
+                                std::size_t{1} << 14}) {
+    const RunResult r = run_service(game, 4, cap);
+    const std::size_t saved = r.stats.cache_hits + r.stats.coalesced_evals;
+    csweep.add_row({std::to_string(r.cache.capacity),
+                    std::to_string(r.stats.batch.submitted),
+                    std::to_string(saved),
+                    Table::fmt(r.stats.cache_hit_rate, 3),
+                    std::to_string(r.cache.evictions),
+                    Table::fmt(r.stats.evals_per_second, 0)});
+    const std::string suffix = "_k4_cap" + std::to_string(r.cache.capacity);
+    json.entry("cache_hit_rate" + suffix, r.stats.cache_hit_rate, "fraction");
+    json.entry("cache_evictions" + suffix,
+               static_cast<double>(r.cache.evictions), "evictions");
+    json.entry("cache_evals_per_s" + suffix, r.stats.evals_per_second,
+               "evals/s");
+  }
+  csweep.print("capacity sweep at K = 4");
+
+  json.entry("cache_results_identical_on_off", results_identical ? 1.0 : 0.0,
+             "bool");
+  std::fprintf(f, "\n]\n");
+  std::fclose(f);
+
+  std::printf(
+      "\ncheck: identical per-game results on/off: %s; strictly fewer unique "
+      "evals with cache: %s;\nK=4 hit rate %.3f (must be > 0)\n"
+      "baseline written to %s\n",
+      results_identical ? "yes" : "NO", strictly_fewer ? "yes" : "NO",
+      hit_rate_k4, out_path);
+  return results_identical && strictly_fewer && hit_rate_k4 > 0.0 ? 0 : 1;
+}

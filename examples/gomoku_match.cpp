@@ -59,9 +59,25 @@ int main(int argc, char** argv) {
     sc.slots = 2;
     sc.workers = 2;
     sc.self_play.augment = true;
-    apm::MatchService service(sc, game, {.evaluator = &eval});
+    // Self-play through the shared batch queue with the eval cache in
+    // front: concurrent games dedupe their shared openings, and the
+    // Trainer clears the cache whenever a weight update makes cached
+    // policies stale.
+    apm::CpuBackend backend(eval);
+    apm::EvalCache cache({.capacity = 1 << 13, .shards = 4, .ways = 4});
+    apm::AsyncBatchEvaluator queue(backend, /*batch_threshold=*/2,
+                                   /*num_streams=*/1,
+                                   /*stale_flush_us=*/1000.0);
+    queue.set_cache(&cache);
+    apm::MatchService service(sc, game, {.batch = &queue});
     std::printf("pre-training agent A for 4 episodes...\n");
     trainer.run(service, 4);
+    const apm::ServiceStats ss = service.stats();
+    std::printf(
+        "self-play eval dedupe: %zu requests, %zu cache hits + %zu "
+        "coalesced (hit rate %.3f), mean batch fill %.2f\n",
+        ss.eval_requests, ss.cache_hits, ss.coalesced_evals,
+        ss.cache_hit_rate, ss.mean_batch_fill);
   }
 
   apm::NetEvaluator eval_a(net_a), eval_b(net_b);

@@ -31,6 +31,8 @@ BatchQueueStats stats_delta(const BatchQueueStats& now,
     d.tag_slots[i] -= base.tag_slots[i];
   }
   d.untagged_slots = now.untagged_slots - base.untagged_slots;
+  d.cache_hits = now.cache_hits - base.cache_hits;
+  d.coalesced = now.coalesced - base.coalesced;
   return d;
 }
 
@@ -61,9 +63,25 @@ AsyncBatchEvaluator::~AsyncBatchEvaluator() {
   batch_queue_.close();
 }
 
-void AsyncBatchEvaluator::submit(const float* input, Callback cb, int tag) {
+SubmitOutcome AsyncBatchEvaluator::submit(const float* input, Callback cb,
+                                          int tag, std::uint64_t hash) {
   APM_CHECK(cb != nullptr);
   const std::size_t isz = backend_.input_size();
+  EvalCache* cache = cache_.load(std::memory_order_acquire);
+  const bool hashed = cache != nullptr && hash != kNoHash;
+
+  // Fast path: resident position. Only the cache's shard lock is touched —
+  // the queue mutex never serialises cross-game cache hits (the hit
+  // counter is a dedicated atomic, folded into stats() snapshots).
+  if (hashed) {
+    EvalOutput out;
+    if (cache->lookup(hash, out)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cb(std::move(out));
+      return SubmitOutcome::kCacheHit;
+    }
+  }
+
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
 
   // Reserve a slot under the lock; copy the planes outside it. The batch
@@ -73,13 +91,61 @@ void AsyncBatchEvaluator::submit(const float* input, Callback cb, int tag) {
   std::size_t slot = 0;
   {
     std::unique_lock lock(mutex_);
-    if (!pending_) pending_ = acquire_batch_locked();
+    if (hashed) {
+      // Double-check under the queue lock: a completion inserts into the
+      // cache before retiring its in-flight entry (the retire needs
+      // mutex_), so a miss here *and* below means no result exists and
+      // none is coming — this request must become the hash's primary.
+      // Uncounted probe: the fast path already counted this request's one
+      // lookup, so CacheStats rates stay per-request.
+      EvalOutput out;
+      if (cache->lookup(hash, out, /*count=*/false)) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        lock.unlock();
+        cb(std::move(out));
+        if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard relock(mutex_);
+          drained_cv_.notify_all();
+        }
+        return SubmitOutcome::kCacheHit;
+      }
+      auto it = inflight_waiters_.find(hash);
+      if (it != inflight_waiters_.end()) {
+        // Coalesce: ride the in-flight primary instead of a second slot.
+        // Still counted in in_flight_, so drain() waits for the wake-up.
+        it->second.waiters.push_back(std::move(cb));
+        ++stats_.coalesced;
+        // A waiter on a still-forming primary is arrived demand for that
+        // batch: count it toward the dispatch threshold (not the fill
+        // histogram) so duplicate-heavy traffic keeps the cache-off
+        // dispatch cadence instead of stalling on the stale timer.
+        if (pending_ && it->second.seq == pending_seq_) {
+          ++pending_attached_;
+          if (static_cast<int>(pending_->callbacks.size()) +
+                  pending_attached_ >=
+              threshold_) {
+            dispatch_locked(lock, DispatchReason::kThreshold);
+          }
+        }
+        return SubmitOutcome::kCoalesced;
+      }
+    }
+    if (!pending_) {
+      pending_ = acquire_batch_locked();
+      ++pending_seq_;
+    }
+    if (hashed) {
+      InFlight primary;
+      primary.seq = pending_seq_;
+      inflight_waiters_.emplace(hash, std::move(primary));
+    }
     if (pending_->callbacks.empty()) {
       oldest_pending_ = std::chrono::steady_clock::now();
     }
     batch = pending_.get();
     slot = pending_->callbacks.size();
     pending_->callbacks.push_back(std::move(cb));
+    pending_->hashes.push_back(hashed ? hash : kNoHash);
     ++stats_.submitted;
     if (tag >= 0) {
       if (stats_.tag_slots.size() <= static_cast<std::size_t>(tag)) {
@@ -89,22 +155,33 @@ void AsyncBatchEvaluator::submit(const float* input, Callback cb, int tag) {
     } else {
       ++stats_.untagged_slots;
     }
-    if (static_cast<int>(pending_->callbacks.size()) >= threshold_) {
+    if (static_cast<int>(pending_->callbacks.size()) + pending_attached_ >=
+        threshold_) {
       dispatch_locked(lock, DispatchReason::kThreshold);
     }
   }
   std::memcpy(batch->inputs.data() + slot * isz, input, isz * sizeof(float));
   batch->ready.fetch_add(1, std::memory_order_release);
+  return SubmitOutcome::kQueued;
 }
 
-std::future<EvalOutput> AsyncBatchEvaluator::submit_future(const float* input,
-                                                           int tag) {
+std::future<EvalOutput> AsyncBatchEvaluator::submit_future(
+    const float* input, int tag, std::uint64_t hash, SubmitOutcome* outcome) {
   auto promise = std::make_shared<std::promise<EvalOutput>>();
   std::future<EvalOutput> fut = promise->get_future();
-  submit(
+  const SubmitOutcome how = submit(
       input, [promise](EvalOutput out) { promise->set_value(std::move(out)); },
-      tag);
+      tag, hash);
+  if (outcome != nullptr) *outcome = how;
   return fut;
+}
+
+void AsyncBatchEvaluator::set_cache(EvalCache* cache) {
+  APM_CHECK_MSG(cache == nullptr || stale_flush_us_ > 0.0,
+                "eval cache needs the stale-flush timer: coalesced waiters "
+                "slow a forming batch's fill, so threshold crossings alone "
+                "cannot bound a blocked submitter's wait");
+  cache_.store(cache, std::memory_order_release);
 }
 
 void AsyncBatchEvaluator::set_batch_threshold(int threshold) {
@@ -156,6 +233,7 @@ BatchQueueStats AsyncBatchEvaluator::stats() const {
   if (s.batches > 0) {
     s.mean_batch = sum_batch_sizes_ / static_cast<double>(s.batches);
   }
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -172,12 +250,14 @@ AsyncBatchEvaluator::acquire_batch_locked() {
   // Full-threshold slots up front so concurrent slot copies never resize.
   b->inputs.resize(static_cast<std::size_t>(threshold_) *
                    backend_.input_size());
+  b->hashes.reserve(static_cast<std::size_t>(threshold_));
   return b;
 }
 
 void AsyncBatchEvaluator::dispatch_locked(std::unique_lock<std::mutex>& lock,
                                           DispatchReason reason) {
   std::unique_ptr<Batch> batch = std::move(pending_);
+  pending_attached_ = 0;  // attached waiters leave with their primaries
   ++stats_.batches;
   const std::size_t size = batch->callbacks.size();
   sum_batch_sizes_ += static_cast<double>(size);
@@ -202,6 +282,7 @@ void AsyncBatchEvaluator::dispatch_locked(std::unique_lock<std::mutex>& lock,
 
 void AsyncBatchEvaluator::stream_loop() {
   std::vector<EvalOutput> outputs;
+  std::vector<std::vector<Callback>> waiters;
   while (auto batch_opt = batch_queue_.pop()) {
     std::unique_ptr<Batch> batch = std::move(*batch_opt);
     const int n = static_cast<int>(batch->callbacks.size());
@@ -212,24 +293,59 @@ void AsyncBatchEvaluator::stream_loop() {
     outputs.resize(static_cast<std::size_t>(n));
     const double modelled_us =
         backend_.compute_batch(batch->inputs.data(), n, outputs.data());
+    waiters.assign(static_cast<std::size_t>(n), {});
+    std::size_t released = 0;
+    // Publish every result into the cache BEFORE retiring the in-flight
+    // entries: a racing hashed submit() double-checks the cache and then
+    // the registry under mutex_, so with inserts sequenced first it can
+    // never miss both — it either hits the cache here or coalesces onto
+    // the still-registered entry. The inserts themselves take only shard
+    // locks; holding mutex_ across n policy-vector copies would stall
+    // every submitter for the whole span.
+    if (EvalCache* cache = cache_.load(std::memory_order_acquire)) {
+      for (int i = 0; i < n; ++i) {
+        if (batch->hashes[i] != kNoHash) {
+          cache->insert(batch->hashes[i], outputs[i]);
+        }
+      }
+    }
     {
       std::lock_guard lock(mutex_);
       stats_.modelled_backend_us += modelled_us;
+      for (int i = 0; i < n; ++i) {
+        const std::uint64_t h = batch->hashes[i];
+        if (h == kNoHash) continue;
+        // Waiters are taken regardless of the (possibly detached) cache —
+        // their wake-up depends only on the registry.
+        auto it = inflight_waiters_.find(h);
+        if (it != inflight_waiters_.end()) {
+          waiters[i] = std::move(it->second.waiters);
+          inflight_waiters_.erase(it);
+          released += waiters[i].size();
+        }
+      }
     }
-    // Callbacks run outside any lock (CP.22).
+    // Callbacks run outside any lock (CP.22); each coalesced waiter gets
+    // its own copy, the slot-owning primary consumes the original.
     for (int i = 0; i < n; ++i) {
+      for (Callback& waiter : waiters[i]) {
+        waiter(EvalOutput(outputs[i]));
+      }
       batch->callbacks[i](std::move(outputs[i]));
     }
     {
       // Recycle the buffer for a future forming batch.
       std::lock_guard lock(mutex_);
       batch->callbacks.clear();
+      batch->hashes.clear();
       batch->ready.store(0, std::memory_order_relaxed);
       free_batches_.push_back(std::move(batch));
     }
-    if (in_flight_.fetch_sub(static_cast<std::size_t>(n),
-                             std::memory_order_acq_rel) ==
-        static_cast<std::size_t>(n)) {
+    // Waiters count toward in_flight_ exactly like slot owners, so drain()
+    // cannot return before every coalesced request has been woken.
+    const std::size_t completed = static_cast<std::size_t>(n) + released;
+    if (in_flight_.fetch_sub(completed, std::memory_order_acq_rel) ==
+        completed) {
       std::lock_guard lock(mutex_);
       drained_cv_.notify_all();
     }

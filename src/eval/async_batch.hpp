@@ -20,6 +20,22 @@
 // tail of a move when fewer than B requests remain — e.g. the last
 // iterations of a 1600-playout move with B = 20), and drain() forces
 // completion of everything in flight at the end of a move.
+//
+// With an EvalCache attached (set_cache), requests carry the position's
+// 64-bit Zobrist hash and duplicate inference is eliminated at the queue
+// layer: a submission whose hash is resident in the cache completes
+// immediately on the caller's thread without taking a batch slot, and one
+// whose hash matches a request already forming or dispatched attaches as a
+// *waiter* to that request instead of occupying a second slot — so the
+// slots a batch does contain are unique positions, and real (unique-
+// position) batch fill rises at the same threshold. A waiter attached to a
+// primary in the still-forming batch counts toward the dispatch threshold
+// (it is arrived demand waiting on that batch — without this, duplicate-
+// heavy traffic would under-fill every batch and stall on the stale
+// timer), but never toward the fill histogram. Waiters are woken (and the
+// cache populated) when the carrying batch completes; drain() accounts for
+// them exactly like slot-occupying requests, so a shutdown with waiters
+// attached cannot return early or deadlock.
 
 #include <atomic>
 #include <condition_variable>
@@ -29,8 +45,10 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "eval/eval_cache.hpp"
 #include "eval/gpu_model.hpp"
 #include "support/sync_queue.hpp"
 
@@ -52,11 +70,17 @@ struct BatchQueueStats {
   // size s (index 0 unused). In multi-producer service mode this is the
   // cross-game batch-formation evidence (ISSUE 3).
   std::vector<std::size_t> fill_histogram;
-  // Per-submitter occupancy: tag_slots[tag] counts accepted requests from
-  // that tag (a MatchService game slot); untagged submissions (tag < 0)
-  // accumulate in untagged_slots.
+  // Per-submitter occupancy: tag_slots[tag] counts accepted slot-occupying
+  // requests from that tag (a MatchService game slot); untagged submissions
+  // (tag < 0) accumulate in untagged_slots.
   std::vector<std::size_t> tag_slots;
   std::size_t untagged_slots = 0;
+  // Eval-cache dedupe (zero without an attached cache): requests served
+  // straight from the cache, and requests coalesced onto an in-flight
+  // duplicate. Neither occupies a batch slot, so `submitted`, the fill
+  // histogram, and `mean_batch` count unique positions only.
+  std::size_t cache_hits = 0;
+  std::size_t coalesced = 0;
 };
 
 // Field-wise `now - base` between two stats snapshots of the same queue
@@ -68,9 +92,22 @@ struct BatchQueueStats {
 BatchQueueStats stats_delta(const BatchQueueStats& now,
                             const BatchQueueStats& base);
 
+// How a submit() was served (cache/coalescing telemetry for the drivers).
+enum class SubmitOutcome {
+  kQueued,    // occupied a slot in the forming batch (backend will run it)
+  kCacheHit,  // completed synchronously from the eval cache, no slot
+  kCoalesced  // attached as a waiter to an in-flight duplicate, no slot
+};
+
 class AsyncBatchEvaluator {
  public:
   using Callback = std::function<void(EvalOutput)>;
+
+  // Requests submitted without a position hash bypass the cache and never
+  // coalesce. (A genuine Zobrist hash of 0 is treated the same way — with
+  // random tables that is a ~2⁻⁶⁴ event, and the only cost is one
+  // uncached evaluation.)
+  static constexpr std::uint64_t kNoHash = 0;
 
   // batch_threshold >= 1; num_streams >= 1. stale_flush_us <= 0 disables
   // the timer (then only threshold crossings and flush()/drain() dispatch).
@@ -86,10 +123,35 @@ class AsyncBatchEvaluator {
   // not block for long and must not call back into submit() (CP.22).
   // `tag` >= 0 attributes the request to a submitter (a MatchService game
   // slot) in the stats; negative = untagged.
-  void submit(const float* input, Callback cb, int tag = -1);
+  //
+  // With a cache attached and `hash` != kNoHash, a resident hash completes
+  // `cb` synchronously on THIS thread before returning (kCacheHit), and a
+  // hash matching an in-flight request attaches `cb` as a waiter on it
+  // (kCoalesced) — in both cases no batch slot is taken.
+  SubmitOutcome submit(const float* input, Callback cb, int tag = -1,
+                       std::uint64_t hash = kNoHash);
 
   // Future-returning convenience (shared-tree workers block on these).
-  std::future<EvalOutput> submit_future(const float* input, int tag = -1);
+  // `outcome`, when non-null, receives how the request was served.
+  std::future<EvalOutput> submit_future(const float* input, int tag = -1,
+                                        std::uint64_t hash = kNoHash,
+                                        SubmitOutcome* outcome = nullptr);
+
+  // Attaches (or detaches, nullptr) the evaluation cache consulted by
+  // hash-carrying submissions. Requires the stale-flush timer: coalesced
+  // waiters make a forming batch fill slower than its submitters expect,
+  // so threshold crossings alone cannot guarantee liveness. Call before
+  // submissions start, and keep the cache alive until every submission has
+  // completed (this object's destructor drains, so "cache outlives the
+  // evaluator" is the simple sufficient rule): concurrent submit() and
+  // completion paths hold the raw pointer across their cache calls, so
+  // set_cache(nullptr) stops NEW lookups but does not fence in-flight
+  // ones. Waiters themselves are woken from the coalescing registry, never
+  // the cache, so detaching cannot strand them.
+  void set_cache(EvalCache* cache);
+  EvalCache* cache() const {
+    return cache_.load(std::memory_order_acquire);
+  }
 
   // Dispatches the current partial batch immediately (if any).
   void flush();
@@ -129,6 +191,10 @@ class AsyncBatchEvaluator {
   struct Batch {
     std::vector<float> inputs;       // capacity threshold * input_size
     std::vector<Callback> callbacks;
+    // Per-slot position hash (kNoHash = uncached request). A hashed slot is
+    // the unique in-flight primary for that hash: completion inserts the
+    // result into the cache and wakes the hash's coalesced waiters.
+    std::vector<std::uint64_t> hashes;
     std::atomic<int> ready{0};       // slots fully copied
   };
 
@@ -144,8 +210,34 @@ class AsyncBatchEvaluator {
   int threshold_;  // guarded by mutex_ (runtime-tunable)
   const double stale_flush_us_;
 
+  // One in-flight primary's coalescing state: its waiters, and the forming
+  // batch it occupies a slot in (`seq`, compared against pending_seq_ so a
+  // waiter knows whether its primary is still forming or already
+  // dispatched).
+  struct InFlight {
+    std::vector<Callback> waiters;
+    std::uint64_t seq = 0;
+  };
+
   mutable std::mutex mutex_;
   std::unique_ptr<Batch> pending_;
+  std::uint64_t pending_seq_ = 0;  // bumped whenever a new batch starts
+  // Waiters attached to primaries in the CURRENT forming batch. They count
+  // toward the dispatch threshold — a coalesced request is real arrived
+  // demand waiting on this batch, and without it K duplicate-heavy
+  // producers would under-fill every batch and stall on the stale timer —
+  // but never toward the fill histogram, which counts unique slots.
+  int pending_attached_ = 0;
+  // In-flight coalescing registry (guarded by mutex_): hash → state of the
+  // unique primary request currently forming or dispatched under that
+  // hash. An entry exists exactly from the primary's slot reservation until
+  // its completion retires it (after the cache insert, so a racing
+  // submitter always observes the position in-flight or resident).
+  std::unordered_map<std::uint64_t, InFlight> inflight_waiters_;
+  std::atomic<EvalCache*> cache_{nullptr};
+  // Cache-hit counter kept off mutex_ so the hit fast path never touches
+  // the queue lock; stats() folds it into the snapshot's cache_hits.
+  std::atomic<std::size_t> cache_hits_{0};
   std::vector<std::unique_ptr<Batch>> free_batches_;
   std::chrono::steady_clock::time_point oldest_pending_;
   std::atomic<std::size_t> in_flight_{0};  // accepted, not yet completed

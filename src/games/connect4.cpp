@@ -9,7 +9,9 @@ namespace apm {
 
 Connect4::Connect4()
     : board_(static_cast<std::size_t>(kRows) * kCols, 0),
-      zobrist_(std::make_shared<ZobristTable>(kRows * kCols)) {}
+      zobrist_(std::make_shared<ZobristTable>(kRows * kCols)) {
+  hash_ = zobrist_->base_key();
+}
 
 std::unique_ptr<Game> Connect4::clone() const {
   return std::make_unique<Connect4>(*this);

@@ -32,6 +32,15 @@ class Connect4 final : public Game {
   void legal_actions(std::vector<int>& out) const override;
   void apply(int action) override;
   std::uint64_t hash() const override { return hash_; }
+  // encode()'s plane 2 marks the last-dropped stone, so the eval-cache key
+  // extends the position hash with the last move's cell.
+  std::uint64_t eval_key() const override {
+    if (last_col_ < 0) return hash_;
+    const int row = heights_[last_col_] - 1;
+    std::uint64_t mix =
+        static_cast<std::uint64_t>(row * kCols + last_col_) + 1;
+    return hash_ ^ splitmix64(mix);
+  }
   void encode(float* planes) const override;
   std::string to_string() const override;
 

@@ -44,7 +44,17 @@ class Game {
   virtual void apply(int action) = 0;
 
   // Incremental Zobrist hash of the position (player-to-move included).
+  // Move-order invariant: transpositions share one hash.
   virtual std::uint64_t hash() const = 0;
+
+  // Cache key for NN evaluations: a hash of EVERYTHING encode() depends on.
+  // hash() covers stones + side to move, but games whose encoding also
+  // marks the last move (Connect4/Gomoku plane 2) must extend it — two
+  // transpositions with different last moves encode differently and may
+  // evaluate differently, so they must never share an eval-cache entry.
+  // The default is hash() for games whose encoding is a pure function of
+  // the position.
+  virtual std::uint64_t eval_key() const { return hash(); }
 
   // NN input; see class comment for the layout contract.
   virtual void encode(float* planes) const = 0;

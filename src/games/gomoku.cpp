@@ -14,6 +14,7 @@ Gomoku::Gomoku(int size, int win_len)
       zobrist_(std::make_shared<ZobristTable>(size * size)) {
   APM_CHECK_MSG(size >= 3 && size <= 25, "Gomoku size out of range");
   APM_CHECK_MSG(win_len >= 3 && win_len <= size, "win length out of range");
+  hash_ = zobrist_->base_key();
 }
 
 std::unique_ptr<Game> Gomoku::clone() const {

@@ -9,7 +9,8 @@
 namespace apm {
 
 // Hash keys for up to `cells` board cells × 2 colours, plus a side-to-move
-// key. Deterministic across runs (fixed seed) so tests can pin hashes.
+// key and a base key. Deterministic across runs (fixed seed) so tests can
+// pin hashes.
 class ZobristTable {
  public:
   explicit ZobristTable(int cells, std::uint64_t seed = 0xC0FFEE123456789ULL)
@@ -17,6 +18,7 @@ class ZobristTable {
     Rng rng(seed);
     for (auto& k : keys_) k = rng();
     side_key_ = rng();
+    base_key_ = rng();
   }
 
   // colour: 0 for player +1, 1 for player −1.
@@ -24,10 +26,15 @@ class ZobristTable {
     return keys_[static_cast<std::size_t>(cell) * 2 + colour];
   }
   std::uint64_t side_key() const { return side_key_; }
+  // Initial (empty position) hash. Nonzero, so the empty board — the most
+  // duplicated position across concurrent games — never collides with the
+  // eval cache's "no hash" sentinel of 0.
+  std::uint64_t base_key() const { return base_key_; }
 
  private:
   std::vector<std::uint64_t> keys_;
   std::uint64_t side_key_;
+  std::uint64_t base_key_;
 };
 
 }  // namespace apm

@@ -72,6 +72,15 @@ struct SearchMetrics {
   // length the adaptive controller feeds back into the Eq. 3–6 models.
   double sum_depth = 0.0;
   std::size_t eval_requests = 0;
+  // Eval-cache dedupe (zero without a cache on the queue): leaf requests
+  // served synchronously from the EvalCache, and leaf requests coalesced
+  // onto an in-flight duplicate instead of a second batch slot. Both count
+  // leaves only — subsets of eval_requests, so hit-rate ratios are
+  // well-formed; root-eval dedupe shows in the queue/cache counters.
+  // Unique backend work this move ≈ eval_requests − cache_hits −
+  // coalesced_evals.
+  std::size_t cache_hits = 0;
+  std::size_t coalesced_evals = 0;
   // Nodes newly expanded during this search (== fresh DNN evaluations that
   // produced edges). With cross-move tree reuse this is the per-move cost
   // the reused subtree saves.

@@ -86,6 +86,10 @@ struct EngineMoveStats {
   int playout_budget = 0;
   double predicted_us = 0.0;          // controller's pick under live costs
   double current_predicted_us = 0.0;  // this move's config under live costs
+  // Per-move eval-cache dedupe lives in metrics.cache_hits /
+  // metrics.coalesced_evals (vs metrics.eval_requests); the controller
+  // folds the hit rate into ProfiledCosts::cache_hit_rate, so a rising
+  // hit rate lowers the effective eval cost the Eq. 3–6 re-tune sees.
   SearchMetrics metrics;
 };
 

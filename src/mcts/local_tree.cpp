@@ -51,11 +51,16 @@ void LocalTreeMcts::evaluate_root(const Game& env) {
   env.encode(input.data());
   EvalOutput out;
   if (batch_ != nullptr) {
-    auto fut = batch_->submit_future(input.data(), batch_tag());
+    SubmitOutcome how = SubmitOutcome::kQueued;
+    auto fut = batch_->submit_future(input.data(), batch_tag(), env.eval_key(),
+                                     &how);
     // Sole producer only: on a tagged multi-producer queue the flush would
     // dispatch other games' forming batches (stale timer covers the wait).
-    if (batch_tag() < 0) batch_->flush();
+    if (batch_tag() < 0 && how == SubmitOutcome::kQueued) batch_->flush();
     out = fut.get();
+    // Root dedupe is deliberately NOT counted into SearchMetrics (see
+    // SharedTreeMcts::evaluate_root): cache_hits must stay a subset of the
+    // leaf-only eval_requests.
   } else {
     eval_->evaluate(input.data(), out);
   }
@@ -157,16 +162,25 @@ SearchResult LocalTreeMcts::search(const Game& env) {
         if (batch_ != nullptr) {
           const NodeId node_id = outcome.node;
           auto legal = std::move(c.legal);
-          batch_->submit(input.data(),
-                         [&completions, node_id,
-                          legal = std::move(legal)](EvalOutput out) mutable {
-                           Completion done;
-                           done.node = node_id;
-                           done.legal = std::move(legal);
-                           done.out = std::move(out);
-                           completions.push(std::move(done));
-                         },
-                         batch_tag());
+          // A cache hit runs the callback synchronously right here: the
+          // completion lands in the queue and is processed on the next
+          // loop pass — the master never blocks on a resident position.
+          // A transposition *within this tree* (two nodes, same position)
+          // coalesces onto its own in-flight request the same way a
+          // cross-game duplicate does.
+          const SubmitOutcome how = batch_->submit(
+              input.data(),
+              [&completions, node_id,
+               legal = std::move(legal)](EvalOutput out) mutable {
+                Completion done;
+                done.node = node_id;
+                done.legal = std::move(legal);
+                done.out = std::move(out);
+                completions.push(std::move(done));
+              },
+              batch_tag(), game->eval_key());
+          if (how == SubmitOutcome::kCacheHit) ++metrics.cache_hits;
+          if (how == SubmitOutcome::kCoalesced) ++metrics.coalesced_evals;
         } else {
           auto state = std::make_shared<std::vector<float>>(input);
           const NodeId node_id = outcome.node;

@@ -85,13 +85,23 @@ class MctsSearch {
   // counters mix in other games' traffic, and ServiceStats attributes
   // occupancy via the tags instead. `before` is the stats snapshot taken
   // at the top of the move; `reuse` credits the skipped root evaluation.
+  // Cache hits and coalesced waiters never took a slot, so they are
+  // excluded — batch.submitted stays the unique-position count the fill
+  // histogram is built from, and a coalesced request is not double-counted
+  // against the queue. The root term is approximate by one: root dedupe is
+  // not tracked in SearchMetrics (cache_hits counts leaves only), so a
+  // deduped root still contributes its +1 here.
   void finish_batch_metrics(const AsyncBatchEvaluator& batch,
                             const BatchQueueStats& before,
                             SearchMetrics& metrics, bool reuse) const {
     if (batch_tag() < 0) {
       metrics.batch = stats_delta(batch.stats(), before);
     } else {
-      metrics.batch.submitted = metrics.eval_requests + (reuse ? 0 : 1);
+      const std::size_t requests = metrics.eval_requests + (reuse ? 0 : 1);
+      const std::size_t deduped = metrics.cache_hits + metrics.coalesced_evals;
+      metrics.batch.submitted = requests > deduped ? requests - deduped : 0;
+      metrics.batch.cache_hits = metrics.cache_hits;
+      metrics.batch.coalesced = metrics.coalesced_evals;
     }
   }
 

@@ -21,17 +21,25 @@ SerialMcts::SerialMcts(MctsConfig cfg, AsyncBatchEvaluator& batch,
                 "timer (a single in-flight request cannot fill a batch)");
 }
 
-void SerialMcts::eval_state(const float* input, EvalOutput& out,
-                            bool flush_partial) {
+void SerialMcts::eval_state(const float* input, std::uint64_t hash,
+                            EvalOutput& out, bool flush_partial,
+                            SearchMetrics* metrics) {
   if (batch_ != nullptr) {
-    auto fut = batch_->submit_future(input, batch_tag());
+    SubmitOutcome how = SubmitOutcome::kQueued;
+    auto fut = batch_->submit_future(input, batch_tag(), hash, &how);
+    if (metrics != nullptr) {
+      if (how == SubmitOutcome::kCacheHit) ++metrics->cache_hits;
+      if (how == SubmitOutcome::kCoalesced) ++metrics->coalesced_evals;
+    }
     // Leaf requests deliberately do NOT flush: with one in-flight request
     // per serial game, batches only form across concurrent games sharing
     // the queue (threshold crossing) or via the stale-flush timer. The
     // root flush is also suppressed on a tagged (multi-producer) queue —
     // it would dispatch other games' forming partial batches, and the
     // stale timer already bounds the root's wait.
-    if (flush_partial && batch_tag() < 0) batch_->flush();
+    if (flush_partial && batch_tag() < 0 && how == SubmitOutcome::kQueued) {
+      batch_->flush();
+    }
     out = fut.get();
   } else {
     eval_->evaluate(input, out);
@@ -59,7 +67,8 @@ SearchResult SerialMcts::search(const Game& env) {
         expected, ExpandState::kExpanding, std::memory_order_acq_rel);
     APM_CHECK(claimed);
     env.encode(input.data());
-    eval_state(input.data(), eval_out, /*flush_partial=*/true);
+    eval_state(input.data(), env.eval_key(), eval_out, /*flush_partial=*/true,
+               nullptr);
     ops.expand(tree_.root(), env, eval_out.policy,
                cfg_.root_noise ? &rng_ : nullptr);
   } else if (cfg_.root_noise) {
@@ -85,7 +94,8 @@ SearchResult SerialMcts::search(const Game& env) {
 
     phase.reset();
     game->encode(input.data());
-    eval_state(input.data(), eval_out, /*flush_partial=*/false);
+    eval_state(input.data(), game->eval_key(), eval_out,
+               /*flush_partial=*/false, &metrics);
     ++metrics.eval_requests;
     metrics.eval_seconds += phase.elapsed_seconds();
 

@@ -39,7 +39,12 @@ class SerialMcts final : public MctsSearch {
   // Evaluates one encoded state through whichever resource this driver was
   // built over; `flush_partial` dispatches the forming batch immediately
   // (the root evaluation, which nothing else will ever join in-game).
-  void eval_state(const float* input, EvalOutput& out, bool flush_partial);
+  // `hash` keys the queue's eval cache / in-flight coalescing; dedupe
+  // outcomes are counted into `metrics` when non-null (leaf evaluations —
+  // the root passes nullptr so cache_hits stays a subset of eval_requests,
+  // which counts leaves only).
+  void eval_state(const float* input, std::uint64_t hash, EvalOutput& out,
+                  bool flush_partial, SearchMetrics* metrics);
 
   Evaluator* eval_ = nullptr;
   AsyncBatchEvaluator* batch_ = nullptr;

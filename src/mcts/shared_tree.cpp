@@ -40,12 +40,18 @@ void SharedTreeMcts::evaluate_root(const Game& env) {
   env.encode(input.data());
   EvalOutput out;
   if (batch_ != nullptr) {
-    auto fut = batch_->submit_future(input.data(), batch_tag());
+    SubmitOutcome how = SubmitOutcome::kQueued;
+    auto fut = batch_->submit_future(input.data(), batch_tag(), env.eval_key(),
+                                     &how);
     // Sole producer: don't wait for a batch that can't fill. On a tagged
     // multi-producer queue the flush would dispatch other games' forming
     // batches; the stale timer bounds the root's wait there instead.
-    if (batch_tag() < 0) batch_->flush();
+    if (batch_tag() < 0 && how == SubmitOutcome::kQueued) batch_->flush();
     out = fut.get();
+    // Root dedupe is deliberately NOT counted into SearchMetrics:
+    // eval_requests counts leaf evaluations only, and cache_hits must stay
+    // a subset of it so hit-rate ratios are well-formed. Root hits still
+    // show in the queue- and cache-level counters.
   } else {
     eval_->evaluate(input.data(), out);
   }
@@ -104,7 +110,12 @@ void SharedTreeMcts::worker_loop(const Game& env,
     phase.reset();
     game->encode(input.data());
     if (batch_ != nullptr) {
-      out = batch_->submit_future(input.data(), batch_tag()).get();
+      SubmitOutcome how = SubmitOutcome::kQueued;
+      out = batch_->submit_future(input.data(), batch_tag(), game->eval_key(),
+                                  &how)
+                .get();
+      if (how == SubmitOutcome::kCacheHit) ++stats.cache_hits;
+      if (how == SubmitOutcome::kCoalesced) ++stats.coalesced;
     } else {
       eval_->evaluate(input.data(), out);
     }
@@ -166,6 +177,8 @@ SearchResult SharedTreeMcts::search(const Game& env) {
     metrics.sum_depth += s.sum_depth;
     metrics.terminal_rollouts += s.terminals;
     metrics.eval_requests += s.evals;
+    metrics.cache_hits += s.cache_hits;
+    metrics.coalesced_evals += s.coalesced;
     metrics.expansions += s.expansions;
   }
   if (batch_ != nullptr) {

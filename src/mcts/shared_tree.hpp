@@ -43,6 +43,8 @@ class SharedTreeMcts final : public MctsSearch {
     double sum_depth = 0;
     std::size_t terminals = 0;
     std::size_t evals = 0;
+    std::size_t cache_hits = 0;
+    std::size_t coalesced = 0;
     std::size_t expansions = 0;
   };
 

@@ -89,8 +89,18 @@ ProfiledCosts AdaptiveController::costs_from_metrics(
   const double playouts = std::max(1, metrics.playouts);
   const double expansions =
       static_cast<double>(std::max<std::size_t>(1, metrics.expansions));
-  const double evals =
+  // Cache hits complete synchronously on the submit path and contribute
+  // ~nothing to eval_seconds; folding them into the per-request mean would
+  // conflate the hardware's eval latency with the workload's hit rate.
+  // Instead: t_dnn is the per-request cost of the requests that actually
+  // waited on the backend (misses + coalesced waiters, which block for a
+  // full batch), and the hit rate is carried separately so the models can
+  // apply the miss-rate scaling to the *effective* eval cost (Eq. 3–6).
+  const double requests =
       static_cast<double>(std::max<std::size_t>(1, metrics.eval_requests));
+  const double waited = static_cast<double>(std::max<std::size_t>(
+      1, metrics.eval_requests -
+             std::min(metrics.cache_hits, metrics.eval_requests)));
   // Phase times are resource-seconds summed across workers, so dividing by
   // the collective iteration count yields the per-iteration per-worker cost
   // the Eq. 3–6 models expect.
@@ -99,7 +109,13 @@ ProfiledCosts AdaptiveController::costs_from_metrics(
   sample.t_backup_us = metrics.backup_seconds * 1e6 / playouts;
   // eval_seconds includes queue/blocking time — the latency a worker
   // actually experiences per request, which is what the wave models bound.
-  sample.t_dnn_cpu_us = metrics.eval_seconds * 1e6 / evals;
+  sample.t_dnn_cpu_us = metrics.eval_seconds * 1e6 / waited;
+  sample.cache_hit_rate =
+      metrics.eval_requests > 0
+          ? static_cast<double>(
+                std::min(metrics.cache_hits, metrics.eval_requests)) /
+                requests
+          : 0.0;
   sample.mean_depth = std::max(1.0, metrics.mean_depth());
   sample.t_shared_access_us = hw.ddr_access_us * sample.mean_depth;
   sample.tree_bytes =
@@ -119,6 +135,8 @@ void AdaptiveController::observe_costs(const ProfiledCosts& sample) {
   costs_.t_dnn_cpu_us = ewma(costs_.t_dnn_cpu_us, sample.t_dnn_cpu_us, a);
   costs_.t_shared_access_us =
       ewma(costs_.t_shared_access_us, sample.t_shared_access_us, a);
+  costs_.cache_hit_rate =
+      ewma(costs_.cache_hit_rate, sample.cache_hit_rate, a);
   costs_.mean_depth = ewma(costs_.mean_depth, sample.mean_depth, a);
   costs_.tree_bytes = static_cast<std::size_t>(
       ewma(static_cast<double>(costs_.tree_bytes),

@@ -38,21 +38,26 @@ double PerfModel::local_intree_us() const {
                            costs_.t_backup_us - adjust);
 }
 
+double PerfModel::eval_miss_rate() const {
+  return std::clamp(1.0 - costs_.cache_hit_rate, 0.0, 1.0);
+}
+
 double PerfModel::shared_cpu_wave_us(int n) const {
   APM_CHECK(n >= 1);
   return costs_.t_shared_access_us * n + shared_intree_us() +
-         costs_.t_dnn_cpu_us;
+         costs_.t_dnn_cpu_us * eval_miss_rate();
 }
 
 double PerfModel::shared_gpu_wave_us(int n) const {
   APM_CHECK(n >= 1);
   return costs_.t_shared_access_us * n + shared_intree_us() +
-         hw_.gpu.batch_total_us(n);
+         hw_.gpu.batch_total_us(n) * eval_miss_rate();
 }
 
 double PerfModel::local_cpu_wave_us(int n) const {
   APM_CHECK(n >= 1);
-  return std::max(local_intree_us() * n, costs_.t_dnn_cpu_us);
+  return std::max(local_intree_us() * n,
+                  costs_.t_dnn_cpu_us * eval_miss_rate());
 }
 
 double PerfModel::local_gpu_wave_us(int n, int b) const {
@@ -60,15 +65,17 @@ double PerfModel::local_gpu_wave_us(int n, int b) const {
   APM_CHECK(b >= 1 && b <= n);
   // Eq. 6: the three overlapped resources — master-thread in-tree ops,
   // the PCIe link moving N samples in N/B transfers, and the GPU computing
-  // sub-batches of size B (N/B streams).
+  // sub-batches of size B (N/B streams). Cached requests skip both the
+  // link and the kernel, so those two resources see only the miss traffic.
+  const double miss = eval_miss_rate();
   const double intree = local_intree_us() * n;
-  const double pcie = hw_.gpu.pcie_total_us(n, b);
+  const double pcie = hw_.gpu.pcie_total_us(n, b) * miss;
   const int streams = std::max(1, n / std::max(1, b));
   // Each stream computes its sub-batch; streams serialize on the single
   // GPU, but sub-batch compute overlaps the next transfer, so the bound is
   // the total compute divided by the overlap factor of 1 (conservative:
   // all N/B kernels run back to back).
-  const double gpu_compute = hw_.gpu.compute_us(b) * streams;
+  const double gpu_compute = hw_.gpu.compute_us(b) * streams * miss;
   return std::max({intree, pcie, gpu_compute});
 }
 

@@ -72,6 +72,13 @@ class PerfModel {
   double local_intree_us() const;
   double shared_intree_us() const;
 
+  // Expected fraction of eval requests that reach the backend (1 − the
+  // measured EvalCache hit rate). Every DNN/PCIe term above is scaled by
+  // this factor: a cached request costs no inference and no transfer, so
+  // with hit rate h the effective per-wave evaluation cost the adaptive
+  // controller should re-tune against is T_DNN · (1 − h).
+  double eval_miss_rate() const;
+
   // --- adaptive selection -------------------------------------------------
   // CPU-only platform: pick min(Eq. 3, Eq. 5) per worker count.
   AdaptiveDecision decide_cpu(int n) const;

@@ -24,6 +24,13 @@ struct ProfiledCosts {
   double t_shared_access_us = 0.0;
   double mean_depth = 0.0;
   std::size_t tree_bytes = 0;  // synthetic-tree footprint after one move
+  // Fraction of eval requests served synchronously by the EvalCache (0 with
+  // no cache). The Eq. 3–6 models scale their DNN terms by the miss rate
+  // (1 − cache_hit_rate): a cached request costs no backend work, so the
+  // *effective* evaluation cost the adaptive controller re-tunes against is
+  // t_dnn · miss_rate. t_dnn_cpu_us itself stays the per-served-request
+  // cost of the requests that actually waited on the backend.
+  double cache_hit_rate = 0.0;
 };
 
 // Profiles the in-tree operations on a synthetic tree with the algorithm's

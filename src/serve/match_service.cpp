@@ -112,6 +112,8 @@ void MatchService::commit_locked(Slot& slot, GameRecord&& rec) {
   search_seconds_ += slot.search_seconds;
   for (const EngineMoveStats& m : rec.stats.per_move) {
     eval_requests_ += m.metrics.eval_requests;
+    cache_hits_ += m.metrics.cache_hits;
+    coalesced_evals_ += m.metrics.coalesced_evals;
   }
   completed_.push_back(std::move(rec));
 
@@ -249,6 +251,13 @@ ServiceStats MatchService::stats() const {
   s.moves = moves_;
   s.samples = samples_;
   s.eval_requests = eval_requests_;
+  s.cache_hits = cache_hits_;
+  s.coalesced_evals = coalesced_evals_;
+  if (eval_requests_ > 0) {
+    s.cache_hit_rate =
+        static_cast<double>(cache_hits_ + coalesced_evals_) /
+        static_cast<double>(eval_requests_);
+  }
   s.scheme_switches = scheme_switches_;
   s.reused_visits = reused_visits_;
   s.search_seconds = search_seconds_;
@@ -261,6 +270,9 @@ ServiceStats MatchService::stats() const {
   if (res_.batch != nullptr) {
     s.batch = stats_delta(res_.batch->stats(), batch_start_);
     s.mean_batch_fill = s.batch.mean_batch;
+    if (const EvalCache* cache = res_.batch->cache()) {
+      s.cache = cache->stats();
+    }
   }
   return s;
 }

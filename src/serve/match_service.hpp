@@ -87,6 +87,16 @@ struct ServiceStats {
   int moves = 0;
   std::int64_t samples = 0;
   std::size_t eval_requests = 0;  // Σ over completed games' per-move metrics
+  // Eval-cache dedupe, Σ over completed games: requests served from the
+  // cache, requests coalesced onto an in-flight duplicate, and the
+  // aggregate rate (cache_hits + coalesced) / eval_requests — the fraction
+  // of demand that needed no backend slot. Per-game rates come from each
+  // GameRecord's EpisodeStats. `cache` snapshots the shared EvalCache
+  // itself (all zeros when none is attached).
+  std::size_t cache_hits = 0;
+  std::size_t coalesced_evals = 0;
+  double cache_hit_rate = 0.0;
+  CacheStats cache;
   int scheme_switches = 0;
   std::int64_t reused_visits = 0;
   double search_seconds = 0.0;  // Σ per-move wall across games (resource-s)
@@ -135,6 +145,12 @@ class MatchService {
   ServiceStats stats() const;
   int slots() const { return cfg_.slots; }
   int workers() const { return cfg_.workers; }
+  // The eval cache attached to the shared batch queue (nullptr without
+  // one). The Trainer clears it between waves — a weight update invalidates
+  // every cached policy/value.
+  EvalCache* eval_cache() const {
+    return res_.batch != nullptr ? res_.batch->cache() : nullptr;
+  }
 
  private:
   // One concurrent game: engine + episode state machine, exclusively owned
@@ -188,6 +204,8 @@ class MatchService {
   int moves_ = 0;
   std::int64_t samples_ = 0;
   std::size_t eval_requests_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::size_t coalesced_evals_ = 0;
   int scheme_switches_ = 0;
   std::int64_t reused_visits_ = 0;
   double search_seconds_ = 0.0;

@@ -97,6 +97,10 @@ void fold_engine_trace(EpisodeStats& stats, const SearchEngine& engine,
     if (m.switched) ++stats.scheme_switches;
     if (m.reused_tree) ++stats.reused_moves;
     stats.reused_visits += m.reused_visits;
+    stats.eval_requests += static_cast<std::int64_t>(m.metrics.eval_requests);
+    stats.cache_hits += static_cast<std::int64_t>(m.metrics.cache_hits);
+    stats.coalesced_evals +=
+        static_cast<std::int64_t>(m.metrics.coalesced_evals);
   }
 }
 

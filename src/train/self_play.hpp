@@ -45,6 +45,11 @@ struct EpisodeStats {
   int scheme_switches = 0;      // runtime configuration changes this episode
   int reused_moves = 0;         // moves that started from a reused subtree
   std::int64_t reused_visits = 0;  // Σ visit mass carried across moves
+  // Eval-cache dedupe, Σ over this game's moves (the per-game hit rate is
+  // (cache_hits + coalesced_evals) / eval_requests; zero without a cache).
+  std::int64_t eval_requests = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t coalesced_evals = 0;
   std::vector<EngineMoveStats> per_move;  // full adaptation trace
 };
 

@@ -71,6 +71,11 @@ std::vector<LossPoint> Trainer::run(
       if (on_progress) on_progress(point);
     }
     remaining -= wave;
+    // The SGD steps above rewrote the weights, so every cached policy/value
+    // is stale — invalidate before the next wave's games submit. (Within a
+    // wave the weights are frozen: the cache is exact there, which is where
+    // concurrent games' duplicated openings live anyway.)
+    if (EvalCache* cache = service.eval_cache()) cache->clear();
   }
   return curve;
 }

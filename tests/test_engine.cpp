@@ -110,6 +110,60 @@ TEST(AdaptiveController, PicksGlobalBestWorkerCount) {
   EXPECT_NE(best_n, 1);  // the model must actually prefer parallelism here
 }
 
+TEST(AdaptiveController, CacheHitRateLowersEffectiveEvalCost) {
+  // ISSUE 4 acceptance: a forced high hit rate must measurably lower the
+  // effective eval cost the controller feeds into Eq. 3–6. Identical
+  // metrics except for cache_hits: the hot controller's predicted latency
+  // for the same configuration must be lower, by the miss-rate scaling of
+  // the DNN term.
+  const HardwareSpec hw = flat_hardware();
+  const ProfiledCosts seed = make_costs(5.0, 400.0, 2.0);
+
+  SearchMetrics metrics;
+  metrics.playouts = 100;
+  metrics.workers = 1;
+  metrics.select_seconds = 100 * 5e-6;
+  metrics.expand_seconds = 100 * 0.5e-6;
+  metrics.backup_seconds = 100 * 0.5e-6;
+  metrics.expansions = 100;
+  metrics.eval_requests = 100;
+  metrics.eval_seconds = 100 * 400e-6;
+  metrics.nodes = 100;
+
+  SearchMetrics hot = metrics;
+  hot.cache_hits = 90;
+  // The 10 misses carried all of the blocking time.
+  hot.eval_seconds = 10 * 400e-6;
+
+  const AdaptiveConfig cfg = trusting_config({1});
+  AdaptiveController cold(hw, seed, cfg, Scheme::kSerial, 1);
+  AdaptiveController warm(hw, seed, cfg, Scheme::kSerial, 1);
+  cold.observe(metrics);
+  warm.observe(hot);
+
+  // The hit rate lands in the live costs...
+  EXPECT_NEAR(cold.costs().cache_hit_rate, 0.0, 1e-9);
+  EXPECT_NEAR(warm.costs().cache_hit_rate, 0.9, 1e-9);
+  // ...and the per-waited-request eval cost stays the hardware quantity
+  // (~400us) in both, instead of being dragged down by free hits.
+  EXPECT_NEAR(warm.costs().t_dnn_cpu_us, cold.costs().t_dnn_cpu_us, 40.0);
+
+  const AdaptivePlan cold_plan = cold.plan();
+  const AdaptivePlan warm_plan = warm.plan();
+  EXPECT_LT(warm_plan.current_predicted_us,
+            0.5 * cold_plan.current_predicted_us);
+
+  // The same scaling applies inside the PerfModel directly (Eq. 3/5).
+  ProfiledCosts hot_costs = seed;
+  hot_costs.cache_hit_rate = 0.9;
+  const PerfModel cold_model(hw, seed);
+  const PerfModel warm_model(hw, hot_costs);
+  EXPECT_DOUBLE_EQ(warm_model.eval_miss_rate(), 0.1);
+  EXPECT_LT(warm_model.shared_cpu_wave_us(1), cold_model.shared_cpu_wave_us(1));
+  EXPECT_LT(warm_model.local_cpu_wave_us(4), cold_model.local_cpu_wave_us(4));
+  EXPECT_LT(warm_model.shared_gpu_wave_us(8), cold_model.shared_gpu_wave_us(8));
+}
+
 TEST(AdaptiveController, HysteresisPreventsFlappingOnNoisyCosts) {
   const HardwareSpec hw = flat_hardware();
   // Near the N=8 crossover: local wave 8·(I+1) ≈ shared wave 8·A + I+1 + D

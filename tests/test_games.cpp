@@ -232,6 +232,73 @@ TEST(SyntheticGame, TerminatesAtDepthWithStableOutcome) {
   EXPECT_LE(w1, 1);
 }
 
+// --- transposition / hash-determinism pins (ISSUE 4) ------------------------
+// The cross-game eval cache keys on Game::hash(), so these pin the two
+// properties it depends on: move-order invariance (a transposition reached
+// via different orders must share one cache entry) and run-to-run
+// determinism of the Zobrist tables (the literal constants below fail if
+// the table generation ever changes silently).
+
+TEST(Transpositions, Connect4MoveOrderInvariantHash) {
+  // Same stones, same side to move, three different interleavings.
+  Connect4 a, b, c;
+  for (int mv : {1, 2, 3, 4, 5, 6}) a.apply(mv);
+  for (int mv : {5, 6, 3, 2, 1, 4}) b.apply(mv);
+  for (int mv : {3, 4, 1, 6, 5, 2}) c.apply(mv);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), c.hash());
+  // eval_key() additionally covers the last-move plane of encode(): orders
+  // ending on the same move share a key (one cache entry), orders ending on
+  // different moves must not — their NN inputs differ.
+  EXPECT_NE(a.eval_key(), a.hash());
+  EXPECT_NE(a.eval_key(), b.eval_key());  // last moves 6 vs 4
+  Connect4 a2;
+  for (int mv : {3, 4, 1, 2, 5, 6}) a2.apply(mv);  // same ending move as `a`
+  EXPECT_EQ(a.eval_key(), a2.eval_key());
+  // Stacking order within one column is NOT a transposition: the colours
+  // at each height differ, and the hash must see that.
+  Connect4 d, e;
+  for (int mv : {0, 0, 1}) d.apply(mv);  // col 0: [+1, -1], col 1: +1
+  for (int mv : {1, 0, 0}) e.apply(mv);  // col 1: +1... col 0: [-1, +1]
+  EXPECT_NE(d.hash(), e.hash());
+}
+
+TEST(Transpositions, GomokuMoveOrderInvariantHash) {
+  Gomoku a(5, 4), b(5, 4);
+  for (int mv : {12, 6, 7, 8, 17, 16}) a.apply(mv);
+  for (int mv : {17, 16, 12, 8, 7, 6}) b.apply(mv);
+  EXPECT_EQ(a.hash(), b.hash());
+  // Same cells with colours swapped must differ.
+  Gomoku c(5, 4), d(5, 4);
+  c.apply(0); c.apply(1);
+  d.apply(1); d.apply(0);
+  EXPECT_NE(c.hash(), d.hash());
+}
+
+TEST(Transpositions, ReplayIsHashDeterministicAcrossRuns) {
+  // Fixed-seed Zobrist tables: replaying a fixed sequence must produce the
+  // same 64-bit hash in every run of every build. A failure here means the
+  // table generation changed and every persisted/expected cache key with it.
+  Connect4 c4;
+  EXPECT_EQ(c4.hash(), 0x2b89ebd2cc1d0990ULL);  // empty board (base key)
+  for (int mv : {3, 3, 4, 2, 4, 4}) c4.apply(mv);
+  EXPECT_EQ(c4.hash(), 0x090d36dca810ffd5ULL);
+
+  Gomoku g(5, 4);
+  EXPECT_EQ(g.hash(), 0x6f38eed630964d2eULL);  // empty board (base key)
+  for (int mv : {12, 6, 7, 8, 17, 16}) g.apply(mv);
+  EXPECT_EQ(g.hash(), 0x82491f3fed984c46ULL);
+
+  // Fresh instances replay to the same value (tables are per-instance but
+  // identically seeded), and the empty hash is nonzero on both games — it
+  // must never collide with AsyncBatchEvaluator::kNoHash.
+  Connect4 c4b;
+  for (int mv : {3, 3, 4, 2, 4, 4}) c4b.apply(mv);
+  EXPECT_EQ(c4.hash(), c4b.hash());
+  EXPECT_NE(Connect4().hash(), 0u);
+  EXPECT_NE(Gomoku(5, 4).hash(), 0u);
+}
+
 TEST(SyntheticGame, HashDependsOnHistory) {
   SyntheticGame a(4, 10), b(4, 10);
   a.apply(0);
