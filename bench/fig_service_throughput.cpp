@@ -5,7 +5,7 @@
 // the same threshold, and (since ISSUE 4) that the eval cache in front of
 // the queue removes duplicate inference across those games on top of it.
 //
-// Setup: K ∈ {1, 2, 4, 8} serial-engine games share one AsyncBatchEvaluator
+// Setup: K ∈ {1, 2, 4, 8} serial-engine games share one evaluation lane
 // (threshold 4) in front of a simulated-GPU backend that busy-waits its
 // modelled latency, so wall-clock throughput reflects the A6000 timing
 // model. Each serial game has exactly one leaf evaluation in flight:
@@ -17,6 +17,12 @@
 // their original JSON names) and with a 16k-entry EvalCache attached
 // (`*_cached` entries): the dedupe win shows as served evals/s rising above
 // the cache-off line while the backend does strictly less work.
+//
+// Since ISSUE 5 the rows run through the ROUTED path — a one-model
+// EvaluatorPool lane and a single-workload pool-mode MatchService, with the
+// aggregate controller disabled so the threshold stays pinned at 4 exactly
+// like the historical rows: same JSON names, directly comparable numbers,
+// and any routing overhead would show as a regression here.
 //
 // Writes a JSON baseline (default BENCH_service.json, or argv[1]).
 
@@ -47,25 +53,35 @@ struct RunResult {
   ServiceStats stats;
 };
 
-// Plays 2·K games on K slots over a fresh shared queue; the worker pool is
-// fixed at 8 threads for every K, so only the game concurrency varies.
-// `cached` puts a 16k-entry EvalCache in front of the queue.
+// Plays 2·K games on K slots over a fresh one-model pool lane; the worker
+// pool is fixed at 8 threads for every K, so only the game concurrency
+// varies. `cached` puts a 16k-entry per-net EvalCache in front of the lane.
 RunResult run_service(const Game& game, int concurrent_games, bool cached) {
   SyntheticEvaluator eval(game.action_count(), game.encode_size());
   SimGpuBackend backend(eval, GpuTimingModel{}, /*emulate_wall_time=*/true);
-  EvalCache cache({.capacity = 1 << 14, .shards = 8, .ways = 4});
-  AsyncBatchEvaluator queue(backend, /*batch_threshold=*/4, /*num_streams=*/2,
-                            /*stale_flush_us=*/1500.0);
-  if (cached) queue.set_cache(&cache);
+  EvaluatorPool pool;
+  pool.add_model({.name = "gomoku-net",
+                  .backend = &backend,
+                  .batch_threshold = 4,
+                  .num_streams = 2,
+                  .stale_flush_us = 1500.0,
+                  .cache = cached,
+                  .cache_cfg = {.capacity = 1 << 14, .shards = 8,
+                                .ways = 4}});
 
   ServiceConfig sc;
-  sc.engine.mcts.num_playouts = 64;
-  sc.engine.scheme = Scheme::kSerial;
-  sc.engine.adapt = false;
-  sc.slots = concurrent_games;
   sc.workers = 8;  // fixed thread pool; slots bound the real concurrency
+  sc.aggregate.enabled = false;  // pinned threshold: the historical rows
 
-  MatchService service(sc, game, {.batch = &queue});
+  ServiceWorkload w;
+  w.proto = std::shared_ptr<const Game>(game.clone());
+  w.model = "gomoku-net";
+  w.slots = concurrent_games;
+  w.engine.mcts.num_playouts = 64;
+  w.engine.scheme = Scheme::kSerial;
+  w.engine.adapt = false;
+
+  MatchService service(sc, pool, {std::move(w)});
   service.enqueue(2 * concurrent_games);
   service.start();
   service.drain();

@@ -47,37 +47,48 @@ int main(int argc, char** argv) {
   apm::PolicyValueNet net_b(apm::NetConfig::tiny(board), 11);
   {
     apm::NetEvaluator eval(net_a);
+    // Self-play through a one-model EvaluatorPool lane (per-net batch
+    // queue + per-net eval cache): concurrent games dedupe their shared
+    // openings, the aggregate controller re-tunes the lane's batch
+    // threshold from the measured arrival rate, and the Trainer — which
+    // knows which model its net backs — invalidates exactly that model's
+    // cache whenever a weight update makes cached policies stale.
+    apm::CpuBackend backend(eval);
+    apm::EvaluatorPool pool;
+    const int model_id = pool.add_model(
+        {.name = "agent-a",
+         .backend = &backend,
+         .batch_threshold = 2,
+         .stale_flush_us = 1000.0,
+         .cache_cfg = {.capacity = 1 << 13, .shards = 4, .ways = 4}});
+
     apm::TrainerConfig tc;
     tc.sgd_iters_per_move = 4;
     tc.batch_size = 32;
+    tc.model_id = model_id;
     apm::Trainer trainer(net_a, tc, 20000);
+
     apm::ServiceConfig sc;
-    sc.engine.mcts.num_playouts = playouts;
-    sc.engine.mcts.root_noise = true;
-    sc.engine.scheme = apm::Scheme::kSerial;
-    sc.engine.adapt = false;
-    sc.slots = 2;
     sc.workers = 2;
-    sc.self_play.augment = true;
-    // Self-play through the shared batch queue with the eval cache in
-    // front: concurrent games dedupe their shared openings, and the
-    // Trainer clears the cache whenever a weight update makes cached
-    // policies stale.
-    apm::CpuBackend backend(eval);
-    apm::EvalCache cache({.capacity = 1 << 13, .shards = 4, .ways = 4});
-    apm::AsyncBatchEvaluator queue(backend, /*batch_threshold=*/2,
-                                   /*num_streams=*/1,
-                                   /*stale_flush_us=*/1000.0);
-    queue.set_cache(&cache);
-    apm::MatchService service(sc, game, {.batch = &queue});
+    apm::ServiceWorkload w;
+    w.proto = std::shared_ptr<const apm::Game>(game.clone());
+    w.model = "agent-a";
+    w.slots = 2;
+    w.engine.mcts.num_playouts = playouts;
+    w.engine.mcts.root_noise = true;
+    w.engine.scheme = apm::Scheme::kSerial;
+    w.engine.adapt = false;
+    w.self_play.augment = true;
+    apm::MatchService service(sc, pool, {std::move(w)});
     std::printf("pre-training agent A for 4 episodes...\n");
     trainer.run(service, 4);
     const apm::ServiceStats ss = service.stats();
     std::printf(
         "self-play eval dedupe: %zu requests, %zu cache hits + %zu "
-        "coalesced (hit rate %.3f), mean batch fill %.2f\n",
+        "coalesced (hit rate %.3f), mean batch fill %.2f, %d threshold "
+        "re-tunes\n",
         ss.eval_requests, ss.cache_hits, ss.coalesced_evals,
-        ss.cache_hit_rate, ss.mean_batch_fill);
+        ss.cache_hit_rate, ss.mean_batch_fill, ss.threshold_retunes);
   }
 
   apm::NetEvaluator eval_a(net_a), eval_b(net_b);

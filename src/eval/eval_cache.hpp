@@ -59,8 +59,16 @@
 // deterministic regardless of batch composition, which is also what makes
 // MatchService results worker-count independent).
 //
-// clear() invalidates every entry; the Trainer calls it between service
-// waves, because a weight update makes every cached policy/value stale.
+// clear() invalidates every entry OF THIS CACHE. Scope matters in the
+// multi-model serving plane (serve/evaluator_pool.hpp): one EvalCache
+// serves exactly one named model, so "this cache" == "this model's
+// results", and invalidation is per-model by construction — the Trainer
+// clears only the cache of the model whose weights its SGD step rewrote
+// (EvaluatorPool::invalidate(id) / MatchService::invalidate_model(id)),
+// and every other model's residency and hit rate survive the foreign
+// update. Do NOT share one EvalCache instance between models: clear() has
+// no finer grain, and even with disjoint key spaces (per-game Zobrist
+// table seeds) a shared instance would couple their invalidation.
 
 #include <cstdint>
 #include <memory>

@@ -37,9 +37,7 @@ class Connect4 final : public Game {
   std::uint64_t eval_key() const override {
     if (last_col_ < 0) return hash_;
     const int row = heights_[last_col_] - 1;
-    std::uint64_t mix =
-        static_cast<std::uint64_t>(row * kCols + last_col_) + 1;
-    return hash_ ^ splitmix64(mix);
+    return mix_last_move(hash_, row * kCols + last_col_);
   }
   void encode(float* planes) const override;
   std::string to_string() const override;

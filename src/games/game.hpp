@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "support/rng.hpp"
+
 namespace apm {
 
 class Game {
@@ -49,12 +51,24 @@ class Game {
 
   // Cache key for NN evaluations: a hash of EVERYTHING encode() depends on.
   // hash() covers stones + side to move, but games whose encoding also
-  // marks the last move (Connect4/Gomoku plane 2) must extend it — two
-  // transpositions with different last moves encode differently and may
-  // evaluate differently, so they must never share an eval-cache entry.
-  // The default is hash() for games whose encoding is a pure function of
-  // the position.
+  // marks the last move (Connect4/Gomoku/Othello plane 2) must extend it —
+  // two transpositions with different last moves encode differently and
+  // may evaluate differently, so they must never share an eval-cache
+  // entry. The default is hash() for games whose encoding is a pure
+  // function of the position; last-move-plane games implement it as
+  // mix_last_move(hash(), <last move cell>).
   virtual std::uint64_t eval_key() const { return hash(); }
+
+  // The one shared mixing scheme for extending a position hash with the
+  // last-move plane (cell < 0 = no marker yet). Keying on a single scheme
+  // matters: PR 4's under-keying bug was exactly a divergence between
+  // encode() inputs and the cache key, and three per-game copies would
+  // invite the next one.
+  static std::uint64_t mix_last_move(std::uint64_t hash, int cell) {
+    if (cell < 0) return hash;
+    std::uint64_t mix = static_cast<std::uint64_t>(cell) + 1;
+    return hash ^ splitmix64(mix);
+  }
 
   // NN input; see class comment for the layout contract.
   virtual void encode(float* planes) const = 0;

@@ -34,9 +34,7 @@ class Gomoku final : public Game {
   // encode()'s plane 2 marks the last move, so the eval-cache key extends
   // the position hash with it.
   std::uint64_t eval_key() const override {
-    if (last_move_ < 0) return hash_;
-    std::uint64_t mix = static_cast<std::uint64_t>(last_move_) + 1;
-    return hash_ ^ splitmix64(mix);
+    return mix_last_move(hash_, last_move_);
   }
   void encode(float* planes) const override;
   std::string to_string() const override;

@@ -1,0 +1,183 @@
+#include "games/othello.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace apm {
+
+namespace {
+constexpr int kDirs[8][2] = {{-1, -1}, {-1, 0}, {-1, 1}, {0, -1},
+                             {0, 1},   {1, -1}, {1, 0},  {1, 1}};
+}  // namespace
+
+Othello::Othello(int size)
+    : size_(size),
+      board_(static_cast<std::size_t>(size) * size, 0),
+      zobrist_(std::make_shared<ZobristTable>(size * size, kZobristSeed)) {
+  APM_CHECK_MSG(size >= 4 && size <= 16 && size % 2 == 0,
+                "Othello: size must be even and in [4, 16]");
+  hash_ = zobrist_->base_key();
+  // Standard central square: NW/SE light (−1), NE/SW dark (+1).
+  const int lo = size_ / 2 - 1;
+  const int hi = size_ / 2;
+  const auto place = [&](int r, int c, int colour) {
+    board_[static_cast<std::size_t>(r) * size_ + c] =
+        static_cast<std::int8_t>(colour);
+    hash_ ^= zobrist_->key(r * size_ + c, colour == 1 ? 0 : 1);
+  };
+  place(lo, lo, -1);
+  place(hi, hi, -1);
+  place(lo, hi, 1);
+  place(hi, lo, 1);
+}
+
+std::unique_ptr<Game> Othello::clone() const {
+  return std::make_unique<Othello>(*this);
+}
+
+std::string Othello::name() const {
+  return size_ == 8 ? "othello" : "othello" + std::to_string(size_);
+}
+
+int Othello::flips_along(int row, int col, int dr, int dc, int player) const {
+  int r = row + dr;
+  int c = col + dc;
+  int run = 0;
+  while (r >= 0 && r < size_ && c >= 0 && c < size_ &&
+         board_[static_cast<std::size_t>(r) * size_ + c] == -player) {
+    ++run;
+    r += dr;
+    c += dc;
+  }
+  if (run == 0) return 0;
+  const bool bracketed = r >= 0 && r < size_ && c >= 0 && c < size_ &&
+                         board_[static_cast<std::size_t>(r) * size_ + c] ==
+                             player;
+  return bracketed ? run : 0;
+}
+
+bool Othello::is_legal(int action) const {
+  if (terminal_ || action < 0 || action >= size_ * size_) return false;
+  if (board_[static_cast<std::size_t>(action)] != 0) return false;
+  const int row = action / size_;
+  const int col = action % size_;
+  for (const auto& d : kDirs) {
+    if (flips_along(row, col, d[0], d[1], player_) > 0) return true;
+  }
+  return false;
+}
+
+void Othello::legal_actions(std::vector<int>& out) const {
+  out.clear();
+  if (terminal_) return;
+  for (int a = 0; a < size_ * size_; ++a) {
+    if (board_[static_cast<std::size_t>(a)] != 0) continue;
+    const int row = a / size_;
+    const int col = a % size_;
+    for (const auto& d : kDirs) {
+      if (flips_along(row, col, d[0], d[1], player_) > 0) {
+        out.push_back(a);
+        break;
+      }
+    }
+  }
+}
+
+bool Othello::any_move_for(int player) const {
+  for (int a = 0; a < size_ * size_; ++a) {
+    if (board_[static_cast<std::size_t>(a)] != 0) continue;
+    const int row = a / size_;
+    const int col = a % size_;
+    for (const auto& d : kDirs) {
+      if (flips_along(row, col, d[0], d[1], player) > 0) return true;
+    }
+  }
+  return false;
+}
+
+int Othello::disc_count(int colour) const {
+  int n = 0;
+  for (const std::int8_t v : board_) n += v == colour ? 1 : 0;
+  return n;
+}
+
+void Othello::finish_game() {
+  terminal_ = true;
+  const int dark = disc_count(1);
+  const int light = disc_count(-1);
+  winner_ = dark > light ? 1 : dark < light ? -1 : 0;
+}
+
+void Othello::apply(int action) {
+  APM_CHECK_MSG(is_legal(action), "illegal Othello move");
+  const int row = action / size_;
+  const int col = action % size_;
+  board_[static_cast<std::size_t>(action)] =
+      static_cast<std::int8_t>(player_);
+  hash_ ^= zobrist_->key(action, player_ == 1 ? 0 : 1);
+  for (const auto& d : kDirs) {
+    const int run = flips_along(row, col, d[0], d[1], player_);
+    for (int i = 1; i <= run; ++i) {
+      const int idx = (row + i * d[0]) * size_ + (col + i * d[1]);
+      board_[static_cast<std::size_t>(idx)] =
+          static_cast<std::int8_t>(player_);
+      // A flip swaps the disc's colour contribution: out with the old key,
+      // in with the new — hash() stays a pure function of (board, side).
+      hash_ ^= zobrist_->key(idx, 0) ^ zobrist_->key(idx, 1);
+    }
+  }
+  last_move_ = action;
+  ++moves_;
+  hash_ ^= zobrist_->side_key();
+  player_ = -player_;
+  // Auto-pass: a player with no reply forfeits the turn; two consecutive
+  // forfeits end the game. Folding the pass into apply() keeps
+  // legal_actions() non-empty for every non-terminal state, so the search
+  // schemes and the H·W policy head need no pass action.
+  if (!any_move_for(player_)) {
+    if (any_move_for(-player_)) {
+      ++passes_;
+      hash_ ^= zobrist_->side_key();
+      player_ = -player_;
+    } else {
+      finish_game();
+    }
+  }
+}
+
+void Othello::encode(float* planes) const {
+  const std::size_t plane = static_cast<std::size_t>(size_) * size_;
+  std::memset(planes, 0, 4 * plane * sizeof(float));
+  float* own = planes;
+  float* opp = planes + plane;
+  float* last = planes + 2 * plane;
+  float* colour = planes + 3 * plane;
+  for (std::size_t i = 0; i < plane; ++i) {
+    if (board_[i] == player_) {
+      own[i] = 1.0f;
+    } else if (board_[i] != 0) {
+      opp[i] = 1.0f;
+    }
+  }
+  if (last_move_ >= 0) last[static_cast<std::size_t>(last_move_)] = 1.0f;
+  if (player_ == 1) {
+    for (std::size_t i = 0; i < plane; ++i) colour[i] = 1.0f;
+  }
+}
+
+std::string Othello::to_string() const {
+  std::ostringstream out;
+  for (int r = 0; r < size_; ++r) {
+    for (int c = 0; c < size_; ++c) {
+      const int v = cell(r, c);
+      out << (v == 1 ? 'X' : v == -1 ? 'O' : '.');
+      if (c + 1 < size_) out << ' ';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace apm

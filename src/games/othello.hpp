@@ -1,0 +1,97 @@
+#pragma once
+// Othello/Reversi on an N×N board (N even, default 8) — the third benchmark
+// workload, and the one that makes heterogeneous per-slot routing real: its
+// branching factor collapses and recovers over a game (unlike Gomoku's
+// monotone decay), so an Othello lane's eval-arrival rate looks nothing
+// like a Gomoku lane's and the per-queue batch thresholds genuinely differ.
+//
+// Action space: the N² board cells. Passing is handled *inside* apply()
+// (auto-pass): when the mover's placement leaves the opponent without a
+// legal reply but the mover still has one, the turn bounces straight back —
+// so legal_actions() is never empty for a non-terminal state and
+// action_count() == height()·width() matches the PolicyValueNet policy head
+// exactly (NetConfig::actions() is H·W). The game is terminal when neither
+// colour has a placement.
+//
+// Zobrist hashing stays incremental across flips: placing toggles the
+// stone's key in, and every flipped disc swaps its two colour keys
+// (hash ^= key(c, 0) ^ key(c, 1)), so hash() remains a pure function of
+// (board, side to move) — move-order invariant by construction, which the
+// from-scratch-recompute test in test_games.cpp pins. The table seed is
+// Othello-specific: Gomoku(8) has the same cell count, and two games routed
+// through one shared evaluation lane must never alias cache keys.
+
+#include <cstdint>
+#include <memory>
+
+#include "games/game.hpp"
+#include "games/zobrist.hpp"
+
+namespace apm {
+
+class Othello final : public Game {
+ public:
+  // size even, in [4, 16]. 8 is standard; 6 keeps tests fast.
+  explicit Othello(int size = 8);
+
+  std::unique_ptr<Game> clone() const override;
+
+  int action_count() const override { return size_ * size_; }
+  int height() const override { return size_; }
+  int width() const override { return size_; }
+  std::string name() const override;
+
+  int current_player() const override { return player_; }
+  bool is_terminal() const override { return terminal_; }
+  int winner() const override { return winner_; }
+  int move_count() const override { return moves_; }
+  bool is_legal(int action) const override;
+  void legal_actions(std::vector<int>& out) const override;
+  void apply(int action) override;
+  std::uint64_t hash() const override { return hash_; }
+  // encode()'s plane 2 marks the last placed disc (a pass places nothing, so
+  // the marker survives an auto-pass), so the eval-cache key extends the
+  // position hash with it — same contract as Gomoku/Connect4.
+  std::uint64_t eval_key() const override {
+    return mix_last_move(hash_, last_move_);
+  }
+  void encode(float* planes) const override;
+  std::string to_string() const override;
+
+  // --- Othello-specific ---
+  int size() const { return size_; }
+  int last_move() const { return last_move_; }
+  // Consecutive auto-passes absorbed by apply() so far (diagnostics).
+  int passes() const { return passes_; }
+  int cell(int row, int col) const {
+    return board_[static_cast<std::size_t>(row) * size_ + col];
+  }
+  // Disc count for +1 / −1 (the winner is whoever holds more at the end).
+  int disc_count(int colour) const;
+  static int action_of(int row, int col, int size) { return row * size + col; }
+
+  // Zobrist table seed — distinct from the Gomoku/Connect4 default so equal
+  // cell counts (Othello(8) vs Gomoku(8)) can never produce colliding keys
+  // in a shared cache lane.
+  static constexpr std::uint64_t kZobristSeed = 0x07E110C0FFEE5EEDULL;
+
+ private:
+  // Discs flipped by `player` placing at (row, col) along one direction;
+  // 0 when the ray is not bracketed.
+  int flips_along(int row, int col, int dr, int dc, int player) const;
+  bool any_move_for(int player) const;
+  void finish_game();
+
+  int size_;
+  int player_ = 1;  // +1 (dark) moves first
+  int winner_ = 0;
+  int moves_ = 0;
+  int passes_ = 0;
+  int last_move_ = -1;
+  bool terminal_ = false;
+  std::uint64_t hash_ = 0;
+  std::vector<std::int8_t> board_;
+  std::shared_ptr<const ZobristTable> zobrist_;
+};
+
+}  // namespace apm

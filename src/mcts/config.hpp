@@ -22,6 +22,27 @@ enum class Scheme {
 
 std::string to_string(Scheme scheme);
 
+// In-flight rollouts (concurrently outstanding evaluation requests) a
+// configuration sustains: 1 serial, N tree-parallel, min(N, B) for
+// local-tree over an accelerator queue, where the master keeps at most one
+// dispatch granularity outstanding per wave slot. Shared by the
+// AdaptiveController's virtual-loss re-tune and by the serving layer's
+// aggregate arrival-rate model (each live game contributes this many
+// producers to its evaluation queue).
+inline int scheme_inflight(Scheme scheme, int workers, int batch,
+                           bool gpu_queue) {
+  switch (scheme) {
+    case Scheme::kSerial:
+      return 1;
+    case Scheme::kLocalTree:
+      return gpu_queue ? (workers < batch ? (workers < 1 ? 1 : workers)
+                                          : (batch < 1 ? 1 : batch))
+                       : (workers < 1 ? 1 : workers);
+    default:
+      return workers < 1 ? 1 : workers;
+  }
+}
+
 // Lock discipline for the shared-tree scheme (ablation):
 // per-node 1-byte spinlocks + per-edge atomics (default), or one coarse
 // tree mutex exactly like Algorithm 2's "obtain lock".

@@ -33,8 +33,15 @@ struct NetConfig {
   int policy_channels = 4;
   int value_channels = 2;
   int value_hidden = 64;
+  // Policy-head width when the game's action space is not the board
+  // (Connect4: 7 columns over a 6×7 board). 0 = H·W, the board-game
+  // default. Every consumer (policy FC, softmax widths, NetEvaluator) goes
+  // through actions(), so this is the single source of the head size.
+  int action_override = 0;
 
-  int actions() const { return height * width; }
+  int actions() const {
+    return action_override > 0 ? action_override : height * width;
+  }
   bool operator==(const NetConfig&) const = default;
 
   // A reduced configuration for unit tests / quick examples.

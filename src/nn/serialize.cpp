@@ -10,7 +10,9 @@ namespace apm {
 namespace {
 
 constexpr char kMagic[4] = {'A', 'P', 'M', 'N'};
-constexpr std::uint32_t kVersion = 1;
+// v2 appends NetConfig::action_override (policy heads narrower than
+// H*W, e.g. Connect4's 7 columns); v1 checkpoints load with override 0.
+constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -28,12 +30,13 @@ T read_pod(std::istream& in) {
 void write_config(std::ostream& out, const NetConfig& cfg) {
   for (int v : {cfg.in_channels, cfg.height, cfg.width, cfg.trunk1,
                 cfg.trunk2, cfg.trunk3, cfg.policy_channels,
-                cfg.value_channels, cfg.value_hidden}) {
+                cfg.value_channels, cfg.value_hidden,
+                cfg.action_override}) {
     write_pod<std::int32_t>(out, v);
   }
 }
 
-NetConfig read_config(std::istream& in) {
+NetConfig read_config(std::istream& in, std::uint32_t version) {
   NetConfig cfg;
   cfg.in_channels = read_pod<std::int32_t>(in);
   cfg.height = read_pod<std::int32_t>(in);
@@ -44,6 +47,8 @@ NetConfig read_config(std::istream& in) {
   cfg.policy_channels = read_pod<std::int32_t>(in);
   cfg.value_channels = read_pod<std::int32_t>(in);
   cfg.value_hidden = read_pod<std::int32_t>(in);
+  cfg.action_override =
+      version >= 2 ? read_pod<std::int32_t>(in) : 0;
   return cfg;
 }
 
@@ -75,8 +80,9 @@ void load_net(PolicyValueNet& net, std::istream& in) {
   APM_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
                 "bad checkpoint magic");
   const auto version = read_pod<std::uint32_t>(in);
-  APM_CHECK_MSG(version == kVersion, "unsupported checkpoint version");
-  const NetConfig cfg = read_config(in);
+  APM_CHECK_MSG(version >= 1 && version <= kVersion,
+                "unsupported checkpoint version");
+  const NetConfig cfg = read_config(in, version);
   APM_CHECK_MSG(cfg == net.config(), "checkpoint config mismatch");
   const auto count = read_pod<std::uint32_t>(in);
   const auto params = net.params();
@@ -101,8 +107,8 @@ NetConfig peek_net_config(std::istream& in) {
   in.read(magic, sizeof magic);
   APM_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
                 "bad checkpoint magic");
-  (void)read_pod<std::uint32_t>(in);
-  return read_config(in);
+  const auto version = read_pod<std::uint32_t>(in);
+  return read_config(in, version);
 }
 
 }  // namespace apm

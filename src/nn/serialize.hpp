@@ -1,7 +1,7 @@
 #pragma once
 // Binary (de)serialization of PolicyValueNet weights.
 //
-// Format: magic "APMN" | version u32 | 9 × i32 config fields |
+// Format: magic "APMN" | version u32 | 10 × i32 config fields (v1: 9) |
 // param count u32 | per param: numel u64 + raw float32 data.
 // Little-endian, host order (checkpoints are host-local artifacts).
 

@@ -48,18 +48,12 @@ AdaptiveController::AdaptiveController(HardwareSpec hw,
 
 int AdaptiveController::planned_inflight(Scheme scheme, int workers,
                                          int batch) const {
-  switch (scheme) {
-    case Scheme::kSerial:
-      return 1;
-    case Scheme::kLocalTree:
-      // Over the accelerator queue the master's outstanding window is
-      // dispatch-granular: shrinking B shrinks the concurrently unobserved
-      // rollouts even at fixed N (the ISSUE-3 "VL shrinks with B" lever).
-      return cfg_.gpu ? std::min(workers, std::max(1, batch))
-                      : std::max(1, workers);
-    default:
-      return std::max(1, workers);
-  }
+  // Over the accelerator queue the local-tree master's outstanding window
+  // is dispatch-granular: shrinking B shrinks the concurrently unobserved
+  // rollouts even at fixed N (the ISSUE-3 "VL shrinks with B" lever). The
+  // per-scheme values live in scheme_inflight() so the serving layer's
+  // aggregate arrival model uses the exact same accounting.
+  return scheme_inflight(scheme, workers, batch, cfg_.gpu);
 }
 
 float AdaptiveController::planned_virtual_loss(Scheme scheme, int workers,

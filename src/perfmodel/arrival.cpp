@@ -1,0 +1,73 @@
+#include "perfmodel/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace apm {
+
+double unique_producer_pool(const ArrivalModel& m) {
+  const double miss = std::clamp(1.0 - m.cache_hit_rate, 0.0, 1.0);
+  return std::max(0.0, m.live_games) * std::max(0.0, m.per_game_inflight) *
+         miss;
+}
+
+double aggregate_request_us(const ArrivalModel& m,
+                            const std::function<double(int)>& backend_batch_us,
+                            int b) {
+  APM_CHECK(b >= 1);
+  double fill_us = 0.0;
+  if (b > 1) {
+    // ceil: a fractional pool straddling b (e.g. 2.6 producers at b = 3)
+    // still reaches the threshold often enough that the λ-based fill term
+    // is the better estimate; the stale penalty is for pools that cannot
+    // reach b at all. Without the rounding the dedupe jitter around integer
+    // boundaries makes the service controller flap.
+    const double pool = std::ceil(unique_producer_pool(m));
+    if (m.stale_flush_us > 0.0 && pool < static_cast<double>(b)) {
+      // Fewer unique producers than slots: everyone ends up blocked on the
+      // forming batch, arrivals stop, and the stale timer is what closes
+      // it — the starvation cost of an over-sized threshold.
+      fill_us = m.stale_flush_us;
+    } else if (m.slot_arrivals_per_us > 0.0) {
+      fill_us = 0.5 * (b - 1) / m.slot_arrivals_per_us;
+    } else {
+      // No arrival signal: the fill wait is unbounded; the decision in
+      // decide_aggregate_threshold degenerates to B = 1.
+      fill_us = 1e18;
+    }
+  }
+  return fill_us + backend_batch_us(b) / b;
+}
+
+AggregateDecision decide_aggregate_threshold(
+    const ArrivalModel& m, const std::function<double(int)>& backend_batch_us,
+    int max_threshold) {
+  APM_CHECK(max_threshold >= 1);
+  AggregateDecision out;
+  // The pool caps the search: the queue can never hold more unique slots
+  // than the producers can have outstanding at once, so probing beyond it
+  // would tune for batches that only the stale-flush timer could close.
+  // ceil, matching the stale-penalty boundary in aggregate_request_us: a
+  // fractional pool of 1.9 (two producers thinned by dedupe) still fills
+  // 2-slot batches most of the time.
+  const double pool = unique_producer_pool(m);
+  out.pool_cap = std::clamp(static_cast<int>(std::ceil(pool)), 1,
+                            max_threshold);
+  if (out.pool_cap <= 1 || m.slot_arrivals_per_us <= 0.0) {
+    out.threshold = 1;
+    out.predicted_us = aggregate_request_us(m, backend_batch_us, 1);
+    out.probes = 1;
+    return out;
+  }
+  const BatchSearchResult found = find_min_batch(
+      out.pool_cap,
+      [&](int b) { return aggregate_request_us(m, backend_batch_us, b); });
+  out.threshold = found.best_batch;
+  out.predicted_us = found.best_latency_us;
+  out.probes = found.probes;
+  return out;
+}
+
+}  // namespace apm

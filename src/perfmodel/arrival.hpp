@@ -1,0 +1,80 @@
+#pragma once
+// Aggregate arrival-rate model for a shared evaluation queue — the
+// service-level half of Algorithm 4.
+//
+// The per-engine controller tunes B against ONE game's request stream; a
+// MatchService queue instead sees the superposition of every live game
+// routed to it, thinned by the eval cache (a cache hit completes on the
+// submit path, a coalesced duplicate rides an in-flight slot — neither
+// occupies a slot in the forming batch). The unique-slot producer pool the
+// queue can actually draw a batch from is therefore
+//
+//     pool = live_games × per_game_inflight × (1 − cache_hit_rate)
+//
+// and the amortized per-request latency at threshold b is the V-sequence
+//
+//     T[b] = (b − 1) / (2 λ)  +  T_backend(b) / b
+//
+// whose falling edge is the launch/transfer amortization of Eq. 6 (the
+// backend's fixed per-batch cost spread over b slots) and whose rising edge
+// is the expected batch-formation wait (a request arrives uniformly within
+// the forming window, so it waits half of the (b − 1)/λ fill time). λ is
+// the rate of slot-occupying arrivals — when measured from queue counters
+// it is already dedupe-thinned; when derived analytically, scale by the
+// miss rate. Algorithm 4's binary search (find_min_batch) then locates B*
+// in O(log n) probes, capped by the pool: with at most `pool` unique
+// requests ever outstanding, a larger threshold can only stall on the
+// stale-flush timer.
+
+#include <functional>
+
+#include "perfmodel/batch_search.hpp"
+
+namespace apm {
+
+// One queue's observed operating point, assembled by the serving layer.
+struct ArrivalModel {
+  // Games currently attached to (actively submitting to) the queue.
+  double live_games = 0.0;
+  // Mean requests each game keeps outstanding (1 for a serial engine; see
+  // scheme_inflight() in mcts/config.hpp for the per-scheme values).
+  double per_game_inflight = 1.0;
+  // Measured fraction of requests served without a batch slot (cache hits +
+  // coalesced duplicates) — the ProfiledCosts::cache_hit_rate analogue at
+  // queue granularity. Thins the unique pool.
+  double cache_hit_rate = 0.0;
+  // Measured slot-occupying arrivals per microsecond (unique positions
+  // only). <= 0 means "no signal yet": the decision then keeps B = 1.
+  double slot_arrivals_per_us = 0.0;
+  // The queue's stale-flush period (µs; 0 = unknown). When the unique pool
+  // is smaller than a candidate b, every producer ends up blocked on the
+  // forming batch and arrivals STOP — the batch only closes when the timer
+  // fires, so the fill wait for b > pool is the stale period, not
+  // (b−1)/(2λ). This is what pulls an over-sized incumbent threshold back
+  // down as games retire or dedupe rises.
+  double stale_flush_us = 0.0;
+};
+
+// The dedupe-thinned producer pool (>= 0; not clamped to >= 1 so a drained
+// queue reads as 0).
+double unique_producer_pool(const ArrivalModel& m);
+
+// The V-sequence probe: expected per-request latency (µs) at threshold `b`
+// given the arrival rate and the backend's modelled batch latency.
+double aggregate_request_us(const ArrivalModel& m,
+                            const std::function<double(int)>& backend_batch_us,
+                            int b);
+
+struct AggregateDecision {
+  int threshold = 1;          // B* for this queue
+  double predicted_us = 0.0;  // T[B*]
+  int pool_cap = 1;           // clamp(pool) actually searched over
+  int probes = 0;             // Algorithm-4 probe count
+};
+
+// Runs Algorithm 4 over T[b] for b ∈ [1, min(pool, max_threshold)].
+AggregateDecision decide_aggregate_threshold(
+    const ArrivalModel& m, const std::function<double(int)>& backend_batch_us,
+    int max_threshold);
+
+}  // namespace apm

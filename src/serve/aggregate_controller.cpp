@@ -1,0 +1,97 @@
+#include "serve/aggregate_controller.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace apm {
+
+AggregateController::AggregateController(AggregateControllerConfig cfg,
+                                         int lanes)
+    : cfg_(cfg), lanes_(static_cast<std::size_t>(std::max(0, lanes))) {
+  APM_CHECK(cfg_.min_threshold >= 1);
+  APM_CHECK(cfg_.max_threshold >= cfg_.min_threshold);
+  APM_CHECK(cfg_.hysteresis >= 0.0);
+  APM_CHECK(cfg_.ewma_alpha > 0.0 && cfg_.ewma_alpha <= 1.0);
+}
+
+ThresholdDecision AggregateController::observe(
+    int model_id, double at_seconds, const LaneObservation& obs,
+    const std::function<double(int)>& backend_batch_us,
+    int current_threshold) {
+  LaneState& lane = lanes_.at(static_cast<std::size_t>(model_id));
+
+  // Fold the raw window into the smoothed arrival rate. An empty window
+  // with live producers means the lane is stalled mid-move, not idle — keep
+  // the previous estimate; an empty window with no producers decays to 0.
+  if (obs.window_seconds > 0.0 &&
+      (obs.window_slot_arrivals > 0 || obs.live_games == 0)) {
+    const double sample = static_cast<double>(obs.window_slot_arrivals) /
+                          (obs.window_seconds * 1e6);
+    lane.arrivals_per_us =
+        lane.seeded
+            ? (1.0 - cfg_.ewma_alpha) * lane.arrivals_per_us +
+                  cfg_.ewma_alpha * sample
+            : sample;
+    lane.seeded = true;
+  }
+
+  ArrivalModel m;
+  m.live_games = obs.live_games;
+  m.per_game_inflight = obs.inflight;
+  m.cache_hit_rate = obs.hit_rate;
+  m.slot_arrivals_per_us = lane.arrivals_per_us;
+  m.stale_flush_us = obs.stale_flush_us;
+
+  ThresholdDecision d;
+  d.model_id = model_id;
+  d.at_seconds = at_seconds;
+  d.from = current_threshold;
+  d.to = current_threshold;
+  d.live_games = obs.live_games;
+  d.pool = unique_producer_pool(m);
+  d.hit_rate = obs.hit_rate;
+  d.arrivals_per_us = lane.arrivals_per_us;
+  d.current_predicted_us =
+      aggregate_request_us(m, backend_batch_us,
+                           std::max(1, current_threshold));
+
+  const AggregateDecision best =
+      decide_aggregate_threshold(m, backend_batch_us, cfg_.max_threshold);
+  const int candidate =
+      std::clamp(best.threshold, cfg_.min_threshold, cfg_.max_threshold);
+  // The hysteresis test (and the logged prediction) must describe the
+  // threshold that would actually be applied: when the clamp moved the
+  // candidate off the search's optimum, re-probe at the clamped value.
+  d.predicted_us = candidate == best.threshold
+                       ? best.predicted_us
+                       : aggregate_request_us(m, backend_batch_us, candidate);
+
+  ++lane.since_change;
+  if (candidate != current_threshold &&
+      lane.since_change > cfg_.dwell_decisions &&
+      d.predicted_us < d.current_predicted_us * (1.0 - cfg_.hysteresis)) {
+    d.to = candidate;
+    d.changed = true;
+    ++lane.retunes;
+    ++total_retunes_;
+    lane.since_change = 0;
+  } else {
+    d.predicted_us = d.current_predicted_us;  // held: the incumbent stands
+  }
+  // Bound the trajectory log across long-lived services (the decision
+  // cadence is per attach/retire + every few moves, forever): keep the
+  // most recent window, like SearchEngine's move log.
+  if (log_.size() >= kMaxLogEntries) {
+    log_.erase(log_.begin(),
+               log_.begin() + static_cast<std::ptrdiff_t>(kMaxLogEntries / 2));
+  }
+  log_.push_back(d);
+  return d;
+}
+
+int AggregateController::retunes(int model_id) const {
+  return lanes_.at(static_cast<std::size_t>(model_id)).retunes;
+}
+
+}  // namespace apm

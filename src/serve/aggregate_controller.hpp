@@ -1,0 +1,135 @@
+#pragma once
+// Service-level batch-threshold control loop — Algorithm 4 re-run per
+// evaluation lane over the *aggregate* arrival rate.
+//
+// Since PR 3 the MatchService pins one queue threshold for a whole run
+// while the per-game controllers adapt (scheme, N) underneath it. But the
+// operating point Algorithm 4 tunes B against is a property of the QUEUE's
+// producer pool, not of any one game: games attach and retire (live-game
+// count swings), per-game engines change their in-flight parallelism, and
+// the eval cache thins the unique-slot pool as dedupe rises (a duplicate
+// rides an in-flight batch instead of filling the forming one — so at
+// fixed B a higher hit rate lengthens batch formation and trades cadence
+// for stale flushes; measured in BENCH_cache.json). The AggregateController
+// closes this loop: per lane, it folds the service's observations into an
+// ArrivalModel (perfmodel/arrival.hpp) —
+//
+//     pool = live_games × per_game_inflight × (1 − measured hit rate)
+//     λ    = measured slot-occupying arrivals / window
+//
+// — re-runs the Algorithm-4 binary search over the V-sequence
+// T[b] = (b−1)/(2λ) + T_backend(b)/b, and re-tunes the lane's threshold
+// when the winner clears a hysteresis margin (profiled rates are noisy
+// window to window; without the margin the controller would flap between
+// near-equal thresholds, and every retune flushes the forming batch).
+//
+// Division of labour: the controller is pure decision state (per-lane
+// hysteresis memory + the decision log); the MatchService owns the cadence
+// (it calls observe() on game attach/retire and every retune_every_moves
+// committed moves, under its own lock) and applies accepted decisions via
+// AsyncBatchEvaluator::set_batch_threshold. EWMA smoothing of the arrival
+// window lives here so callers can feed raw per-window counts.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "perfmodel/arrival.hpp"
+
+namespace apm {
+
+struct AggregateControllerConfig {
+  bool enabled = true;
+  // Fractional predicted per-request improvement a candidate threshold must
+  // show over the incumbent before a retune fires. Wider than the
+  // per-engine controller's margin: a retune flushes the forming batch on
+  // a whole lane, and the measured arrival rate is noisier than per-move
+  // costs.
+  double hysteresis = 0.15;
+  int min_threshold = 1;
+  int max_threshold = 64;
+  // Committed service moves between periodic re-decisions (attach/retire
+  // events always trigger one). <= 0 disables the periodic cadence.
+  int retune_every_moves = 8;
+  // Observations a lane must sit through after an applied retune before
+  // the next one may fire — the dwell of the per-engine controller, at
+  // service granularity: attach/retire events come in bursts (a retiring
+  // game's slot reseats immediately), and without the dwell the pool
+  // estimate jitters a threshold straight back.
+  int dwell_decisions = 2;
+  // EWMA weight of the newest arrival-rate window (1.0 = trust only the
+  // last window). Arrival windows between attach/retire events are short;
+  // heavy smoothing keeps λ noise from walking thresholds across a
+  // decision boundary.
+  double ewma_alpha = 0.3;
+};
+
+// One lane decision, kept in the trajectory log (the BENCH_hetero
+// "threshold trajectory" evidence).
+struct ThresholdDecision {
+  int model_id = -1;
+  double at_seconds = 0.0;  // service clock when decided
+  int from = 1;
+  int to = 1;
+  bool changed = false;      // accepted (applied) vs held by hysteresis
+  double predicted_us = 0.0;         // T[to] under the live arrival model
+  double current_predicted_us = 0.0; // T[from] under the same model
+  // The observation the decision was made from:
+  int live_games = 0;
+  double pool = 0.0;
+  double hit_rate = 0.0;
+  double arrivals_per_us = 0.0;
+};
+
+// One lane's raw observation window, assembled by the service.
+struct LaneObservation {
+  int live_games = 0;          // games attached to the lane right now
+  double inflight = 1.0;       // mean per-game in-flight requests
+  double hit_rate = 0.0;       // measured dedupe fraction (hits+coalesced)
+  // Slot-occupying submissions and wall time since the previous observe()
+  // for this lane (the raw arrival-rate window; EWMA-smoothed internally).
+  std::uint64_t window_slot_arrivals = 0;
+  double window_seconds = 0.0;
+  // The lane queue's stale-flush period (µs) — the fill bound when the
+  // pool cannot fill a candidate batch (see ArrivalModel::stale_flush_us).
+  double stale_flush_us = 0.0;
+};
+
+class AggregateController {
+ public:
+  explicit AggregateController(AggregateControllerConfig cfg, int lanes);
+
+  // Folds one lane's window into its smoothed arrival model, re-runs the
+  // Algorithm-4 decision against `backend_batch_us` (the lane backend's
+  // modelled batch latency) and the queue's `current_threshold`, and
+  // returns the decision (also appended to the log); the caller applies
+  // `to` iff `changed`.
+  ThresholdDecision observe(int model_id, double at_seconds,
+                            const LaneObservation& obs,
+                            const std::function<double(int)>& backend_batch_us,
+                            int current_threshold);
+
+  const AggregateControllerConfig& config() const { return cfg_; }
+  // Decision log, in decision order (both held and applied). Bounded: the
+  // oldest half is dropped once kMaxLogEntries is reached.
+  static constexpr std::size_t kMaxLogEntries = 4096;
+  const std::vector<ThresholdDecision>& log() const { return log_; }
+  // Applied (changed) retunes so far, per lane and total.
+  int retunes(int model_id) const;
+  int total_retunes() const { return total_retunes_; }
+
+ private:
+  struct LaneState {
+    double arrivals_per_us = 0.0;  // EWMA-smoothed
+    bool seeded = false;
+    int retunes = 0;
+    int since_change = 1 << 20;  // observations since the last applied one
+  };
+
+  AggregateControllerConfig cfg_;
+  std::vector<LaneState> lanes_;
+  std::vector<ThresholdDecision> log_;
+  int total_retunes_ = 0;
+};
+
+}  // namespace apm

@@ -1,0 +1,58 @@
+#include "serve/evaluator_pool.hpp"
+
+#include "support/check.hpp"
+
+namespace apm {
+
+int EvaluatorPool::add_model(const ModelSpec& spec) {
+  APM_CHECK_MSG(!spec.name.empty(), "EvaluatorPool: model name required");
+  APM_CHECK_MSG(spec.backend != nullptr,
+                "EvaluatorPool: model backend required");
+  APM_CHECK_MSG(find(spec.name) < 0,
+                "EvaluatorPool: duplicate model name");
+  APM_CHECK_MSG(spec.stale_flush_us > 0.0,
+                "EvaluatorPool: pooled queues are multi-producer and need "
+                "the stale-flush timer (liveness at game tails)");
+  auto lane = std::make_unique<Lane>();
+  lane->name = spec.name;
+  lane->backend = spec.backend;
+  if (spec.cache) lane->cache = std::make_unique<EvalCache>(spec.cache_cfg);
+  lane->queue = std::make_unique<AsyncBatchEvaluator>(
+      *spec.backend, spec.batch_threshold, spec.num_streams,
+      spec.stale_flush_us);
+  if (lane->cache) lane->queue->set_cache(lane->cache.get());
+  lanes_.push_back(std::move(lane));
+  return static_cast<int>(lanes_.size()) - 1;
+}
+
+int EvaluatorPool::find(const std::string& name) const {
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i]->name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void EvaluatorPool::invalidate(int id) {
+  if (EvalCache* c = cache(id)) c->clear();
+}
+
+void EvaluatorPool::invalidate_all() {
+  for (int id = 0; id < model_count(); ++id) invalidate(id);
+}
+
+void EvaluatorPool::drain_all() {
+  for (const std::unique_ptr<Lane>& l : lanes_) l->queue->drain();
+}
+
+ModelLaneStats EvaluatorPool::lane_stats(int id) const {
+  const Lane& l = lane(id);
+  ModelLaneStats s;
+  s.model_id = id;
+  s.name = l.name;
+  s.batch_threshold = l.queue->batch_threshold();
+  s.batch = l.queue->stats();
+  if (l.cache) s.cache = l.cache->stats();
+  return s;
+}
+
+}  // namespace apm

@@ -1,0 +1,125 @@
+#pragma once
+// Multi-model serving registry — one evaluation *lane* per named net.
+//
+// The PR-3/PR-4 serving stack shares ONE AsyncBatchEvaluator (and one
+// EvalCache) across every game the MatchService runs, which works exactly
+// as long as every game evaluates on the same network. A real serving
+// front end hosts many nets at once — different games, different training
+// generations, A/B pairs — and a request for net X must never be answered
+// from net Y's batch or cache. The EvaluatorPool is that registry: each
+// registered model owns a private lane of
+//
+//     InferenceBackend  (caller-owned: the net / sim-GPU that computes)
+//       └ EvalCache     (per-net — the cache-keying caveat from ROADMAP:
+//                        keys are Game::eval_key() *within one net*, so
+//                        isolation comes from separate tables, not from
+//                        salting the key)
+//       └ AsyncBatchEvaluator (per-net queue: batches form across every
+//                        game routed to this model, never across models)
+//
+// and the MatchService routes each game slot to its declared lane. Cross-
+// game batching is preserved *within* a lane (K Gomoku games on net A still
+// coalesce into net A's batches) while lanes stay fully isolated: separate
+// thresholds, separate stats, separate invalidation.
+//
+// Per-model invalidation contract: invalidate(id) clears ONLY model id's
+// cache. A weight update to one net (Trainer SGD between waves) makes that
+// net's cached policies stale and nobody else's — the all-or-nothing
+// EvalCache::clear() of PR 4 forced every model to pay for any model's
+// update; with per-net caches a foreign update leaves a lane's residency
+// and hit rate untouched (pinned by test_hetero). Callers that cannot name
+// the updated model fall back to invalidate_all().
+//
+// Threshold ownership: the pool constructs each queue at the spec's
+// threshold; at runtime the AggregateController (serve/
+// aggregate_controller.hpp) re-tunes each lane's threshold independently
+// from that lane's measured arrival rate. Per-game engines never manage a
+// pooled queue's threshold (MatchService forces manage_batch_threshold
+// off, as with the PR-3 shared queue).
+//
+// Thread safety: registration is single-threaded setup (add_model before
+// any service attaches); the lane accessors are const after that and the
+// lanes themselves are internally synchronized (queue mutex, cache shard
+// locks), so concurrent services/slots can submit/invalidate freely.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/async_batch.hpp"
+
+namespace apm {
+
+// One named model's lane configuration. The backend must outlive the pool.
+struct ModelSpec {
+  std::string name;
+  InferenceBackend* backend = nullptr;
+  int batch_threshold = 4;
+  int num_streams = 1;
+  // Required > 0: pooled queues are multi-producer (liveness at game tails)
+  double stale_flush_us = 1500.0;
+  bool cache = true;  // false: no EvalCache in front of this lane
+  EvalCacheConfig cache_cfg = {};
+};
+
+// Point-in-time telemetry of one lane.
+struct ModelLaneStats {
+  int model_id = -1;
+  std::string name;
+  int batch_threshold = 1;  // current (possibly re-tuned) threshold
+  BatchQueueStats batch;    // lifetime queue counters
+  CacheStats cache;         // zeros when the lane has no cache
+};
+
+class EvaluatorPool {
+ public:
+  EvaluatorPool() = default;
+  EvaluatorPool(const EvaluatorPool&) = delete;
+  EvaluatorPool& operator=(const EvaluatorPool&) = delete;
+
+  // Registers a model and returns its id (dense, starting at 0). Names must
+  // be unique and non-empty. Call before attaching services.
+  int add_model(const ModelSpec& spec);
+
+  int model_count() const { return static_cast<int>(lanes_.size()); }
+  // Id for a registered name; -1 when absent.
+  int find(const std::string& name) const;
+  const std::string& name(int id) const { return lane(id).name; }
+
+  AsyncBatchEvaluator& queue(int id) { return *lane(id).queue; }
+  const AsyncBatchEvaluator& queue(int id) const { return *lane(id).queue; }
+  InferenceBackend& backend(int id) { return *lane(id).backend; }
+  // nullptr when the lane runs uncached.
+  EvalCache* cache(int id) { return lane(id).cache.get(); }
+  const EvalCache* cache(int id) const { return lane(id).cache.get(); }
+
+  // Clears ONLY model `id`'s cache (its weights changed). Other lanes'
+  // residency, hit rates and in-flight batches are untouched.
+  void invalidate(int id);
+  // Clears every lane's cache (caller cannot name the updated model).
+  void invalidate_all();
+
+  // Drains every lane's queue (end-of-wave barrier across models).
+  void drain_all();
+
+  ModelLaneStats lane_stats(int id) const;
+
+ private:
+  struct Lane {
+    std::string name;
+    InferenceBackend* backend = nullptr;
+    // Declaration order is the destruction contract: the queue is destroyed
+    // (and drains) before the cache it points at.
+    std::unique_ptr<EvalCache> cache;
+    std::unique_ptr<AsyncBatchEvaluator> queue;
+  };
+
+  Lane& lane(int id) { return *lanes_.at(static_cast<std::size_t>(id)); }
+  const Lane& lane(int id) const {
+    return *lanes_.at(static_cast<std::size_t>(id));
+  }
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace apm

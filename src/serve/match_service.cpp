@@ -5,10 +5,51 @@
 #include "support/check.hpp"
 
 namespace apm {
+namespace {
+
+// Field-wise accumulation of queue-stat deltas across lanes (mean_batch is
+// recomputed by the caller from the summed counters).
+void accumulate(BatchQueueStats& into, const BatchQueueStats& d) {
+  into.submitted += d.submitted;
+  into.batches += d.batches;
+  into.full_batches += d.full_batches;
+  into.threshold_dispatches += d.threshold_dispatches;
+  into.stale_flushes += d.stale_flushes;
+  into.manual_flushes += d.manual_flushes;
+  into.max_batch = std::max(into.max_batch, d.max_batch);
+  into.modelled_backend_us += d.modelled_backend_us;
+  if (into.fill_histogram.size() < d.fill_histogram.size()) {
+    into.fill_histogram.resize(d.fill_histogram.size(), 0);
+  }
+  for (std::size_t i = 0; i < d.fill_histogram.size(); ++i) {
+    into.fill_histogram[i] += d.fill_histogram[i];
+  }
+  if (into.tag_slots.size() < d.tag_slots.size()) {
+    into.tag_slots.resize(d.tag_slots.size(), 0);
+  }
+  for (std::size_t i = 0; i < d.tag_slots.size(); ++i) {
+    into.tag_slots[i] += d.tag_slots[i];
+  }
+  into.untagged_slots += d.untagged_slots;
+  into.cache_hits += d.cache_hits;
+  into.coalesced += d.coalesced;
+}
+
+void accumulate(CacheStats& into, const CacheStats& c) {
+  into.lookups += c.lookups;
+  into.hits += c.hits;
+  into.misses += c.misses;
+  into.inserts += c.inserts;
+  into.evictions += c.evictions;
+  into.entries += c.entries;
+  into.capacity += c.capacity;
+}
+
+}  // namespace
 
 MatchService::MatchService(ServiceConfig cfg, const Game& game,
                            SearchResources res)
-    : cfg_(std::move(cfg)), proto_(game.clone()), res_(res) {
+    : cfg_(std::move(cfg)), res_(res) {
   APM_CHECK(cfg_.slots >= 1);
   APM_CHECK(cfg_.workers >= 1);
   APM_CHECK_MSG(res_.evaluator != nullptr || res_.batch != nullptr,
@@ -21,18 +62,83 @@ MatchService::MatchService(ServiceConfig cfg, const Game& game,
     if (cfg_.batch_threshold > 0) {
       res_.batch->set_batch_threshold(cfg_.batch_threshold);
     }
-    batch_start_ = res_.batch->stats();
+    Lane lane;
+    lane.model_id = -1;
+    lane.start = res_.batch->stats();
+    lane.last_window = lane.start;
+    lanes_.push_back(lane);
   }
-  // The service owns the shared queue's tuning; per-game engines must not
-  // re-tune it on their own scheme switches.
-  cfg_.engine.manage_batch_threshold = false;
+  auto wl = std::make_unique<Workload>();
+  wl->spec.proto = std::shared_ptr<const Game>(game.clone());
+  wl->spec.slots = cfg_.slots;
+  wl->spec.engine = cfg_.engine;
+  wl->spec.self_play = cfg_.self_play;
+  wl->inflight = scheme_inflight(cfg_.engine.scheme, cfg_.engine.workers,
+                                 cfg_.engine.batch_threshold,
+                                 cfg_.engine.adaptive.gpu);
+  workloads_.push_back(std::move(wl));
+  init_slots();
+}
 
-  slots_.reserve(static_cast<std::size_t>(cfg_.slots));
-  free_slots_.reserve(static_cast<std::size_t>(cfg_.slots));
-  for (int i = 0; i < cfg_.slots; ++i) {
-    slots_.push_back(std::make_unique<Slot>());
-    slots_.back()->id = i;
-    free_slots_.push_back(slots_.back().get());
+MatchService::MatchService(ServiceConfig cfg, EvaluatorPool& pool,
+                           std::vector<ServiceWorkload> workloads)
+    : cfg_(std::move(cfg)), pool_(&pool) {
+  APM_CHECK(cfg_.workers >= 1);
+  APM_CHECK_MSG(!workloads.empty(), "MatchService: no workloads declared");
+  for (ServiceWorkload& spec : workloads) {
+    APM_CHECK_MSG(spec.proto != nullptr,
+                  "MatchService: workload needs a game prototype");
+    APM_CHECK(spec.slots >= 1);
+    const int model_id = pool.find(spec.model);
+    APM_CHECK_MSG(model_id >= 0,
+                  "MatchService: workload names an unregistered model");
+    // A mis-routed workload would feed the wrong tensor shapes to the net;
+    // fail at construction, not at the first submit.
+    const InferenceBackend& backend = pool.backend(model_id);
+    APM_CHECK_MSG(backend.action_count() == spec.proto->action_count() &&
+                      backend.input_size() == spec.proto->encode_size(),
+                  "MatchService: workload game and model shapes disagree");
+
+    auto wl = std::make_unique<Workload>();
+    wl->spec = std::move(spec);
+    wl->model_id = model_id;
+    wl->inflight =
+        scheme_inflight(wl->spec.engine.scheme, wl->spec.engine.workers,
+                        wl->spec.engine.batch_threshold,
+                        wl->spec.engine.adaptive.gpu);
+    if (std::none_of(lanes_.begin(), lanes_.end(), [&](const Lane& l) {
+          return l.model_id == model_id;
+        })) {
+      Lane lane;
+      lane.model_id = model_id;
+      lane.start = pool.queue(model_id).stats();
+      lane.last_window = lane.start;
+      lanes_.push_back(lane);
+    }
+    workloads_.push_back(std::move(wl));
+  }
+  if (cfg_.aggregate.enabled) {
+    controller_ = std::make_unique<AggregateController>(cfg_.aggregate,
+                                                        pool.model_count());
+  }
+  init_slots();
+}
+
+void MatchService::init_slots() {
+  for (std::size_t w = 0; w < workloads_.size(); ++w) {
+    total_slots_ += workloads_[w]->spec.slots;
+  }
+  slots_.reserve(static_cast<std::size_t>(total_slots_));
+  int id = 0;
+  for (std::size_t w = 0; w < workloads_.size(); ++w) {
+    Workload& wl = *workloads_[w];
+    wl.free_slots.reserve(static_cast<std::size_t>(wl.spec.slots));
+    for (int i = 0; i < wl.spec.slots; ++i) {
+      slots_.push_back(std::make_unique<Slot>());
+      slots_.back()->id = id++;
+      slots_.back()->workload = static_cast<int>(w);
+      wl.free_slots.push_back(slots_.back().get());
+    }
   }
 }
 
@@ -43,6 +149,29 @@ bool MatchService::enqueue(int games) {
   {
     std::lock_guard lock(mutex_);
     if (stop_) return false;  // racing a shutdown: refuse, don't abort
+    for (int i = 0; i < games; ++i) {
+      // Deterministic round-robin assignment: the j-th enqueue(int) game
+      // always lands on the same workload, independent of scheduling.
+      Workload& wl =
+          *workloads_[static_cast<std::size_t>(enqueue_rr_) %
+                      workloads_.size()];
+      ++enqueue_rr_;
+      ++wl.pending;
+      ++pending_games_;
+    }
+  }
+  work_cv_.notify_all();
+  return true;
+}
+
+bool MatchService::enqueue_workload(int workload, int games) {
+  APM_CHECK(games >= 0);
+  APM_CHECK(workload >= 0 &&
+            workload < static_cast<int>(workloads_.size()));
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return false;
+    workloads_[static_cast<std::size_t>(workload)]->pending += games;
     pending_games_ += games;
   }
   work_cv_.notify_all();
@@ -61,36 +190,67 @@ void MatchService::start() {
   }
 }
 
+bool MatchService::seatable_locked() const {
+  for (const std::unique_ptr<Workload>& wl : workloads_) {
+    if (wl->pending > 0 && !wl->free_slots.empty()) return true;
+  }
+  return false;
+}
+
 void MatchService::claim_locked(Slot& slot) {
-  slot.game_id = next_game_id_++;
+  Workload& wl = *workloads_[static_cast<std::size_t>(slot.workload)];
+  slot.game_id = wl.next_game_index++;
+  --wl.pending;
   --pending_games_;
+  ++wl.active;
   ++active_games_;
   slot.search_seconds = 0.0;
+  for (Lane& lane : lanes_) {
+    if (lane.model_id == wl.model_id) {
+      ++lane.live_games;
+      lane.inflight_sum += wl.inflight;
+      break;
+    }
+  }
+  retune_locked(wl.model_id);  // a game attached: the producer pool grew
 }
 
 void MatchService::build_slot(Slot& slot) {
   // Runs outside the lock on the exclusively-owned slot; everything read
-  // here (cfg_, res_, proto_) is immutable after construction.
+  // here (workload specs, pool_, res_) is immutable after construction.
   //
-  // Per-game seeds are a pure function of the game id, so a game's move
-  // sequence is independent of the worker count and of scheduling order.
-  EngineConfig ec = cfg_.engine;
-  ec.mcts.seed = cfg_.engine.mcts.seed +
+  // Per-game seeds are a pure function of (workload, per-workload game
+  // index), so a game's move sequence is independent of the worker count,
+  // of scheduling order, and of which of the workload's slots seated it.
+  const Workload& wl = *workloads_[static_cast<std::size_t>(slot.workload)];
+  EngineConfig ec = wl.spec.engine;
+  // The service (or its aggregate controller) owns queue thresholds;
+  // per-game engines must not re-tune them on their own scheme switches.
+  ec.manage_batch_threshold = false;
+  ec.mcts.seed = wl.spec.engine.mcts.seed +
                  static_cast<std::uint64_t>(slot.game_id) *
                      cfg_.engine_seed_stride;
-  SelfPlayConfig sp = cfg_.self_play;
-  sp.seed = cfg_.self_play.seed + static_cast<std::uint64_t>(slot.game_id) *
-                                      cfg_.game_seed_stride;
+  SelfPlayConfig sp = wl.spec.self_play;
+  sp.seed = wl.spec.self_play.seed +
+            static_cast<std::uint64_t>(slot.game_id) * cfg_.game_seed_stride;
 
   SearchResources res = res_;
-  res.batch_tag = slot.id;  // attribute shared-queue occupancy to this slot
+  if (pool_ != nullptr) {
+    res = SearchResources{};
+    res.batch = &pool_->queue(wl.model_id);
+  }
+  res.batch_tag = slot.id;  // attribute lane occupancy to this slot
   slot.engine = std::make_unique<SearchEngine>(ec, res);
-  slot.runner = std::make_unique<EpisodeRunner>(*proto_, sp);
+  slot.runner = std::make_unique<EpisodeRunner>(*wl.spec.proto, sp);
 }
 
-GameRecord MatchService::retire_slot(Slot& slot, bool completed) {
+GameRecord MatchService::retire_slot(Slot& slot, bool completed) const {
+  const Workload& wl = *workloads_[static_cast<std::size_t>(slot.workload)];
   GameRecord rec;
   rec.game_id = slot.game_id;
+  rec.workload = slot.workload;
+  rec.game_name = wl.spec.proto->name();
+  if (pool_ != nullptr) rec.model = wl.spec.model;
   rec.completed = completed;
   EpisodeStats stats = slot.runner->finish(
       [&rec](TrainSample&& s) { rec.samples.push_back(std::move(s)); });
@@ -100,12 +260,18 @@ GameRecord MatchService::retire_slot(Slot& slot, bool completed) {
 }
 
 void MatchService::commit_locked(Slot& slot, GameRecord&& rec) {
+  Workload& wl = *workloads_[static_cast<std::size_t>(slot.workload)];
   if (rec.completed) {
     ++games_completed_;
+    ++wl.completed;
   } else {
     ++games_abandoned_;
+    ++wl.abandoned;
   }
+  --wl.active;
+  --active_games_;
   moves_ += rec.stats.moves;
+  wl.moves += rec.stats.moves;
   samples_ += rec.stats.samples;
   scheme_switches_ += rec.stats.scheme_switches;
   reused_visits_ += rec.stats.reused_visits;
@@ -120,15 +286,62 @@ void MatchService::commit_locked(Slot& slot, GameRecord&& rec) {
   slot.engine.reset();
   slot.runner.reset();
   slot.game_id = -1;
-  free_slots_.push_back(&slot);
+  wl.free_slots.push_back(&slot);
+  for (Lane& lane : lanes_) {
+    if (lane.model_id == wl.model_id) {
+      --lane.live_games;
+      lane.inflight_sum -= wl.inflight;
+      break;
+    }
+  }
+  retune_locked(wl.model_id);  // a game retired: the producer pool shrank
+}
+
+void MatchService::retune_locked(int model_id) {
+  if (controller_ == nullptr || pool_ == nullptr || !started_) return;
+  const double now = wall_timer_.elapsed_seconds();
+  for (Lane& lane : lanes_) {
+    if (model_id >= 0 && lane.model_id != model_id) continue;
+    AsyncBatchEvaluator& queue = pool_->queue(lane.model_id);
+    const BatchQueueStats snap = queue.stats();
+    const std::uint64_t window_arrivals =
+        snap.submitted - lane.last_window.submitted;
+    const double window_seconds = now - lane.last_window_seconds;
+    // Dedupe measured at queue granularity over the whole service era: the
+    // fraction of arrived demand that needed no batch slot — the
+    // ProfiledCosts::cache_hit_rate analogue the arrival model scales the
+    // unique pool by.
+    const BatchQueueStats delta = stats_delta(snap, lane.start);
+    const double demand = static_cast<double>(
+        delta.submitted + delta.cache_hits + delta.coalesced);
+    const double hit_rate =
+        demand > 0.0
+            ? static_cast<double>(delta.cache_hits + delta.coalesced) / demand
+            : 0.0;
+    LaneObservation obs;
+    obs.live_games = lane.live_games;
+    obs.inflight = lane.live_games > 0 ? lane.inflight_sum / lane.live_games
+                                       : 1.0;
+    obs.hit_rate = hit_rate;
+    obs.window_slot_arrivals = window_arrivals;
+    obs.window_seconds = window_seconds;
+    obs.stale_flush_us = queue.stale_flush_us();
+    InferenceBackend& backend = pool_->backend(lane.model_id);
+    const ThresholdDecision d = controller_->observe(
+        lane.model_id, now, obs,
+        [&backend](int b) { return backend.model_batch_us(b); },
+        queue.batch_threshold());
+    if (d.changed) queue.set_batch_threshold(d.to);
+    lane.last_window = snap;
+    lane.last_window_seconds = now;
+  }
 }
 
 void MatchService::worker_loop() {
   std::unique_lock lock(mutex_);
   for (;;) {
     work_cv_.wait(lock, [&] {
-      return stop_ || !ready_.empty() ||
-             (pending_games_ > 0 && !free_slots_.empty());
+      return stop_ || !ready_.empty() || seatable_locked();
     });
     if (stop_) return;
 
@@ -138,14 +351,19 @@ void MatchService::worker_loop() {
       slot = ready_.front();
       ready_.pop_front();
     } else {
-      slot = free_slots_.back();
-      free_slots_.pop_back();
+      for (const std::unique_ptr<Workload>& wl : workloads_) {
+        if (wl->pending > 0 && !wl->free_slots.empty()) {
+          slot = wl->free_slots.back();
+          wl->free_slots.pop_back();
+          break;
+        }
+      }
       claim_locked(*slot);
       fresh = true;
     }
     // More work may remain (another ready slot, another seatable game) —
     // hand it to a sibling before going heads-down on this move.
-    if (!ready_.empty() || (pending_games_ > 0 && !free_slots_.empty())) {
+    if (!ready_.empty() || seatable_locked()) {
       work_cv_.notify_one();
     }
     lock.unlock();
@@ -168,7 +386,6 @@ void MatchService::worker_loop() {
 
     lock.lock();
     if (done) {
-      --active_games_;
       commit_locked(*slot, std::move(rec));
       if (pending_games_ > 0) {
         work_cv_.notify_one();  // the freed slot is seatable
@@ -177,6 +394,16 @@ void MatchService::worker_loop() {
       }
     } else {
       ready_.push_back(slot);
+      // Periodic cadence between attach/retire events: live lanes' arrival
+      // rates drift as trees warm and dedupe rises; re-decide every M
+      // committed moves.
+      ++interim_moves_;
+      if (controller_ != nullptr && cfg_.aggregate.retune_every_moves > 0 &&
+          interim_moves_ - last_retune_moves_ >=
+              cfg_.aggregate.retune_every_moves) {
+        last_retune_moves_ = interim_moves_;
+        retune_locked(/*model_id=*/-1);
+      }
     }
   }
 }
@@ -216,7 +443,6 @@ void MatchService::stop() {
   ready_.clear();
   for (const std::unique_ptr<Slot>& slot : slots_) {
     if (slot->game_id < 0) continue;
-    --active_games_;
     // Retire the abandoned game as a completed=false record: the moves it
     // played (and its adaptation trace) stay observable, and callers can
     // filter its truncated samples by the flag.
@@ -234,15 +460,34 @@ std::vector<GameRecord> MatchService::take_completed() {
   }
   std::sort(out.begin(), out.end(),
             [](const GameRecord& a, const GameRecord& b) {
-              return a.game_id < b.game_id;
+              return a.workload != b.workload ? a.workload < b.workload
+                                              : a.game_id < b.game_id;
             });
   return out;
+}
+
+void MatchService::invalidate_model(int model_id) {
+  if (pool_ != nullptr) {
+    if (model_id < 0) {
+      pool_->invalidate_all();
+    } else {
+      pool_->invalidate(model_id);
+    }
+    return;
+  }
+  if (EvalCache* cache = eval_cache()) cache->clear();
+}
+
+std::vector<ThresholdDecision> MatchService::retune_log() const {
+  std::lock_guard lock(mutex_);
+  return controller_ != nullptr ? controller_->log()
+                                : std::vector<ThresholdDecision>{};
 }
 
 ServiceStats MatchService::stats() const {
   std::lock_guard lock(mutex_);
   ServiceStats s;
-  s.slots = cfg_.slots;
+  s.slots = total_slots_;
   s.workers = cfg_.workers;
   s.games_completed = games_completed_;
   s.games_abandoned = games_abandoned_;
@@ -267,12 +512,51 @@ ServiceStats MatchService::stats() const {
     s.moves_per_second = s.moves / s.wall_seconds;
     s.evals_per_second = static_cast<double>(s.eval_requests) / s.wall_seconds;
   }
-  if (res_.batch != nullptr) {
-    s.batch = stats_delta(res_.batch->stats(), batch_start_);
-    s.mean_batch_fill = s.batch.mean_batch;
-    if (const EvalCache* cache = res_.batch->cache()) {
-      s.cache = cache->stats();
+
+  for (const Lane& lane : lanes_) {
+    const AsyncBatchEvaluator* queue =
+        pool_ != nullptr ? &pool_->queue(lane.model_id) : res_.batch;
+    if (queue == nullptr) continue;
+    const BatchQueueStats delta = stats_delta(queue->stats(), lane.start);
+    accumulate(s.batch, delta);
+    const EvalCache* cache = pool_ != nullptr ? pool_->cache(lane.model_id)
+                                              : queue->cache();
+    if (cache != nullptr) accumulate(s.cache, cache->stats());
+    if (pool_ != nullptr) {
+      ServiceLaneStats ls;
+      ls.model_id = lane.model_id;
+      ls.model = pool_->name(lane.model_id);
+      ls.live_games = lane.live_games;
+      ls.threshold = queue->batch_threshold();
+      ls.retunes =
+          controller_ != nullptr ? controller_->retunes(lane.model_id) : 0;
+      ls.batch = delta;
+      if (cache != nullptr) ls.cache = cache->stats();
+      s.lanes.push_back(std::move(ls));
     }
+  }
+  s.batch.mean_batch =
+      s.batch.batches > 0
+          ? static_cast<double>(s.batch.submitted) /
+                static_cast<double>(s.batch.batches)
+          : 0.0;
+  s.mean_batch_fill = s.batch.mean_batch;
+  s.threshold_retunes =
+      controller_ != nullptr ? controller_->total_retunes() : 0;
+
+  for (std::size_t w = 0; w < workloads_.size(); ++w) {
+    const Workload& wl = *workloads_[w];
+    WorkloadStats ws;
+    ws.workload = static_cast<int>(w);
+    ws.game_name = wl.spec.proto->name();
+    if (pool_ != nullptr) ws.model = wl.spec.model;
+    ws.slots = wl.spec.slots;
+    ws.games_completed = wl.completed;
+    ws.games_abandoned = wl.abandoned;
+    ws.games_pending = wl.pending;
+    ws.games_active = wl.active;
+    ws.moves = wl.moves;
+    s.workloads.push_back(std::move(ws));
   }
   return s;
 }

@@ -1,82 +1,160 @@
 #pragma once
-// Concurrent match service — the multi-game serving layer of the ROADMAP's
-// "serve heavy traffic" step.
+// Concurrent match service — the multi-game, multi-model serving layer of
+// the ROADMAP's "serve heavy traffic" step.
 //
 // The paper's batching lever (Eq. 3–6, Fig. 6) starves when one search
 // tree cannot supply a full batch: a single serial game has exactly one
 // leaf evaluation in flight, so the AsyncBatchEvaluator either dispatches
 // batches of 1 or stalls on the stale-flush timer. The MatchService runs K
 // concurrent games, each owned by its own adaptive SearchEngine (private
-// arena + AdaptiveController + cross-move tree reuse), all submitting leaf
-// evaluations to ONE shared AsyncBatchEvaluator/backend pair — so batches
-// form *across* games (Batch MCTS, Cazenave 2021) and the accelerator sees
+// arena + AdaptiveController + cross-move tree reuse), submitting leaf
+// evaluations to a shared AsyncBatchEvaluator — so batches form *across*
+// games (Batch MCTS, Cazenave 2021) and the accelerator sees
 // threshold-sized batches even when every individual game is a starved
 // single-stream producer.
 //
-// Scheduling: K game slots are multiplexed over a fixed pool of W worker
+// Multi-model routing (ISSUE 5): a service can serve heterogeneous
+// workloads. Each ServiceWorkload declares (game prototype, model name,
+// slot count, engine/self-play templates); slots are statically bound to
+// their workload and route every evaluation to that model's lane in an
+// EvaluatorPool (per-net AsyncBatchEvaluator + per-net EvalCache, see
+// serve/evaluator_pool.hpp). Batches still form across games *within* a
+// lane — K Gomoku games on net A fill net A's batches — while lanes stay
+// isolated: a Connect4 game on net B can never occupy net A's slots or
+// alias its cache. The single-game/single-queue constructor of PR 3 is the
+// degenerate one-workload case and keeps its exact behaviour.
+//
+// Aggregate threshold control (Algorithm 4 at service level): in pool mode
+// an AggregateController re-tunes each lane's batch threshold from that
+// lane's measured operating point — live game count × per-game in-flight,
+// thinned by the measured cache hit rate, against the measured slot
+// arrival rate (perfmodel/arrival.hpp). Decisions fire on game
+// attach/retire and every `aggregate.retune_every_moves` committed moves;
+// accepted retunes are applied via set_batch_threshold and logged
+// (retune_log()) — the threshold trajectory BENCH_hetero.json records.
+// Per-game engines never manage a pooled queue's threshold
+// (manage_batch_threshold is forced off, as with the PR-3 shared queue).
+// Results stay worker-count independent under retuning because per-request
+// results never depend on batch composition — only latency does.
+//
+// Scheduling: the slots are multiplexed over a fixed pool of W worker
 // threads at move granularity. A worker pops a ready slot, plays exactly
 // one move (engine.search → temperature sampling → engine.advance), and
-// requeues the slot — so one thread serves many games and a long move in
-// one game never blocks the others' progress. Finished games retire their
+// requeues the slot — one thread serves many games and a long move in one
+// game never blocks the others' progress. Finished games retire their
 // samples into a completed-game queue and the freed slot is reseated from
-// the pending counter. Per-game seeds (engine + self-play) derive from the
-// game id alone, never from W or from which worker played which move; with
-// a deterministic engine template (serial scheme, adaptation off — the
-// configuration the determinism test pins) per-game results are therefore
-// independent of the worker count: batch composition changes with W,
-// per-request results do not. Adaptive or tree-parallel engine templates
-// remain timing-dependent by design (measured costs drive the switches).
+// its workload's pending counter. Per-game seeds derive from the
+// (workload, per-workload game index) pair alone — never from W, from
+// which worker played which move, or from which of the workload's slots
+// seated the game; with deterministic engine templates (serial scheme,
+// adaptation off — the configuration the determinism tests pin) per-game
+// results are therefore independent of the worker count: batch composition
+// and threshold retunes change with timing, per-request results do not.
 //
-// Lifecycle: enqueue(n) adds games; start() spawns the worker pool;
-// drain() blocks until every queued game has completed; stop() halts after
-// in-flight moves, abandons mid-game slots, and joins the pool (the
-// destructor calls it). The shared queue's stale-flush timer is required
-// in batch mode: at a game tail the remaining producers cannot fill a
-// batch, and the timer is what bounds their wait (AsyncBatchEvaluator's
-// drain() re-flush loop covers the same hazard on the evaluator side).
+// Lifecycle: enqueue(n)/enqueue_workload(w, n) add games; start() spawns
+// the worker pool; drain() blocks until every queued game has completed;
+// stop() halts after in-flight moves, abandons mid-game slots, and joins
+// the pool (the destructor calls it). Every queue's stale-flush timer is
+// required in batch mode: at a game tail the remaining producers cannot
+// fill a batch, and the timer is what bounds their wait.
+//
+// Cache invalidation contract: invalidate_model(id) clears ONLY model id's
+// cache (its weights changed); other lanes' residency and hit rates
+// survive. The Trainer calls it with the model its net backs after each
+// wave's SGD; id −1 (or the legacy single-queue service) clears every
+// attached cache.
 
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "mcts/engine.hpp"
+#include "serve/aggregate_controller.hpp"
+#include "serve/evaluator_pool.hpp"
 #include "support/timer.hpp"
 #include "train/self_play.hpp"
 
 namespace apm {
 
 struct ServiceConfig {
-  // Per-game engine template. The service derives each game's search seed
-  // from it and forces manage_batch_threshold = false (the service owns the
-  // shared queue's threshold; K engines must not fight over it).
+  // Per-game engine template (the single-workload constructor; pool-mode
+  // workloads carry their own). The service derives each game's search
+  // seed from it and forces manage_batch_threshold = false (the service —
+  // or its aggregate controller — owns queue thresholds; K engines must
+  // not fight over them).
   EngineConfig engine;
-  // Per-game self-play template; each game's seed is offset by game id so
-  // results are a function of the game id only, not of scheduling.
+  // Per-game self-play template; each game's seed is offset by its
+  // per-workload game index so results are a function of (workload, index)
+  // only, not of scheduling.
   SelfPlayConfig self_play;
-  int slots = 4;    // K concurrent games
+  int slots = 4;    // K concurrent games (single-workload constructor)
   int workers = 2;  // threads multiplexing the slots at move granularity
   // > 0: applied once to the shared AsyncBatchEvaluator at construction
-  // (the cross-game batch threshold); 0 keeps the queue's current setting.
+  // (single-workload constructor); 0 keeps the queue's current setting.
   int batch_threshold = 0;
-  // Seed strides between consecutive game ids (self-play / engine search).
+  // Seed strides between consecutive game indices of one workload
+  // (self-play / engine search).
   std::uint64_t game_seed_stride = 1000003ULL;
   std::uint64_t engine_seed_stride = 7919ULL;
+  // Service-level Algorithm-4 threshold control (pool mode only; the
+  // legacy single-queue constructor keeps its pinned threshold).
+  AggregateControllerConfig aggregate;
+};
+
+// One heterogeneous workload: `slots` concurrent games of `proto`'s game,
+// all evaluating on the pool model named `model`.
+struct ServiceWorkload {
+  std::shared_ptr<const Game> proto;  // cloned per seated episode
+  std::string model;
+  int slots = 1;
+  EngineConfig engine;
+  SelfPlayConfig self_play;
 };
 
 // One finished (or abandoned) game.
 struct GameRecord {
-  int game_id = -1;
+  int game_id = -1;   // per-workload game index (seeds derive from it)
+  int workload = 0;   // index into the service's workload list
+  std::string game_name;
+  std::string model;  // lane the game evaluated on (empty in legacy mode)
   bool completed = false;  // false = stop() abandoned it mid-game
   EpisodeStats stats;
   std::vector<TrainSample> samples;
 };
 
-// Aggregate service telemetry. `batch` is the shared queue's delta since
-// service construction — fill_histogram is the cross-game batch-formation
-// evidence, tag_slots attributes batch occupancy per game slot.
+// Per-workload progress (pool mode; a single entry in legacy mode).
+struct WorkloadStats {
+  int workload = 0;
+  std::string game_name;
+  std::string model;
+  int slots = 0;
+  int games_completed = 0;
+  int games_abandoned = 0;
+  int games_pending = 0;
+  int games_active = 0;
+  int moves = 0;
+};
+
+// One evaluation lane's service-era telemetry: `batch` is the queue delta
+// since service construction (fill_histogram is the cross-game
+// batch-formation evidence within this lane), `cache` snapshots the lane's
+// EvalCache, `threshold`/`retunes` track the aggregate controller.
+struct ServiceLaneStats {
+  int model_id = -1;
+  std::string model;
+  int live_games = 0;
+  int threshold = 1;
+  int retunes = 0;
+  BatchQueueStats batch;
+  CacheStats cache;
+};
+
+// Aggregate service telemetry. `batch` sums the lane deltas (legacy mode:
+// the single shared queue's delta); per-lane breakdowns are in `lanes`.
 struct ServiceStats {
   int slots = 0;
   int workers = 0;
@@ -87,12 +165,11 @@ struct ServiceStats {
   int moves = 0;
   std::int64_t samples = 0;
   std::size_t eval_requests = 0;  // Σ over completed games' per-move metrics
-  // Eval-cache dedupe, Σ over completed games: requests served from the
+  // Eval-cache dedupe, Σ over completed games: requests served from a
   // cache, requests coalesced onto an in-flight duplicate, and the
   // aggregate rate (cache_hits + coalesced) / eval_requests — the fraction
   // of demand that needed no backend slot. Per-game rates come from each
-  // GameRecord's EpisodeStats. `cache` snapshots the shared EvalCache
-  // itself (all zeros when none is attached).
+  // GameRecord's EpisodeStats; `cache` sums the lane cache snapshots.
   std::size_t cache_hits = 0;
   std::size_t coalesced_evals = 0;
   double cache_hit_rate = 0.0;
@@ -103,28 +180,43 @@ struct ServiceStats {
   double wall_seconds = 0.0;    // service wall clock since start()
   double moves_per_second = 0.0;
   double evals_per_second = 0.0;
-  // Shared-queue mean dispatched batch size. Exact after drain()/stop();
+  // Mean dispatched batch size across lanes. Exact after drain()/stop();
   // read mid-run it over-counts slightly, since window-submitted includes
-  // requests still sitting in the forming (undispatched) batch.
+  // requests still sitting in forming (undispatched) batches.
   double mean_batch_fill = 0.0;
   BatchQueueStats batch;
+  int threshold_retunes = 0;  // applied aggregate-controller changes
+  std::vector<ServiceLaneStats> lanes;
+  std::vector<WorkloadStats> workloads;
 };
 
 class MatchService {
  public:
-  // `game` is cloned per seated episode; `res` is the shared evaluation
-  // resource every per-game engine submits to. Batch mode (res.batch set)
-  // requires the queue's stale-flush timer (liveness at game tails).
+  // Single-workload service: `game` is cloned per seated episode; `res` is
+  // the shared evaluation resource every per-game engine submits to. Batch
+  // mode (res.batch set) requires the queue's stale-flush timer (liveness
+  // at game tails). No aggregate controller — the threshold stays pinned.
   MatchService(ServiceConfig cfg, const Game& game, SearchResources res);
+
+  // Multi-model service: each workload's slots route to its named model's
+  // lane in `pool` (which must outlive the service). Total slot count is
+  // the sum over workloads; cfg.slots/cfg.engine/cfg.self_play are ignored
+  // in favour of the per-workload declarations. cfg.aggregate enables the
+  // per-lane Algorithm-4 threshold loop.
+  MatchService(ServiceConfig cfg, EvaluatorPool& pool,
+               std::vector<ServiceWorkload> workloads);
   ~MatchService();
 
   MatchService(const MatchService&) = delete;
   MatchService& operator=(const MatchService&) = delete;
 
-  // Adds `games` to the pending queue (playable once start() has run).
-  // Returns false — without enqueuing — once stop() has been requested, so
-  // a producer racing a shutdown can bail out instead of aborting.
+  // Adds `games` to the pending queues, round-robin across workloads
+  // (deterministic assignment). Returns false — without enqueuing — once
+  // stop() has been requested, so a producer racing a shutdown can bail
+  // out instead of aborting.
   bool enqueue(int games);
+  // Adds `games` to one workload's pending queue.
+  bool enqueue_workload(int workload, int games);
 
   // Spawns the worker pool (idempotent). Not restartable after stop().
   void start();
@@ -137,17 +229,28 @@ class MatchService {
   // be started again. Safe to call concurrently / repeatedly.
   void stop();
 
-  // Moves out every finished game so far, ordered by game id. After a
-  // stop(), abandoned games appear with completed == false (their samples
-  // are truncated mid-episode — filter by the flag before training).
+  // Moves out every finished game so far, ordered by (workload, game id).
+  // After a stop(), abandoned games appear with completed == false (their
+  // samples are truncated mid-episode — filter by the flag before
+  // training).
   std::vector<GameRecord> take_completed();
 
   ServiceStats stats() const;
-  int slots() const { return cfg_.slots; }
+  int slots() const { return total_slots_; }
   int workers() const { return cfg_.workers; }
-  // The eval cache attached to the shared batch queue (nullptr without
-  // one). The Trainer clears it between waves — a weight update invalidates
-  // every cached policy/value.
+  int workload_count() const { return static_cast<int>(workloads_.size()); }
+
+  // Per-model cache invalidation (the Trainer's weight-update hook):
+  // clears model `model_id`'s cache only; −1 clears every attached cache.
+  // In legacy single-queue mode any id clears the one attached cache.
+  void invalidate_model(int model_id);
+
+  // The aggregate controller's full decision log (pool mode; empty
+  // otherwise). Copied under the service lock.
+  std::vector<ThresholdDecision> retune_log() const;
+
+  // The eval cache attached to the legacy shared batch queue (nullptr
+  // without one, and nullptr in pool mode — use invalidate_model there).
   EvalCache* eval_cache() const {
     return res_.batch != nullptr ? res_.batch->cache() : nullptr;
   }
@@ -155,43 +258,79 @@ class MatchService {
  private:
   // One concurrent game: engine + episode state machine, exclusively owned
   // by whichever worker popped it from ready_ (never aliased — a slot is in
-  // exactly one of: ready_, free_slots_, a worker's hands).
+  // exactly one of: ready_, its workload's free list, a worker's hands).
   struct Slot {
-    int id = 0;
-    int game_id = -1;  // -1 = idle
+    int id = 0;        // global slot id (the queue submitter tag)
+    int workload = 0;  // static binding: which workload this slot serves
+    int game_id = -1;  // per-workload game index; -1 = idle
     std::unique_ptr<SearchEngine> engine;
     std::unique_ptr<EpisodeRunner> runner;
     double search_seconds = 0.0;
   };
 
+  // Internal per-workload state (guarded by mutex_ unless noted).
+  struct Workload {
+    ServiceWorkload spec;    // immutable after construction
+    int model_id = -1;       // pool lane; -1 = legacy external resource
+    double inflight = 1.0;   // scheme_inflight of the engine template
+    int pending = 0;
+    int active = 0;
+    int next_game_index = 0;
+    int completed = 0;
+    int abandoned = 0;
+    int moves = 0;
+    std::vector<Slot*> free_slots;
+  };
+
+  // Internal per-lane state for the aggregate controller's windows.
+  struct Lane {
+    int model_id = -1;
+    BatchQueueStats start;        // snapshot at service construction
+    BatchQueueStats last_window;  // snapshot at the last observe()
+    double last_window_seconds = 0.0;
+    int live_games = 0;
+    double inflight_sum = 0.0;    // Σ inflight over live games
+  };
+
+  void init_slots();
   void worker_loop();
+  bool seatable_locked() const;
   // Seating is split so engine/runner construction never holds mutex_:
-  // claim_locked() assigns the game id and counters under the lock;
+  // claim_locked() assigns the game index and counters under the lock;
   // build_slot() does the heavy construction on the exclusively-owned slot.
   void claim_locked(Slot& slot);
   void build_slot(Slot& slot);
   // Finalizes a slot's episode into a GameRecord (z back-fill, sample
   // collection, engine-trace fold) — the single retire path for finished
   // (completed=true) and stop()-abandoned (completed=false) games.
-  static GameRecord retire_slot(Slot& slot, bool completed);
+  GameRecord retire_slot(Slot& slot, bool completed) const;
   void commit_locked(Slot& slot, GameRecord&& rec);
+  // Re-runs the per-lane Algorithm-4 decision (pool mode, controller
+  // enabled); applies accepted retunes to the lane queues. `model_id`
+  // >= 0 observes only that lane (a single-lane attach/retire event must
+  // not advance other lanes' dwell counters with no new data, nor walk
+  // every queue's mutex under mutex_); -1 sweeps all lanes (the periodic
+  // cadence).
+  void retune_locked(int model_id);
 
   ServiceConfig cfg_;
-  std::unique_ptr<Game> proto_;
-  SearchResources res_;
-  BatchQueueStats batch_start_;  // shared-queue snapshot at construction
+  EvaluatorPool* pool_ = nullptr;  // pool mode; null in legacy mode
+  SearchResources res_;            // legacy mode; empty in pool mode
+  std::vector<std::unique_ptr<Workload>> workloads_;
+  std::vector<Lane> lanes_;
+  std::unique_ptr<AggregateController> controller_;
+  int total_slots_ = 0;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  // workers: ready slot / seatable game
   std::condition_variable idle_cv_;  // drain(): all games finished
   std::vector<std::unique_ptr<Slot>> slots_;
   std::deque<Slot*> ready_;
-  std::vector<Slot*> free_slots_;
   std::vector<std::thread> threads_;
   std::vector<GameRecord> completed_;
   int pending_games_ = 0;
   int active_games_ = 0;
-  int next_game_id_ = 0;
+  int enqueue_rr_ = 0;  // round-robin cursor for enqueue(int)
   bool started_ = false;
   bool stop_ = false;
   bool stopping_ = false;  // a stop() call owns the teardown
@@ -202,6 +341,8 @@ class MatchService {
   int games_completed_ = 0;
   int games_abandoned_ = 0;
   int moves_ = 0;
+  int interim_moves_ = 0;       // every committed move (retune cadence)
+  int last_retune_moves_ = 0;
   std::int64_t samples_ = 0;
   std::size_t eval_requests_ = 0;
   std::size_t cache_hits_ = 0;

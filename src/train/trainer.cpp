@@ -71,11 +71,14 @@ std::vector<LossPoint> Trainer::run(
       if (on_progress) on_progress(point);
     }
     remaining -= wave;
-    // The SGD steps above rewrote the weights, so every cached policy/value
-    // is stale — invalidate before the next wave's games submit. (Within a
-    // wave the weights are frozen: the cache is exact there, which is where
-    // concurrent games' duplicated openings live anyway.)
-    if (EvalCache* cache = service.eval_cache()) cache->clear();
+    // The SGD steps above rewrote this trainer's weights, so the cached
+    // policies/values of the model its net backs are stale — invalidate
+    // that model's cache (and only it: foreign models' weights did not
+    // change, so their lanes keep their residency) before the next wave's
+    // games submit. (Within a wave the weights are frozen: the cache is
+    // exact there, which is where concurrent games' duplicated openings
+    // live anyway.)
+    service.invalidate_model(cfg_.model_id);
   }
   return curve;
 }

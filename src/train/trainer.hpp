@@ -26,6 +26,12 @@ struct TrainerConfig {
   int batch_size = 64;
   SgdConfig sgd;
   std::uint64_t seed = 17;
+  // The EvaluatorPool model this trainer's net backs. A weight update makes
+  // exactly that model's cached policies stale, so run() invalidates only
+  // its cache between waves (other models' residency and hit rates survive
+  // — the per-model invalidation contract of serve/evaluator_pool.hpp).
+  // −1 = unknown/legacy: clear every cache attached to the service.
+  int model_id = -1;
 };
 
 // Point-in-time training progress for loss-over-time plots (Figure 7).

@@ -7,6 +7,7 @@
 
 #include "games/connect4.hpp"
 #include "games/gomoku.hpp"
+#include "games/othello.hpp"
 #include "perfmodel/synthetic_game.hpp"
 
 namespace apm {
@@ -217,6 +218,87 @@ TEST(Connect4, EncodeShape) {
   EXPECT_EQ(planes[42 + 3], 1.0f);
 }
 
+TEST(Othello, InitialStateAndOpeningMoves) {
+  Othello g(8);
+  EXPECT_EQ(g.action_count(), 64);
+  EXPECT_EQ(g.current_player(), 1);
+  EXPECT_FALSE(g.is_terminal());
+  EXPECT_EQ(g.disc_count(1), 2);
+  EXPECT_EQ(g.disc_count(-1), 2);
+  // Standard central square: NE/SW dark, NW/SE light.
+  EXPECT_EQ(g.cell(3, 3), -1);
+  EXPECT_EQ(g.cell(4, 4), -1);
+  EXPECT_EQ(g.cell(3, 4), 1);
+  EXPECT_EQ(g.cell(4, 3), 1);
+  // Dark's four classic opening placements (d3, c4, f5, e6).
+  std::vector<int> legal;
+  g.legal_actions(legal);
+  EXPECT_EQ(legal, (std::vector<int>{19, 26, 37, 44}));
+  EXPECT_FALSE(g.is_legal(0));   // no bracket
+  EXPECT_FALSE(g.is_legal(27));  // occupied
+}
+
+TEST(Othello, PlacementFlipsBracketedRun) {
+  Othello g(8);
+  g.apply(19);  // d3: brackets (3,3) vertically against (4,3)
+  EXPECT_EQ(g.cell(2, 3), 1);
+  EXPECT_EQ(g.cell(3, 3), 1);  // flipped
+  EXPECT_EQ(g.disc_count(1), 4);
+  EXPECT_EQ(g.disc_count(-1), 1);
+  EXPECT_EQ(g.current_player(), -1);
+  EXPECT_EQ(g.last_move(), 19);
+}
+
+TEST(Othello, AutoPassKeepsLegalActionsNonEmpty) {
+  // Random 4x4/6x6 games: every non-terminal state offers a move (passes
+  // are folded into apply()), terminal means neither side can place, and
+  // the winner matches the disc majority. Small boards pass constantly, so
+  // the auto-pass path is genuinely exercised.
+  Rng rng(23);
+  int total_passes = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    Othello g(trial % 2 == 0 ? 4 : 6);
+    std::vector<int> legal;
+    while (!g.is_terminal()) {
+      g.legal_actions(legal);
+      ASSERT_FALSE(legal.empty());
+      for (const int a : legal) ASSERT_TRUE(g.is_legal(a));
+      g.apply(legal[rng.below(legal.size())]);
+    }
+    g.legal_actions(legal);
+    EXPECT_TRUE(legal.empty());
+    const int dark = g.disc_count(1);
+    const int light = g.disc_count(-1);
+    EXPECT_EQ(g.winner(), dark > light ? 1 : dark < light ? -1 : 0);
+    total_passes += g.passes();
+  }
+  EXPECT_GT(total_passes, 0);
+}
+
+TEST(Othello, EncodePlanesFollowPerspective) {
+  Othello g(8);
+  g.apply(19);  // dark d3; light to move
+  std::vector<float> planes(g.encode_size());
+  g.encode(planes.data());
+  const int plane = 64;
+  EXPECT_EQ(planes[36], 1.0f);              // own (light) disc at (4,4)
+  EXPECT_EQ(planes[27], 0.0f);              // (3,3) was flipped to dark
+  EXPECT_EQ(planes[plane + 27], 1.0f);      // ... so it is an opponent disc
+  EXPECT_EQ(planes[plane + 19], 1.0f);      // opponent (dark) placement
+  EXPECT_EQ(planes[2 * plane + 19], 1.0f);  // last-move marker
+  EXPECT_EQ(planes[3 * plane], 0.0f);       // colour plane: light to move
+}
+
+TEST(Othello, CloneIsIndependent) {
+  Othello g(8);
+  g.apply(19);
+  auto copy = g.clone();
+  copy->apply(18);
+  EXPECT_EQ(g.move_count(), 1);
+  EXPECT_EQ(copy->move_count(), 2);
+  EXPECT_NE(g.hash(), copy->hash());
+}
+
 TEST(SyntheticGame, TerminatesAtDepthWithStableOutcome) {
   SyntheticGame g(8, 5);
   std::vector<int> legal;
@@ -297,6 +379,58 @@ TEST(Transpositions, ReplayIsHashDeterministicAcrossRuns) {
   EXPECT_EQ(c4.hash(), c4b.hash());
   EXPECT_NE(Connect4().hash(), 0u);
   EXPECT_NE(Gomoku(5, 4).hash(), 0u);
+}
+
+TEST(Transpositions, OthelloHashIsPureFunctionOfPosition) {
+  // Flips make Othello hashing the interesting case: the incremental hash
+  // must swap both colour keys per flipped disc. Property pinned here:
+  // hash() equals a from-scratch recomputation over (board, side) after
+  // arbitrary move sequences — which IS move-order invariance (any two
+  // orders reaching the same position agree with the same recomputation).
+  const ZobristTable table(36, Othello::kZobristSeed);
+  const auto recompute = [&](const Othello& g) {
+    std::uint64_t h = table.base_key();
+    for (int r = 0; r < g.size(); ++r) {
+      for (int c = 0; c < g.size(); ++c) {
+        const int v = g.cell(r, c);
+        if (v != 0) h ^= table.key(r * g.size() + c, v == 1 ? 0 : 1);
+      }
+    }
+    if (g.current_player() == -1) h ^= table.side_key();
+    return h;
+  };
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Othello g(6);
+    std::vector<int> legal;
+    EXPECT_EQ(g.hash(), recompute(g));
+    while (!g.is_terminal()) {
+      g.legal_actions(legal);
+      g.apply(legal[rng.below(legal.size())]);
+      ASSERT_EQ(g.hash(), recompute(g)) << "trial " << trial << " move "
+                                        << g.move_count();
+    }
+  }
+  // eval_key() extends the hash with the last-move plane: same position,
+  // different final placement => different key; no placement yet => hash.
+  Othello a(8);
+  EXPECT_EQ(a.eval_key(), a.hash());
+  a.apply(19);
+  EXPECT_NE(a.eval_key(), a.hash());
+}
+
+TEST(Transpositions, OthelloReplayIsHashDeterministicAcrossRuns) {
+  // Fixed-seed Zobrist tables: the literals fail if table generation ever
+  // changes silently (and with it every persisted/expected cache key).
+  Othello g(8);
+  EXPECT_EQ(g.hash(), 0x5cc9b9d36bb67c74ULL);  // initial position
+  for (int mv : {19, 18, 17, 9, 1, 0}) g.apply(mv);
+  EXPECT_EQ(g.hash(), 0x6a7583fc55740a12ULL);
+  EXPECT_EQ(Othello(6).hash(), 0x6f2f46a74933d791ULL);
+  EXPECT_NE(Othello(8).hash(), 0u);  // never the kNoHash sentinel
+  // The Othello-specific table seed keeps equal-cell-count games apart: an
+  // 8x8 Gomoku position must never alias an Othello key in a shared lane.
+  EXPECT_NE(Othello(8).hash(), Gomoku(8, 5).hash());
 }
 
 TEST(SyntheticGame, HashDependsOnHistory) {

@@ -1,0 +1,487 @@
+// Multi-model serving plane tests (ISSUE 5): the EvaluatorPool's per-net
+// lanes (queue + cache isolation, per-model invalidation), the aggregate
+// arrival-rate model and AggregateController threshold decisions against
+// synthetic arrival rates, and the MatchService routing heterogeneous
+// workloads (gomoku + connect4 + othello on distinct nets) — mixed waves
+// complete deterministically across worker counts, per-queue stats stay
+// isolated, cross-game batches still form within a lane, and the service's
+// control loop re-tunes a mis-tuned lane threshold from measured arrivals.
+//
+// This binary runs under ThreadSanitizer in CI (alongside test_eval,
+// test_local_tree_stress, test_service and test_cache).
+
+#include <gtest/gtest.h>
+
+#include "eval/gpu_model.hpp"
+#include "eval/net_evaluator.hpp"
+#include "games/connect4.hpp"
+#include "games/gomoku.hpp"
+#include "games/othello.hpp"
+#include "perfmodel/arrival.hpp"
+#include "serve/match_service.hpp"
+#include "train/trainer.hpp"
+
+namespace apm {
+namespace {
+
+// Deterministic results (hash of the input state), zero compute: per-game
+// move sequences depend only on seeds, never on batch composition or on
+// when a lane's threshold was re-tuned.
+struct ModelRig {
+  explicit ModelRig(const Game& g, double latency_us = 0.0)
+      : eval(g.action_count(), g.encode_size(), latency_us),
+        backend(eval, GpuTimingModel{}) {}
+
+  SyntheticEvaluator eval;
+  SimGpuBackend backend;
+};
+
+EngineConfig serial_engine(int playouts) {
+  EngineConfig ec;
+  ec.mcts.num_playouts = playouts;
+  ec.scheme = Scheme::kSerial;
+  ec.adapt = false;
+  return ec;
+}
+
+ServiceWorkload workload(const Game& g, const std::string& model, int slots,
+                         int playouts) {
+  ServiceWorkload w;
+  w.proto = std::shared_ptr<const Game>(g.clone());
+  w.model = model;
+  w.slots = slots;
+  w.engine = serial_engine(playouts);
+  return w;
+}
+
+// --- perfmodel/arrival.hpp ---------------------------------------------------
+
+TEST(ArrivalModel, UniquePoolThinnedByDedupe) {
+  ArrivalModel m;
+  m.live_games = 8;
+  m.per_game_inflight = 2.0;
+  m.cache_hit_rate = 0.25;
+  EXPECT_DOUBLE_EQ(unique_producer_pool(m), 12.0);
+  m.cache_hit_rate = 1.0;
+  EXPECT_DOUBLE_EQ(unique_producer_pool(m), 0.0);
+  m.cache_hit_rate = 0.0;
+  m.live_games = 0;
+  EXPECT_DOUBLE_EQ(unique_producer_pool(m), 0.0);
+}
+
+TEST(ArrivalModel, ProbeIsAmortizationVsFillWait) {
+  // backend: 100 µs launch + 5 µs/sample => T[b] = (b−1)/(2λ) + 100/b + 5.
+  const auto backend_us = [](int b) { return 100.0 + 5.0 * b; };
+  ArrivalModel m;
+  m.live_games = 32;
+  m.slot_arrivals_per_us = 0.1;
+  EXPECT_DOUBLE_EQ(aggregate_request_us(m, backend_us, 1), 105.0);
+  EXPECT_DOUBLE_EQ(aggregate_request_us(m, backend_us, 4),
+                   15.0 + 120.0 / 4.0);
+  // V-shape: the minimum sits strictly inside (1, pool).
+  const AggregateDecision d = decide_aggregate_threshold(m, backend_us, 64);
+  EXPECT_GT(d.threshold, 1);
+  EXPECT_LT(d.threshold, 32);
+  EXPECT_LE(d.predicted_us, aggregate_request_us(m, backend_us, 1));
+  EXPECT_LE(d.predicted_us, aggregate_request_us(m, backend_us, 32));
+}
+
+TEST(ArrivalModel, DecisionScalesWithArrivalRateAndPool) {
+  const auto backend_us = [](int b) { return 100.0 + 5.0 * b; };
+  ArrivalModel slow, fast;
+  slow.live_games = fast.live_games = 32;
+  slow.slot_arrivals_per_us = 0.01;
+  fast.slot_arrivals_per_us = 1.0;
+  const int b_slow =
+      decide_aggregate_threshold(slow, backend_us, 64).threshold;
+  const int b_fast =
+      decide_aggregate_threshold(fast, backend_us, 64).threshold;
+  EXPECT_GT(b_fast, b_slow);  // faster arrivals amortize bigger batches
+
+  // The pool caps the search: 3 live serial games can never fill 8 slots.
+  ArrivalModel small = fast;
+  small.live_games = 3;
+  const AggregateDecision d =
+      decide_aggregate_threshold(small, backend_us, 64);
+  EXPECT_EQ(d.pool_cap, 3);
+  EXPECT_LE(d.threshold, 3);
+
+  // Rising dedupe thins the pool below the cap (ROADMAP: dedupe lengthens
+  // batch formation, so B must shrink as the hit rate rises).
+  ArrivalModel deduped = fast;
+  deduped.live_games = 6;
+  deduped.cache_hit_rate = 0.7;
+  EXPECT_LE(decide_aggregate_threshold(deduped, backend_us, 64).threshold,
+            2);
+
+  // No arrival signal (or no producers) degenerates to B = 1.
+  ArrivalModel idle;
+  EXPECT_EQ(decide_aggregate_threshold(idle, backend_us, 64).threshold, 1);
+}
+
+// --- serve/aggregate_controller.hpp ------------------------------------------
+
+LaneObservation lane_obs(int live, double hit_rate,
+                         std::uint64_t window_arrivals) {
+  LaneObservation obs;
+  obs.live_games = live;
+  obs.inflight = 1.0;
+  obs.hit_rate = hit_rate;
+  obs.window_slot_arrivals = window_arrivals;
+  obs.window_seconds = 0.01;  // 10 ms windows
+  obs.stale_flush_us = 2000.0;
+  return obs;
+}
+
+TEST(AggregateController, RetunesUpAndDownWithLiveLoad) {
+  AggregateControllerConfig cfg;
+  cfg.ewma_alpha = 1.0;   // trust each synthetic window fully
+  cfg.dwell_decisions = 0;  // damping tested separately below
+  AggregateController ctl(cfg, /*lanes=*/1);
+  const auto backend_us = [](int b) { return 100.0 + 5.0 * b; };
+
+  // Window 1: 8 live games, 4000 arrivals in 10 ms => λ = 0.4/µs.
+  ThresholdDecision d1 =
+      ctl.observe(0, 0.01, lane_obs(8, 0.0, 4000), backend_us, /*current=*/1);
+  EXPECT_TRUE(d1.changed);
+  EXPECT_GT(d1.to, 1);
+  EXPECT_LE(d1.to, 8);  // capped by the live pool
+  EXPECT_LT(d1.predicted_us, d1.current_predicted_us);
+
+  // Window 2: the wave drains to 1 live game and a trickle of arrivals —
+  // the over-sized batch can only stale-flush and the threshold collapses
+  // back to 1.
+  ThresholdDecision d2 =
+      ctl.observe(0, 0.02, lane_obs(1, 0.0, 5), backend_us, d1.to);
+  EXPECT_TRUE(d2.changed);
+  EXPECT_EQ(d2.to, 1);
+  EXPECT_EQ(ctl.retunes(0), 2);
+  EXPECT_EQ(ctl.total_retunes(), 2);
+  EXPECT_EQ(ctl.log().size(), 2u);
+}
+
+TEST(AggregateController, HysteresisHoldsMarginalWins) {
+  AggregateControllerConfig cfg;
+  cfg.ewma_alpha = 1.0;
+  cfg.hysteresis = 0.5;  // demand a 50% predicted win
+  AggregateController ctl(cfg, 1);
+  const auto backend_us = [](int b) { return 100.0 + 5.0 * b; };
+  // λ = 0.4/µs: T[4] ≈ 33.75 vs T[6] ≈ 27.9 — a real but sub-50% win.
+  const ThresholdDecision d =
+      ctl.observe(0, 0.0, lane_obs(8, 0.0, 4000), backend_us, 4);
+  EXPECT_FALSE(d.changed);
+  EXPECT_EQ(d.to, 4);
+  EXPECT_EQ(ctl.total_retunes(), 0);
+}
+
+TEST(AggregateController, DwellSuppressesImmediateReversal) {
+  // Attach/retire events come in bursts; after an applied retune the lane
+  // must sit through dwell_decisions observations before the next change,
+  // even when the (jittery) pool estimate says otherwise.
+  AggregateControllerConfig cfg;
+  cfg.ewma_alpha = 1.0;
+  cfg.dwell_decisions = 2;
+  AggregateController ctl(cfg, 1);
+  const auto backend_us = [](int b) { return 100.0 + 5.0 * b; };
+  const ThresholdDecision up =
+      ctl.observe(0, 0.0, lane_obs(8, 0.0, 4000), backend_us, 1);
+  ASSERT_TRUE(up.changed);
+  // A retiring game immediately shrinks the pool — held by the dwell.
+  const ThresholdDecision h1 =
+      ctl.observe(0, 0.001, lane_obs(1, 0.0, 5), backend_us, up.to);
+  EXPECT_FALSE(h1.changed);
+  const ThresholdDecision h2 =
+      ctl.observe(0, 0.002, lane_obs(1, 0.0, 5), backend_us, up.to);
+  EXPECT_FALSE(h2.changed);
+  // Dwell served; a persistent drop now goes through.
+  const ThresholdDecision down =
+      ctl.observe(0, 0.003, lane_obs(1, 0.0, 5), backend_us, up.to);
+  EXPECT_TRUE(down.changed);
+  EXPECT_EQ(down.to, 1);
+}
+
+TEST(AggregateController, RisingHitRateShrinksThreshold) {
+  AggregateControllerConfig cfg;
+  cfg.ewma_alpha = 1.0;
+  cfg.dwell_decisions = 0;
+  AggregateController ctl(cfg, 1);
+  const auto backend_us = [](int b) { return 100.0 + 5.0 * b; };
+  // Same 4 live games; dedupe rises from 0 to 80% — the unique pool drops
+  // to 0.8 producers, the incumbent batch can only stale-flush, and the
+  // V-search caps at 1 (the ROADMAP "shrink B as dedupe rises" behaviour).
+  const ThresholdDecision warm =
+      ctl.observe(0, 0.0, lane_obs(4, 0.0, 4000), backend_us, 1);
+  EXPECT_TRUE(warm.changed);
+  EXPECT_GT(warm.to, 1);
+  const ThresholdDecision deduped =
+      ctl.observe(0, 1.0, lane_obs(4, 0.8, 4000), backend_us, warm.to);
+  EXPECT_TRUE(deduped.changed);
+  EXPECT_EQ(deduped.to, 1);
+}
+
+// --- serve/evaluator_pool.hpp ------------------------------------------------
+
+TEST(EvaluatorPool, RegistersAndRoutesNamedLanes) {
+  const Gomoku gomoku = make_tictactoe();
+  const Connect4 connect4;
+  ModelRig a(gomoku), b(connect4);
+  EvaluatorPool pool;
+  const int id_a = pool.add_model(
+      {.name = "net-a", .backend = &a.backend, .batch_threshold = 3});
+  const int id_b = pool.add_model(
+      {.name = "net-b", .backend = &b.backend, .batch_threshold = 5});
+  EXPECT_EQ(pool.model_count(), 2);
+  EXPECT_EQ(pool.find("net-a"), id_a);
+  EXPECT_EQ(pool.find("net-b"), id_b);
+  EXPECT_EQ(pool.find("net-c"), -1);
+  EXPECT_EQ(pool.name(id_b), "net-b");
+  EXPECT_EQ(pool.queue(id_a).batch_threshold(), 3);
+  EXPECT_EQ(pool.queue(id_b).batch_threshold(), 5);
+  EXPECT_NE(pool.cache(id_a), nullptr);
+  EXPECT_NE(pool.cache(id_a), pool.cache(id_b));
+}
+
+TEST(EvaluatorPool, ForeignInvalidationPreservesOtherLane) {
+  // The per-model invalidation contract: clearing model 0's cache (its
+  // weights changed) must leave model 1's residency and hit rate intact.
+  const Gomoku g = make_tictactoe();
+  ModelRig a(g), b(g);
+  EvaluatorPool pool;
+  const int id_a = pool.add_model({.name = "net-a", .backend = &a.backend,
+                                   .batch_threshold = 1});
+  const int id_b = pool.add_model({.name = "net-b", .backend = &b.backend,
+                                   .batch_threshold = 1});
+
+  std::vector<float> input(g.encode_size(), 0.5f);
+  const std::uint64_t key = g.eval_key();
+  pool.queue(id_a).submit_future(input.data(), 0, key).get();
+  pool.queue(id_b).submit_future(input.data(), 0, key).get();
+  pool.drain_all();
+  ASSERT_EQ(pool.cache(id_a)->stats().entries, 1u);
+  ASSERT_EQ(pool.cache(id_b)->stats().entries, 1u);
+
+  pool.invalidate(id_a);  // net-a's weights changed; net-b's did not
+  EXPECT_EQ(pool.cache(id_a)->stats().entries, 0u);
+  EXPECT_EQ(pool.cache(id_b)->stats().entries, 1u);
+
+  // net-b still answers from cache; net-a must re-evaluate.
+  SubmitOutcome ob = SubmitOutcome::kQueued;
+  pool.queue(id_b).submit_future(input.data(), 0, key, &ob).get();
+  EXPECT_EQ(ob, SubmitOutcome::kCacheHit);
+  SubmitOutcome oa = SubmitOutcome::kQueued;
+  pool.queue(id_a).submit_future(input.data(), 0, key, &oa).get();
+  EXPECT_EQ(oa, SubmitOutcome::kQueued);
+  const double b_rate = pool.cache(id_b)->stats().hit_rate();
+  EXPECT_GT(b_rate, 0.0);
+}
+
+// --- MatchService multi-model routing ---------------------------------------
+
+TEST(HeteroService, MixedWaveCompletesAndIsWorkerCountIndependent) {
+  const Gomoku gomoku = make_tictactoe();
+  const Connect4 connect4;
+  const Othello othello(6);
+
+  const auto play = [&](int workers) {
+    ModelRig rg(gomoku), rc(connect4), ro(othello);
+    EvaluatorPool pool;
+    pool.add_model({.name = "net-g", .backend = &rg.backend,
+                    .batch_threshold = 2, .stale_flush_us = 300.0});
+    pool.add_model({.name = "net-c", .backend = &rc.backend,
+                    .batch_threshold = 2, .stale_flush_us = 300.0});
+    pool.add_model({.name = "net-o", .backend = &ro.backend,
+                    .batch_threshold = 2, .stale_flush_us = 300.0});
+
+    ServiceConfig sc;
+    sc.workers = workers;
+    // The aggregate controller stays ON: retunes change batch composition
+    // and latency, never per-request results.
+    sc.aggregate.retune_every_moves = 4;
+    MatchService service(sc, pool,
+                         {workload(gomoku, "net-g", 2, 20),
+                          workload(connect4, "net-c", 2, 20),
+                          workload(othello, "net-o", 2, 16)});
+    service.enqueue_workload(0, 4);
+    service.enqueue_workload(1, 3);
+    service.enqueue_workload(2, 3);
+    service.start();
+    service.drain();
+    std::vector<GameRecord> records = service.take_completed();
+    const ServiceStats stats = service.stats();
+    service.stop();
+    EXPECT_EQ(stats.games_completed, 10);
+    EXPECT_EQ(stats.games_abandoned, 0);
+    return records;
+  };
+
+  const std::vector<GameRecord> one = play(1);
+  const std::vector<GameRecord> four = play(4);
+  ASSERT_EQ(one.size(), 10u);
+  ASSERT_EQ(four.size(), 10u);
+  for (std::size_t g = 0; g < one.size(); ++g) {
+    EXPECT_EQ(one[g].workload, four[g].workload);
+    EXPECT_EQ(one[g].game_id, four[g].game_id);
+    EXPECT_EQ(one[g].model, four[g].model);
+    EXPECT_EQ(one[g].stats.moves, four[g].stats.moves) << "game " << g;
+    EXPECT_EQ(one[g].stats.winner, four[g].stats.winner) << "game " << g;
+    ASSERT_EQ(one[g].samples.size(), four[g].samples.size()) << "game " << g;
+    for (std::size_t s = 0; s < one[g].samples.size(); ++s) {
+      EXPECT_EQ(one[g].samples[s].state, four[g].samples[s].state);
+      EXPECT_EQ(one[g].samples[s].pi, four[g].samples[s].pi);
+      EXPECT_FLOAT_EQ(one[g].samples[s].z, four[g].samples[s].z);
+    }
+  }
+  // All three game types actually ran.
+  EXPECT_EQ(one[0].game_name, "gomoku3x3w3");
+  EXPECT_EQ(one[4].game_name, "connect4");
+  EXPECT_EQ(one[7].game_name, "othello6");
+}
+
+TEST(HeteroService, PerLaneStatsAreIsolatedAndCrossGameFillForms) {
+  // 4 Gomoku games share net-a's lane (cross-game batches must form there,
+  // the acceptance criterion); 1 Connect4 game runs alone on net-b. Lane
+  // counters must never bleed into each other. The threshold stays pinned
+  // (controller off) so the fill assertion is about batching, not tuning.
+  const Gomoku gomoku(5, 4);
+  const Connect4 connect4;
+  ModelRig ra(gomoku), rb(connect4);
+  EvaluatorPool pool;
+  pool.add_model({.name = "net-a", .backend = &ra.backend,
+                  .batch_threshold = 4, .stale_flush_us = 2000.0});
+  pool.add_model({.name = "net-b", .backend = &rb.backend,
+                  .batch_threshold = 4, .stale_flush_us = 2000.0});
+
+  ServiceConfig sc;
+  sc.workers = 5;
+  sc.aggregate.enabled = false;
+  MatchService service(sc, pool,
+                       {workload(gomoku, "net-a", 4, 48),
+                        workload(connect4, "net-b", 1, 48)});
+  service.enqueue_workload(0, 4);
+  service.enqueue_workload(1, 1);
+  service.start();
+  service.drain();
+  const ServiceStats stats = service.stats();
+  service.stop();
+
+  EXPECT_EQ(stats.games_completed, 5);
+  ASSERT_EQ(stats.lanes.size(), 2u);
+  const ServiceLaneStats& lane_a = stats.lanes[0];
+  const ServiceLaneStats& lane_b = stats.lanes[1];
+  EXPECT_EQ(lane_a.model, "net-a");
+  EXPECT_EQ(lane_b.model, "net-b");
+
+  // Cross-game batch fill inside the shared lane beats the starved
+  // single-game lane at the same threshold.
+  EXPECT_GT(lane_a.batch.mean_batch, 1.1);
+  EXPECT_NEAR(lane_b.batch.mean_batch, 1.0, 0.01);
+
+  // Occupancy attribution: net-a's lane saw only workload-0 slots (global
+  // ids 0..3), net-b's only slot 4.
+  std::size_t a_tagged = 0;
+  for (std::size_t t = 0; t < lane_a.batch.tag_slots.size(); ++t) {
+    a_tagged += lane_a.batch.tag_slots[t];
+    if (t >= 4) EXPECT_EQ(lane_a.batch.tag_slots[t], 0u) << "tag " << t;
+  }
+  EXPECT_EQ(a_tagged, lane_a.batch.submitted);
+  ASSERT_GT(lane_b.batch.tag_slots.size(), 4u);
+  EXPECT_EQ(lane_b.batch.tag_slots[4], lane_b.batch.submitted);
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(lane_b.batch.tag_slots[t], 0u);
+
+  // Both lanes worked, and their caches are private: every lookup a lane
+  // saw came from its own games (different games => different input sizes,
+  // so any bleed would have crashed long before this assertion).
+  EXPECT_GT(lane_a.batch.submitted, 0u);
+  EXPECT_GT(lane_b.batch.submitted, 0u);
+  EXPECT_GT(lane_a.cache.lookups, 0u);
+  EXPECT_GT(lane_b.cache.lookups, 0u);
+  // The aggregate view is the lane sum.
+  EXPECT_EQ(stats.batch.submitted,
+            lane_a.batch.submitted + lane_b.batch.submitted);
+  EXPECT_EQ(stats.cache.lookups,
+            lane_a.cache.lookups + lane_b.cache.lookups);
+  EXPECT_EQ(stats.threshold_retunes, 0);
+}
+
+TEST(HeteroService, AggregateControllerRetunesMistunedLane) {
+  // A lane deliberately constructed at threshold 1 while 8 concurrent games
+  // feed it: the measured aggregate arrival rate makes a larger batch win
+  // the Algorithm-4 probe, so the service's control loop must re-tune the
+  // queue (the BENCH_hetero acceptance behaviour, in miniature). The
+  // modelled backend has a deliberately huge per-batch fixed cost (50 ms
+  // base kernel; no wall emulation, so the games still run at host speed):
+  // the tune-up then needs only λ > ~25 arrivals/s, which even a
+  // sanitizer-throttled host clears by orders of magnitude — the test pins
+  // the control loop, not this machine's speed.
+  const Gomoku gomoku(5, 4);
+  SyntheticEvaluator eval(gomoku.action_count(), gomoku.encode_size());
+  GpuTimingModel heavy;
+  heavy.kernel_launch_us = 10000.0;
+  heavy.compute_base_us = 50000.0;
+  SimGpuBackend backend(eval, heavy);
+  EvaluatorPool pool;
+  pool.add_model({.name = "net", .backend = &backend,
+                  .batch_threshold = 1, .stale_flush_us = 2000.0});
+
+  ServiceConfig sc;
+  sc.workers = 8;
+  sc.aggregate.retune_every_moves = 2;
+  sc.aggregate.ewma_alpha = 1.0;
+  MatchService service(sc, pool, {workload(gomoku, "net", 8, 48)});
+  service.enqueue_workload(0, 8);
+  service.start();
+  service.drain();
+  const ServiceStats stats = service.stats();
+  const std::vector<ThresholdDecision> log = service.retune_log();
+  service.stop();
+
+  EXPECT_EQ(stats.games_completed, 8);
+  EXPECT_GE(stats.threshold_retunes, 1);
+  bool tuned_up = false;
+  for (const ThresholdDecision& d : log) {
+    if (d.changed && d.to > d.from) tuned_up = true;
+  }
+  EXPECT_TRUE(tuned_up);
+  ASSERT_EQ(stats.lanes.size(), 1u);
+  EXPECT_EQ(stats.lanes[0].retunes, stats.threshold_retunes);
+}
+
+TEST(HeteroService, TrainerInvalidatesOnlyItsOwnModel) {
+  // Two nets serve two Gomoku workloads; the trainer's net backs model 0.
+  // After run(), model 0's cache was cleared by the final wave's weight
+  // update while model 1's lane keeps its residency — the all-or-nothing
+  // EvalCache::clear() regression this PR fixes.
+  const Gomoku game = make_tictactoe();
+  PolicyValueNet net_a(NetConfig::tiny(3), 11);
+  NetEvaluator eval_a(net_a);
+  ModelRig rig_b(game);  // the foreign model never trains
+  CpuBackend backend_a(eval_a);
+  EvaluatorPool pool;
+  const int id_a = pool.add_model({.name = "net-a", .backend = &backend_a,
+                                   .batch_threshold = 2,
+                                   .stale_flush_us = 500.0});
+  const int id_b = pool.add_model({.name = "net-b", .backend = &rig_b.backend,
+                                   .batch_threshold = 2,
+                                   .stale_flush_us = 500.0});
+
+  ServiceConfig sc;
+  sc.workers = 2;
+  MatchService service(sc, pool,
+                       {workload(game, "net-a", 1, 16),
+                        workload(game, "net-b", 1, 16)});
+
+  TrainerConfig tc;
+  tc.sgd_iters_per_move = 1;
+  tc.batch_size = 8;
+  tc.model_id = id_a;
+  Trainer trainer(net_a, tc, 4096);
+  trainer.run(service, 4);  // waves alternate across both workloads
+  service.stop();
+
+  EXPECT_EQ(pool.cache(id_a)->stats().entries, 0u);   // cleared on update
+  EXPECT_GT(pool.cache(id_b)->stats().entries, 0u);   // foreign: survives
+  EXPECT_GT(trainer.total_samples(), 0);
+}
+
+}  // namespace
+}  // namespace apm

@@ -280,6 +280,51 @@ TEST(PolicyValueNet, ForwardShapesAndRanges) {
   }
 }
 
+TEST(PolicyValueNet, ActionOverrideNarrowsPolicyHead) {
+  // Connect4-shaped head: a 6x7 board with 7 column actions. Every policy
+  // consumer goes through NetConfig::actions(), so the override must flow
+  // into predict() widths, normalisation, training, and checkpoints.
+  NetConfig cfg = NetConfig::tiny(6);
+  cfg.width = 7;
+  cfg.action_override = 7;
+  ASSERT_EQ(cfg.actions(), 7);
+  PolicyValueNet net(cfg, 9);
+  Rng rng(10);
+  Tensor x = Tensor::randn({2, cfg.in_channels, 6, 7}, rng, 1.0f);
+  Activations acts;
+  Tensor policy, value;
+  net.predict(x, acts, policy, value);
+  ASSERT_EQ(policy.dim(1), 7);
+  for (int b = 0; b < 2; ++b) {
+    float total = 0;
+    for (int a = 0; a < 7; ++a) total += policy.at2(b, a);
+    EXPECT_NEAR(total, 1.0f, 1e-4f);
+  }
+  // One train step against 7-way targets runs through the same head.
+  Tensor pi = Tensor::zeros({2, 7});
+  pi.at2(0, 3) = 1.0f;
+  pi.at2(1, 6) = 1.0f;
+  Tensor z({2});
+  z[0] = 0.5f;
+  z[1] = -0.5f;
+  net.zero_grad();
+  const LossParts parts = net.train_step(x, pi, z, acts);
+  EXPECT_TRUE(std::isfinite(parts.total));
+  // Checkpoints carry the override (format v2) and round-trip the weights.
+  PolicyValueNet twin(cfg, 77);
+  std::stringstream stream;
+  save_net(net, stream);
+  const NetConfig peeked = peek_net_config(stream);
+  EXPECT_EQ(peeked, cfg);
+  stream.seekg(0);
+  load_net(twin, stream);
+  auto pa = net.params();
+  auto pb = twin.params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_LT(max_abs_diff(pa[i]->value, pb[i]->value), 1e-9f);
+  }
+}
+
 TEST(PolicyValueNet, TrainingReducesLossOnFixedBatch) {
   const NetConfig cfg = NetConfig::tiny(4);
   PolicyValueNet net(cfg, 33);
