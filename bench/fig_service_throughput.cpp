@@ -26,11 +26,19 @@
 //
 // Writes a JSON baseline (default BENCH_service.json, or argv[1]).
 
+// A final mixed-precision row (ISSUE 6) replaces the sim-GPU with two REAL
+// CPU lanes over one tiny net — fp32 and its int8 snapshot — served side
+// by side from one MatchService; the per-lane measured backend cost is the
+// serving-plane evidence that a quantized lane is cheaper per eval at
+// identical routing.
+
 #include <cstdio>
 #include <string>
 
 #include "eval/gpu_model.hpp"
+#include "eval/net_evaluator.hpp"
 #include "games/gomoku.hpp"
+#include "nn/quantize.hpp"
 #include "serve/match_service.hpp"
 #include "support/table.hpp"
 
@@ -161,6 +169,84 @@ int main(int argc, char** argv) {
 
   json.entry("service_fill_uplift_k4_vs_k1",
              fill_single > 0.0 ? fill_cross4 / fill_single : 0.0, "x");
+
+  // --- mixed-precision lanes (ISSUE 6) -------------------------------------
+  // One real net served twice from the same service: an fp32 lane and its
+  // int8-quantized snapshot, 4 slots each. Lane telemetry measures the
+  // REAL per-eval backend cost (modelled_backend_us is CpuBackend's
+  // measured wall clock), so the int8 row is the serving-plane version of
+  // the kernel-level gemm_q8 uplift. The net keeps the paper's trunk
+  // widths (32/64/128) on a 9x9 board: int8 wins on GEMM size, so a
+  // tiny-trunk net would only measure quantization overhead.
+  {
+    NetConfig cfg;  // default trunks; 9x9 board keeps the bench fast
+    cfg.height = 9;
+    cfg.width = 9;
+    PolicyValueNet net(cfg, 7);
+    const QuantizedPolicyValueNet qnet(net);
+    NetEvaluator fp32_eval(net);
+    NetEvaluator int8_eval(qnet);
+    CpuBackend fp32_backend(fp32_eval);
+    CpuBackend int8_backend(int8_eval);
+    EvaluatorPool pool;
+    pool.add_model({.name = "net-fp32",
+                    .backend = &fp32_backend,
+                    .batch_threshold = 4,
+                    .stale_flush_us = 1500.0});
+    pool.add_model({.name = "net-int8",
+                    .backend = &int8_backend,
+                    .batch_threshold = 4,
+                    .stale_flush_us = 1500.0,
+                    .precision = Precision::kInt8});
+
+    ServiceConfig sc;
+    sc.workers = 8;
+    sc.aggregate.enabled = false;
+
+    const Gomoku board9(9, 5);
+    ServiceWorkload wf;
+    wf.proto = std::shared_ptr<const Game>(board9.clone());
+    wf.model = "net-fp32";
+    wf.slots = 4;
+    wf.engine.mcts.num_playouts = 32;
+    wf.engine.scheme = Scheme::kSerial;
+    wf.engine.adapt = false;
+    ServiceWorkload wq = wf;
+    wq.model = "net-int8";
+
+    MatchService service(sc, pool, {wf, wq});
+    service.enqueue(8);
+    service.start();
+    service.drain();
+    const ServiceStats s = service.stats();
+    service.stop();
+
+    double us_fp32 = 0.0, us_int8 = 0.0;
+    for (const ServiceLaneStats& lane : s.lanes) {
+      const double us_per =
+          lane.batch.submitted > 0
+              ? lane.batch.modelled_backend_us /
+                    static_cast<double>(lane.batch.submitted)
+              : 0.0;
+      if (lane.precision == Precision::kInt8) {
+        us_int8 = us_per;
+      } else {
+        us_fp32 = us_per;
+      }
+      std::printf("mixed-precision lane %-8s (%s): %8llu evals  %6.1f "
+                  "us/eval (measured backend)\n",
+                  lane.model.c_str(), precision_name(lane.precision),
+                  static_cast<unsigned long long>(lane.batch.submitted),
+                  us_per);
+    }
+    json.entry("service_mixed_fp32_eval_us", us_fp32, "us");
+    json.entry("service_mixed_int8_eval_us", us_int8, "us");
+    json.entry("service_mixed_int8_speedup",
+               us_int8 > 0.0 ? us_fp32 / us_int8 : 0.0, "x");
+    std::printf("mixed-precision: int8 lane %.2fx cheaper per eval\n",
+                us_int8 > 0.0 ? us_fp32 / us_int8 : 0.0);
+  }
+
   std::fprintf(f, "\n]\n");
   std::fclose(f);
 

@@ -1,9 +1,12 @@
 // GEMM kernel micro-bench: the seed scalar kernel vs the packed 4x16
-// register-blocked kernel, the fused bias+ReLU epilogue, ParallelGemm
-// scaling, and the end-to-end PolicyValueNet batch sweep. Writes a JSON
+// register-blocked kernel, the int8 quantized kernel vs the fp32 packed
+// kernel, the fused bias+ReLU epilogue, ParallelGemm scaling, and the
+// end-to-end PolicyValueNet batch sweep (fp32 and int8). Writes a JSON
 // baseline (default BENCH_gemm.json, or argv[1]) so kernel regressions are
 // diffable — the ISSUE-1 acceptance numbers (single-thread GFLOP/s uplift
-// at 256^3, batch-64 vs batch-1 per-position latency) come from this file.
+// at 256^3, batch-64 vs batch-1 per-position latency) and the ISSUE-6
+// acceptance number (int8 vs fp32 packed GFLOP/s at 256^3) come from this
+// file.
 
 #include <algorithm>
 #include <cstdio>
@@ -14,6 +17,7 @@
 
 #include "eval/net_evaluator.hpp"
 #include "nn/policy_value_net.hpp"
+#include "nn/quantize.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 #include "tensor/ops.hpp"
@@ -126,6 +130,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- int8 quantized GEMM vs the fp32 packed kernel -----------------------
+  // Same shapes as the fp32 sweep; "GFLOP/s" counts the fp32-equivalent
+  // 2mnk work so the ratio is a direct speedup. The int8 path also pays
+  // for activation quantization inside the pack, so this is end-to-end
+  // kernel cost, not a bare dot-product comparison.
+  {
+    std::printf("int8 SIMD (VNNI) path: %s\n",
+                gemm_q8_simd_enabled() ? "enabled" : "disabled (scalar)");
+    json.entry("gemm_q8_simd", gemm_q8_simd_enabled() ? 1.0 : 0.0, "bool");
+    for (const int n : {64, 128, 256, 384}) {
+      Tensor w = Tensor::randn({n, n}, rng, 1.0f);
+      Tensor act = Tensor::randn({n, n}, rng, 1.0f);
+      std::vector<std::int8_t> wq(static_cast<std::size_t>(n) * n);
+      std::vector<float> wscale(static_cast<std::size_t>(n));
+      quantize_rows_int8(w.data(), n, n, wq.data(), wscale.data());
+      std::vector<float> bias(static_cast<std::size_t>(n), 0.0f);
+      Tensor c({n, n});
+      const double s_fp32 = best_seconds(
+          [&] { gemm(w.data(), act.data(), c.data(), n, n, n, false); });
+      const double s_q8 = best_seconds([&] {
+        gemm_q8_bias_relu(nullptr, wq.data(), wscale.data(), act.data(),
+                          bias.data(), c.data(), n, n, n, false);
+      });
+      const double g_fp32 = gflops(n, n, n, s_fp32);
+      const double g_q8 = gflops(n, n, n, s_q8);
+      std::printf("gemm_q8 %4d^3: fp32 %7.2f GFLOP/s   int8 %7.2f GFLOP/s   "
+                  "(%.2fx)\n", n, g_fp32, g_q8, g_q8 / g_fp32);
+      json.entry("gemm_q8_" + std::to_string(n), g_q8, "GFLOP/s");
+      if (n == 256) json.entry("gemm_q8_uplift_256", g_q8 / g_fp32, "x");
+    }
+  }
+
   // --- fused epilogue vs unfused passes at 256^3 ---------------------------
   {
     const int n = 256;
@@ -231,13 +267,24 @@ int main(int argc, char** argv) {
   // the batch size because batch-1 is already compute-bound.
   {
     PolicyValueNet net(NetConfig{}, 7);
+    const QuantizedPolicyValueNet qnet(net);
     const int pool_threads =
         std::max(2u, std::thread::hardware_concurrency());
-    for (const bool pooled : {false, true}) {
-      NetEvaluator eval(net, pooled ? pool_threads : 0);
-      const std::string tag = pooled
-                                  ? "net_pool" + std::to_string(pool_threads)
-                                  : "net";
+    // fp32 serial us/eval per batch size, for the int8-vs-fp32 ratios.
+    std::vector<std::pair<int, double>> fp32_us;
+    // Three sweeps: fp32 serial, fp32 pooled, int8 serial (the serving
+    // plane's quantized-lane configuration — one stream thread, the int8
+    // kernels doing the work).
+    for (const int mode : {0, 1, 2}) {
+      const bool pooled = mode == 1;
+      const bool int8 = mode == 2;
+      NetEvaluator eval_fp32(net, pooled ? pool_threads : 0);
+      NetEvaluator eval_int8(qnet);
+      NetEvaluator& eval = int8 ? eval_int8 : eval_fp32;
+      const std::string tag =
+          int8 ? "net_int8"
+               : (pooled ? "net_pool" + std::to_string(pool_threads)
+                         : "net");
       const std::size_t isz = eval.input_size();
       double us_b1 = 0.0;
       for (const int batch : {1, 8, 32, 64, 128}) {
@@ -250,6 +297,7 @@ int main(int argc, char** argv) {
             0.6);
         const double us_per = s * 1e6 / batch;
         if (batch == 1) us_b1 = us_per;
+        if (mode == 0) fp32_us.emplace_back(batch, us_per);
         std::printf("%s batch %3d: %8.1f us/eval  %8.1f evals/s  "
                     "(%.2fx per-position vs b1)\n",
                     tag.c_str(), batch, us_per, 1e6 / us_per,
@@ -260,6 +308,16 @@ int main(int argc, char** argv) {
                    1e6 / us_per, "evals/s");
         if (batch == 64) {
           json.entry(tag + "_b64_vs_b1_per_position", us_per / us_b1, "x");
+        }
+        if (int8) {
+          for (const auto& [b, fus] : fp32_us) {
+            if (b == batch && (batch == 8 || batch == 64)) {
+              json.entry("net_int8_vs_fp32_b" + std::to_string(batch),
+                         fus / us_per, "x");
+              std::printf("net_int8 vs fp32 serial at b%d: %.2fx\n", batch,
+                          fus / us_per);
+            }
+          }
         }
       }
     }

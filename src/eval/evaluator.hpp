@@ -19,6 +19,17 @@ struct EvalOutput {
   float value = 0.0f;
 };
 
+// Numeric precision an evaluator (and, in the serving plane, a whole lane)
+// runs at. kInt8 is the quantized inference path (nn/quantize.hpp): int8
+// weights/activations with fp32 dequantized outputs — the output contract
+// (policy distribution + value in [−1, 1]) is identical, only the arithmetic
+// inside the forward pass changes.
+enum class Precision { kFp32, kInt8 };
+
+inline const char* precision_name(Precision p) {
+  return p == Precision::kInt8 ? "int8" : "fp32";
+}
+
 class Evaluator {
  public:
   virtual ~Evaluator() = default;

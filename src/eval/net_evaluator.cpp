@@ -9,7 +9,7 @@ namespace apm {
 
 NetEvaluator::NetEvaluator(const PolicyValueNet& net, int gemm_threads,
                            std::size_t conv_col_budget_bytes)
-    : net_(net), conv_col_budget_bytes_(conv_col_budget_bytes) {
+    : net_(&net), conv_col_budget_bytes_(conv_col_budget_bytes) {
   APM_CHECK(gemm_threads >= 0);
   if (gemm_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(
@@ -17,10 +17,21 @@ NetEvaluator::NetEvaluator(const PolicyValueNet& net, int gemm_threads,
   }
 }
 
-int NetEvaluator::action_count() const { return net_.config().actions(); }
+NetEvaluator::NetEvaluator(const QuantizedPolicyValueNet& net,
+                           int gemm_threads,
+                           std::size_t conv_col_budget_bytes)
+    : qnet_(&net), conv_col_budget_bytes_(conv_col_budget_bytes) {
+  APM_CHECK(gemm_threads >= 0);
+  if (gemm_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(gemm_threads));
+  }
+}
+
+int NetEvaluator::action_count() const { return net_config().actions(); }
 
 std::size_t NetEvaluator::input_size() const {
-  const NetConfig& cfg = net_.config();
+  const NetConfig& cfg = net_config();
   return static_cast<std::size_t>(cfg.in_channels) * cfg.height * cfg.width;
 }
 
@@ -42,12 +53,16 @@ void NetEvaluator::evaluate(const float* input, EvalOutput& out) {
 void NetEvaluator::evaluate_batch(const float* inputs, int n,
                                   EvalOutput* outs) {
   APM_CHECK(n >= 1);
-  const NetConfig& cfg = net_.config();
+  const NetConfig& cfg = net_config();
   Workspace& ws = local_workspace();
 
   ws.x.resize({n, cfg.in_channels, cfg.height, cfg.width});
   std::memcpy(ws.x.data(), inputs, ws.x.numel() * sizeof(float));
-  net_.predict(ws.x, ws.acts, ws.policy, ws.value, pool_.get());
+  if (qnet_ != nullptr) {
+    qnet_->predict(ws.x, ws.acts, ws.policy, ws.value, pool_.get());
+  } else {
+    net_->predict(ws.x, ws.acts, ws.policy, ws.value, pool_.get());
+  }
 
   const int actions = cfg.actions();
   for (int i = 0; i < n; ++i) {

@@ -19,6 +19,7 @@
 
 #include "eval/evaluator.hpp"
 #include "nn/policy_value_net.hpp"
+#include "nn/quantize.hpp"
 #include "support/thread_pool.hpp"
 
 namespace apm {
@@ -35,10 +36,21 @@ class NetEvaluator final : public Evaluator {
   explicit NetEvaluator(const PolicyValueNet& net, int gemm_threads = 0,
                         std::size_t conv_col_budget_bytes = 0);
 
+  // Int8 flavor: serves a quantized snapshot (nn/quantize.hpp) through the
+  // identical evaluate/evaluate_batch contract — callers cannot tell the
+  // precisions apart except through precision() and the latency.
+  explicit NetEvaluator(const QuantizedPolicyValueNet& net,
+                        int gemm_threads = 0,
+                        std::size_t conv_col_budget_bytes = 0);
+
   int action_count() const override;
   std::size_t input_size() const override;
   void evaluate(const float* input, EvalOutput& out) override;
   void evaluate_batch(const float* inputs, int n, EvalOutput* outs) override;
+
+  Precision precision() const {
+    return qnet_ != nullptr ? Precision::kInt8 : Precision::kFp32;
+  }
 
   int gemm_threads() const {
     return pool_ ? static_cast<int>(pool_->num_threads()) : 0;
@@ -55,8 +67,13 @@ class NetEvaluator final : public Evaluator {
   };
 
   Workspace& local_workspace();
+  const NetConfig& net_config() const {
+    return qnet_ != nullptr ? qnet_->config() : net_->config();
+  }
 
-  const PolicyValueNet& net_;
+  // Exactly one of the two is set, fixed at construction.
+  const PolicyValueNet* net_ = nullptr;
+  const QuantizedPolicyValueNet* qnet_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
   std::size_t conv_col_budget_bytes_;
   std::mutex acts_mutex_;

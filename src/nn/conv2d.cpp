@@ -25,14 +25,16 @@ void Conv2d::init(Rng& rng) {
   b_.value.zero();
 }
 
-void Conv2d::forward(const Tensor& x, Tensor& y, ConvWorkspace& ws,
-                     Tensor* col_cache, bool fuse_relu,
-                     ThreadPool* pool) const {
-  APM_CHECK(x.rank() == 4 && x.dim(1) == in_channels_);
+void conv_forward_chunked(
+    const Tensor& x, Tensor& y, ConvWorkspace& ws, int in_channels,
+    int out_channels, int ksize, int pad, Tensor* col_cache,
+    const std::function<void(const float* col, int cols, float* out)>&
+        gemm_chunk) {
+  APM_CHECK(x.rank() == 4 && x.dim(1) == in_channels);
   const int batch = x.dim(0), h = x.dim(2), w = x.dim(3);
   const int hw = h * w;
-  const int kk = in_channels_ * ksize_ * ksize_;
-  y.resize({batch, out_channels_, h, w});
+  const int kk = in_channels * ksize * ksize;
+  y.resize({batch, out_channels, h, w});
   if (col_cache != nullptr) col_cache->resize({batch, kk, hw});
 
   // Cache-resident sub-batching: lower at most `chunk` samples at a time so
@@ -44,19 +46,19 @@ void Conv2d::forward(const Tensor& x, Tensor& y, ConvWorkspace& ws,
                                  ? ws.col_budget_bytes
                                  : ConvWorkspace::kDefaultColBudgetBytes;
   const std::size_t bytes_per_sample =
-      static_cast<std::size_t>(kk + out_channels_) * hw * sizeof(float);
+      static_cast<std::size_t>(kk + out_channels) * hw * sizeof(float);
   const int chunk = std::clamp(
       static_cast<int>(budget / std::max<std::size_t>(1, bytes_per_sample)),
       1, batch);
 
   ws.col.resize({kk, chunk * hw});
-  if (chunk > 1) ws.ybuf.resize({out_channels_, chunk * hw});
-  const std::size_t x_stride = static_cast<std::size_t>(in_channels_) * hw;
-  const std::size_t y_stride = static_cast<std::size_t>(out_channels_) * hw;
+  if (chunk > 1) ws.ybuf.resize({out_channels, chunk * hw});
+  const std::size_t x_stride = static_cast<std::size_t>(in_channels) * hw;
+  const std::size_t y_stride = static_cast<std::size_t>(out_channels) * hw;
   for (int b0 = 0; b0 < batch; b0 += chunk) {
     const int bs = std::min(chunk, batch - b0);
-    im2col_batched(x.data() + b0 * x_stride, bs, in_channels_, h, w, ksize_,
-                   pad_, ws.col.data());
+    im2col_batched(x.data() + b0 * x_stride, bs, in_channels, h, w, ksize,
+                   pad, ws.col.data());
     if (col_cache != nullptr) {
       // Backward consumes per-sample columns [B, kk, HW]; slice them out of
       // the chunk-major buffer (row r of chunk-sample b is col[r] + b*HW).
@@ -75,21 +77,17 @@ void Conv2d::forward(const Tensor& x, Tensor& y, ConvWorkspace& ws,
     if (bs == 1) {
       // y_b[Cout, HW] = W[Cout, kk] * col[kk, HW] + b, fused epilogue —
       // channel-major output IS the sample's layout, no permute needed.
-      gemm_bias_relu_parallel(pool, w_.value.data(), ws.col.data(),
-                              b_.value.data(), y.data() + b0 * y_stride,
-                              out_channels_, hw, kk, fuse_relu);
+      gemm_chunk(ws.col.data(), hw, y.data() + b0 * y_stride);
       continue;
     }
     // ybuf[Cout, bs*HW] = W[Cout, kk] * col[kk, bs*HW] + b, then permute
     // the channel-major GEMM output back to [bs, Cout, HW]. The permute is
     // one contiguous HW-row copy per (b, oc) — negligible next to the 2·kk
     // FLOPs/element GEMM it amortises.
-    gemm_bias_relu_parallel(pool, w_.value.data(), ws.col.data(),
-                            b_.value.data(), ws.ybuf.data(), out_channels_,
-                            bs * hw, kk, fuse_relu);
+    gemm_chunk(ws.col.data(), bs * hw, ws.ybuf.data());
     for (int b = 0; b < bs; ++b) {
       float* yb = y.data() + (b0 + b) * y_stride;
-      for (int oc = 0; oc < out_channels_; ++oc) {
+      for (int oc = 0; oc < out_channels; ++oc) {
         std::memcpy(yb + static_cast<std::size_t>(oc) * hw,
                     ws.ybuf.data() +
                         (static_cast<std::size_t>(oc) * bs + b) * hw,
@@ -97,6 +95,18 @@ void Conv2d::forward(const Tensor& x, Tensor& y, ConvWorkspace& ws,
       }
     }
   }
+}
+
+void Conv2d::forward(const Tensor& x, Tensor& y, ConvWorkspace& ws,
+                     Tensor* col_cache, bool fuse_relu,
+                     ThreadPool* pool) const {
+  const int kk = in_channels_ * ksize_ * ksize_;
+  conv_forward_chunked(
+      x, y, ws, in_channels_, out_channels_, ksize_, pad_, col_cache,
+      [&](const float* col, int cols, float* out) {
+        gemm_bias_relu_parallel(pool, w_.value.data(), col, b_.value.data(),
+                                out, out_channels_, cols, kk, fuse_relu);
+      });
 }
 
 void Conv2d::backward(const Tensor& dy, const Tensor& col_cache, Tensor& dx,

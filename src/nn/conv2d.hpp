@@ -14,6 +14,7 @@
 // single-threaded by design, matching the paper's separate "DNN training
 // stage").
 
+#include <functional>
 #include <vector>
 
 #include "nn/param.hpp"
@@ -40,6 +41,20 @@ struct ConvWorkspace {
   Tensor ybuf;  // [Cout, chunk*H*W] (GEMM output before the B-major permute)
   std::size_t col_budget_bytes = 0;  // 0 = kDefaultColBudgetBytes
 };
+
+// Shared driver for the chunked whole-batch im2col forward pass, used by
+// Conv2d and QuantizedConv2d so both precisions run the identical lowering,
+// sub-batching and output-permute logic and differ only in the GEMM they
+// invoke. Lowers x[B, Cin, H, W] in cache-resident sub-batches and calls
+// gemm_chunk(col, cols, out) per chunk, where col is [Cin*k*k, cols],
+// cols = bs*H*W, and out is a [Cout, cols] destination — either y directly
+// (single-sample chunk, channel-major output needs no permute) or ws.ybuf,
+// which the driver then permutes back to [bs, Cout, HW].
+void conv_forward_chunked(
+    const Tensor& x, Tensor& y, ConvWorkspace& ws, int in_channels,
+    int out_channels, int ksize, int pad, Tensor* col_cache,
+    const std::function<void(const float* col, int cols, float* out)>&
+        gemm_chunk);
 
 class Conv2d {
  public:

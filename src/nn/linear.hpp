@@ -30,6 +30,7 @@ class Linear {
 
   std::vector<Param*> params() { return {&w_, &b_}; }
   const Param& weight() const { return w_; }
+  const Param& bias() const { return b_; }
 
  private:
   int in_;

@@ -126,6 +126,18 @@ class PolicyValueNet {
   // Copies the weights of `other` into this net (shapes must match).
   void copy_weights_from(PolicyValueNet& other);
 
+  // Read-only layer access for the fp32 -> int8 conversion pass
+  // (nn/quantize.hpp), which snapshots weights per layer without going
+  // through the flat params() list.
+  const Conv2d& conv1() const { return conv1_; }
+  const Conv2d& conv2() const { return conv2_; }
+  const Conv2d& conv3() const { return conv3_; }
+  const Conv2d& conv_p() const { return conv_p_; }
+  const Conv2d& conv_v() const { return conv_v_; }
+  const Linear& fc_p() const { return fc_p_; }
+  const Linear& fc_v1() const { return fc_v1_; }
+  const Linear& fc_v2() const { return fc_v2_; }
+
  private:
   NetConfig cfg_;
   Conv2d conv1_, conv2_, conv3_, conv_p_, conv_v_;

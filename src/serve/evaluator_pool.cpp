@@ -16,6 +16,7 @@ int EvaluatorPool::add_model(const ModelSpec& spec) {
   auto lane = std::make_unique<Lane>();
   lane->name = spec.name;
   lane->backend = spec.backend;
+  lane->precision = spec.precision;
   if (spec.cache) lane->cache = std::make_unique<EvalCache>(spec.cache_cfg);
   lane->queue = std::make_unique<AsyncBatchEvaluator>(
       *spec.backend, spec.batch_threshold, spec.num_streams,
@@ -49,6 +50,7 @@ ModelLaneStats EvaluatorPool::lane_stats(int id) const {
   ModelLaneStats s;
   s.model_id = id;
   s.name = l.name;
+  s.precision = l.precision;
   s.batch_threshold = l.queue->batch_threshold();
   s.batch = l.queue->stats();
   if (l.cache) s.cache = l.cache->stats();

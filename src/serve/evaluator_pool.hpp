@@ -30,6 +30,26 @@
 // and hit rate untouched (pinned by test_hetero). Callers that cannot name
 // the updated model fall back to invalidate_all().
 //
+// Per-lane precision contract: precision is a property of the LANE, not of
+// the serving plane — declared at registration (ModelSpec::precision) and
+// immutable afterwards, it simply labels what the caller-owned backend
+// computes with (e.g. a NetEvaluator over a QuantizedPolicyValueNet for
+// kInt8). Nothing else in the lane machinery branches on it: batching,
+// caching, stats and stale-flush behave identically, and the Algorithm-4
+// aggregate controller needs no precision plumbing at all — it re-tunes
+// from backend.model_batch_us(b), so an int8 lane's cheaper measured cost
+// flows into its thresholds automatically. Registering the same logical
+// net twice at different precisions (e.g. "net" and "net-int8") yields two
+// fully isolated lanes — separate queues, caches, thresholds — which is
+// exactly what the match-play precision gate (serve/precision_gate.hpp)
+// races against each other.
+//
+// invalidate(id) semantics are precision-INDEPENDENT: it clears the lane's
+// cache because the lane's weights changed, whatever arithmetic the lane
+// runs. After re-quantizing a net (new fp32 weights -> new int8 snapshot),
+// invalidate the int8 lane exactly as you would an fp32 lane; a foreign
+// lane at any precision is never touched.
+//
 // Threshold ownership: the pool constructs each queue at the spec's
 // threshold; at runtime the AggregateController (serve/
 // aggregate_controller.hpp) re-tunes each lane's threshold independently
@@ -47,6 +67,7 @@
 #include <vector>
 
 #include "eval/async_batch.hpp"
+#include "eval/evaluator.hpp"
 
 namespace apm {
 
@@ -60,12 +81,17 @@ struct ModelSpec {
   double stale_flush_us = 1500.0;
   bool cache = true;  // false: no EvalCache in front of this lane
   EvalCacheConfig cache_cfg = {};
+  // What the backend computes with (see the per-lane precision contract in
+  // the header comment). Declarative: the pool never converts — the caller
+  // registers a backend that already runs at this precision.
+  Precision precision = Precision::kFp32;
 };
 
 // Point-in-time telemetry of one lane.
 struct ModelLaneStats {
   int model_id = -1;
   std::string name;
+  Precision precision = Precision::kFp32;
   int batch_threshold = 1;  // current (possibly re-tuned) threshold
   BatchQueueStats batch;    // lifetime queue counters
   CacheStats cache;         // zeros when the lane has no cache
@@ -85,6 +111,9 @@ class EvaluatorPool {
   // Id for a registered name; -1 when absent.
   int find(const std::string& name) const;
   const std::string& name(int id) const { return lane(id).name; }
+
+  // The lane's declared precision (immutable after add_model).
+  Precision precision(int id) const { return lane(id).precision; }
 
   AsyncBatchEvaluator& queue(int id) { return *lane(id).queue; }
   const AsyncBatchEvaluator& queue(int id) const { return *lane(id).queue; }
@@ -108,6 +137,7 @@ class EvaluatorPool {
   struct Lane {
     std::string name;
     InferenceBackend* backend = nullptr;
+    Precision precision = Precision::kFp32;
     // Declaration order is the destruction contract: the queue is destroyed
     // (and drains) before the cache it points at.
     std::unique_ptr<EvalCache> cache;

@@ -205,10 +205,13 @@ void MatchService::claim_locked(Slot& slot) {
   ++wl.active;
   ++active_games_;
   slot.search_seconds = 0.0;
+  // Seed from the template; worker_loop refreshes this from the engine's
+  // committed scheme after every move the slot plays.
+  slot.live_inflight = wl.inflight;
   for (Lane& lane : lanes_) {
     if (lane.model_id == wl.model_id) {
       ++lane.live_games;
-      lane.inflight_sum += wl.inflight;
+      lane.inflight_sum += slot.live_inflight;
       break;
     }
   }
@@ -290,7 +293,7 @@ void MatchService::commit_locked(Slot& slot, GameRecord&& rec) {
   for (Lane& lane : lanes_) {
     if (lane.model_id == wl.model_id) {
       --lane.live_games;
-      lane.inflight_sum -= wl.inflight;
+      lane.inflight_sum -= slot.live_inflight;
       break;
     }
   }
@@ -379,9 +382,20 @@ void MatchService::worker_loop() {
 
     const bool done = slot->runner->done();
     GameRecord rec;
+    double live = 0.0;
+    // wl is immutable after construction; read it outside the lock.
+    const Workload& wl = *workloads_[static_cast<std::size_t>(slot->workload)];
     if (done) {
       // Retire outside the lock too (augmentation copies samples).
       rec = retire_slot(*slot, /*completed=*/true);
+    } else {
+      // The engine's AdaptiveController may just have migrated this game to
+      // a different scheme; re-read the COMMITTED configuration so the
+      // lane's inflight sum tracks what the game now actually keeps in
+      // flight, not the template it was seated with.
+      live = scheme_inflight(slot->engine->scheme(), slot->engine->workers(),
+                             slot->engine->batch_threshold(),
+                             wl.spec.engine.adaptive.gpu);
     }
 
     lock.lock();
@@ -393,6 +407,13 @@ void MatchService::worker_loop() {
         idle_cv_.notify_all();
       }
     } else {
+      for (Lane& lane : lanes_) {
+        if (lane.model_id == wl.model_id) {
+          lane.inflight_sum += live - slot->live_inflight;
+          break;
+        }
+      }
+      slot->live_inflight = live;
       ready_.push_back(slot);
       // Periodic cadence between attach/retire events: live lanes' arrival
       // rates drift as trees warm and dedupe rises; re-decide every M
@@ -526,7 +547,9 @@ ServiceStats MatchService::stats() const {
       ServiceLaneStats ls;
       ls.model_id = lane.model_id;
       ls.model = pool_->name(lane.model_id);
+      ls.precision = pool_->precision(lane.model_id);
       ls.live_games = lane.live_games;
+      ls.live_inflight = lane.inflight_sum;
       ls.threshold = queue->batch_threshold();
       ls.retunes =
           controller_ != nullptr ? controller_->retunes(lane.model_id) : 0;

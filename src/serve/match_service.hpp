@@ -28,7 +28,14 @@
 // an AggregateController re-tunes each lane's batch threshold from that
 // lane's measured operating point — live game count × per-game in-flight,
 // thinned by the measured cache hit rate, against the measured slot
-// arrival rate (perfmodel/arrival.hpp). Decisions fire on game
+// arrival rate (perfmodel/arrival.hpp). The per-game in-flight figure is
+// LIVE: a slot is seated at its engine template's scheme_inflight, and
+// after every committed move the slot re-reads its engine's committed
+// (scheme, workers, batch threshold) and folds the delta into the lane's
+// inflight sum — so when AdaptiveControllers migrate their games from
+// serial to root/shared/batched schemes mid-service, the controller sees
+// the lane's true producer depth, not the seed configuration it long left
+// behind. Decisions fire on game
 // attach/retire and every `aggregate.retune_every_moves` committed moves;
 // accepted retunes are applied via set_batch_threshold and logged
 // (retune_log()) — the threshold trajectory BENCH_hetero.json records.
@@ -146,7 +153,13 @@ struct WorkloadStats {
 struct ServiceLaneStats {
   int model_id = -1;
   std::string model;
+  Precision precision = Precision::kFp32;  // the lane's declared precision
   int live_games = 0;
+  // Σ live per-game in-flight over the lane's seated games — tracks each
+  // engine's COMMITTED scheme, not its template (see the aggregate-control
+  // header note). live_inflight / live_games is the obs.inflight the
+  // controller last reasoned from.
+  double live_inflight = 0.0;
   int threshold = 1;
   int retunes = 0;
   BatchQueueStats batch;
@@ -263,6 +276,11 @@ class MatchService {
     int id = 0;        // global slot id (the queue submitter tag)
     int workload = 0;  // static binding: which workload this slot serves
     int game_id = -1;  // per-workload game index; -1 = idle
+    // This slot's contribution to its lane's inflight_sum. Seeded from the
+    // workload template at claim, then refreshed from the engine's
+    // committed (scheme, workers, threshold) after every move — the live
+    // figure the aggregate controller averages over the lane.
+    double live_inflight = 1.0;
     std::unique_ptr<SearchEngine> engine;
     std::unique_ptr<EpisodeRunner> runner;
     double search_seconds = 0.0;
@@ -272,7 +290,9 @@ class MatchService {
   struct Workload {
     ServiceWorkload spec;    // immutable after construction
     int model_id = -1;       // pool lane; -1 = legacy external resource
-    double inflight = 1.0;   // scheme_inflight of the engine template
+    // scheme_inflight of the engine TEMPLATE — only the seed for a freshly
+    // claimed slot; live slots track their engines (Slot::live_inflight).
+    double inflight = 1.0;
     int pending = 0;
     int active = 0;
     int next_game_index = 0;

@@ -1,0 +1,81 @@
+#pragma once
+// Match-play precision gate — the admission test for a quantized lane.
+//
+// Quantization (nn/quantize.hpp) changes the arithmetic inside the forward
+// pass; per-position policy/value drift is tiny but nonzero, and no tensor
+// tolerance proves the drift is game-play neutral. The gate measures the
+// thing that matters instead: it races two lanes of an EvaluatorPool
+// (baseline, usually fp32, vs candidate, usually int8) head to head at the
+// SAME search settings and passes the candidate only if its match score
+// stays within a configured band of parity.
+//
+// Protocol: games are played in color-swapped PAIRS. Each pair draws a
+// short random opening (shared by both games of the pair, seeded from
+// cfg.seed + pair index), then two fresh SearchEngines — one submitting to
+// the baseline lane's queue, one to the candidate's — alternate moves with
+// deterministic argmax selection. The second game of the pair swaps who
+// moves first, cancelling first-move advantage pair by pair. Openings are
+// the only randomness: per-pair seeds make the whole gate a pure function
+// of (pool nets, proto, cfg), so a gate run is reproducible evidence, not
+// a coin flip.
+//
+// Scoring: candidate_score = (wins + draws/2) / games. The candidate
+// passes when candidate_score >= 0.5 − cfg.max_winrate_drop. An int8 net
+// that genuinely matches its fp32 source scores ≈ 0.5 by symmetry; a
+// quantization bug that actually changes play shows up as a collapsed
+// score long before any human inspects the games.
+//
+// The gate runs on the caller's thread against live pool lanes (register
+// the lanes with batch_threshold 1 for a synchronous single-producer gate
+// — a serial engine submitting leaf-at-a-time to a threshold-B queue would
+// otherwise pace on the stale-flush timer).
+
+#include <cstdint>
+#include <string>
+
+#include "games/game.hpp"
+#include "mcts/engine.hpp"
+#include "serve/evaluator_pool.hpp"
+
+namespace apm {
+
+struct PrecisionGateConfig {
+  std::string baseline_model;   // reference lane (typically fp32)
+  std::string candidate_model;  // lane under test (typically int8)
+  // Total games; rounded UP to a whole number of color-swapped pairs.
+  int games = 8;
+  // Random opening plies per pair (both games of a pair share the
+  // opening). >= 1 so distinct pairs explore distinct games.
+  int opening_moves = 2;
+  // Engine template used by BOTH sides — identical search settings are the
+  // point; only the evaluation lane differs. manage_batch_threshold is
+  // forced off (pool queues are owner-tuned).
+  EngineConfig engine;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  // Safety cap per game; 0 plays to terminal.
+  int max_moves = 0;
+  // Pass band: candidate_score >= 0.5 − max_winrate_drop.
+  double max_winrate_drop = 0.15;
+};
+
+struct PrecisionGateReport {
+  std::string baseline_model;
+  std::string candidate_model;
+  Precision baseline_precision = Precision::kFp32;
+  Precision candidate_precision = Precision::kFp32;
+  int games = 0;  // as played (cfg.games rounded up to pairs)
+  int candidate_wins = 0;
+  int candidate_losses = 0;
+  int draws = 0;
+  double candidate_score = 0.0;  // (wins + draws/2) / games
+  bool pass = false;
+};
+
+// Races cfg.candidate_model against cfg.baseline_model on `proto`'s game.
+// Both names must be registered in `pool`. Runs cfg.games (rounded up to
+// pairs) on the calling thread.
+PrecisionGateReport run_precision_gate(EvaluatorPool& pool,
+                                       const Game& proto,
+                                       const PrecisionGateConfig& cfg);
+
+}  // namespace apm

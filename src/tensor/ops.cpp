@@ -1,9 +1,17 @@
 #include "tensor/ops.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <limits>
+#include <thread>
 #include <vector>
+
+#if defined(__AVX512VNNI__) && defined(__AVX512F__)
+#include <immintrin.h>
+#define APM_Q8_VNNI 1
+#endif
 
 #include "support/thread_pool.hpp"
 
@@ -21,12 +29,50 @@ constexpr int kKC = 256;   // K depth per packing pass
 constexpr int kNC = 1024;  // columns of C per packed-B block
 
 // Per-thread packing buffers (sized once, reused across calls).
-float* pack_buffer(std::vector<float>& buf, std::size_t n) {
+template <typename T>
+T* pack_buffer(std::vector<T>& buf, std::size_t n) {
   if (buf.size() < n) buf.resize(n);
   return buf.data();
 }
 thread_local std::vector<float> tl_apack;
 thread_local std::vector<float> tl_bpack;
+
+// --- ParallelGemm regression guard ------------------------------------------
+// A pool bigger than the machine only adds contention (BENCH_gemm's
+// t2/t4-slower-than-t1 rows on a 1-core host), and a shard without a
+// meaningful FLOP budget pays more in fork-join latency than it saves in
+// compute. plan_gemm_workers() therefore caps the fan-out at
+// hardware_concurrency() and shrinks it until every shard clears a FLOP
+// floor; 1 means "run serial". Tests/benches override the cap so the
+// sharded code paths stay exercisable on a 1-core CI host.
+constexpr double kMinFlopsPerShard = 4.0e6;  // ~a 128^3 GEMM per shard
+
+std::atomic<int> g_worker_cap_override{0};
+
+int gemm_worker_cap() {
+  const int o = g_worker_cap_override.load(std::memory_order_relaxed);
+  if (o > 0) return o;
+  const unsigned hc = std::thread::hardware_concurrency();
+  // 0 = unknown: don't second-guess the caller's pool size.
+  return hc == 0 ? std::numeric_limits<int>::max() : static_cast<int>(hc);
+}
+
+// Effective worker count for sharding (the caller's thread included);
+// 1 = the pool would not help, take the serial path.
+int plan_gemm_workers(const ThreadPool* pool, int m, int n, int k) {
+  if (pool == nullptr) return 1;
+  int w = std::min(static_cast<int>(pool->num_threads()) + 1,
+                   gemm_worker_cap());
+  if (w <= 1) return 1;
+  // The driver aims for ~2 shards per worker; keep each of those above the
+  // floor.
+  const double flops = 2.0 * m * n * static_cast<double>(k);
+  const double max_workers = flops / (2.0 * kMinFlopsPerShard);
+  if (max_workers < static_cast<double>(w)) {
+    w = std::max(1, static_cast<int>(max_workers));
+  }
+  return w;
+}
 
 // Packs an mc x kc block of A into kMR-row panels: panel ip holds rows
 // [ip*MR, ip*MR+MR) transposed to ap[p*MR + r], zero-padded past mc so the
@@ -272,12 +318,12 @@ void gemm_driver(ThreadPool* pool, const float* a, bool a_trans,
     return;
   }
 
-  if (pool != nullptr) {
+  const int workers = plan_gemm_workers(pool, m, n, k);
+  if (workers > 1) {
     // A C element's accumulation order depends only on the kc blocking, so
     // any column split is bitwise-safe; quantize chunks to the panel width
     // and aim for ~2 chunks per worker (the parallel_for caller executes
     // chunks too) so parallelism tracks N = B·H·W rather than N/kNC.
-    const int workers = static_cast<int>(pool->num_threads()) + 1;
     int chunk = n / (2 * workers) / kNR * kNR;
     chunk = std::max(chunk, kNR);
     const int col_chunks = (n + chunk - 1) / chunk;
@@ -299,6 +345,442 @@ void gemm_driver(ThreadPool* pool, const float* a, bool a_trans,
   }
   gemm_region(nullptr, a, a_trans, b, b_trans, row_bias, col_bias, c, m, n,
               k, accumulate, relu, 0, n);
+}
+
+// --- int8 quantized GEMM ----------------------------------------------------
+// Same blocking skeleton as the fp32 driver (kMC/kKC/kNC, kMR x kNR tiles),
+// but the panels hold 8-bit integers grouped in K-quads of 4 — the shape
+// vpdpbusd consumes: one 64-byte panel vector is 16 lanes x 4 consecutive
+// K steps. The weight side is pre-quantized signed int8 with a per-row
+// (output-channel) scale ws; the activation side is quantized during the
+// pack with an asymmetric per-(K-block, lane) min/scale,
+//
+//     x ~= lo + q * as,   q in [0, 255]  (lo <= 0 <= hi widens the range
+//                                         so 0 is always representable),
+//
+// so a K-block's exact integer product dequantizes as
+//
+//     sum_p w x  ~=  ws * as * sum_p(wq * q)  +  ws * lo * sum_p(wq),
+//
+// with sum_p(wq) (per row, per K-block) computed once at weight-pack time.
+// Zero padding is exact on the weight side (wq = 0 annihilates whatever the
+// padded activation byte holds), so the kernels never branch on remainders.
+// Accumulators span one K-block: |sum| <= kKC * 255 * 127 ~= 8.3e6, far
+// from int32 overflow. C accumulates across K-blocks in float with the
+// fixed serial block order, so — with exact integer tiles and a
+// sharding-independent per-element dequant — results are bitwise identical
+// for every pool size and for the SIMD vs scalar kernels.
+
+thread_local std::vector<std::uint8_t> tl_q8_apack;
+thread_local std::vector<std::uint8_t> tl_q8_bpack;
+thread_local std::vector<std::uint8_t> tl_q8_qtmp;  // row-major u8 staging
+thread_local std::vector<float> tl_q8_a_scale;
+thread_local std::vector<float> tl_q8_a_corr;
+thread_local std::vector<float> tl_q8_b_scale;
+thread_local std::vector<float> tl_q8_b_corr;
+thread_local std::vector<float> tl_q8_lo;
+thread_local std::vector<float> tl_q8_inv;
+thread_local std::vector<std::int32_t> tl_q8_wqsum;
+
+// Quantizes the activation block b[kc x nc] (row-major, leading dim ldb)
+// into kNR-lane K-quad panels dst[jp][(p/4)*kNR*4 + j*4 + p%4], writing the
+// per-lane dequant scale and offset (lane j of panel jp at index
+// jp*kNR + j; padded lanes get scale 0). Three row-major passes (min/max,
+// quantize to a staging row, scatter into quads) keep the strided column
+// walks out of the hot loop so the first two passes auto-vectorise.
+void pack_act_cols_q8(const float* b, int ldb, int kc, int nc, int kq,
+                      std::uint8_t* dst, float* scale, float* off) {
+  const int panels = (nc + kNR - 1) / kNR;
+  const int ncp = panels * kNR;  // padded lane count
+  float* lo = pack_buffer(tl_q8_lo, static_cast<std::size_t>(2) * ncp);
+  float* hi = lo + ncp;
+  float* inv = pack_buffer(tl_q8_inv, static_cast<std::size_t>(ncp));
+  for (int j = 0; j < ncp; ++j) lo[j] = 0.0f;   // 0 in range: padding-exact
+  for (int j = 0; j < ncp; ++j) hi[j] = 0.0f;
+  for (int p = 0; p < kc; ++p) {
+    const float* row = b + static_cast<std::size_t>(p) * ldb;
+    for (int j = 0; j < nc; ++j) lo[j] = std::min(lo[j], row[j]);
+    for (int j = 0; j < nc; ++j) hi[j] = std::max(hi[j], row[j]);
+  }
+  for (int j = 0; j < ncp; ++j) {
+    const float range = hi[j] - lo[j];
+    scale[j] = range / 255.0f;
+    off[j] = lo[j];
+    inv[j] = range > 0.0f ? 255.0f / range : 0.0f;
+  }
+  // Stage quantized rows u8[kc][ncp], then scatter bytes into K-quads.
+  std::uint8_t* tmp = pack_buffer(
+      tl_q8_qtmp, static_cast<std::size_t>(kc) * ncp);
+  for (int p = 0; p < kc; ++p) {
+    const float* row = b + static_cast<std::size_t>(p) * ldb;
+    std::uint8_t* trow = tmp + static_cast<std::size_t>(p) * ncp;
+    // (x - lo) * inv >= 0, so +0.5f-truncate is round-half-up — branch-free
+    // and vectorisable, identical on every host.
+    for (int j = 0; j < nc; ++j) {
+      trow[j] = static_cast<std::uint8_t>(
+          static_cast<int>((row[j] - lo[j]) * inv[j] + 0.5f));
+    }
+    for (int j = nc; j < ncp; ++j) trow[j] = 0;
+  }
+  for (int jp = 0; jp < panels; ++jp) {
+    std::uint8_t* d = dst + static_cast<std::size_t>(jp) * kq * kNR * 4;
+    for (int q = 0; q < kq; ++q) {
+      std::uint8_t* dq = d + static_cast<std::size_t>(q) * kNR * 4;
+      for (int t = 0; t < 4; ++t) {
+        const int p = q * 4 + t;
+        if (p >= kc) {
+          for (int j = 0; j < kNR; ++j) dq[j * 4 + t] = 0;
+          continue;
+        }
+        const std::uint8_t* trow =
+            tmp + static_cast<std::size_t>(p) * ncp + jp * kNR;
+        for (int j = 0; j < kNR; ++j) dq[j * 4 + t] = trow[j];
+      }
+    }
+  }
+}
+
+// Activation rows (the linear A side, contiguous in K): kMR-row K-quad
+// panels dst[ip][(p/4)*kMR*4 + r*4 + p%4] with per-row scale/offset.
+void pack_act_rows_q8(const float* a, int lda, int mc, int kc, int kq,
+                      std::uint8_t* dst, float* scale, float* off) {
+  const int panels = (mc + kMR - 1) / kMR;
+  for (int ip = 0; ip < panels; ++ip) {
+    std::uint8_t* d = dst + static_cast<std::size_t>(ip) * kq * kMR * 4;
+    for (int r = 0; r < kMR; ++r) {
+      const int rr = ip * kMR + r;
+      const int lane = ip * kMR + r;
+      if (rr >= mc) {
+        for (int q = 0; q < kq; ++q)
+          for (int t = 0; t < 4; ++t) d[(q * kMR + r) * 4 + t] = 0;
+        scale[lane] = 0.0f;
+        off[lane] = 0.0f;
+        continue;
+      }
+      const float* src = a + static_cast<std::size_t>(rr) * lda;
+      float lo = 0.0f, hi = 0.0f;
+      for (int p = 0; p < kc; ++p) {
+        lo = std::min(lo, src[p]);
+        hi = std::max(hi, src[p]);
+      }
+      const float range = hi - lo;
+      const float inv = range > 0.0f ? 255.0f / range : 0.0f;
+      scale[lane] = range / 255.0f;
+      off[lane] = lo;
+      for (int p = 0; p < kc; ++p) {
+        d[(p >> 2) * kMR * 4 + r * 4 + (p & 3)] = static_cast<std::uint8_t>(
+            static_cast<int>((src[p] - lo) * inv + 0.5f));
+      }
+      for (int p = kc; p < kq * 4; ++p) {
+        d[(p >> 2) * kMR * 4 + r * 4 + (p & 3)] = 0;
+      }
+    }
+  }
+}
+
+// Pre-quantized weight rows as the A side (conv: Wq[M,K]): kMR-row K-quad
+// panels plus the per-row block sum of wq (the dequant correction term).
+void pack_wq_rows_a(const std::int8_t* wq, int ldw, int mc, int kc, int kq,
+                    std::uint8_t* dst, std::int32_t* wqsum) {
+  const int panels = (mc + kMR - 1) / kMR;
+  for (int ip = 0; ip < panels; ++ip) {
+    std::uint8_t* d = dst + static_cast<std::size_t>(ip) * kq * kMR * 4;
+    for (int r = 0; r < kMR; ++r) {
+      const int rr = ip * kMR + r;
+      std::int32_t s = 0;
+      if (rr >= mc) {
+        for (int q = 0; q < kq; ++q)
+          for (int t = 0; t < 4; ++t) d[(q * kMR + r) * 4 + t] = 0;
+      } else {
+        const std::int8_t* src = wq + static_cast<std::size_t>(rr) * ldw;
+        for (int p = 0; p < kc; ++p) {
+          const std::int8_t v = src[p];
+          s += v;
+          d[(p >> 2) * kMR * 4 + r * 4 + (p & 3)] =
+              static_cast<std::uint8_t>(v);
+        }
+        for (int p = kc; p < kq * 4; ++p) {
+          d[(p >> 2) * kMR * 4 + r * 4 + (p & 3)] = 0;
+        }
+      }
+      wqsum[ip * kMR + r] = s;
+    }
+  }
+}
+
+// Pre-quantized weight rows as the B side (linear abt: Wq[N,K], logical
+// column j = weight row j): kNR-lane K-quad panels plus per-lane block sums.
+void pack_wq_rows_b(const std::int8_t* wq, int ldw, int kc, int nc, int kq,
+                    std::uint8_t* dst, std::int32_t* wqsum) {
+  const int panels = (nc + kNR - 1) / kNR;
+  for (int jp = 0; jp < panels; ++jp) {
+    std::uint8_t* d = dst + static_cast<std::size_t>(jp) * kq * kNR * 4;
+    for (int j = 0; j < kNR; ++j) {
+      const int jj = jp * kNR + j;
+      std::int32_t s = 0;
+      if (jj >= nc) {
+        for (int q = 0; q < kq; ++q)
+          for (int t = 0; t < 4; ++t) d[(q * kNR + j) * 4 + t] = 0;
+      } else {
+        const std::int8_t* src = wq + static_cast<std::size_t>(jj) * ldw;
+        for (int p = 0; p < kc; ++p) {
+          const std::int8_t v = src[p];
+          s += v;
+          d[(p >> 2) * kNR * 4 + j * 4 + (p & 3)] =
+              static_cast<std::uint8_t>(v);
+        }
+        for (int p = kc; p < kq * 4; ++p) {
+          d[(p >> 2) * kNR * 4 + j * 4 + (p & 3)] = 0;
+        }
+      }
+      wqsum[jp * kNR + j] = s;
+    }
+  }
+}
+
+// 4x16 int8 micro-kernel over kq K-quads: acc[4][16] (int32) = sum of
+// u8 x s8 byte products. kPanelUnsigned selects which operand holds the
+// unsigned activation bytes: true = the kNR-lane panel (conv), false = the
+// kMR-row broadcast side (linear). Both kernels produce exact integer sums,
+// so they are interchangeable bit-for-bit.
+#if defined(APM_Q8_VNNI)
+template <bool kPanelUnsigned>
+void micro_kernel_q8_4x16(const std::uint8_t* __restrict ap,
+                          const std::uint8_t* __restrict bp, int kq,
+                          std::int32_t* __restrict acc) {
+  __m512i c0 = _mm512_setzero_si512();
+  __m512i c1 = _mm512_setzero_si512();
+  __m512i c2 = _mm512_setzero_si512();
+  __m512i c3 = _mm512_setzero_si512();
+  for (int q = 0; q < kq; ++q) {
+    const __m512i bv =
+        _mm512_loadu_si512(bp + static_cast<std::size_t>(q) * kNR * 4);
+    std::int32_t aq[kMR];
+    std::memcpy(aq, ap + static_cast<std::size_t>(q) * kMR * 4, sizeof aq);
+    const __m512i a0 = _mm512_set1_epi32(aq[0]);
+    const __m512i a1 = _mm512_set1_epi32(aq[1]);
+    const __m512i a2 = _mm512_set1_epi32(aq[2]);
+    const __m512i a3 = _mm512_set1_epi32(aq[3]);
+    if constexpr (kPanelUnsigned) {
+      // vpdpbusd: first multiplicand unsigned, second signed.
+      c0 = _mm512_dpbusd_epi32(c0, bv, a0);
+      c1 = _mm512_dpbusd_epi32(c1, bv, a1);
+      c2 = _mm512_dpbusd_epi32(c2, bv, a2);
+      c3 = _mm512_dpbusd_epi32(c3, bv, a3);
+    } else {
+      c0 = _mm512_dpbusd_epi32(c0, a0, bv);
+      c1 = _mm512_dpbusd_epi32(c1, a1, bv);
+      c2 = _mm512_dpbusd_epi32(c2, a2, bv);
+      c3 = _mm512_dpbusd_epi32(c3, a3, bv);
+    }
+  }
+  _mm512_storeu_si512(acc + 0 * kNR, c0);
+  _mm512_storeu_si512(acc + 1 * kNR, c1);
+  _mm512_storeu_si512(acc + 2 * kNR, c2);
+  _mm512_storeu_si512(acc + 3 * kNR, c3);
+}
+#else
+template <bool kPanelUnsigned>
+void micro_kernel_q8_4x16(const std::uint8_t* __restrict ap,
+                          const std::uint8_t* __restrict bp, int kq,
+                          std::int32_t* __restrict acc) {
+  std::int32_t c[kMR][kNR] = {};
+  for (int q = 0; q < kq; ++q) {
+    const std::uint8_t* aq = ap + static_cast<std::size_t>(q) * kMR * 4;
+    const std::uint8_t* bq = bp + static_cast<std::size_t>(q) * kNR * 4;
+    for (int r = 0; r < kMR; ++r) {
+      for (int t = 0; t < 4; ++t) {
+        const int av = kPanelUnsigned
+                           ? static_cast<int>(
+                                 static_cast<std::int8_t>(aq[r * 4 + t]))
+                           : static_cast<int>(aq[r * 4 + t]);
+        if (av == 0) continue;  // zero padding and sparse weights
+        for (int j = 0; j < kNR; ++j) {
+          const int bv = kPanelUnsigned
+                             ? static_cast<int>(bq[j * 4 + t])
+                             : static_cast<int>(
+                                   static_cast<std::int8_t>(bq[j * 4 + t]));
+          c[r][j] += av * bv;
+        }
+      }
+    }
+  }
+  std::memcpy(acc, c, sizeof c);
+}
+#endif
+
+// Dequantizing store: C (+)= rs[i]*cs[j]*acc[i][j] + rc[i]*cc[j], the fused
+// bias/ReLU epilogue on the last K block. The four per-lane arrays are
+// tile-local views: conv maps (rs, rc) = (ws, ws*wqsum) on rows and
+// (cs, cc) = (act scale, act min) on columns; linear swaps the roles.
+void store_tile_q8(float* c, int ldc, const std::int32_t* acc, int i0,
+                   int j0, int mr, int nr, const float* rs, const float* cs,
+                   const float* rc, const float* cc, bool first, bool last,
+                   const float* row_bias, const float* col_bias, bool relu) {
+  for (int i = 0; i < mr; ++i) {
+    float* crow = c + static_cast<std::size_t>(i0 + i) * ldc + j0;
+    const std::int32_t* arow = acc + static_cast<std::size_t>(i) * kNR;
+    const float rsi = rs[i];
+    const float rci = rc[i];
+    if (first) {
+      for (int j = 0; j < nr; ++j) {
+        crow[j] = rsi * cs[j] * static_cast<float>(arow[j]) + rci * cc[j];
+      }
+    } else {
+      for (int j = 0; j < nr; ++j) {
+        crow[j] += rsi * cs[j] * static_cast<float>(arow[j]) + rci * cc[j];
+      }
+    }
+    if (last) {
+      if (row_bias != nullptr) {
+        const float bi = row_bias[i0 + i];
+        for (int j = 0; j < nr; ++j) crow[j] += bi;
+      }
+      if (col_bias != nullptr) {
+        for (int j = 0; j < nr; ++j) crow[j] += col_bias[j0 + j];
+      }
+      if (relu) {
+        for (int j = 0; j < nr; ++j) crow[j] = std::max(crow[j], 0.0f);
+      }
+    }
+  }
+}
+
+// Int8 GEMM over the column range [jc_begin, jc_end): the q8 counterpart of
+// gemm_region. weights_a selects the conv shape (A = Wq[M,K], B = fp32
+// activations quantized on pack) vs the linear-abt shape (A = fp32
+// activation rows, B = Wq[N,K]).
+void gemm_q8_region(ThreadPool* pool, bool weights_a, const float* act,
+                    const std::int8_t* wq, const float* wscales,
+                    const float* bias, float* c, int m, int n, int k,
+                    bool relu, int jc_begin, int jc_end) {
+  const float* row_bias = weights_a ? bias : nullptr;
+  const float* col_bias = weights_a ? nullptr : bias;
+  const int m_blocks = (m + kMC - 1) / kMC;
+  for (int jc = jc_begin; jc < jc_end; jc += kNC) {
+    const int nc = std::min(kNC, jc_end - jc);
+    const int n_panels = (nc + kNR - 1) / kNR;
+    for (int kc0 = 0; kc0 < k; kc0 += kKC) {
+      const int kc = std::min(kKC, k - kc0);
+      const int kq = (kc + 3) / 4;
+      const bool first = kc0 == 0;
+      const bool last = kc0 + kc == k;
+      std::uint8_t* bpack = pack_buffer(
+          tl_q8_bpack, static_cast<std::size_t>(n_panels) * kq * kNR * 4);
+      float* cs = pack_buffer(tl_q8_b_scale,
+                              static_cast<std::size_t>(n_panels) * kNR);
+      float* cc = pack_buffer(tl_q8_b_corr,
+                              static_cast<std::size_t>(n_panels) * kNR);
+      if (weights_a) {
+        pack_act_cols_q8(act + static_cast<std::size_t>(kc0) * n + jc, n, kc,
+                         nc, kq, bpack, cs, cc);
+      } else {
+        std::int32_t* wsum = pack_buffer(
+            tl_q8_wqsum, static_cast<std::size_t>(n_panels) * kNR);
+        pack_wq_rows_b(wq + static_cast<std::size_t>(jc) * k + kc0, k, kc,
+                       nc, kq, bpack, wsum);
+        for (int j = 0; j < n_panels * kNR; ++j) {
+          const float s = j < nc ? wscales[jc + j] : 0.0f;
+          cs[j] = s;
+          cc[j] = s * static_cast<float>(wsum[j]);
+        }
+      }
+      parallel_for(pool, 0, m_blocks, 1, [&, bpack, cs, cc](int ib0,
+                                                            int ib1) {
+        for (int ib = ib0; ib < ib1; ++ib) {
+          const int i0 = ib * kMC;
+          const int mc = std::min(kMC, m - i0);
+          const int m_panels = (mc + kMR - 1) / kMR;
+          std::uint8_t* apack = pack_buffer(
+              tl_q8_apack,
+              static_cast<std::size_t>(m_panels) * kq * kMR * 4);
+          float* rs = pack_buffer(tl_q8_a_scale,
+                                  static_cast<std::size_t>(m_panels) * kMR);
+          float* rc = pack_buffer(tl_q8_a_corr,
+                                  static_cast<std::size_t>(m_panels) * kMR);
+          if (weights_a) {
+            std::int32_t* wsum = pack_buffer(
+                tl_q8_wqsum, static_cast<std::size_t>(m_panels) * kMR);
+            pack_wq_rows_a(wq + static_cast<std::size_t>(i0) * k + kc0, k,
+                           mc, kc, kq, apack, wsum);
+            for (int r = 0; r < m_panels * kMR; ++r) {
+              const float s = r < mc ? wscales[i0 + r] : 0.0f;
+              rs[r] = s;
+              rc[r] = s * static_cast<float>(wsum[r]);
+            }
+          } else {
+            pack_act_rows_q8(act + static_cast<std::size_t>(i0) * k + kc0, k,
+                             mc, kc, kq, apack, rs, rc);
+          }
+          std::int32_t acc[kMR * kNR];
+          for (int jp = 0; jp < n_panels; ++jp) {
+            const std::uint8_t* bp =
+                bpack + static_cast<std::size_t>(jp) * kq * kNR * 4;
+            const int nr = std::min(kNR, nc - jp * kNR);
+            for (int ip = 0; ip < m_panels; ++ip) {
+              const std::uint8_t* ap =
+                  apack + static_cast<std::size_t>(ip) * kq * kMR * 4;
+              const int mr = std::min(kMR, mc - ip * kMR);
+              if (weights_a) {
+                micro_kernel_q8_4x16<true>(ap, bp, kq, acc);
+              } else {
+                micro_kernel_q8_4x16<false>(ap, bp, kq, acc);
+              }
+              store_tile_q8(c, n, acc, i0 + ip * kMR, jc + jp * kNR, mr, nr,
+                            rs + ip * kMR, cs + jp * kNR, rc + ip * kMR,
+                            cc + jp * kNR, first, last, row_bias, col_bias,
+                            relu);
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+// Int8 driver: identical sharding policy (and regression guard) as the
+// fp32 gemm_driver. Any split is bitwise-safe here too — integer tiles are
+// exact and the float dequant order per C element depends only on the kc
+// blocking.
+void gemm_q8_driver(ThreadPool* pool, bool weights_a, const float* act,
+                    const std::int8_t* wq, const float* wscales,
+                    const float* bias, float* c, int m, int n, int k,
+                    bool relu) {
+  APM_DCHECK(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    const float* row_bias = weights_a ? bias : nullptr;
+    const float* col_bias = weights_a ? nullptr : bias;
+    for (int i = 0; i < m; ++i) {
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      std::memset(crow, 0, static_cast<std::size_t>(n) * 4);
+      if (row_bias) for (int j = 0; j < n; ++j) crow[j] += row_bias[i];
+      if (col_bias) for (int j = 0; j < n; ++j) crow[j] += col_bias[j];
+      if (relu) for (int j = 0; j < n; ++j) crow[j] = std::max(crow[j], 0.0f);
+    }
+    return;
+  }
+  const int workers = plan_gemm_workers(pool, m, n, k);
+  if (workers > 1) {
+    int chunk = n / (2 * workers) / kNR * kNR;
+    chunk = std::max(chunk, kNR);
+    const int col_chunks = (n + chunk - 1) / chunk;
+    const int m_blocks = (m + kMC - 1) / kMC;
+    if (col_chunks >= 2 && col_chunks >= m_blocks) {
+      parallel_for(pool, 0, col_chunks, 1, [&](int cb0, int cb1) {
+        for (int cb = cb0; cb < cb1; ++cb) {
+          gemm_q8_region(nullptr, weights_a, act, wq, wscales, bias, c, m, n,
+                         k, relu, cb * chunk, std::min((cb + 1) * chunk, n));
+        }
+      });
+      return;
+    }
+    gemm_q8_region(pool, weights_a, act, wq, wscales, bias, c, m, n, k, relu,
+                   0, n);
+    return;
+  }
+  gemm_q8_region(nullptr, weights_a, act, wq, wscales, bias, c, m, n, k,
+                 relu, 0, n);
 }
 
 }  // namespace
@@ -344,6 +826,52 @@ void gemm_abt_bias_relu(const float* a, const float* b, const float* bias,
                         float* c, int m, int n, int k, bool relu) {
   gemm_driver(nullptr, a, false, b, true, nullptr, bias, c, m, n, k, false,
               relu);
+}
+
+void quantize_rows_int8(const float* w, int rows, int k, std::int8_t* wq,
+                        float* scales) {
+  for (int r = 0; r < rows; ++r) {
+    const float* src = w + static_cast<std::size_t>(r) * k;
+    float maxabs = 0.0f;
+    for (int p = 0; p < k; ++p) maxabs = std::max(maxabs, std::fabs(src[p]));
+    const float s = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+    const float inv = 1.0f / s;
+    std::int8_t* dst = wq + static_cast<std::size_t>(r) * k;
+    for (int p = 0; p < k; ++p) {
+      const long q = std::lrintf(src[p] * inv);
+      dst[p] = static_cast<std::int8_t>(std::min(127l, std::max(-127l, q)));
+    }
+    scales[r] = s;
+  }
+}
+
+void gemm_q8_bias_relu(ThreadPool* pool, const std::int8_t* wq,
+                       const float* wscales, const float* b,
+                       const float* bias, float* c, int m, int n, int k,
+                       bool relu) {
+  gemm_q8_driver(pool, /*weights_a=*/true, b, wq, wscales, bias, c, m, n, k,
+                 relu);
+}
+
+void gemm_q8_abt_bias_relu(ThreadPool* pool, const float* a,
+                           const std::int8_t* wq, const float* wscales,
+                           const float* bias, float* c, int m, int n, int k,
+                           bool relu) {
+  gemm_q8_driver(pool, /*weights_a=*/false, a, wq, wscales, bias, c, m, n, k,
+                 relu);
+}
+
+bool gemm_q8_simd_enabled() {
+#if defined(APM_Q8_VNNI)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void set_gemm_worker_cap_for_testing(int cap) {
+  APM_CHECK(cap >= 0);
+  g_worker_cap_override.store(cap, std::memory_order_relaxed);
 }
 
 void im2col(const float* x, int channels, int height, int width, int ksize,

@@ -19,8 +19,20 @@
 //     element is produced by exactly one thread with the identical blocking
 //     and accumulation order as the serial path, so threaded and serial
 //     results are bitwise equal.
+//
+// The gemm_q8 family is the int8 inference path hosted by the same driver
+// skeleton: weights arrive pre-quantized (symmetric per-output-channel
+// int8, quantize_rows_int8), activations are quantized to unsigned 8-bit
+// during the pack step with an asymmetric per-(K-block, lane) min/scale,
+// the 4x16 micro-kernel widen-accumulates u8 x s8 products into int32
+// (AVX-512 VNNI vpdpbusd when available, exact scalar otherwise), and the
+// dequantization — plus the same fused bias/ReLU — happens in the store
+// epilogue. Integer accumulation is exact and the per-element dequant
+// order is independent of sharding, so int8 results are bitwise identical
+// across thread counts AND across the SIMD/scalar kernels.
 
 #include <cstddef>
+#include <cstdint>
 
 #include "tensor/tensor.hpp"
 
@@ -36,7 +48,11 @@ void gemm(const float* a, const float* b, float* c, int m, int n, int k,
 
 // ParallelGemm: same contract as gemm(); row-blocks of C are sharded across
 // `pool` (nullptr falls back to the serial path). Bitwise deterministic
-// versus the serial result.
+// versus the serial result. Regression guard: worker fan-out is capped at
+// hardware_concurrency() and the call degenerates to the serial path when
+// the problem is too small to give every shard a useful FLOP budget — the
+// pool can only ever help, never hurt (the BENCH_gemm t2/t4-slower-than-t1
+// anomaly on a 1-core host).
 void gemm_parallel(ThreadPool* pool, const float* a, const float* b, float* c,
                    int m, int n, int k, bool accumulate);
 
@@ -64,6 +80,44 @@ void gemm_abt(const float* a, const float* b, float* c, int m, int n, int k,
 // may be nullptr.
 void gemm_abt_bias_relu(const float* a, const float* b, const float* bias,
                         float* c, int m, int n, int k, bool relu);
+
+// --- int8 quantized GEMM family ---------------------------------------------
+
+// Symmetric per-row int8 weight quantization: wq[r][p] = round(w[r][p] /
+// scales[r]) with scales[r] = max|w[r]| / 127 (rows of all zeros get scale
+// 1). Row r is an output channel in both conv ([Cout, Cin*k*k]) and linear
+// ([Out, In]) weight layouts, so this is the per-output-channel pass the
+// fp32 -> int8 net conversion runs once per layer.
+void quantize_rows_int8(const float* w, int rows, int k, std::int8_t* wq,
+                        float* scales);
+
+// Quantized convolution-forward shape: C[M,N] = dequant(Wq[M,K] * q8(B[K,N]))
+// + bias[row i], then ReLU when `relu`. Wq/wscales from quantize_rows_int8;
+// B (the im2col activations) is quantized on the fly during the pack step.
+// `bias` may be nullptr. `pool` shards like gemm_parallel (nullptr = serial);
+// results are bitwise identical for every pool size.
+void gemm_q8_bias_relu(ThreadPool* pool, const std::int8_t* wq,
+                       const float* wscales, const float* b,
+                       const float* bias, float* c, int m, int n, int k,
+                       bool relu);
+
+// Quantized linear-forward shape: C[M,N] = dequant(q8(A[M,K]) * Wq[N,K]^T)
+// + bias[col j], then ReLU when `relu`. A (the activations) is quantized on
+// the fly; Wq holds the [Out, In] weight rows as int8.
+void gemm_q8_abt_bias_relu(ThreadPool* pool, const float* a,
+                           const std::int8_t* wq, const float* wscales,
+                           const float* bias, float* c, int m, int n, int k,
+                           bool relu);
+
+// True when the AVX-512 VNNI micro-kernel is compiled in (the scalar
+// fallback computes bit-identical results, only slower).
+bool gemm_q8_simd_enabled();
+
+// Test/bench override for the ParallelGemm worker cap (normally
+// hardware_concurrency()): > 0 pretends the host has that many cores, 0
+// restores auto-detection. Lets the sharded code paths run on a 1-core CI
+// host, where the regression guard would otherwise serialise every GEMM.
+void set_gemm_worker_cap_for_testing(int cap);
 
 // --- convolution lowering ---------------------------------------------------
 

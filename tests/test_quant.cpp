@@ -1,0 +1,481 @@
+// Quantized-inference tests. Kernel layer: int8 GEMM vs fp32 reference
+// tolerance, exact agreement with a naive quantize/dequantize reference,
+// bitwise determinism across thread counts, and the ParallelGemm
+// regression guard (worker cap + per-shard FLOP floor). Net layer: the
+// fp32 -> int8 conversion pass, APMQ checkpoint round-trips (per-channel
+// scales survive bit-for-bit), and the NetEvaluator int8 flavor.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "eval/net_evaluator.hpp"
+#include "nn/quantize.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "tensor/ops.hpp"
+
+namespace apm {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = 2.0f * rng.uniform_float() - 1.0f;
+  return v;
+}
+
+void naive_gemm(const std::vector<float>& a, const std::vector<float>& b,
+                std::vector<float>& c, int m, int n, int k) {
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+}
+
+// Restores the auto-detected worker cap when a test body returns or throws.
+struct WorkerCapGuard {
+  explicit WorkerCapGuard(int cap) { set_gemm_worker_cap_for_testing(cap); }
+  ~WorkerCapGuard() { set_gemm_worker_cap_for_testing(0); }
+};
+
+TEST(QuantizeRows, RoundTripWithinHalfStep) {
+  const int rows = 5, k = 37;
+  Rng rng(11);
+  const auto w = random_vec(static_cast<std::size_t>(rows) * k, rng);
+  std::vector<std::int8_t> wq(w.size());
+  std::vector<float> scales(rows);
+  quantize_rows_int8(w.data(), rows, k, wq.data(), scales.data());
+  for (int r = 0; r < rows; ++r) {
+    float maxabs = 0.0f;
+    for (int p = 0; p < k; ++p)
+      maxabs = std::max(maxabs, std::fabs(w[r * k + p]));
+    EXPECT_NEAR(scales[r], maxabs / 127.0f, 1e-7f);
+    for (int p = 0; p < k; ++p) {
+      // Symmetric rounding: dequantized value within half a step.
+      EXPECT_NEAR(wq[r * k + p] * scales[r], w[r * k + p],
+                  0.5f * scales[r] + 1e-7f)
+          << "r=" << r << " p=" << p;
+      EXPECT_GE(wq[r * k + p], -127);
+      EXPECT_LE(wq[r * k + p], 127);
+    }
+  }
+}
+
+TEST(QuantizeRows, ZeroRowGetsUnitScale) {
+  const int k = 8;
+  std::vector<float> w(k, 0.0f);
+  std::vector<std::int8_t> wq(k, 1);
+  float scale = 0.0f;
+  quantize_rows_int8(w.data(), 1, k, wq.data(), &scale);
+  EXPECT_EQ(scale, 1.0f);
+  for (int p = 0; p < k; ++p) EXPECT_EQ(wq[p], 0);
+}
+
+class Q8GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+// The int8 path must track the fp32 product within quantization error:
+// weights carry a half-step per-channel error, activations a half-step
+// per-(K-block, lane) error, both scaled by the K-sum. A loose bound of
+// a few parts in 10^2 relative to the row/column magnitudes holds with
+// plenty of margin for inputs in [-1, 1].
+TEST_P(Q8GemmShapes, ConvShapeTracksFp32) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 2654435761ULL ^ n * 97 ^ k));
+  const auto w = random_vec(static_cast<std::size_t>(m) * k, rng);
+  const auto x = random_vec(static_cast<std::size_t>(k) * n, rng);
+  const auto bias = random_vec(static_cast<std::size_t>(m), rng);
+
+  std::vector<float> expect(static_cast<std::size_t>(m) * n);
+  naive_gemm(w, x, expect, m, n, k);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j)
+      expect[static_cast<std::size_t>(i) * n + j] += bias[i];
+
+  std::vector<std::int8_t> wq(w.size());
+  std::vector<float> scales(m);
+  quantize_rows_int8(w.data(), m, k, wq.data(), scales.data());
+  std::vector<float> got(static_cast<std::size_t>(m) * n, -5.0f);
+  gemm_q8_bias_relu(nullptr, wq.data(), scales.data(), x.data(), bias.data(),
+                    got.data(), m, n, k, /*relu=*/false);
+
+  const float tol = 0.02f * std::sqrt(static_cast<float>(k)) + 0.02f;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got[i], expect[i], tol) << "i=" << i;
+}
+
+TEST_P(Q8GemmShapes, LinearShapeTracksFp32) {
+  const auto [n, m, k] = GetParam();  // reuse shapes with roles swapped
+  Rng rng(static_cast<std::uint64_t>(m ^ (n << 10) ^ (k << 3)));
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+  const auto wt = random_vec(static_cast<std::size_t>(n) * k, rng);  // [N,K]
+  const auto bias = random_vec(static_cast<std::size_t>(n), rng);
+
+  std::vector<float> expect(static_cast<std::size_t>(m) * n);
+  gemm_abt_bias_relu(a.data(), wt.data(), bias.data(), expect.data(), m, n, k,
+                     /*relu=*/true);
+
+  std::vector<std::int8_t> wq(wt.size());
+  std::vector<float> scales(n);
+  quantize_rows_int8(wt.data(), n, k, wq.data(), scales.data());
+  std::vector<float> got(static_cast<std::size_t>(m) * n, -5.0f);
+  gemm_q8_abt_bias_relu(nullptr, a.data(), wq.data(), scales.data(),
+                        bias.data(), got.data(), m, n, k, /*relu=*/true);
+
+  const float tol = 0.02f * std::sqrt(static_cast<float>(k)) + 0.02f;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got[i], expect[i], tol) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Q8GemmShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 5, 7},
+                      std::tuple{16, 16, 16}, std::tuple{65, 33, 17},
+                      std::tuple{1, 64, 200}, std::tuple{200, 1, 64},
+                      // Ragged shapes straddling the packing tiles and the
+                      // K-quad (4-wide) grouping: remainders 1..3 inside a
+                      // quad, multi-KC epilogues, multi-panel columns.
+                      std::tuple{4, 16, 256}, std::tuple{5, 17, 257},
+                      std::tuple{67, 31, 300}, std::tuple{70, 47, 513},
+                      std::tuple{63, 15, 255}, std::tuple{6, 18, 258},
+                      std::tuple{7, 19, 259}));
+
+// A bit-exact reference for the whole quantized pipeline: quantize
+// activations with the same per-(K-block, lane) asymmetric rule the pack
+// step uses, accumulate in int32, dequantize per block. The packed kernel
+// must match this reference exactly (not just within tolerance) — that is
+// the property that makes SIMD vs scalar and serial vs threaded agree.
+void reference_q8_conv(const std::vector<std::int8_t>& wq,
+                       const std::vector<float>& ws,
+                       const std::vector<float>& x,
+                       const std::vector<float>& bias, std::vector<float>& c,
+                       int m, int n, int k, bool relu) {
+  constexpr int kKC = 256;  // must mirror the driver's K blocking
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) c[static_cast<std::size_t>(i) * n + j] = 0.0f;
+  for (int kc0 = 0; kc0 < k; kc0 += kKC) {
+    const int kc = std::min(kKC, k - kc0);
+    for (int j = 0; j < n; ++j) {
+      float lo = 0.0f, hi = 0.0f;
+      for (int p = 0; p < kc; ++p) {
+        const float v = x[static_cast<std::size_t>(kc0 + p) * n + j];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      const float range = hi - lo;
+      const float scale = range / 255.0f;
+      const float inv = range > 0.0f ? 255.0f / range : 0.0f;
+      for (int i = 0; i < m; ++i) {
+        std::int32_t acc = 0;
+        std::int32_t wsum = 0;
+        for (int p = 0; p < kc; ++p) {
+          const float v = x[static_cast<std::size_t>(kc0 + p) * n + j];
+          const int q = static_cast<int>((v - lo) * inv + 0.5f);
+          const int wv = wq[static_cast<std::size_t>(i) * k + kc0 + p];
+          acc += wv * q;
+          wsum += wv;
+        }
+        // Same association as the packed epilogue: (ws*scale)*acc +
+        // (ws*wsum)*lo — float multiplies are not associative, so the
+        // grouping matters for bit-exactness.
+        c[static_cast<std::size_t>(i) * n + j] +=
+            ws[i] * scale * static_cast<float>(acc) +
+            ws[i] * static_cast<float>(wsum) * lo;
+      }
+    }
+  }
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      float& v = c[static_cast<std::size_t>(i) * n + j];
+      v += bias[i];
+      if (relu) v = std::max(v, 0.0f);
+    }
+}
+
+TEST(Q8Gemm, MatchesBitExactReference) {
+  for (const auto [m, n, k] :
+       {std::tuple{5, 19, 30}, std::tuple{33, 40, 300},
+        std::tuple{64, 80, 513}}) {
+    Rng rng(static_cast<std::uint64_t>(m * 31 + n * 7 + k));
+    const auto w = random_vec(static_cast<std::size_t>(m) * k, rng);
+    const auto x = random_vec(static_cast<std::size_t>(k) * n, rng);
+    const auto bias = random_vec(static_cast<std::size_t>(m), rng);
+    std::vector<std::int8_t> wq(w.size());
+    std::vector<float> ws(m);
+    quantize_rows_int8(w.data(), m, k, wq.data(), ws.data());
+
+    std::vector<float> expect(static_cast<std::size_t>(m) * n);
+    reference_q8_conv(wq, ws, x, bias, expect, m, n, k, /*relu=*/true);
+    std::vector<float> got(expect.size(), -3.0f);
+    gemm_q8_bias_relu(nullptr, wq.data(), ws.data(), x.data(), bias.data(),
+                      got.data(), m, n, k, /*relu=*/true);
+    ASSERT_EQ(std::memcmp(got.data(), expect.data(),
+                          got.size() * sizeof(float)),
+              0)
+        << "m=" << m << " n=" << n << " k=" << k;
+  }
+}
+
+TEST(Q8Gemm, BitwiseDeterministicAcrossThreadCounts) {
+  // Raise the worker cap so the sharded paths actually run on a 1-core
+  // host; the regression guard would otherwise serialise everything.
+  WorkerCapGuard cap(8);
+  for (const auto [m, n, k] :
+       {std::tuple{130, 95, 300}, std::tuple{70, 2100, 90},
+        std::tuple{3, 1025, 513}}) {
+    Rng rng(static_cast<std::uint64_t>(m ^ (n << 9) ^ k));
+    const auto w = random_vec(static_cast<std::size_t>(m) * k, rng);
+    const auto x = random_vec(static_cast<std::size_t>(k) * n, rng);
+    const auto bias = random_vec(static_cast<std::size_t>(m), rng);
+    std::vector<std::int8_t> wq(w.size());
+    std::vector<float> ws(m);
+    quantize_rows_int8(w.data(), m, k, wq.data(), ws.data());
+
+    std::vector<float> serial(static_cast<std::size_t>(m) * n);
+    gemm_q8_bias_relu(nullptr, wq.data(), ws.data(), x.data(), bias.data(),
+                      serial.data(), m, n, k, true);
+    for (int threads : {2, 3, 5}) {
+      ThreadPool pool(threads - 1);
+      std::vector<float> threaded(serial.size(), -9.0f);
+      gemm_q8_bias_relu(&pool, wq.data(), ws.data(), x.data(), bias.data(),
+                        threaded.data(), m, n, k, true);
+      ASSERT_EQ(std::memcmp(serial.data(), threaded.data(),
+                            serial.size() * sizeof(float)),
+                0)
+          << "threads=" << threads << " m=" << m << " n=" << n << " k=" << k;
+    }
+
+    // Linear shape too (activation rows x weight columns).
+    const auto wt = random_vec(static_cast<std::size_t>(n) * k, rng);
+    std::vector<std::int8_t> wtq(wt.size());
+    std::vector<float> wts(n);
+    quantize_rows_int8(wt.data(), n, k, wtq.data(), wts.data());
+    const auto cbias = random_vec(static_cast<std::size_t>(n), rng);
+    gemm_q8_abt_bias_relu(nullptr, w.data(), wtq.data(), wts.data(),
+                          cbias.data(), serial.data(), m, n, k, false);
+    ThreadPool pool(3);
+    std::vector<float> threaded(serial.size(), -9.0f);
+    gemm_q8_abt_bias_relu(&pool, w.data(), wtq.data(), wts.data(),
+                          cbias.data(), threaded.data(), m, n, k, false);
+    ASSERT_EQ(std::memcmp(serial.data(), threaded.data(),
+                          serial.size() * sizeof(float)),
+              0);
+  }
+}
+
+TEST(Q8Gemm, DegenerateShapes) {
+  // k == 0 is a pure bias epilogue; zero activations quantize to scale 0.
+  std::vector<std::int8_t> wq;
+  std::vector<float> ws = {0.5f, 0.25f};
+  std::vector<float> bias = {1.0f, -2.0f};
+  std::vector<float> c(6, 9.0f);
+  gemm_q8_bias_relu(nullptr, wq.data(), ws.data(), nullptr, bias.data(),
+                    c.data(), 2, 3, 0, /*relu=*/true);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(c[j], 1.0f);
+    EXPECT_EQ(c[3 + j], 0.0f);  // relu clamps the -2 bias
+  }
+
+  const int m = 3, n = 5, k = 40;
+  std::vector<float> w(static_cast<std::size_t>(m) * k, 0.7f);
+  std::vector<float> zeros(static_cast<std::size_t>(k) * n, 0.0f);
+  std::vector<std::int8_t> wq2(w.size());
+  std::vector<float> ws2(m);
+  quantize_rows_int8(w.data(), m, k, wq2.data(), ws2.data());
+  std::vector<float> out(static_cast<std::size_t>(m) * n, 4.0f);
+  gemm_q8_bias_relu(nullptr, wq2.data(), ws2.data(), zeros.data(), nullptr,
+                    out.data(), m, n, k, false);
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ParallelGemm, GuardSerialisesBelowFlopFloor) {
+  // With the cap forced to 1 "core", a pooled call must take the serial
+  // path and still produce the serial result — and a small GEMM must stay
+  // serial even with a generous cap (per-shard FLOP floor).
+  ThreadPool pool(3);
+  const int m = 32, n = 48, k = 32;  // 2*m*n*k ~ 98e3 flops, far below floor
+  Rng rng(5);
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+  std::vector<float> serial(static_cast<std::size_t>(m) * n);
+  gemm(a.data(), b.data(), serial.data(), m, n, k, false);
+
+  for (int cap : {1, 16}) {
+    WorkerCapGuard guard(cap);
+    std::vector<float> pooled(serial.size(), -1.0f);
+    gemm_parallel(&pool, a.data(), b.data(), pooled.data(), m, n, k, false);
+    ASSERT_EQ(std::memcmp(serial.data(), pooled.data(),
+                          serial.size() * sizeof(float)),
+              0)
+        << "cap=" << cap;
+  }
+}
+
+TEST(ParallelGemm, LargeGemmStillShardsUnderGenerousCap) {
+  // Above the FLOP floor with a raised cap the sharded path runs and stays
+  // bitwise equal to serial (the original ParallelGemm contract).
+  WorkerCapGuard guard(8);
+  ThreadPool pool(3);
+  const int m = 256, n = 256, k = 256;
+  Rng rng(6);
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+  std::vector<float> serial(static_cast<std::size_t>(m) * n);
+  std::vector<float> pooled(serial.size(), -1.0f);
+  gemm(a.data(), b.data(), serial.data(), m, n, k, false);
+  gemm_parallel(&pool, a.data(), b.data(), pooled.data(), m, n, k, false);
+  ASSERT_EQ(std::memcmp(serial.data(), pooled.data(),
+                        serial.size() * sizeof(float)),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// Net layer: conversion pass, checkpoint round-trip, evaluator flavor.
+
+Tensor random_input(const NetConfig& cfg, int batch, Rng& rng) {
+  Tensor x({batch, cfg.in_channels, cfg.height, cfg.width});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = rng.uniform_float();  // encode() planes live in [0, 1]
+  }
+  return x;
+}
+
+TEST(QuantizedNet, PredictTracksFp32) {
+  const NetConfig cfg = NetConfig::tiny(7);
+  PolicyValueNet net(cfg, 33);
+  const QuantizedPolicyValueNet qnet(net);
+  Rng rng(17);
+  const Tensor x = random_input(cfg, 3, rng);
+
+  Activations acts_f, acts_q;
+  Tensor pf, vf, pq, vq;
+  net.predict(x, acts_f, pf, vf);
+  qnet.predict(x, acts_q, pq, vq);
+
+  ASSERT_EQ(pf.numel(), pq.numel());
+  ASSERT_EQ(vf.numel(), vq.numel());
+  for (int b = 0; b < 3; ++b) {
+    float sum = 0.0f;
+    for (int a = 0; a < cfg.actions(); ++a) {
+      const float d = pq.at2(b, a) - pf.at2(b, a);
+      EXPECT_LT(std::abs(d), 0.05f) << "b=" << b << " a=" << a;
+      sum += pq.at2(b, a);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);  // still a distribution
+    EXPECT_NEAR(vq.data()[b], vf.data()[b], 0.05f);
+    EXPECT_GE(vq.data()[b], -1.0f);
+    EXPECT_LE(vq.data()[b], 1.0f);
+  }
+}
+
+TEST(QuantizedNet, HeadsFollowTheSpec) {
+  const NetConfig cfg = NetConfig::tiny(5);
+  PolicyValueNet net(cfg, 7);
+
+  const QuantizedPolicyValueNet defaults(net);
+  EXPECT_TRUE(defaults.fconv_p().has_value());  // heads fp32 by default
+  EXPECT_TRUE(defaults.ffc_v1().has_value());
+  EXPECT_FALSE(defaults.qconv_p().has_value());
+
+  QuantizeSpec spec;
+  spec.policy_head_int8 = true;
+  spec.value_head_int8 = true;
+  const QuantizedPolicyValueNet full(net, spec);
+  EXPECT_TRUE(full.qconv_p().has_value());
+  EXPECT_TRUE(full.qfc_v1().has_value());
+  EXPECT_FALSE(full.fconv_p().has_value());
+  // fc_v2 is always fp32 regardless of spec.
+  EXPECT_EQ(full.fc_v2().out_features(), 1);
+
+  // Fully-quantized heads still produce a valid, fp32-tracking output.
+  Rng rng(91);
+  const Tensor x = random_input(cfg, 2, rng);
+  Activations acts_f, acts_q;
+  Tensor pf, vf, pq, vq;
+  net.predict(x, acts_f, pf, vf);
+  full.predict(x, acts_q, pq, vq);
+  for (int b = 0; b < 2; ++b) {
+    EXPECT_NEAR(vq.data()[b], vf.data()[b], 0.1f);
+  }
+}
+
+TEST(QuantizedNet, CheckpointRoundTripIsBitExact) {
+  const NetConfig cfg = NetConfig::tiny(6);
+  PolicyValueNet net(cfg, 55);
+  QuantizeSpec spec;
+  spec.policy_head_int8 = true;  // exercise both head representations
+  const QuantizedPolicyValueNet qnet(net, spec);
+
+  std::stringstream stream;
+  save_quantized_net(qnet, stream);
+  const QuantizedPolicyValueNet loaded = load_quantized_net(stream);
+
+  EXPECT_EQ(loaded.config(), cfg);
+  EXPECT_EQ(loaded.spec(), spec);
+  // Per-channel scales and int8 payloads survive exactly.
+  EXPECT_EQ(loaded.conv1().wq(), qnet.conv1().wq());
+  EXPECT_EQ(loaded.conv1().wscale(), qnet.conv1().wscale());
+  EXPECT_EQ(loaded.conv3().wscale(), qnet.conv3().wscale());
+  ASSERT_TRUE(loaded.qfc_p().has_value());
+  EXPECT_EQ(loaded.qfc_p()->wscale(), qnet.qfc_p()->wscale());
+
+  // Same weights + deterministic kernels => bitwise-identical predictions.
+  Rng rng(23);
+  const Tensor x = random_input(cfg, 4, rng);
+  Activations acts_a, acts_b;
+  Tensor pa, va, pb, vb;
+  qnet.predict(x, acts_a, pa, va);
+  loaded.predict(x, acts_b, pb, vb);
+  ASSERT_EQ(pa.numel(), pb.numel());
+  ASSERT_EQ(std::memcmp(pa.data(), pb.data(), pa.numel() * sizeof(float)),
+            0);
+  ASSERT_EQ(std::memcmp(va.data(), vb.data(), va.numel() * sizeof(float)),
+            0);
+}
+
+TEST(QuantizedNet, NetEvaluatorServesInt8) {
+  const NetConfig cfg = NetConfig::tiny(5);
+  PolicyValueNet net(cfg, 3);
+  const QuantizedPolicyValueNet qnet(net);
+
+  NetEvaluator fp32_eval(net);
+  NetEvaluator int8_eval(qnet);
+  EXPECT_EQ(fp32_eval.precision(), Precision::kFp32);
+  EXPECT_EQ(int8_eval.precision(), Precision::kInt8);
+  EXPECT_EQ(int8_eval.action_count(), fp32_eval.action_count());
+  EXPECT_EQ(int8_eval.input_size(), fp32_eval.input_size());
+
+  Rng rng(41);
+  const int batch = 4;
+  const Tensor x = random_input(cfg, batch, rng);
+  std::vector<EvalOutput> of(batch), oq(batch);
+  fp32_eval.evaluate_batch(x.data(), batch, of.data());
+  int8_eval.evaluate_batch(x.data(), batch, oq.data());
+  for (int b = 0; b < batch; ++b) {
+    ASSERT_EQ(oq[b].policy.size(), of[b].policy.size());
+    for (std::size_t a = 0; a < of[b].policy.size(); ++a) {
+      EXPECT_NEAR(oq[b].policy[a], of[b].policy[a], 0.05f);
+    }
+    EXPECT_NEAR(oq[b].value, of[b].value, 0.05f);
+  }
+
+  // The int8 evaluator is deterministic batch-to-batch (cache safety).
+  std::vector<EvalOutput> oq2(batch);
+  int8_eval.evaluate_batch(x.data(), batch, oq2.data());
+  for (int b = 0; b < batch; ++b) {
+    EXPECT_EQ(oq[b].policy, oq2[b].policy);
+    EXPECT_EQ(oq[b].value, oq2[b].value);
+  }
+}
+
+}  // namespace
+}  // namespace apm
