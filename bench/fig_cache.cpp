@@ -4,6 +4,12 @@
 // resulting hit rate, unique backend evaluations, and aggregate served
 // evals/s — into a JSON baseline (default BENCH_cache.json, or argv[1]).
 //
+// ISSUE 7 adds the transposition-table rows: full games of Othello and
+// Connect4 at a fixed per-move simulation budget, TT on vs off (no eval
+// cache in these rows, so the reduction is the TT's alone). Grafts must
+// cut both node expansions and backend evaluations while — kPriors being
+// bitwise-faithful — leaving every move of the game identical.
+//
 // Setup mirrors fig_service_throughput: K serial-engine Gomoku games share
 // one AsyncBatchEvaluator (threshold 4) over a wall-emulated A6000 model,
 // fixed seeds, adaptation off — so per-game move sequences are a function
@@ -13,13 +19,18 @@
 // backend performs strictly fewer evaluations.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "eval/gpu_model.hpp"
+#include "games/connect4.hpp"
 #include "games/gomoku.hpp"
+#include "games/othello.hpp"
+#include "mcts/engine.hpp"
 #include "serve/match_service.hpp"
 #include "support/table.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
@@ -77,6 +88,49 @@ RunResult run_service(const Game& game, int concurrent_games,
     service.stop();
   }
   r.cache = cache.stats();
+  return r;
+}
+
+// One full game driven by a serial SearchEngine (tree reuse on, no eval
+// cache) at a fixed per-move playout budget; the TT — when on — is
+// refilled by the advance_root() archive pass between moves.
+struct TtRunResult {
+  int winner = 0;
+  int moves = 0;
+  std::vector<int> actions;       // move-identity check vs the TT-off run
+  std::int64_t expansions = 0;    // fresh (evaluator-backed) expansions
+  std::int64_t evals = 0;         // backend eval requests
+  std::int64_t grafts = 0;        // leaves served from the TT
+  double seconds = 0.0;
+};
+
+TtRunResult run_tt_game(const Game& game, int playouts, bool tt_on) {
+  SyntheticEvaluator eval(game.action_count(), game.encode_size());
+  EngineConfig ec;
+  ec.mcts.num_playouts = playouts;
+  ec.mcts.seed = 17;
+  ec.scheme = Scheme::kSerial;
+  ec.adapt = false;
+  ec.tt.enabled = tt_on;
+  ec.tt.capacity = 1 << 15;
+  ec.tt.max_edges = 64;
+  SearchEngine engine(ec, {.evaluator = &eval});
+
+  TtRunResult r;
+  std::unique_ptr<Game> env = game.clone();
+  Timer timer;
+  while (!env->is_terminal() && r.moves < 80) {
+    const SearchResult res = engine.search(*env);
+    r.expansions += static_cast<std::int64_t>(res.metrics.expansions);
+    r.evals += static_cast<std::int64_t>(res.metrics.eval_requests);
+    r.grafts += static_cast<std::int64_t>(res.metrics.tt_grafts);
+    r.actions.push_back(res.best_action);
+    engine.advance(res.best_action);
+    env->apply(res.best_action);
+    ++r.moves;
+  }
+  r.seconds = timer.elapsed_seconds();
+  r.winner = env->winner();
   return r;
 }
 
@@ -164,6 +218,58 @@ int main(int argc, char** argv) {
   }
   csweep.print("capacity sweep at K = 4");
 
+  // --- transposition table: TT on vs off, fixed sim budget ----------------
+  Table ttable({"game", "TT", "moves", "expansions", "backend evals",
+                "grafts", "graft rate", "game secs"});
+  bool tt_identical = true;
+  bool tt_fewer = true;
+  struct TtCase {
+    const char* name;
+    const Game& game;
+    int playouts;
+  };
+  const Othello othello(6);
+  const Connect4 connect4;
+  for (const TtCase& tc : std::initializer_list<TtCase>{
+           {"othello6", othello, 512}, {"connect4", connect4, 512}}) {
+    const TtRunResult off = run_tt_game(tc.game, tc.playouts, false);
+    const TtRunResult on = run_tt_game(tc.game, tc.playouts, true);
+    // kPriors grafting is bitwise-faithful under the deterministic serial
+    // scheme: the whole game must replay move for move.
+    tt_identical = tt_identical && on.actions == off.actions &&
+                   on.winner == off.winner;
+    tt_fewer = tt_fewer && on.expansions < off.expansions &&
+               on.evals < off.evals && on.grafts > 0;
+
+    for (const auto* r : {&off, &on}) {
+      const bool enabled = r == &on;
+      const double graft_rate =
+          r->grafts + r->evals > 0
+              ? static_cast<double>(r->grafts) /
+                    static_cast<double>(r->grafts + r->evals)
+              : 0.0;
+      ttable.add_row({tc.name, enabled ? "on" : "off",
+                      std::to_string(r->moves), std::to_string(r->expansions),
+                      std::to_string(r->evals), std::to_string(r->grafts),
+                      Table::fmt(graft_rate, 3), Table::fmt(r->seconds, 2)});
+      const std::string suffix =
+          std::string("_") + tc.name + (enabled ? "_tt" : "_nott");
+      json.entry("tt_expansions" + suffix, static_cast<double>(r->expansions),
+                 "expansions");
+      json.entry("tt_backend_evals" + suffix, static_cast<double>(r->evals),
+                 "evals");
+      if (enabled) {
+        json.entry("tt_grafts" + suffix, static_cast<double>(r->grafts),
+                   "grafts");
+        json.entry("tt_graft_rate" + suffix, graft_rate, "fraction");
+      }
+    }
+  }
+  ttable.print(
+      "transposition table: serial engine, fixed 512-playout budget, "
+      "no eval cache");
+
+  json.entry("tt_results_identical_on_off", tt_identical ? 1.0 : 0.0, "bool");
   json.entry("cache_results_identical_on_off", results_identical ? 1.0 : 0.0,
              "bool");
   std::fprintf(f, "\n]\n");
@@ -172,8 +278,13 @@ int main(int argc, char** argv) {
   std::printf(
       "\ncheck: identical per-game results on/off: %s; strictly fewer unique "
       "evals with cache: %s;\nK=4 hit rate %.3f (must be > 0)\n"
-      "baseline written to %s\n",
+      "check: TT games identical on/off: %s; TT cuts expansions AND backend "
+      "evals: %s\nbaseline written to %s\n",
       results_identical ? "yes" : "NO", strictly_fewer ? "yes" : "NO",
-      hit_rate_k4, out_path);
-  return results_identical && strictly_fewer && hit_rate_k4 > 0.0 ? 0 : 1;
+      hit_rate_k4, tt_identical ? "yes" : "NO", tt_fewer ? "yes" : "NO",
+      out_path);
+  return results_identical && strictly_fewer && hit_rate_k4 > 0.0 &&
+                 tt_identical && tt_fewer
+             ? 0
+             : 1;
 }

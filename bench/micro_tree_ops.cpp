@@ -7,6 +7,7 @@
 #include "eval/evaluator.hpp"
 #include "mcts/selection.hpp"
 #include "mcts/serial.hpp"
+#include "mcts/transposition.hpp"
 #include "perfmodel/synthetic_game.hpp"
 
 namespace {
@@ -123,6 +124,90 @@ void BM_BackupDepth(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BackupDepth)->Arg(4)->Arg(16)->Arg(64);
+
+// --- transposition table (ISSUE 7) ---------------------------------------
+
+constexpr std::uint64_t kKeyStride = 0x9E3779B97F4A7C15ULL;
+
+void fill_tt(TranspositionTable& tt, int edges_per_entry,
+             std::uint64_t entries) {
+  std::vector<TtEdge> edges(static_cast<std::size_t>(edges_per_entry));
+  for (int i = 0; i < edges_per_entry; ++i) {
+    edges[i].action = i;
+    edges[i].prior = 1.0f / static_cast<float>(edges_per_entry);
+  }
+  for (std::uint64_t k = 1; k <= entries; ++k) {
+    tt.store(k * kKeyStride, 0.1f, 4, edges.data(), edges_per_entry, false);
+  }
+}
+
+// Arg: 1 = always-hit probes, 0 = always-miss probes.
+void BM_TtProbe(benchmark::State& state) {
+  const bool hit = state.range(0) != 0;
+  constexpr std::uint64_t kEntries = 4096;
+  TtConfig cfg;
+  cfg.capacity = 1 << 14;
+  cfg.ways = 4;
+  cfg.max_edges = 32;
+  TranspositionTable tt(cfg);
+  fill_tt(tt, 32, kEntries);
+  TtView scratch;
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    k = k % kEntries + 1;
+    const std::uint64_t key = k * kKeyStride + (hit ? 0 : 1);
+    benchmark::DoNotOptimize(tt.probe(key, scratch));
+  }
+}
+BENCHMARK(BM_TtProbe)->Arg(1)->Arg(0);
+
+// Arg: table capacity — small tables keep the eviction scan hot.
+void BM_TtStore(benchmark::State& state) {
+  TtConfig cfg;
+  cfg.capacity = static_cast<std::size_t>(state.range(0));
+  cfg.ways = 4;
+  cfg.max_edges = 32;
+  TranspositionTable tt(cfg);
+  TtEdge edges[32];
+  for (int i = 0; i < 32; ++i) {
+    edges[i].action = i;
+    edges[i].prior = 1.0f / 32.0f;
+  }
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    ++k;
+    tt.store(k * kKeyStride, 0.1f, 4, edges, 32, false);
+  }
+}
+BENCHMARK(BM_TtStore)->Arg(1 << 10)->Arg(1 << 16);
+
+// A graft is the TT's replacement for expand+encode+eval: installing a
+// stored hit onto a freshly claimed leaf. Compare against BM_ExpandFanout
+// at the same fanout for the pure in-tree delta.
+void BM_TtGraft(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  MctsConfig cfg;
+  SearchTree tree;
+  InTreeOps ops(tree, cfg);
+  TtView hit;
+  hit.value = 0.25f;
+  hit.edges.resize(static_cast<std::size_t>(fanout));
+  for (int i = 0; i < fanout; ++i) {
+    hit.edges[static_cast<std::size_t>(i)].action = i;
+    hit.edges[static_cast<std::size_t>(i)].prior =
+        1.0f / static_cast<float>(fanout);
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    tree.reset();
+    Node& root = tree.node(tree.root());
+    ExpandState expected = ExpandState::kLeaf;
+    root.state.compare_exchange_strong(expected, ExpandState::kExpanding);
+    state.ResumeTiming();
+    ops.expand_from_tt(tree.root(), 0x1234ULL, hit, GraftMode::kPriors, 0.5f);
+  }
+}
+BENCHMARK(BM_TtGraft)->Arg(25)->Arg(225)->Arg(361);
 
 }  // namespace
 

@@ -106,6 +106,16 @@ struct SearchMetrics {
   // produced edges). With cross-move tree reuse this is the per-move cost
   // the reused subtree saves.
   std::size_t expansions = 0;
+  // Transposition-table traffic (zero without a TT attached). tt_grafts
+  // counts leaves expanded entirely from a stored entry — no encode, no
+  // eval request, NOT included in `expansions` (which stays the fresh-eval
+  // count). tt_pending counts probes that found the position announced but
+  // not yet stored (the Cazenave coalescing case one layer above the
+  // queue's in-flight dedupe).
+  std::size_t tt_probes = 0;
+  std::size_t tt_grafts = 0;
+  std::size_t tt_pending = 0;
+  std::size_t tt_stores = 0;
   std::size_t terminal_rollouts = 0;
   std::size_t expansion_collisions = 0;
   // Tree reuse accounting: subtree carried over from the previous move

@@ -35,7 +35,93 @@ SearchEngine::SearchEngine(EngineConfig cfg, SearchResources res)
                   cfg_.workers, cfg_.batch_threshold) {
   APM_CHECK_MSG(res_.evaluator != nullptr || res_.batch != nullptr,
                 "SearchEngine: no evaluation resource provided");
+  if (cfg_.tt.enabled) {
+    tt_ = std::make_unique<TranspositionTable>(cfg_.tt);
+    tt_->set_generation(tree_.epoch());
+    res_.tt = tt_.get();
+  }
   rebuild_driver(cfg_.scheme, cfg_.workers, cfg_.batch_threshold);
+  if (cfg_.background_compaction) {
+    compactor_ = std::thread([this] { compactor_loop(); });
+  }
+}
+
+SearchEngine::~SearchEngine() {
+  if (compactor_.joinable()) {
+    {
+      std::lock_guard lock(cmu_);
+      cjob_shutdown_ = true;
+    }
+    c_cv_.notify_all();
+    compactor_.join();
+  }
+}
+
+void SearchEngine::wait_compaction() {
+  if (!compactor_.joinable()) return;
+  std::unique_lock lock(cmu_);
+  c_cv_.wait(lock, [this] { return !cjob_ready_ && !cjob_busy_; });
+}
+
+SearchTree::NodeArchiver SearchEngine::make_archiver() {
+  if (tt_ == nullptr) return {};
+  return [this](NodeId id) {
+    const Node& n = tree_.node(id);
+    // Only fully expanded nodes with a recorded position memo carry
+    // archivable statistics. The root's priors are Dirichlet-noised during
+    // self-play — never fold those into the table.
+    if (n.hash == 0 || n.num_edges <= 0 ||
+        n.state.load(std::memory_order_acquire) != ExpandState::kExpanded) {
+      return;
+    }
+    if (cfg_.mcts.root_noise && id == tree_.root()) return;
+    TtEdge edges[64];
+    std::vector<TtEdge> heap;
+    TtEdge* out = edges;
+    if (n.num_edges > 64) {
+      heap.resize(static_cast<std::size_t>(n.num_edges));
+      out = heap.data();
+    }
+    for (std::int32_t i = 0; i < n.num_edges; ++i) {
+      const Edge& e = tree_.edge(n.first_edge + i);
+      out[i].action = e.action;
+      out[i].prior = e.prior;
+      out[i].visits = e.visits.load(std::memory_order_relaxed);
+      out[i].value_sum =
+          static_cast<double>(e.value_sum.load(std::memory_order_relaxed));
+    }
+    tt_->store(n.hash, n.value, /*depth=*/0, out, n.num_edges,
+               /*release_inflight=*/false);
+  };
+}
+
+void SearchEngine::run_advance(int action) {
+  const bool kept = tree_.advance_root(action, make_archiver());
+  if (tt_ != nullptr) tt_->set_generation(tree_.epoch());
+  pending_reuse_ = kept;
+  reusable_visits_ = kept ? tree_.root_visit_total() : 0;
+}
+
+void SearchEngine::compactor_loop() {
+  for (;;) {
+    int action;
+    {
+      std::unique_lock lock(cmu_);
+      c_cv_.wait(lock, [this] { return cjob_ready_ || cjob_shutdown_; });
+      if (cjob_shutdown_ && !cjob_ready_) return;
+      cjob_ready_ = false;
+      cjob_busy_ = true;
+      action = cjob_action_;
+    }
+    run_advance(action);
+    {
+      // The lock both clears busy and publishes run_advance()'s writes
+      // (tree swap, TT generation, reuse flags) to whoever joins next.
+      std::lock_guard lock(cmu_);
+      cjob_busy_ = false;
+    }
+    c_cv_.notify_all();
+  }
 }
 
 int SearchEngine::batch_threshold() const {
@@ -72,6 +158,7 @@ void SearchEngine::rebuild_driver(Scheme scheme, int workers,
 }
 
 SearchResult SearchEngine::search(const Game& env) {
+  wait_compaction();
   EngineMoveStats ms;
   ms.move = move_index_;
   ms.scheme = driver_->scheme();
@@ -134,19 +221,33 @@ SearchResult SearchEngine::search(const Game& env) {
 }
 
 void SearchEngine::advance(int action) {
+  wait_compaction();
   if (!cfg_.reuse_tree) {
     tree_.reset();
+    if (tt_ != nullptr) tt_->set_generation(tree_.epoch());
     pending_reuse_ = false;
     reusable_visits_ = 0;
     return;
   }
-  const bool kept = tree_.advance_root(action);
-  pending_reuse_ = kept;
-  reusable_visits_ = kept ? tree_.root_visit_total() : 0;
+  if (compactor_.joinable()) {
+    {
+      std::lock_guard lock(cmu_);
+      cjob_action_ = action;
+      cjob_ready_ = true;
+    }
+    c_cv_.notify_all();
+    return;
+  }
+  run_advance(action);
 }
 
 void SearchEngine::reset_game() {
+  wait_compaction();
   tree_.reset();
+  if (tt_ != nullptr) {
+    if (!cfg_.tt_keep_across_games) tt_->clear();
+    tt_->set_generation(tree_.epoch());
+  }
   pending_reuse_ = false;
   reusable_visits_ = 0;
   // Bound the adaptation trace across long runs (thousands of episodes):

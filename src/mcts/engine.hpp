@@ -24,11 +24,15 @@
 //     engine.advance(r.best_action);          // keep the subtree
 //   }
 
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "mcts/factory.hpp"
+#include "mcts/transposition.hpp"
 #include "perfmodel/adaptive.hpp"
 
 namespace apm {
@@ -60,6 +64,20 @@ struct EngineConfig {
   // Design-time seed for the live cost model; zero-initialised costs are
   // fine (the first observed move dominates via EWMA warmup).
   ProfiledCosts seed_costs;
+
+  // Transposition table (tt.enabled builds one, owned by the engine and
+  // attached to every driver). Its generation stamp tracks the tree's
+  // compaction epoch; advance_root()'s archive pass folds discarded
+  // subtrees back into it.
+  TtConfig tt;
+  // Keep TT entries across reset_game(): position memos are pure function
+  // of the (deterministic) evaluator, so cross-game carry-over is sound —
+  // off by default to keep games statistically independent.
+  bool tt_keep_across_games = false;
+  // Run advance_root() compaction (and the TT archive pass) on a
+  // background thread so huge reused trees stop taxing move latency; the
+  // next search()/advance()/reset_game() joins on it.
+  bool background_compaction = false;
 };
 
 // Per-move engine telemetry — the adaptation trace surfaced through
@@ -96,6 +114,7 @@ struct EngineMoveStats {
 class SearchEngine {
  public:
   SearchEngine(EngineConfig cfg, SearchResources res);
+  ~SearchEngine();
 
   // Runs one move's search from `env`. The caller owns move selection;
   // report the chosen action (and the opponent's reply) via advance().
@@ -119,6 +138,12 @@ class SearchEngine {
   const std::vector<EngineMoveStats>& move_log() const { return log_; }
   SearchTree& tree() { return tree_; }
   const AdaptiveController& controller() const { return controller_; }
+  // nullptr unless cfg.tt.enabled.
+  TranspositionTable* transposition() { return tt_.get(); }
+  // Blocks until a pending background compaction (if any) has finished —
+  // search()/advance()/reset_game() call this implicitly; tests and stats
+  // readers can call it directly before touching the tree.
+  void wait_compaction();
 
   // Test/replay hook: overrides the measured per-move costs with a
   // synthetic feed (move index -> cost sample) so adaptation paths can be
@@ -129,10 +154,16 @@ class SearchEngine {
 
  private:
   void rebuild_driver(Scheme scheme, int workers, int batch_threshold);
+  // The advance_root + TT-generation + reuse-crediting step, runnable
+  // either inline or on the compactor thread.
+  void run_advance(int action);
+  SearchTree::NodeArchiver make_archiver();
+  void compactor_loop();
 
   EngineConfig cfg_;
   SearchResources res_;
   SearchTree tree_;
+  std::unique_ptr<TranspositionTable> tt_;
   AdaptiveController controller_;
   std::unique_ptr<MctsSearch> driver_;
   std::function<ProfiledCosts(int)> cost_feed_;
@@ -141,6 +172,18 @@ class SearchEngine {
   int switches_ = 0;
   bool pending_reuse_ = false;
   std::int64_t reusable_visits_ = 0;
+
+  // Background compaction (cfg_.background_compaction): one long-lived
+  // worker, one job slot. cmu_ orders every field below AND publishes the
+  // tree/TT mutations run_advance() makes on the worker back to callers
+  // that joined via wait_compaction().
+  std::thread compactor_;
+  std::mutex cmu_;
+  std::condition_variable c_cv_;
+  bool cjob_ready_ = false;
+  bool cjob_busy_ = false;
+  bool cjob_shutdown_ = false;
+  int cjob_action_ = -1;
 };
 
 }  // namespace apm

@@ -22,6 +22,9 @@ struct SearchResources {
   Evaluator* evaluator = nullptr;
   AsyncBatchEvaluator* batch = nullptr;
   int batch_tag = -1;
+  // Optional caller-owned transposition table, attached to the built
+  // search via MctsSearch::set_transposition().
+  TranspositionTable* tt = nullptr;
 };
 
 // `shared_tree` != nullptr runs the scheme over an externally owned arena

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "mcts/selection.hpp"
+#include "mcts/transposition.hpp"
 #include "support/sync_queue.hpp"
 #include "support/timer.hpp"
 
@@ -15,6 +16,9 @@ struct Completion {
   std::vector<int> legal;  // captured at selection time (the master does
                            // not retain the game state of the leaf)
   EvalOutput out;
+  std::uint64_t key = 0;     // leaf eval_key, for the TT store
+  std::int32_t depth = 0;
+  bool announced = false;    // a TT in-flight mark to release at store time
 };
 
 }  // namespace
@@ -64,6 +68,7 @@ void LocalTreeMcts::evaluate_root(const Game& env) {
   } else {
     eval_->evaluate(input.data(), out);
   }
+  ops.note_eval(tree_.root(), env.eval_key(), out.value);
   ops.expand(tree_.root(), env, out.policy, cfg_.root_noise ? &rng_ : nullptr);
 }
 
@@ -85,6 +90,7 @@ SearchResult LocalTreeMcts::search(const Game& env) {
 
   SyncQueue<Completion> completions;
   std::vector<float> input(env.encode_size());
+  TtView tt_scratch;
 
   const int total = cfg_.num_playouts;
   int issued = 0;     // rollouts started (selection done)
@@ -94,8 +100,14 @@ SearchResult LocalTreeMcts::search(const Game& env) {
   // Applies one completion: expansion + backup on the master thread.
   auto process = [&](Completion&& c) {
     Timer phase;
+    ops.note_eval(c.node, c.key, c.out.value);
     ops.expand_from_legal(c.node, c.legal, c.out.policy);
     ++metrics.expansions;
+    if (tt_ != nullptr) {
+      tt_store_expansion(tt_, tree_, c.node, c.key, c.out.value, c.depth,
+                         c.announced);
+      ++metrics.tt_stores;
+    }
     metrics.expand_seconds += phase.elapsed_seconds();
 
     phase.reset();
@@ -152,15 +164,47 @@ SearchResult LocalTreeMcts::search(const Game& env) {
         break;
       }
       case DescendStatus::kLeaf: {
+        const std::uint64_t key = game->eval_key();
+        bool announced = false;
+        if (tt_ != nullptr) {
+          // Batched probe pass (Cazenave): resolve against the TT before
+          // the position ever reaches the evaluation queue. A hit expands
+          // and backs up synchronously on the master — no in-flight slot,
+          // no batch occupancy. A miss is announced so a sibling rollout
+          // reaching the same position coalesces on the queue layer
+          // (kPending here, kCoalesced there) instead of double-counting.
+          Timer tt_phase;
+          ++metrics.tt_probes;
+          float tt_value = 0.0f;
+          const TtProbeResult tr =
+              tt_probe_and_graft(tt_, ops, outcome.node, key, tt_scratch,
+                                 &tt_value, &announced);
+          if (tr == TtProbeResult::kHit) {
+            ++metrics.tt_grafts;
+            metrics.expand_seconds += tt_phase.elapsed_seconds();
+            tt_phase.reset();
+            ops.backup(outcome.node, tt_value);
+            metrics.backup_seconds += tt_phase.elapsed_seconds();
+            ++issued;
+            ++completed;
+            break;
+          }
+          if (tr == TtProbeResult::kPending) ++metrics.tt_pending;
+          metrics.expand_seconds += tt_phase.elapsed_seconds();
+        }
         game->encode(input.data());
         Completion c;
         c.node = outcome.node;
+        c.key = key;
+        c.depth = outcome.depth;
+        c.announced = announced;
         game->legal_actions(c.legal);
         ++metrics.eval_requests;
         ++issued;
         ++in_flight;
         if (batch_ != nullptr) {
           const NodeId node_id = outcome.node;
+          const std::int32_t depth = outcome.depth;
           auto legal = std::move(c.legal);
           // A cache hit runs the callback synchronously right here: the
           // completion lands in the queue and is processed on the next
@@ -170,26 +214,33 @@ SearchResult LocalTreeMcts::search(const Game& env) {
           // cross-game duplicate does.
           const SubmitOutcome how = batch_->submit(
               input.data(),
-              [&completions, node_id,
+              [&completions, node_id, key, depth, announced,
                legal = std::move(legal)](EvalOutput out) mutable {
                 Completion done;
                 done.node = node_id;
                 done.legal = std::move(legal);
                 done.out = std::move(out);
+                done.key = key;
+                done.depth = depth;
+                done.announced = announced;
                 completions.push(std::move(done));
               },
-              batch_tag(), game->eval_key());
+              batch_tag(), key);
           if (how == SubmitOutcome::kCacheHit) ++metrics.cache_hits;
           if (how == SubmitOutcome::kCoalesced) ++metrics.coalesced_evals;
         } else {
           auto state = std::make_shared<std::vector<float>>(input);
           const NodeId node_id = outcome.node;
+          const std::int32_t depth = outcome.depth;
           auto legal = std::move(c.legal);
-          pool_->submit([this, &completions, state, node_id,
-                         legal = std::move(legal)]() mutable {
+          pool_->submit([this, &completions, state, node_id, key, depth,
+                         announced, legal = std::move(legal)]() mutable {
             Completion done;
             done.node = node_id;
             done.legal = std::move(legal);
+            done.key = key;
+            done.depth = depth;
+            done.announced = announced;
             eval_->evaluate(state->data(), done.out);
             completions.push(std::move(done));
           });

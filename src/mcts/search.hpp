@@ -20,6 +20,7 @@
 
 #include "games/game.hpp"
 #include "mcts/config.hpp"
+#include "mcts/transposition.hpp"
 #include "mcts/tree.hpp"
 
 namespace apm {
@@ -52,6 +53,14 @@ class MctsSearch {
   void set_batch_tag(int tag) { batch_tag_ = tag; }
   int batch_tag() const { return batch_tag_; }
 
+  // Attaches a caller-owned transposition table (nullptr detaches). The
+  // TT-aware drivers (Serial/SharedTree/LocalTree) probe it before every
+  // leaf evaluation and store every fresh expansion; other schemes ignore
+  // it. The owner manages generations/clearing (SearchEngine keeps the
+  // generation in lockstep with SearchTree::epoch()).
+  void set_transposition(TranspositionTable* tt) { tt_ = tt; }
+  TranspositionTable* transposition() const { return tt_; }
+
  protected:
   explicit MctsSearch(MctsConfig cfg, SearchTree* shared_tree = nullptr)
       : cfg_(cfg),
@@ -72,7 +81,13 @@ class MctsSearch {
   // root evaluation can be skipped.
   bool begin_move(SearchMetrics& metrics) {
     const bool reuse = take_reuse();
-    if (!reuse) tree_.reset();
+    if (!reuse) {
+      tree_.reset();
+      // reset() bumps the arena epoch exactly like advance_root()
+      // compaction does; keep the TT's replacement clock in lockstep so
+      // pre-reset memos age instead of reading as current.
+      if (tt_ != nullptr) tt_->set_generation(tree_.epoch());
+    }
     metrics.reused_nodes = reuse ? tree_.node_count() : 0;
     metrics.reused_visits = reuse ? tree_.root_visit_total() : 0;
     return reuse;
@@ -108,6 +123,7 @@ class MctsSearch {
   MctsConfig cfg_;
   std::unique_ptr<SearchTree> owned_tree_;
   SearchTree& tree_;
+  TranspositionTable* tt_ = nullptr;
 
  private:
   bool reuse_next_ = false;

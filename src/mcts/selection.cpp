@@ -201,6 +201,64 @@ void InTreeOps::expand_from_legal(NodeId node_id,
   n.state.store(ExpandState::kExpanded, std::memory_order_release);
 }
 
+void InTreeOps::note_eval(NodeId node_id, std::uint64_t key, float value) {
+  // Only the claimer/expander of a node writes its memo, and the archive
+  // pass that reads it runs strictly between moves — no synchronisation
+  // needed beyond the kExpanded release-store that follows expansion.
+  Node& n = tree_.node(node_id);
+  n.hash = key;
+  n.value = value;
+}
+
+void InTreeOps::expand_from_tt(NodeId node_id, std::uint64_t key,
+                               const TtView& hit, GraftMode mode,
+                               float stats_blend) {
+  Node& n = tree_.node(node_id);
+  APM_CHECK_MSG(n.state.load(std::memory_order_acquire) ==
+                    ExpandState::kExpanding,
+                "expand_from_tt() on an unclaimed node");
+  const auto count = static_cast<std::int32_t>(hit.edges.size());
+  APM_CHECK_MSG(count > 0, "grafting an entry without edges");
+
+  const EdgeId first = tree_.allocate_edges(count);
+  const double total_v = static_cast<double>(hit.visits);
+  for (std::int32_t i = 0; i < count; ++i) {
+    const TtEdge& s = hit.edges[static_cast<std::size_t>(i)];
+    Edge& e = tree_.edge(first + i);
+    e.action = s.action;
+    if (mode == GraftMode::kPriors || total_v <= 0.0) {
+      e.prior = s.prior;
+    } else {
+      const float freq =
+          static_cast<float>(static_cast<double>(s.visits) / total_v);
+      e.prior = (1.0f - stats_blend) * s.prior + stats_blend * freq;
+      if (s.visits > 0) {
+        // One seed visit carrying the TT mean as first-play urgency. The
+        // entry's in-flight announcements (evaluations racing elsewhere)
+        // pessimise the seed the way virtual loss pessimises a held edge,
+        // scaled down by how much real mass already backs the entry.
+        const float mean =
+            static_cast<float>(s.value_sum / static_cast<double>(s.visits));
+        const float pessimism = cfg_.virtual_loss *
+                                static_cast<float>(hit.inflight) /
+                                static_cast<float>(total_v + 1.0);
+        e.visits.store(1, std::memory_order_relaxed);
+        e.value_sum.store(mean - pessimism, std::memory_order_relaxed);
+      }
+    }
+  }
+  n.hash = key;
+  n.value = hit.value;
+  {
+    // Publish edges before flipping the state so concurrent select_edge
+    // never sees a half-built child list (mirrors expand_from_legal).
+    std::lock_guard guard(n.lock);
+    n.first_edge = first;
+    n.num_edges = count;
+  }
+  n.state.store(ExpandState::kExpanded, std::memory_order_release);
+}
+
 void InTreeOps::backup(NodeId leaf, float leaf_value) {
   float value = leaf_value;
   NodeId node_id = leaf;

@@ -9,10 +9,12 @@
 // the VL is applied and reverted within one rollout and never observed, so
 // serial search is unaffected — all schemes share this code path.
 
+#include <cstdint>
 #include <vector>
 
 #include "games/game.hpp"
 #include "mcts/config.hpp"
+#include "mcts/transposition.hpp"
 #include "mcts/tree.hpp"
 #include "support/rng.hpp"
 
@@ -70,6 +72,23 @@ class InTreeOps {
   void expand_from_legal(NodeId node, const std::vector<int>& legal,
                          const std::vector<float>& policy,
                          Rng* noise_rng = nullptr);
+
+  // Expands a claimed leaf from a transposition-table hit instead of a
+  // fresh evaluation. kPriors installs the stored (action, prior) list
+  // verbatim — identical to what expand() would have produced for the same
+  // position under a deterministic evaluator. kStats additionally blends
+  // the stored visit distribution into the priors and seeds each visited
+  // edge with a single first-play-urgency visit carrying the TT mean,
+  // pessimised by `hit.inflight` scaled virtual loss (positions still being
+  // evaluated elsewhere shouldn't look artificially settled). Also records
+  // the node's position memo (key + stored value) for later archiving.
+  void expand_from_tt(NodeId node, std::uint64_t key, const TtView& hit,
+                      GraftMode mode, float stats_blend);
+
+  // Records the position memo (Zobrist eval_key + NN value) on a node the
+  // caller has claimed (or just expanded): advance_root()'s archive pass
+  // reads it to fold discarded subtrees into the transposition table.
+  void note_eval(NodeId node, std::uint64_t key, float value);
 
   // Propagates `leaf_value` (value for the player to move at the leaf)
   // back to the root: along the path each edge gains one visit and the

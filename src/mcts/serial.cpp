@@ -1,6 +1,7 @@
 #include "mcts/serial.hpp"
 
 #include "mcts/selection.hpp"
+#include "mcts/transposition.hpp"
 #include "support/timer.hpp"
 
 namespace apm {
@@ -55,6 +56,7 @@ SearchResult SerialMcts::search(const Game& env) {
 
   std::vector<float> input(env.encode_size());
   EvalOutput eval_out;
+  TtView tt_scratch;
 
   BatchQueueStats batch_before;
   if (batch_ != nullptr) batch_before = batch_->stats();
@@ -69,6 +71,7 @@ SearchResult SerialMcts::search(const Game& env) {
     env.encode(input.data());
     eval_state(input.data(), env.eval_key(), eval_out, /*flush_partial=*/true,
                nullptr);
+    ops.note_eval(tree_.root(), env.eval_key(), eval_out.value);
     ops.expand(tree_.root(), env, eval_out.policy,
                cfg_.root_noise ? &rng_ : nullptr);
   } else if (cfg_.root_noise) {
@@ -92,16 +95,45 @@ SearchResult SerialMcts::search(const Game& env) {
       continue;
     }
 
+    const std::uint64_t key = game->eval_key();
+    bool announced = false;
+    if (tt_ != nullptr) {
+      phase.reset();
+      ++metrics.tt_probes;
+      float tt_value = 0.0f;
+      const TtProbeResult tr = tt_probe_and_graft(tt_, ops, outcome.node, key,
+                                                  tt_scratch, &tt_value,
+                                                  &announced);
+      if (tr == TtProbeResult::kHit) {
+        // Grafted from the table: no encode, no eval request. The graft is
+        // expansion work, so it lands in expand_seconds.
+        ++metrics.tt_grafts;
+        metrics.expand_seconds += phase.elapsed_seconds();
+        phase.reset();
+        ops.backup(outcome.node, tt_value);
+        metrics.backup_seconds += phase.elapsed_seconds();
+        continue;
+      }
+      if (tr == TtProbeResult::kPending) ++metrics.tt_pending;
+      metrics.expand_seconds += phase.elapsed_seconds();
+    }
+
     phase.reset();
     game->encode(input.data());
-    eval_state(input.data(), game->eval_key(), eval_out,
+    eval_state(input.data(), key, eval_out,
                /*flush_partial=*/false, &metrics);
     ++metrics.eval_requests;
     metrics.eval_seconds += phase.elapsed_seconds();
 
     phase.reset();
+    ops.note_eval(outcome.node, key, eval_out.value);
     ops.expand(outcome.node, *game, eval_out.policy);
     ++metrics.expansions;
+    if (tt_ != nullptr) {
+      tt_store_expansion(tt_, tree_, outcome.node, key, eval_out.value,
+                         outcome.depth, announced);
+      ++metrics.tt_stores;
+    }
     metrics.expand_seconds += phase.elapsed_seconds();
 
     phase.reset();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mcts/selection.hpp"
+#include "mcts/transposition.hpp"
 #include "support/timer.hpp"
 
 namespace apm {
@@ -55,6 +56,7 @@ void SharedTreeMcts::evaluate_root(const Game& env) {
   } else {
     eval_->evaluate(input.data(), out);
   }
+  ops.note_eval(tree_.root(), env.eval_key(), out.value);
   ops.expand(tree_.root(), env, out.policy, cfg_.root_noise ? &rng_ : nullptr);
 }
 
@@ -64,6 +66,7 @@ void SharedTreeMcts::worker_loop(const Game& env,
   InTreeOps ops(tree_, cfg_);
   std::vector<float> input(env.encode_size());
   EvalOutput out;
+  TtView tt_scratch;  // per-worker: probe results never cross threads
   const bool coarse = cfg_.lock_mode == LockMode::kCoarse;
 
   for (;;) {
@@ -107,13 +110,52 @@ void SharedTreeMcts::worker_loop(const Game& env,
       continue;
     }
 
+    const std::uint64_t key = game->eval_key();
+    bool announced = false;
+    if (tt_ != nullptr) {
+      phase.reset();
+      ++stats.tt_probes;
+      float tt_value = 0.0f;
+      TtProbeResult tr;
+      if (coarse) {
+        // TT ops serialise on their own bucket locks; only the tree graft
+        // itself needs the coarse lock (lock order coarse→bucket is never
+        // reversed anywhere, so no cycle).
+        tr = tt_->probe(key, tt_scratch);
+        if (tr == TtProbeResult::kHit) {
+          std::lock_guard guard(tree_.coarse_lock());
+          ops.expand_from_tt(outcome.node, key, tt_scratch,
+                             tt_->config().graft, tt_->config().stats_blend);
+          tt_value = tt_scratch.value;
+        } else {
+          announced = tt_->announce(key);
+        }
+      } else {
+        tr = tt_probe_and_graft(tt_, ops, outcome.node, key, tt_scratch,
+                                &tt_value, &announced);
+      }
+      if (tr == TtProbeResult::kHit) {
+        ++stats.tt_grafts;
+        stats.expand_s += phase.elapsed_seconds();
+        phase.reset();
+        if (coarse) {
+          std::lock_guard guard(tree_.coarse_lock());
+          ops.backup(outcome.node, tt_value);
+        } else {
+          ops.backup(outcome.node, tt_value);
+        }
+        stats.backup_s += phase.elapsed_seconds();
+        continue;
+      }
+      if (tr == TtProbeResult::kPending) ++stats.tt_pending;
+      stats.expand_s += phase.elapsed_seconds();
+    }
+
     phase.reset();
     game->encode(input.data());
     if (batch_ != nullptr) {
       SubmitOutcome how = SubmitOutcome::kQueued;
-      out = batch_->submit_future(input.data(), batch_tag(), game->eval_key(),
-                                  &how)
-                .get();
+      out = batch_->submit_future(input.data(), batch_tag(), key, &how).get();
       if (how == SubmitOutcome::kCacheHit) ++stats.cache_hits;
       if (how == SubmitOutcome::kCoalesced) ++stats.coalesced;
     } else {
@@ -125,12 +167,26 @@ void SharedTreeMcts::worker_loop(const Game& env,
     phase.reset();
     if (coarse) {
       std::lock_guard guard(tree_.coarse_lock());
+      ops.note_eval(outcome.node, key, out.value);
       ops.expand(outcome.node, *game, out.policy);
+      if (tt_ != nullptr) {
+        tt_store_expansion(tt_, tree_, outcome.node, key, out.value,
+                           outcome.depth, announced);
+        ++stats.tt_stores;
+      }
       stats.expand_s += phase.elapsed_seconds();
       phase.reset();
       ops.backup(outcome.node, out.value);
     } else {
+      ops.note_eval(outcome.node, key, out.value);
       ops.expand(outcome.node, *game, out.policy);
+      if (tt_ != nullptr) {
+        // Edges are immutable once published; the store reads them without
+        // tree locks and serialises on its bucket lock.
+        tt_store_expansion(tt_, tree_, outcome.node, key, out.value,
+                           outcome.depth, announced);
+        ++stats.tt_stores;
+      }
       stats.expand_s += phase.elapsed_seconds();
       phase.reset();
       ops.backup(outcome.node, out.value);
@@ -180,6 +236,10 @@ SearchResult SharedTreeMcts::search(const Game& env) {
     metrics.cache_hits += s.cache_hits;
     metrics.coalesced_evals += s.coalesced;
     metrics.expansions += s.expansions;
+    metrics.tt_probes += s.tt_probes;
+    metrics.tt_grafts += s.tt_grafts;
+    metrics.tt_pending += s.tt_pending;
+    metrics.tt_stores += s.tt_stores;
   }
   if (batch_ != nullptr) {
     // Sole producer: settle the queue before reading the delta. On a

@@ -46,6 +46,10 @@ class SharedTreeMcts final : public MctsSearch {
     std::size_t cache_hits = 0;
     std::size_t coalesced = 0;
     std::size_t expansions = 0;
+    std::size_t tt_probes = 0;
+    std::size_t tt_grafts = 0;
+    std::size_t tt_pending = 0;
+    std::size_t tt_stores = 0;
   };
 
   void worker_loop(const Game& env, std::atomic<int>& playout_counter,

@@ -6,23 +6,27 @@
 namespace apm {
 
 SearchTree::SearchTree() {
-  ensure_node_chunk(0);
-  ensure_edge_chunk(0);
+  ensure_node_chunk(arenas_[0], 0);
+  ensure_edge_chunk(arenas_[0], 0);
   reset();
 }
 
 SearchTree::~SearchTree() {
-  for (auto& slot : node_dir_) delete[] slot.load(std::memory_order_acquire);
-  for (auto& slot : edge_dir_) delete[] slot.load(std::memory_order_acquire);
+  for (Arena& a : arenas_) {
+    for (auto& slot : a.node_dir) delete[] slot.load(std::memory_order_acquire);
+    for (auto& slot : a.edge_dir) delete[] slot.load(std::memory_order_acquire);
+  }
 }
 
 void SearchTree::reset() {
   // Arena chunks are retained; only the counters rewind. Re-initialise the
   // root slot in place.
-  node_count_.store(0, std::memory_order_relaxed);
-  edge_count_.store(0, std::memory_order_relaxed);
+  Arena& a = *front_.load(std::memory_order_acquire);
+  a.node_count.store(0, std::memory_order_relaxed);
+  a.edge_count.store(0, std::memory_order_relaxed);
   const NodeId root_id = allocate_node(kNullNode, kNullEdge);
   APM_CHECK(root_id == 0);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 std::int64_t SearchTree::root_visit_total() const {
@@ -37,7 +41,9 @@ std::int64_t SearchTree::root_visit_total() const {
   return total;
 }
 
-bool SearchTree::advance_root(int action) {
+bool SearchTree::advance_root(int action, const NodeArchiver& archive) {
+  Arena& src = *front_.load(std::memory_order_acquire);
+  const std::size_t src_nodes = src.node_count.load(std::memory_order_acquire);
   const Node& old_root = node(root());
   EdgeId kept_edge = kNullEdge;
   if (old_root.state.load(std::memory_order_acquire) ==
@@ -53,125 +59,120 @@ bool SearchTree::advance_root(int action) {
                           ? kNullNode
                           : edge(kept_edge).child.load(std::memory_order_acquire);
   if (kept == kNullNode) {
+    // Nothing to reuse: the entire old tree is discarded. Archive it while
+    // the arena is still intact, then rewind in place (no swap needed).
+    if (archive) {
+      for (std::size_t id = 0; id < src_nodes; ++id) {
+        archive(static_cast<NodeId>(id));
+      }
+    }
     reset();
     return false;
   }
 
-  // Snapshot the kept subtree's payload before rewinding the arena: the
-  // compacted copy is written over the same chunks, so old slots cannot be
-  // read once materialisation starts.
-  struct SnapNode {
-    std::int32_t parent_snap = -1;  // index into the snapshot, -1 for root
-    std::int32_t parent_slot = 0;   // edge index within the parent's block
-    std::int32_t num_edges = 0;
-    ExpandState state = ExpandState::kLeaf;
-    std::size_t edge_begin = 0;     // offset into snap_edges
-  };
-  struct SnapEdge {
-    std::int32_t visits = 0;
-    float value_sum = 0.0f;
-    float prior = 0.0f;
-    std::int32_t action = -1;
-  };
-  std::vector<SnapNode> snap_nodes;
-  std::vector<SnapEdge> snap_edges;
-  // BFS queue of (old node id, snapshot index) — parents always precede
-  // their children, which the rebuild below relies on.
+  // Copy the kept subtree from the intact front arena into the back arena.
+  // The source is never mutated, so the old tree (and the archive pass
+  // below) read consistent data throughout — this is what makes running
+  // the whole routine on a background thread safe.
+  Arena& dst = back_arena();
+  dst.node_count.store(0, std::memory_order_relaxed);
+  dst.edge_count.store(0, std::memory_order_relaxed);
+
+  std::vector<bool> is_kept(src_nodes, false);
+  // BFS over (old id, new id): parents always precede children, so a
+  // child's parent edge block already exists in dst when the child copies.
   std::vector<NodeId> old_ids;
-  snap_nodes.reserve(node_count());
+  std::vector<NodeId> new_ids;
   old_ids.push_back(kept);
-  {
-    SnapNode sn;
-    snap_nodes.push_back(sn);
-  }
+  new_ids.push_back(allocate_node_in(dst, kNullNode, kNullEdge));
+  APM_CHECK(new_ids[0] == 0);
+  is_kept[static_cast<std::size_t>(kept)] = true;
   for (std::size_t i = 0; i < old_ids.size(); ++i) {
     const Node& n = node(old_ids[i]);
-    SnapNode& sn = snap_nodes[i];
+    Node& m = arena_node(dst, new_ids[i]);
+    m.hash = n.hash;
+    m.value = n.value;
     ExpandState st = n.state.load(std::memory_order_acquire);
     // A claimed-but-never-expanded node has no published edges; between
     // moves no rollout is in flight, so it is semantically a leaf.
     if (st == ExpandState::kExpanding) st = ExpandState::kLeaf;
-    sn.state = st;
-    if (st != ExpandState::kExpanded) continue;
-    sn.num_edges = n.num_edges;
-    sn.edge_begin = snap_edges.size();
+    if (st != ExpandState::kExpanded) {
+      m.state.store(st, std::memory_order_release);
+      continue;
+    }
+    const EdgeId first = allocate_edges_in(dst, n.num_edges);
+    m.first_edge = first;
+    m.num_edges = n.num_edges;
     for (std::int32_t e = 0; e < n.num_edges; ++e) {
-      const Edge& edge_ref = edge(n.first_edge + e);
-      SnapEdge se;
-      se.visits = edge_ref.visits.load(std::memory_order_acquire);
-      se.value_sum = edge_ref.value_sum.load(std::memory_order_acquire);
-      se.prior = edge_ref.prior;
-      se.action = edge_ref.action;
-      APM_DCHECK(edge_ref.virtual_loss.load(std::memory_order_acquire) == 0);
-      snap_edges.push_back(se);
-      const NodeId child = edge_ref.child.load(std::memory_order_acquire);
+      const Edge& s = edge(n.first_edge + e);
+      Edge& d = arena_edge(dst, first + e);
+      d.visits.store(s.visits.load(std::memory_order_acquire),
+                     std::memory_order_relaxed);
+      d.value_sum.store(s.value_sum.load(std::memory_order_acquire),
+                        std::memory_order_relaxed);
+      d.prior = s.prior;
+      d.action = s.action;
+      APM_DCHECK(s.virtual_loss.load(std::memory_order_acquire) == 0);
+      const NodeId child = s.child.load(std::memory_order_acquire);
       if (child != kNullNode) {
-        SnapNode child_snap;
-        child_snap.parent_snap = static_cast<std::int32_t>(i);
-        child_snap.parent_slot = e;
+        const NodeId new_child = allocate_node_in(dst, new_ids[i], first + e);
+        d.child.store(new_child, std::memory_order_relaxed);
+        is_kept[static_cast<std::size_t>(child)] = true;
         old_ids.push_back(child);
-        snap_nodes.push_back(child_snap);
+        new_ids.push_back(new_child);
       }
+    }
+    m.state.store(st, std::memory_order_release);
+  }
+
+  // Fold the discarded siblings' statistics out (e.g. into a transposition
+  // table) while the old arena is still readable.
+  if (archive) {
+    for (std::size_t id = 0; id < src_nodes; ++id) {
+      if (!is_kept[id]) archive(static_cast<NodeId>(id));
     }
   }
 
-  // Materialise the compacted subtree. BFS order means a node's parent (and
-  // the parent's edge block) is always rebuilt before the node itself.
-  reset();
-  std::vector<NodeId> new_ids(snap_nodes.size(), kNullNode);
-  std::vector<EdgeId> new_first(snap_nodes.size(), kNullEdge);
-  for (std::size_t i = 0; i < snap_nodes.size(); ++i) {
-    const SnapNode& sn = snap_nodes[i];
-    if (i == 0) {
-      new_ids[0] = root();  // reset() re-created node 0 as a fresh leaf
-    } else {
-      const EdgeId parent_edge =
-          new_first[sn.parent_snap] + sn.parent_slot;
-      new_ids[i] = allocate_node(new_ids[sn.parent_snap], parent_edge);
-      edge(parent_edge).child.store(new_ids[i], std::memory_order_release);
-    }
-    Node& n = node(new_ids[i]);
-    if (sn.num_edges > 0) {
-      const EdgeId first = allocate_edges(sn.num_edges);
-      new_first[i] = first;
-      for (std::int32_t e = 0; e < sn.num_edges; ++e) {
-        const SnapEdge& se = snap_edges[sn.edge_begin + e];
-        Edge& dst = edge(first + e);
-        dst.visits.store(se.visits, std::memory_order_relaxed);
-        dst.value_sum.store(se.value_sum, std::memory_order_relaxed);
-        dst.prior = se.prior;
-        dst.action = se.action;
-      }
-      n.first_edge = first;
-      n.num_edges = sn.num_edges;
-    }
-    n.state.store(sn.state, std::memory_order_release);
-  }
+  front_.store(&dst, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   return true;
 }
 
 NodeId SearchTree::allocate_node(NodeId parent, EdgeId parent_edge) {
-  const std::size_t idx = node_count_.fetch_add(1, std::memory_order_acq_rel);
+  return allocate_node_in(*front_.load(std::memory_order_acquire), parent,
+                          parent_edge);
+}
+
+NodeId SearchTree::allocate_node_in(Arena& a, NodeId parent,
+                                    EdgeId parent_edge) {
+  const std::size_t idx =
+      a.node_count.fetch_add(1, std::memory_order_acq_rel);
   const std::size_t chunk_idx = idx >> kNodeShift;
   APM_CHECK_MSG(chunk_idx < kMaxNodeChunks, "node arena exhausted");
-  ensure_node_chunk(chunk_idx);
-  Node& n = node_dir_[chunk_idx].load(std::memory_order_acquire)
+  ensure_node_chunk(a, chunk_idx);
+  Node& n = a.node_dir[chunk_idx].load(std::memory_order_acquire)
                 [idx & kNodeMask];
   n.parent = parent;
   n.parent_edge = parent_edge;
   n.first_edge = kNullEdge;
   n.num_edges = 0;
+  n.hash = 0;
+  n.value = 0.0f;
   n.state.store(ExpandState::kLeaf, std::memory_order_release);
   return static_cast<NodeId>(idx);
 }
 
 EdgeId SearchTree::allocate_edges(std::int32_t n) {
+  return allocate_edges_in(*front_.load(std::memory_order_acquire), n);
+}
+
+EdgeId SearchTree::allocate_edges_in(Arena& a, std::int32_t n) {
   APM_CHECK(n >= 0);
   if (n == 0) return kNullEdge;
   APM_CHECK_MSG(static_cast<std::size_t>(n) <= kEdgeMask + 1,
                 "node fanout exceeds edge chunk size");
   for (;;) {
-    const std::size_t first = edge_count_.fetch_add(
+    const std::size_t first = a.edge_count.fetch_add(
         static_cast<std::size_t>(n), std::memory_order_acq_rel);
     const std::size_t last = first + static_cast<std::size_t>(n) - 1;
     if ((first >> kEdgeShift) != (last >> kEdgeShift)) {
@@ -181,8 +182,8 @@ EdgeId SearchTree::allocate_edges(std::int32_t n) {
     }
     const std::size_t chunk_idx = first >> kEdgeShift;
     APM_CHECK_MSG(chunk_idx < kMaxEdgeChunks, "edge arena exhausted");
-    ensure_edge_chunk(chunk_idx);
-    Edge* chunk = edge_dir_[chunk_idx].load(std::memory_order_acquire);
+    ensure_edge_chunk(a, chunk_idx);
+    Edge* chunk = a.edge_dir[chunk_idx].load(std::memory_order_acquire);
     for (std::size_t i = first; i <= last; ++i) {
       Edge& e = chunk[i & kEdgeMask];
       e.visits.store(0, std::memory_order_relaxed);
@@ -200,21 +201,21 @@ std::size_t SearchTree::memory_bytes() const {
   return node_count() * sizeof(Node) + edge_count() * sizeof(Edge);
 }
 
-void SearchTree::ensure_node_chunk(std::size_t chunk_idx) {
-  if (node_dir_[chunk_idx].load(std::memory_order_acquire) != nullptr) return;
+void SearchTree::ensure_node_chunk(Arena& a, std::size_t chunk_idx) {
+  if (a.node_dir[chunk_idx].load(std::memory_order_acquire) != nullptr) return;
   std::lock_guard grow_guard(grow_lock_);
-  if (node_dir_[chunk_idx].load(std::memory_order_relaxed) == nullptr) {
-    node_dir_[chunk_idx].store(new Node[kNodeMask + 1],
-                               std::memory_order_release);
+  if (a.node_dir[chunk_idx].load(std::memory_order_relaxed) == nullptr) {
+    a.node_dir[chunk_idx].store(new Node[kNodeMask + 1],
+                                std::memory_order_release);
   }
 }
 
-void SearchTree::ensure_edge_chunk(std::size_t chunk_idx) {
-  if (edge_dir_[chunk_idx].load(std::memory_order_acquire) != nullptr) return;
+void SearchTree::ensure_edge_chunk(Arena& a, std::size_t chunk_idx) {
+  if (a.edge_dir[chunk_idx].load(std::memory_order_acquire) != nullptr) return;
   std::lock_guard grow_guard(grow_lock_);
-  if (edge_dir_[chunk_idx].load(std::memory_order_relaxed) == nullptr) {
-    edge_dir_[chunk_idx].store(new Edge[kEdgeMask + 1],
-                               std::memory_order_release);
+  if (a.edge_dir[chunk_idx].load(std::memory_order_relaxed) == nullptr) {
+    a.edge_dir[chunk_idx].store(new Edge[kEdgeMask + 1],
+                                std::memory_order_release);
   }
 }
 

@@ -18,9 +18,20 @@
 // Chunk directories are fixed-size arrays of atomic pointers: growing the
 // arena publishes a new chunk with a release store, and readers load with
 // acquire — no reader ever observes a moving directory.
+//
+// The storage is DOUBLE-BUFFERED: two arenas, with an atomic front
+// pointer. advance_root() compacts the kept subtree by copying it from the
+// intact front arena into the back arena and swapping — the source is
+// never overwritten mid-copy, so the copy can run on a background thread
+// between moves (SearchEngine::background_compaction) while the old tree
+// stays readable, and discarded nodes can be archived (e.g. folded into a
+// TranspositionTable) from stable storage. Each reset/advance bumps the
+// epoch counter, which the transposition table shares as its generation
+// stamp.
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -72,12 +83,23 @@ struct Node {
   EdgeId parent_edge = kNullEdge;
   EdgeId first_edge = kNullEdge;
   std::int32_t num_edges = 0;
+  // Position memo, written by the expander before publishing kExpanded:
+  // the game's eval_key() at this node and the NN value it evaluated to.
+  // Lets advance_root() fold a discarded subtree's statistics back into a
+  // transposition table keyed by the same Zobrist keys. 0 = unset.
+  std::uint64_t hash = 0;
+  float value = 0.0f;
   std::atomic<ExpandState> state{ExpandState::kLeaf};
   SpinLock lock;  // guards expansion & child-pointer installation
 };
 
 class SearchTree {
  public:
+  // Invoked by advance_root() for every discarded (non-kept) node id while
+  // the old arena is still intact — node()/edge() reads remain valid inside
+  // the callback.
+  using NodeArchiver = std::function<void(NodeId)>;
+
   SearchTree();
   ~SearchTree();
 
@@ -91,12 +113,22 @@ class SearchTree {
   // Cross-move tree reuse (AlphaZero-style): makes the child reached by
   // `action` from the current root the new root, keeping that subtree's
   // statistics and discarding every sibling subtree. The kept subtree is
-  // compacted to the front of the arena, so the discarded nodes' storage is
-  // reclaimed (the arena counters rewind to the subtree size). Returns
-  // false — and leaves the tree freshly reset() — when there is nothing to
-  // reuse (root unexpanded, action never visited, or child never created).
-  // NOT thread-safe (call between moves, with no search running).
-  bool advance_root(int action);
+  // compacted into the back arena (the counters of the new front arena
+  // equal the subtree size) and the arenas swap. Returns false — and
+  // leaves the tree freshly reset() — when there is nothing to reuse
+  // (root unexpanded, action never visited, or child never created).
+  // `archive` (optional) is called for every discarded node id before any
+  // storage is reclaimed; on the false path it still runs over the whole
+  // discarded tree. NOT thread-safe against a concurrent search, but safe
+  // to run on a dedicated thread while no search is running — which is
+  // exactly what SearchEngine's background compaction does.
+  bool advance_root(int action, const NodeArchiver& archive = {});
+
+  // Monotonic compaction epoch: bumped by every reset()/advance_root().
+  // The transposition table's generation stamp tracks this counter.
+  std::uint32_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
 
   // Σ_a N(root, a) — the visit mass already accumulated at the root (used
   // by the engine to credit reused visits against the playout budget).
@@ -106,10 +138,11 @@ class SearchTree {
   NodeId root() const { return 0; }
 
   Node& node(NodeId id) {
+    Arena& a = *front_.load(std::memory_order_acquire);
     APM_DCHECK(id >= 0 &&
                static_cast<std::size_t>(id) <
-                   node_count_.load(std::memory_order_acquire));
-    Node* chunk = node_dir_[static_cast<std::size_t>(id) >> kNodeShift].load(
+                   a.node_count.load(std::memory_order_acquire));
+    Node* chunk = a.node_dir[static_cast<std::size_t>(id) >> kNodeShift].load(
         std::memory_order_acquire);
     return chunk[static_cast<std::size_t>(id) & kNodeMask];
   }
@@ -118,10 +151,11 @@ class SearchTree {
   }
 
   Edge& edge(EdgeId id) {
+    Arena& a = *front_.load(std::memory_order_acquire);
     APM_DCHECK(id >= 0 &&
                static_cast<std::size_t>(id) <
-                   edge_count_.load(std::memory_order_acquire));
-    Edge* chunk = edge_dir_[static_cast<std::size_t>(id) >> kEdgeShift].load(
+                   a.edge_count.load(std::memory_order_acquire));
+    Edge* chunk = a.edge_dir[static_cast<std::size_t>(id) >> kEdgeShift].load(
         std::memory_order_acquire);
     return chunk[static_cast<std::size_t>(id) & kEdgeMask];
   }
@@ -137,10 +171,12 @@ class SearchTree {
   EdgeId allocate_edges(std::int32_t n);
 
   std::size_t node_count() const {
-    return node_count_.load(std::memory_order_acquire);
+    return front_.load(std::memory_order_acquire)
+        ->node_count.load(std::memory_order_acquire);
   }
   std::size_t edge_count() const {
-    return edge_count_.load(std::memory_order_acquire);
+    return front_.load(std::memory_order_acquire)
+        ->edge_count.load(std::memory_order_acquire);
   }
 
   // Approximate resident bytes (for the cache-fit analysis of Eq. 5).
@@ -157,13 +193,33 @@ class SearchTree {
   static constexpr std::size_t kMaxEdgeChunks = 1024;  // ≤ 64M edges
 
  private:
-  void ensure_node_chunk(std::size_t chunk_idx);
-  void ensure_edge_chunk(std::size_t chunk_idx);
+  struct Arena {
+    std::atomic<Node*> node_dir[kMaxNodeChunks] = {};
+    std::atomic<Edge*> edge_dir[kMaxEdgeChunks] = {};
+    std::atomic<std::size_t> node_count{0};
+    std::atomic<std::size_t> edge_count{0};
+  };
 
-  std::atomic<Node*> node_dir_[kMaxNodeChunks] = {};
-  std::atomic<Edge*> edge_dir_[kMaxEdgeChunks] = {};
-  std::atomic<std::size_t> node_count_{0};
-  std::atomic<std::size_t> edge_count_{0};
+  Arena& back_arena() {
+    Arena* front = front_.load(std::memory_order_acquire);
+    return front == &arenas_[0] ? arenas_[1] : arenas_[0];
+  }
+  NodeId allocate_node_in(Arena& a, NodeId parent, EdgeId parent_edge);
+  EdgeId allocate_edges_in(Arena& a, std::int32_t n);
+  void ensure_node_chunk(Arena& a, std::size_t chunk_idx);
+  void ensure_edge_chunk(Arena& a, std::size_t chunk_idx);
+  static Node& arena_node(Arena& a, NodeId id) {
+    return a.node_dir[static_cast<std::size_t>(id) >> kNodeShift].load(
+        std::memory_order_acquire)[static_cast<std::size_t>(id) & kNodeMask];
+  }
+  static Edge& arena_edge(Arena& a, EdgeId id) {
+    return a.edge_dir[static_cast<std::size_t>(id) >> kEdgeShift].load(
+        std::memory_order_acquire)[static_cast<std::size_t>(id) & kEdgeMask];
+  }
+
+  Arena arenas_[2];
+  std::atomic<Arena*> front_{&arenas_[0]};
+  std::atomic<std::uint32_t> epoch_{0};
   SpinLock grow_lock_;
   SpinLock coarse_lock_;
 };

@@ -81,8 +81,10 @@ ProfiledCosts AdaptiveController::costs_from_metrics(
     const SearchMetrics& metrics, const HardwareSpec& hw) {
   ProfiledCosts sample;
   const double playouts = std::max(1, metrics.playouts);
-  const double expansions =
-      static_cast<double>(std::max<std::size_t>(1, metrics.expansions));
+  // TT grafts are expansion work too (their time lands in expand_seconds),
+  // so they join the denominator of the per-expansion cost.
+  const double expansions = static_cast<double>(
+      std::max<std::size_t>(1, metrics.expansions + metrics.tt_grafts));
   // Cache hits complete synchronously on the submit path and contribute
   // ~nothing to eval_seconds; folding them into the per-request mean would
   // conflate the hardware's eval latency with the workload's hit rate.
@@ -110,6 +112,15 @@ ProfiledCosts AdaptiveController::costs_from_metrics(
                 std::min(metrics.cache_hits, metrics.eval_requests)) /
                 requests
           : 0.0;
+  // Graft rate over the total leaf-expansion demand: grafted leaves never
+  // became eval requests at all, so the denominator is grafts + requests
+  // (unlike cache_hit_rate, whose hits are a subset of eval_requests).
+  const double graft_demand =
+      static_cast<double>(metrics.tt_grafts + metrics.eval_requests);
+  sample.tt_graft_rate =
+      graft_demand > 0.0
+          ? static_cast<double>(metrics.tt_grafts) / graft_demand
+          : 0.0;
   sample.mean_depth = std::max(1.0, metrics.mean_depth());
   sample.t_shared_access_us = hw.ddr_access_us * sample.mean_depth;
   sample.tree_bytes =
@@ -131,6 +142,8 @@ void AdaptiveController::observe_costs(const ProfiledCosts& sample) {
       ewma(costs_.t_shared_access_us, sample.t_shared_access_us, a);
   costs_.cache_hit_rate =
       ewma(costs_.cache_hit_rate, sample.cache_hit_rate, a);
+  costs_.tt_graft_rate =
+      ewma(costs_.tt_graft_rate, sample.tt_graft_rate, a);
   costs_.mean_depth = ewma(costs_.mean_depth, sample.mean_depth, a);
   costs_.tree_bytes = static_cast<std::size_t>(
       ewma(static_cast<double>(costs_.tree_bytes),

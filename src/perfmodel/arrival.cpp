@@ -8,7 +8,8 @@
 namespace apm {
 
 double unique_producer_pool(const ArrivalModel& m) {
-  const double miss = std::clamp(1.0 - m.cache_hit_rate, 0.0, 1.0);
+  const double miss = std::clamp(1.0 - m.cache_hit_rate, 0.0, 1.0) *
+                      std::clamp(1.0 - m.tt_graft_rate, 0.0, 1.0);
   return std::max(0.0, m.live_games) * std::max(0.0, m.per_game_inflight) *
          miss;
 }

@@ -43,6 +43,12 @@ struct ArrivalModel {
   // coalesced duplicates) — the ProfiledCosts::cache_hit_rate analogue at
   // queue granularity. Thins the unique pool.
   double cache_hit_rate = 0.0;
+  // Measured fraction of the lane's leaf-expansion demand served by its
+  // transposition table (grafts / (grafts + requests); 0 with no TT).
+  // Grafted leaves never reach the queue, so they thin the producer pool
+  // multiplicatively with the cache term. λ measured from queue counters is
+  // already graft-thinned — this only affects the pool bound.
+  double tt_graft_rate = 0.0;
   // Measured slot-occupying arrivals per microsecond (unique positions
   // only). <= 0 means "no signal yet": the decision then keeps B = 1.
   double slot_arrivals_per_us = 0.0;

@@ -39,7 +39,10 @@ double PerfModel::local_intree_us() const {
 }
 
 double PerfModel::eval_miss_rate() const {
-  return std::clamp(1.0 - costs_.cache_hit_rate, 0.0, 1.0);
+  // Cache and TT compound: a TT graft never produces a request, and of the
+  // requests that remain, a cache hit costs no backend work.
+  return std::clamp(
+      (1.0 - costs_.cache_hit_rate) * (1.0 - costs_.tt_graft_rate), 0.0, 1.0);
 }
 
 double PerfModel::shared_cpu_wave_us(int n) const {

@@ -72,11 +72,12 @@ class PerfModel {
   double local_intree_us() const;
   double shared_intree_us() const;
 
-  // Expected fraction of eval requests that reach the backend (1 − the
-  // measured EvalCache hit rate). Every DNN/PCIe term above is scaled by
-  // this factor: a cached request costs no inference and no transfer, so
-  // with hit rate h the effective per-wave evaluation cost the adaptive
-  // controller should re-tune against is T_DNN · (1 − h).
+  // Expected fraction of leaf expansions that reach the backend:
+  // (1 − cache_hit_rate) · (1 − tt_graft_rate). Every DNN/PCIe term above
+  // is scaled by this factor — a cached request costs no inference and no
+  // transfer, and a transposition-table graft skips the request entirely —
+  // so with hit rate h and graft rate g the effective per-wave evaluation
+  // cost the adaptive controller re-tunes against is T_DNN · (1−h) · (1−g).
   double eval_miss_rate() const;
 
   // --- adaptive selection -------------------------------------------------

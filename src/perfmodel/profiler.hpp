@@ -31,6 +31,12 @@ struct ProfiledCosts {
   // t_dnn · miss_rate. t_dnn_cpu_us itself stays the per-served-request
   // cost of the requests that actually waited on the backend.
   double cache_hit_rate = 0.0;
+  // Fraction of leaf-expansion demand served by the transposition table
+  // (tt_grafts / (tt_grafts + eval_requests); 0 with no TT). A grafted
+  // leaf skips the encoder AND the backend entirely, so the models compound
+  // it with the cache: effective miss = (1 − cache_hit_rate) ×
+  // (1 − tt_graft_rate).
+  double tt_graft_rate = 0.0;
 };
 
 // Profiles the in-tree operations on a synthetic tree with the algorithm's

@@ -40,6 +40,7 @@ ThresholdDecision AggregateController::observe(
   m.live_games = obs.live_games;
   m.per_game_inflight = obs.inflight;
   m.cache_hit_rate = obs.hit_rate;
+  m.tt_graft_rate = obs.tt_graft_rate;
   m.slot_arrivals_per_us = lane.arrivals_per_us;
   m.stale_flush_us = obs.stale_flush_us;
 
@@ -51,6 +52,7 @@ ThresholdDecision AggregateController::observe(
   d.live_games = obs.live_games;
   d.pool = unique_producer_pool(m);
   d.hit_rate = obs.hit_rate;
+  d.graft_rate = obs.tt_graft_rate;
   d.arrivals_per_us = lane.arrivals_per_us;
   d.current_predicted_us =
       aggregate_request_us(m, backend_batch_us,

@@ -78,6 +78,7 @@ struct ThresholdDecision {
   int live_games = 0;
   double pool = 0.0;
   double hit_rate = 0.0;
+  double graft_rate = 0.0;  // TT graft fraction the pool was thinned by
   double arrivals_per_us = 0.0;
 };
 
@@ -86,6 +87,9 @@ struct LaneObservation {
   int live_games = 0;          // games attached to the lane right now
   double inflight = 1.0;       // mean per-game in-flight requests
   double hit_rate = 0.0;       // measured dedupe fraction (hits+coalesced)
+  // Measured TT graft fraction of the lane's engines (grafted leaves never
+  // reach the queue; thins the producer pool, see ArrivalModel).
+  double tt_graft_rate = 0.0;
   // Slot-occupying submissions and wall time since the previous observe()
   // for this lane (the raw arrival-rate window; EWMA-smoothed internally).
   std::uint64_t window_slot_arrivals = 0;

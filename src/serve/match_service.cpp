@@ -283,6 +283,7 @@ void MatchService::commit_locked(Slot& slot, GameRecord&& rec) {
     eval_requests_ += m.metrics.eval_requests;
     cache_hits_ += m.metrics.cache_hits;
     coalesced_evals_ += m.metrics.coalesced_evals;
+    tt_grafts_ += m.metrics.tt_grafts;
   }
   completed_.push_back(std::move(rec));
 
@@ -326,6 +327,11 @@ void MatchService::retune_locked(int model_id) {
     obs.inflight = lane.live_games > 0 ? lane.inflight_sum / lane.live_games
                                        : 1.0;
     obs.hit_rate = hit_rate;
+    obs.tt_graft_rate =
+        lane.tt_demand > 0
+            ? static_cast<double>(lane.tt_grafts) /
+                  static_cast<double>(lane.tt_demand)
+            : 0.0;
     obs.window_slot_arrivals = window_arrivals;
     obs.window_seconds = window_seconds;
     obs.stale_flush_us = queue.stale_flush_us();
@@ -380,6 +386,16 @@ void MatchService::worker_loop() {
         [&](int action) { slot->engine->advance(action); });
     slot->search_seconds += move_timer.elapsed_seconds();
 
+    // The just-played move's TT traffic, folded into the lane's graft rate
+    // below (under the lock) so retune_locked sees a live signal.
+    std::uint64_t move_grafts = 0;
+    std::uint64_t move_requests = 0;
+    if (!slot->engine->move_log().empty()) {
+      const SearchMetrics& last = slot->engine->move_log().back().metrics;
+      move_grafts = last.tt_grafts;
+      move_requests = last.eval_requests;
+    }
+
     const bool done = slot->runner->done();
     GameRecord rec;
     double live = 0.0;
@@ -399,6 +415,13 @@ void MatchService::worker_loop() {
     }
 
     lock.lock();
+    for (Lane& lane : lanes_) {
+      if (lane.model_id == wl.model_id) {
+        lane.tt_grafts += move_grafts;
+        lane.tt_demand += move_grafts + move_requests;
+        break;
+      }
+    }
     if (done) {
       commit_locked(*slot, std::move(rec));
       if (pending_games_ > 0) {
@@ -524,6 +547,11 @@ ServiceStats MatchService::stats() const {
         static_cast<double>(cache_hits_ + coalesced_evals_) /
         static_cast<double>(eval_requests_);
   }
+  s.tt_grafts = tt_grafts_;
+  if (tt_grafts_ + eval_requests_ > 0) {
+    s.tt_graft_rate = static_cast<double>(tt_grafts_) /
+                      static_cast<double>(tt_grafts_ + eval_requests_);
+  }
   s.scheme_switches = scheme_switches_;
   s.reused_visits = reused_visits_;
   s.search_seconds = search_seconds_;
@@ -553,6 +581,11 @@ ServiceStats MatchService::stats() const {
       ls.threshold = queue->batch_threshold();
       ls.retunes =
           controller_ != nullptr ? controller_->retunes(lane.model_id) : 0;
+      ls.tt_graft_rate =
+          lane.tt_demand > 0
+              ? static_cast<double>(lane.tt_grafts) /
+                    static_cast<double>(lane.tt_demand)
+              : 0.0;
       ls.batch = delta;
       if (cache != nullptr) ls.cache = cache->stats();
       s.lanes.push_back(std::move(ls));

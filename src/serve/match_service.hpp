@@ -162,6 +162,9 @@ struct ServiceLaneStats {
   double live_inflight = 0.0;
   int threshold = 1;
   int retunes = 0;
+  // TT graft fraction of the lane's leaf demand (grafts/(grafts+requests));
+  // 0 when the lane's engines run without transposition tables.
+  double tt_graft_rate = 0.0;
   BatchQueueStats batch;
   CacheStats cache;
 };
@@ -186,6 +189,11 @@ struct ServiceStats {
   std::size_t cache_hits = 0;
   std::size_t coalesced_evals = 0;
   double cache_hit_rate = 0.0;
+  // Transposition-table grafts, Σ over completed games, and the aggregate
+  // rate tt_grafts / (tt_grafts + eval_requests) — the fraction of leaf
+  // demand that never generated an eval request at all.
+  std::size_t tt_grafts = 0;
+  double tt_graft_rate = 0.0;
   CacheStats cache;
   int scheme_switches = 0;
   std::int64_t reused_visits = 0;
@@ -310,6 +318,11 @@ class MatchService {
     double last_window_seconds = 0.0;
     int live_games = 0;
     double inflight_sum = 0.0;    // Σ inflight over live games
+    // TT graft accounting over the lane's whole era (folded per committed
+    // move): grafted leaves never reach the queue, so the arrival model
+    // thins the producer pool by grafts / demand.
+    std::uint64_t tt_grafts = 0;
+    std::uint64_t tt_demand = 0;  // grafts + eval requests
   };
 
   void init_slots();
@@ -367,6 +380,7 @@ class MatchService {
   std::size_t eval_requests_ = 0;
   std::size_t cache_hits_ = 0;
   std::size_t coalesced_evals_ = 0;
+  std::size_t tt_grafts_ = 0;
   int scheme_switches_ = 0;
   std::int64_t reused_visits_ = 0;
   double search_seconds_ = 0.0;

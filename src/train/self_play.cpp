@@ -101,6 +101,7 @@ void fold_engine_trace(EpisodeStats& stats, const SearchEngine& engine,
     stats.cache_hits += static_cast<std::int64_t>(m.metrics.cache_hits);
     stats.coalesced_evals +=
         static_cast<std::int64_t>(m.metrics.coalesced_evals);
+    stats.tt_grafts += static_cast<std::int64_t>(m.metrics.tt_grafts);
   }
 }
 

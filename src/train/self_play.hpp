@@ -50,6 +50,9 @@ struct EpisodeStats {
   std::int64_t eval_requests = 0;
   std::int64_t cache_hits = 0;
   std::int64_t coalesced_evals = 0;
+  // Leaves grafted from the transposition table (no eval request at all),
+  // Σ over this game's moves; zero without a TT.
+  std::int64_t tt_grafts = 0;
   std::vector<EngineMoveStats> per_move;  // full adaptation trace
 };
 
