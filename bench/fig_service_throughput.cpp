@@ -31,7 +31,16 @@
 // by side from one MatchService; the per-lane measured backend cost is the
 // serving-plane evidence that a quantized lane is cheaper per eval at
 // identical routing.
+//
+// Tracing-overhead rows (ISSUE 8): the K=8 cached configuration run with
+// the obs tracing plane disabled (the default — every instrumentation site
+// is one relaxed atomic load) and with a live tracing session; the
+// `service_tracing_overhead_frac` entry is the measured cost of carrying
+// the instrumentation, and `service_tracing_off_evals_per_s` is directly
+// comparable to `service_evals_per_s_k8_cached` across PRs (the ≤2%
+// disabled-cost contract).
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -39,6 +48,7 @@
 #include "eval/net_evaluator.hpp"
 #include "games/gomoku.hpp"
 #include "nn/quantize.hpp"
+#include "obs/trace.hpp"
 #include "serve/match_service.hpp"
 #include "support/table.hpp"
 
@@ -245,6 +255,41 @@ int main(int argc, char** argv) {
                us_int8 > 0.0 ? us_fp32 / us_int8 : 0.0, "x");
     std::printf("mixed-precision: int8 lane %.2fx cheaper per eval\n",
                 us_int8 > 0.0 ? us_fp32 / us_int8 : 0.0);
+  }
+
+  // --- tracing overhead (ISSUE 8) ------------------------------------------
+  // Same K=8 cached configuration as the service_*_k8_cached rows, best of
+  // 3 reps per mode (one core; the max tames scheduler noise). Off mode is
+  // the shipping default: instrumentation compiled in, gate closed. On mode
+  // carries a live recorder session (64k-event rings, wrap allowed) — the
+  // cost a capture pays, NOT a cost production pays.
+  {
+    const Gomoku board(5, 4);
+    const auto best_evals_per_s = [&board](bool traced) {
+      double best = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        if (traced) {
+          obs::set_trace_capacity(std::size_t{1} << 16);
+          obs::set_tracing(true);
+        }
+        const RunResult r = run_service(board, 8, /*cached=*/true);
+        obs::set_tracing(false);
+        // The service (and its lane stream threads) is fully torn down
+        // inside run_service, so the recorder can be reset between reps.
+        obs::reset_trace();
+        best = std::max(best, r.stats.evals_per_second);
+      }
+      return best;
+    };
+    const double off = best_evals_per_s(false);
+    const double on = best_evals_per_s(true);
+    const double overhead = off > 0.0 ? 1.0 - on / off : 0.0;
+    std::printf("\ntracing overhead (K=8 cached): off %.0f evals/s, "
+                "on %.0f evals/s (%.1f%% session cost)\n",
+                off, on, 100.0 * overhead);
+    json.entry("service_tracing_off_evals_per_s", off, "evals/s");
+    json.entry("service_tracing_on_evals_per_s", on, "evals/s");
+    json.entry("service_tracing_overhead_frac", overhead, "fraction");
   }
 
   std::fprintf(f, "\n]\n");

@@ -38,10 +38,12 @@ BatchQueueStats stats_delta(const BatchQueueStats& now,
 
 AsyncBatchEvaluator::AsyncBatchEvaluator(InferenceBackend& backend,
                                          int batch_threshold, int num_streams,
-                                         double stale_flush_us)
+                                         double stale_flush_us,
+                                         std::string name)
     : backend_(backend),
       threshold_(batch_threshold),
-      stale_flush_us_(stale_flush_us) {
+      stale_flush_us_(stale_flush_us),
+      name_(name.empty() ? std::string("eval") : std::move(name)) {
   APM_CHECK(batch_threshold >= 1);
   APM_CHECK(num_streams >= 1);
   streams_.reserve(static_cast<std::size_t>(num_streams));
@@ -66,6 +68,9 @@ AsyncBatchEvaluator::~AsyncBatchEvaluator() {
 SubmitOutcome AsyncBatchEvaluator::submit(const float* input, Callback cb,
                                           int tag, std::uint64_t hash) {
   APM_CHECK(cb != nullptr);
+  // Request-lifetime origin on the trace clock: batch-wait and end-to-end
+  // latency samples for this request are measured from here.
+  const std::uint64_t t0 = obs::now_ns();
   const std::size_t isz = backend_.input_size();
   EvalCache* cache = cache_.load(std::memory_order_acquire);
   const bool hashed = cache != nullptr && hash != kNoHash;
@@ -77,6 +82,8 @@ SubmitOutcome AsyncBatchEvaluator::submit(const float* input, Callback cb,
     EvalOutput out;
     if (cache->lookup(hash, out)) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      hist_request_.record(obs::now_ns() - t0);
+      obs::emit_instant("cache_hit", "eval", {{"lane", name_.c_str()}});
       cb(std::move(out));
       return SubmitOutcome::kCacheHit;
     }
@@ -102,6 +109,8 @@ SubmitOutcome AsyncBatchEvaluator::submit(const float* input, Callback cb,
       if (cache->lookup(hash, out, /*count=*/false)) {
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
         lock.unlock();
+        hist_request_.record(obs::now_ns() - t0);
+        obs::emit_instant("cache_hit", "eval", {{"lane", name_.c_str()}});
         cb(std::move(out));
         if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           std::lock_guard relock(mutex_);
@@ -114,7 +123,9 @@ SubmitOutcome AsyncBatchEvaluator::submit(const float* input, Callback cb,
         // Coalesce: ride the in-flight primary instead of a second slot.
         // Still counted in in_flight_, so drain() waits for the wake-up.
         it->second.waiters.push_back(std::move(cb));
+        it->second.waiter_enq_ns.push_back(t0);
         ++stats_.coalesced;
+        obs::emit_instant("coalesced", "eval", {{"lane", name_.c_str()}});
         // A waiter on a still-forming primary is arrived demand for that
         // batch: count it toward the dispatch threshold (not the fill
         // histogram) so duplicate-heavy traffic keeps the cache-off
@@ -146,6 +157,7 @@ SubmitOutcome AsyncBatchEvaluator::submit(const float* input, Callback cb,
     slot = pending_->callbacks.size();
     pending_->callbacks.push_back(std::move(cb));
     pending_->hashes.push_back(hashed ? hash : kNoHash);
+    pending_->enq_ns.push_back(t0);
     ++stats_.submitted;
     if (tag >= 0) {
       if (stats_.tag_slots.size() <= static_cast<std::size_t>(tag)) {
@@ -251,15 +263,34 @@ AsyncBatchEvaluator::acquire_batch_locked() {
   b->inputs.resize(static_cast<std::size_t>(threshold_) *
                    backend_.input_size());
   b->hashes.reserve(static_cast<std::size_t>(threshold_));
+  b->enq_ns.reserve(static_cast<std::size_t>(threshold_));
   return b;
 }
 
 void AsyncBatchEvaluator::dispatch_locked(std::unique_lock<std::mutex>& lock,
                                           DispatchReason reason) {
   std::unique_ptr<Batch> batch = std::move(pending_);
+  const int attached = pending_attached_;
   pending_attached_ = 0;  // attached waiters leave with their primaries
   ++stats_.batches;
   const std::size_t size = batch->callbacks.size();
+  // Formation-wait samples (slot reservation → this dispatch) and the
+  // batch_form span. The span starts at the oldest slot's enqueue, so in
+  // Perfetto its width IS the formation wait the stale timer bounds.
+  const std::uint64_t dispatch_ns = obs::now_ns();
+  for (const std::uint64_t e : batch->enq_ns) {
+    hist_batch_wait_.record(dispatch_ns >= e ? dispatch_ns - e : 0);
+  }
+  if (!batch->enq_ns.empty()) {
+    const char* why = reason == DispatchReason::kThreshold ? "threshold"
+                      : reason == DispatchReason::kStale   ? "stale"
+                                                           : "manual";
+    obs::emit_span("batch_form", "eval", batch->enq_ns.front(), dispatch_ns,
+                   {{"size", size},
+                    {"attached", attached},
+                    {"reason", why},
+                    {"threshold", threshold_}});
+  }
   sum_batch_sizes_ += static_cast<double>(size);
   stats_.max_batch = std::max(stats_.max_batch, size);
   if (stats_.fill_histogram.size() <= size) {
@@ -283,7 +314,15 @@ void AsyncBatchEvaluator::dispatch_locked(std::unique_lock<std::mutex>& lock,
 void AsyncBatchEvaluator::stream_loop() {
   std::vector<EvalOutput> outputs;
   std::vector<std::vector<Callback>> waiters;
+  std::vector<std::vector<std::uint64_t>> waiter_enq;
+  bool thread_named = false;
   while (auto batch_opt = batch_queue_.pop()) {
+    // Lazy thread naming: only once tracing is (or becomes) enabled, so a
+    // tracing-off process never allocates ring buffers for stream threads.
+    if (!thread_named && obs::tracing_enabled()) {
+      obs::set_thread_name((name_ + ".stream").c_str());
+      thread_named = true;
+    }
     std::unique_ptr<Batch> batch = std::move(*batch_opt);
     const int n = static_cast<int>(batch->callbacks.size());
     // Wait for straggler slot copies (bounded by a memcpy per submitter).
@@ -291,9 +330,17 @@ void AsyncBatchEvaluator::stream_loop() {
       std::this_thread::yield();
     }
     outputs.resize(static_cast<std::size_t>(n));
+    const std::uint64_t eval_start = obs::now_ns();
     const double modelled_us =
         backend_.compute_batch(batch->inputs.data(), n, outputs.data());
+    const std::uint64_t eval_end = obs::now_ns();
+    hist_backend_.record(eval_end - eval_start);
+    obs::emit_span("backend_eval", "eval", eval_start, eval_end,
+                   {{"batch", n},
+                    {"modelled_us", modelled_us},
+                    {"lane", name_.c_str()}});
     waiters.assign(static_cast<std::size_t>(n), {});
+    waiter_enq.assign(static_cast<std::size_t>(n), {});
     std::size_t released = 0;
     // Publish every result into the cache BEFORE retiring the in-flight
     // entries: a racing hashed submit() double-checks the cache and then
@@ -320,9 +367,21 @@ void AsyncBatchEvaluator::stream_loop() {
         auto it = inflight_waiters_.find(h);
         if (it != inflight_waiters_.end()) {
           waiters[i] = std::move(it->second.waiters);
+          waiter_enq[i] = std::move(it->second.waiter_enq_ns);
           inflight_waiters_.erase(it);
           released += waiters[i].size();
         }
+      }
+    }
+    // End-to-end request latency (submit entry → results ready), one
+    // sample per slot owner and per coalesced waiter, before callbacks so
+    // caller continuation cost is excluded.
+    const std::uint64_t done_ns = obs::now_ns();
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t e = batch->enq_ns[static_cast<std::size_t>(i)];
+      hist_request_.record(done_ns >= e ? done_ns - e : 0);
+      for (const std::uint64_t w : waiter_enq[static_cast<std::size_t>(i)]) {
+        hist_request_.record(done_ns >= w ? done_ns - w : 0);
       }
     }
     // Callbacks run outside any lock (CP.22); each coalesced waiter gets
@@ -338,6 +397,7 @@ void AsyncBatchEvaluator::stream_loop() {
       std::lock_guard lock(mutex_);
       batch->callbacks.clear();
       batch->hashes.clear();
+      batch->enq_ns.clear();
       batch->ready.store(0, std::memory_order_relaxed);
       free_batches_.push_back(std::move(batch));
     }

@@ -50,6 +50,8 @@
 
 #include "eval/eval_cache.hpp"
 #include "eval/gpu_model.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "support/sync_queue.hpp"
 
 namespace apm {
@@ -111,8 +113,11 @@ class AsyncBatchEvaluator {
 
   // batch_threshold >= 1; num_streams >= 1. stale_flush_us <= 0 disables
   // the timer (then only threshold crossings and flush()/drain() dispatch).
+  // `name` labels this queue (lane) in trace events and stream-thread
+  // names; empty defaults to "eval".
   AsyncBatchEvaluator(InferenceBackend& backend, int batch_threshold,
-                      int num_streams, double stale_flush_us = 2000.0);
+                      int num_streams, double stale_flush_us = 2000.0,
+                      std::string name = {});
   ~AsyncBatchEvaluator();
 
   AsyncBatchEvaluator(const AsyncBatchEvaluator&) = delete;
@@ -179,7 +184,25 @@ class AsyncBatchEvaluator {
   // Multi-producer users (MatchService) require it for liveness at game
   // tails, where the remaining producers cannot fill a batch.
   double stale_flush_us() const { return stale_flush_us_; }
+  const std::string& name() const { return name_; }
   BatchQueueStats stats() const;
+
+  // Always-on latency shards (trace-clock nanoseconds; see obs/histogram):
+  //  - batch-wait: slot reservation → batch dispatch, per slot;
+  //  - backend:    one sample per backend invocation (wall time of
+  //                compute_batch, including any emulated accelerator wait);
+  //  - request:    submit() entry → result delivery, per request, covering
+  //                cache hits (lookup cost), coalesced waiters, and slot
+  //                owners alike — the queue-level end-to-end distribution.
+  obs::HistogramSnapshot batch_wait_histogram() const {
+    return hist_batch_wait_.snapshot();
+  }
+  obs::HistogramSnapshot backend_histogram() const {
+    return hist_backend_.snapshot();
+  }
+  obs::HistogramSnapshot request_histogram() const {
+    return hist_request_.snapshot();
+  }
 
  private:
   // One forming/in-flight batch: a contiguous input buffer sized for the
@@ -195,6 +218,10 @@ class AsyncBatchEvaluator {
     // the unique in-flight primary for that hash: completion inserts the
     // result into the cache and wakes the hash's coalesced waiters.
     std::vector<std::uint64_t> hashes;
+    // Per-slot submit-entry stamp (obs trace clock): batch-wait and
+    // request-latency samples are computed from these. Written only under
+    // the queue lock at slot reservation.
+    std::vector<std::uint64_t> enq_ns;
     std::atomic<int> ready{0};       // slots fully copied
   };
 
@@ -209,6 +236,13 @@ class AsyncBatchEvaluator {
   InferenceBackend& backend_;
   int threshold_;  // guarded by mutex_ (runtime-tunable)
   const double stale_flush_us_;
+  const std::string name_;  // lane label for traces and thread names
+
+  // Always-on latency shards (cheap relaxed-atomic records; the trace
+  // recorder is the gated half). See the accessor comment for semantics.
+  obs::LatencyHistogram hist_batch_wait_;
+  obs::LatencyHistogram hist_backend_;
+  obs::LatencyHistogram hist_request_;
 
   // One in-flight primary's coalescing state: its waiters, and the forming
   // batch it occupies a slot in (`seq`, compared against pending_seq_ so a
@@ -216,6 +250,7 @@ class AsyncBatchEvaluator {
   // dispatched).
   struct InFlight {
     std::vector<Callback> waiters;
+    std::vector<std::uint64_t> waiter_enq_ns;  // parallel to waiters
     std::uint64_t seq = 0;
   };
 

@@ -3,6 +3,7 @@
 #include <bit>
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace apm {
@@ -90,8 +91,10 @@ void EvalCache::insert(std::uint64_t key, const EvalOutput& out) {
 }
 
 void EvalCache::clear() {
+  std::size_t dropped = 0;
   for (Shard& s : shards_) {
     std::lock_guard guard(s.lock);
+    dropped += s.live;
     for (Entry& e : s.entries) {
       e.valid = false;
       e.referenced = 0;
@@ -99,6 +102,9 @@ void EvalCache::clear() {
     for (std::uint8_t& h : s.hands) h = 0;
     s.live = 0;
   }
+  // Invalidation marker in the trace timeline (model swap / trainer lane
+  // invalidation shows up as a hit-rate cliff right after this instant).
+  obs::emit_instant("cache_clear", "eval", {{"dropped", dropped}});
 }
 
 CacheStats EvalCache::stats() const {

@@ -3,10 +3,24 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace apm {
 namespace {
+
+// Static-lifetime scheme label for trace args (to_string returns a
+// temporary std::string; trace events borrow their pointers).
+const char* scheme_cname(Scheme s) {
+  switch (s) {
+    case Scheme::kSerial: return "serial";
+    case Scheme::kSharedTree: return "shared_tree";
+    case Scheme::kLocalTree: return "local_tree";
+    case Scheme::kLeafParallel: return "leaf_parallel";
+    case Scheme::kRootParallel: return "root_parallel";
+  }
+  return "?";
+}
 
 // Seeds the controller's VL-re-tune references from the engine's search
 // config: the configured constant/mode is what the initial configuration
@@ -96,13 +110,21 @@ SearchTree::NodeArchiver SearchEngine::make_archiver() {
 }
 
 void SearchEngine::run_advance(int action) {
+  obs::SpanScope span("advance_root", "mcts");
   const bool kept = tree_.advance_root(action, make_archiver());
   if (tt_ != nullptr) tt_->set_generation(tree_.epoch());
   pending_reuse_ = kept;
   reusable_visits_ = kept ? tree_.root_visit_total() : 0;
+  if (span.active()) {
+    span.arg("action", static_cast<double>(action));
+    span.arg("kept", kept ? 1.0 : 0.0);
+    span.arg("reused_visits", static_cast<double>(reusable_visits_));
+    span.arg("where", compactor_.joinable() ? "background" : "inline");
+  }
 }
 
 void SearchEngine::compactor_loop() {
+  bool thread_named = false;
   for (;;) {
     int action;
     {
@@ -112,6 +134,10 @@ void SearchEngine::compactor_loop() {
       cjob_ready_ = false;
       cjob_busy_ = true;
       action = cjob_action_;
+    }
+    if (!thread_named && obs::tracing_enabled()) {
+      obs::set_thread_name("engine.compactor");
+      thread_named = true;
     }
     run_advance(action);
     {
@@ -159,6 +185,7 @@ void SearchEngine::rebuild_driver(Scheme scheme, int workers,
 
 SearchResult SearchEngine::search(const Game& env) {
   wait_compaction();
+  obs::SpanScope span("engine.search", "mcts");
   EngineMoveStats ms;
   ms.move = move_index_;
   ms.scheme = driver_->scheme();
@@ -208,6 +235,13 @@ SearchResult SearchEngine::search(const Game& env) {
       rebuild_driver(plan.scheme, plan.workers, batch);
       ms.switched = true;
       ++switches_;
+      // The adaptive controller's Eq. 3–6 re-decision as a timeline marker:
+      // the committed (scheme, N, B) this engine runs from the next move.
+      obs::emit_instant("scheme_switch", "mcts",
+                        {{"N", plan.workers},
+                         {"B", batch},
+                         {"scheme", scheme_cname(plan.scheme)},
+                         {"predicted_us", plan.predicted_us}});
     }
   }
   ms.next_scheme = driver_->scheme();
@@ -215,6 +249,12 @@ SearchResult SearchEngine::search(const Game& env) {
   ms.next_batch_threshold = batch_threshold();
   ms.next_virtual_loss = driver_->config().virtual_loss;
 
+  if (span.active()) {
+    span.arg("move", static_cast<double>(ms.move));
+    span.arg("playouts", static_cast<double>(ms.playout_budget));
+    span.arg("N", static_cast<double>(ms.workers));
+    span.arg("scheme", scheme_cname(ms.scheme));
+  }
   log_.push_back(ms);
   ++move_index_;
   return result;

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "mcts/selection.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace apm {
@@ -252,6 +253,10 @@ TtProbeResult tt_probe_and_graft(TranspositionTable* tt, InTreeOps& ops,
     ops.expand_from_tt(node, key, scratch, tt->config().graft,
                        tt->config().stats_blend);
     *value_out = scratch.value;
+    obs::emit_instant("tt_graft", "mcts",
+                      {{"edges", scratch.edges.size()},
+                       {"depth", scratch.depth},
+                       {"visits", scratch.visits}});
     return r;
   }
   *announced = tt->announce(key);

@@ -1,0 +1,107 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace apm::obs {
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min);
+  if (q >= 1.0) return static_cast<double>(max);
+  // Target rank in [1, count]: the q-th order statistic (nearest-rank).
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5));
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kHistBuckets; ++i) {
+    const std::uint64_t c = buckets[i];
+    if (c == 0) continue;
+    if (cum + c >= target) {
+      // Interpolate within the bucket: the (target - cum)-th of its c
+      // entries, assumed uniformly spread over [lower, lower + width).
+      const double frac =
+          (static_cast<double>(target - cum) - 0.5) / static_cast<double>(c);
+      double est = static_cast<double>(hist_bucket_lower(i)) +
+                   frac * static_cast<double>(hist_bucket_width(i));
+      est = std::max(est, static_cast<double>(min));
+      est = std::min(est, static_cast<double>(max));
+      return est;
+    }
+    cum += c;
+  }
+  return static_cast<double>(max);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  for (int i = 0; i < kHistBuckets; ++i) buckets[i] += other.buckets[i];
+  if (count == 0 || other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
+  count += other.count;
+  sum += other.sum;
+}
+
+HistogramSnapshot HistogramSnapshot::delta(const HistogramSnapshot& base) const {
+  HistogramSnapshot out;
+  int lo = -1;
+  int hi = -1;
+  for (int i = 0; i < kHistBuckets; ++i) {
+    const std::uint64_t b = base.buckets[i];
+    out.buckets[i] = buckets[i] > b ? buckets[i] - b : 0;
+    if (out.buckets[i] > 0) {
+      if (lo < 0) lo = i;
+      hi = i;
+    }
+    out.count += out.buckets[i];
+  }
+  out.sum = sum > base.sum ? sum - base.sum : 0;
+  // Window extremes are unrecoverable exactly; bound them by the occupied
+  // buckets so quantile clamping stays sane.
+  if (out.count > 0) {
+    out.min = hist_bucket_lower(lo);
+    out.max = hist_bucket_lower(hi) + hist_bucket_width(hi) - 1;
+    if (out.max > max) out.max = max;  // overall max still bounds the window
+  }
+  return out;
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (int i = 0; i < kHistBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t mn = min_.load(std::memory_order_relaxed);
+  snap.min = (snap.count == 0 || mn == ~std::uint64_t{0}) ? 0 : mn;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void LatencyHistogram::reset() {
+  for (int i = 0; i < kHistBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::string describe_histogram(const HistogramSnapshot& snap, double scale,
+                               const char* unit) {
+  char buf[256];
+  if (snap.count == 0) {
+    std::snprintf(buf, sizeof(buf), "count=0 (%s)", unit);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f %s",
+                static_cast<unsigned long long>(snap.count),
+                snap.mean() * scale, snap.quantile(0.5) * scale,
+                snap.quantile(0.9) * scale, snap.quantile(0.99) * scale,
+                static_cast<double>(snap.max) * scale, unit);
+  return buf;
+}
+
+}  // namespace apm::obs

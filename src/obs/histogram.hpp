@@ -1,0 +1,129 @@
+#pragma once
+// Fixed-bucket log-scale latency histogram (HDR-histogram style).
+//
+// Values (nanoseconds, or any uint64 quantity) land in one of 512
+// buckets: 8 linear sub-buckets per power-of-two octave (kSubBits = 3),
+// so every bucket's width is at most 1/8 of its lower bound — quantile
+// estimates carry ≤ 12.5% relative error by construction, independent of
+// the value range. No allocation after construction, no locks: record()
+// is two relaxed fetch_adds plus bounded min/max CAS loops, safe from any
+// number of threads. Shards (one histogram per thread/lane) merge via
+// HistogramSnapshot::merge; windowed views subtract via delta().
+//
+// This is the always-on half of the observability plane: unlike trace
+// events these are not gated, because a record() is cheaper than the
+// clock read the caller already paid for. ServiceStats' p50/p99 fields
+// (ROADMAP direction 1's prerequisite) are computed from these snapshots.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apm::obs {
+
+inline constexpr int kHistSubBits = 3;                       // 8 sub-buckets/octave
+inline constexpr int kHistSubCount = 1 << kHistSubBits;      // 8
+inline constexpr int kHistBuckets = 512;                     // covers all of uint64
+
+// Bucket index for a value. Values < 8 map to their own bucket (exact);
+// larger values map to (octave, top-3-bits-below-msb).
+inline int hist_bucket_index(std::uint64_t v) {
+  if (v < static_cast<std::uint64_t>(kHistSubCount)) return static_cast<int>(v);
+  const int msb = 63 - __builtin_clzll(v);
+  const int group = msb - kHistSubBits + 1;
+  const int sub = static_cast<int>((v >> (msb - kHistSubBits)) &
+                                   (kHistSubCount - 1));
+  return (group << kHistSubBits) | sub;
+}
+
+// Smallest value mapping to bucket `idx`.
+inline std::uint64_t hist_bucket_lower(int idx) {
+  if (idx < kHistSubCount) return static_cast<std::uint64_t>(idx);
+  const int group = idx >> kHistSubBits;
+  const int sub = idx & (kHistSubCount - 1);
+  return static_cast<std::uint64_t>(kHistSubCount + sub) << (group - 1);
+}
+
+// Width of bucket `idx` (number of distinct values it absorbs).
+inline std::uint64_t hist_bucket_width(int idx) {
+  if (idx < kHistSubCount) return 1;
+  return std::uint64_t{1} << ((idx >> kHistSubBits) - 1);
+}
+
+// Immutable copy of a histogram's state. Cheap to merge, subtract, and
+// query; all quantile math happens here so the live histogram stays a
+// plain array of atomics.
+struct HistogramSnapshot {
+  std::uint64_t buckets[kHistBuckets] = {};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // exact (not bucket-rounded); 0 when empty
+  std::uint64_t max = 0;
+
+  bool empty() const { return count == 0; }
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  // Quantile estimate for q in [0, 1]: walks buckets to the target rank
+  // and interpolates linearly inside the landing bucket; clamped to the
+  // exact observed [min, max]. q=0 → min, q=1 → max.
+  double quantile(double q) const;
+
+  // Fold another shard into this one (bucket-wise add; min/max widen).
+  void merge(const HistogramSnapshot& other);
+
+  // This snapshot minus an earlier baseline of the SAME histogram —
+  // the window of records between the two. Bucket-wise monotonic
+  // subtraction (clamped at 0); min/max fall back to bucket bounds of
+  // the window since exact extremes of a window are not recoverable.
+  HistogramSnapshot delta(const HistogramSnapshot& base) const;
+};
+
+// Live, thread-safe histogram. record() never allocates or locks.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void record(std::uint64_t value) {
+    buckets_[hist_bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    update_min(value);
+    update_max(value);
+  }
+
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  void update_min(std::uint64_t v) {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::uint64_t v) {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> buckets_[kHistBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// One-line human-readable summary: "count=N mean=... p50=... p90=...
+// p99=... max=..." with values scaled by `scale` (e.g. 1e-3 for ns→µs)
+// and labelled with `unit`.
+std::string describe_histogram(const HistogramSnapshot& snap, double scale,
+                               const char* unit);
+
+}  // namespace apm::obs

@@ -1,0 +1,85 @@
+#include "obs/registry.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace apm::obs {
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+void render_histogram_line(std::ostringstream& out, const std::string& name,
+                           const HistogramSnapshot& snap) {
+  // Nanosecond-named histograms read better in µs; everything else is
+  // rendered raw.
+  const bool ns = ends_with(name, "_ns");
+  out << "histogram " << name << ' '
+      << describe_histogram(snap, ns ? 1e-3 : 1.0, ns ? "us" : "raw") << '\n';
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* r = new MetricsRegistry();  // immortal
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  std::unique_ptr<LatencyHistogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+void MetricsRegistry::set_histogram(const std::string& name,
+                                    const HistogramSnapshot& snap) {
+  std::lock_guard lock(mu_);
+  published_[name] = snap;
+}
+
+std::string MetricsRegistry::render_text() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << "counter " << name << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", g->value());
+    out << "gauge " << name << ' ' << buf << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    render_histogram_line(out, name, h->snapshot());
+  }
+  for (const auto& [name, snap] : published_) {
+    render_histogram_line(out, name, snap);
+  }
+  return out.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->set(0);
+  for (auto& [name, g] : gauges_) g->set(0.0);
+  for (auto& [name, h] : histograms_) h->reset();
+  published_.clear();
+}
+
+}  // namespace apm::obs

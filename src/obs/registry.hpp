@@ -1,0 +1,88 @@
+#pragma once
+// Process-wide metrics registry: named counters, gauges, and histograms.
+//
+// The repo grew one ad-hoc stats struct per layer (SearchMetrics,
+// CacheStats, BatchQueueStats, ServiceStats, ...). Those structs stay —
+// they are the precise, typed, delta-able interfaces their layers test
+// against — but the registry gives every layer ONE place to publish under
+// stable dotted names ("service.move_latency_ns", "eval.cache_hits"), and
+// gives operators one call (render_text) that dumps the whole process
+// state. Lookup takes a mutex; the returned handles are stable for the
+// process lifetime, so hot paths resolve once and then touch only the
+// lock-free handle.
+//
+// Two histogram flavours coexist:
+//  - histogram(name): a live LatencyHistogram the caller records into.
+//  - set_histogram(name, snap): a published snapshot for layers that
+//    already own their histogram (e.g. MatchService publishes its move /
+//    request-latency shards after merging lanes).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+#include <atomic>
+
+namespace apm::obs {
+
+// Monotonic event count. add() from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  // Get-or-create by name. References remain valid for the registry's
+  // lifetime (entries are never erased, only reset).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  // Publish a pre-merged snapshot under `name` (replaces any previous).
+  void set_histogram(const std::string& name, const HistogramSnapshot& snap);
+
+  // Text exporter: every metric, sorted by name, one per line.
+  //   counter <name> <value>
+  //   gauge <name> <value>
+  //   histogram <name> count=... mean=... p50=... p90=... p99=... max=...
+  // Histogram lines render nanosecond-named metrics (suffix "_ns") in µs.
+  std::string render_text() const;
+
+  // Zero every counter/gauge/live histogram and drop published snapshots.
+  // Handles stay valid. Test support; not for use while hot paths record.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, HistogramSnapshot> published_;
+};
+
+}  // namespace apm::obs

@@ -1,0 +1,143 @@
+#include "obs/trace_export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace apm::obs {
+namespace {
+
+void write_escaped(std::ostream& out, const char* s) {
+  out << '"';
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << static_cast<char>(c);
+        }
+    }
+  }
+  out << '"';
+}
+
+// Numbers print as integers when they are integral (most args are counts
+// or (scheme, N, B) tuples) and as shortest-round-trip doubles otherwise.
+void write_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << '0';
+    return;
+  }
+  char buf[48];
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out << buf;
+}
+
+// Microsecond timestamp with sub-µs (ns) resolution preserved.
+void write_us(std::ostream& out, std::uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out << buf;
+}
+
+void write_args(std::ostream& out, const TraceEvent& ev) {
+  out << "\"args\":{";
+  bool first = true;
+  for (int i = 0; i < ev.argc; ++i) {
+    if (!first) out << ',';
+    first = false;
+    write_escaped(out, ev.akey[i]);
+    out << ':';
+    write_number(out, ev.aval[i]);
+  }
+  if (ev.skey != nullptr && ev.sval != nullptr) {
+    if (!first) out << ',';
+    write_escaped(out, ev.skey);
+    out << ':';
+    write_escaped(out, ev.sval);
+  }
+  out << '}';
+}
+
+void write_event(std::ostream& out, int tid, const TraceEvent& ev,
+                 bool& first) {
+  if (ev.name == nullptr) return;  // never emitted; defensive
+  if (!first) out << ",\n";
+  first = false;
+  out << "{\"name\":";
+  write_escaped(out, ev.name);
+  out << ",\"cat\":";
+  write_escaped(out, ev.cat != nullptr ? ev.cat : "default");
+  out << ",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
+  write_us(out, ev.ts_ns);
+  switch (ev.type) {
+    case EventType::kSpan:
+      out << ",\"ph\":\"X\",\"dur\":";
+      write_us(out, ev.dur_ns);
+      break;
+    case EventType::kInstant:
+      out << ",\"ph\":\"i\",\"s\":\"t\"";
+      break;
+    case EventType::kCounter:
+      out << ",\"ph\":\"C\"";
+      break;
+  }
+  out << ',';
+  write_args(out, ev);
+  out << '}';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const TraceSnapshot& snap) {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  // Metadata records first: process name + one thread_name per named
+  // thread, so the UI labels tracks before any payload event references
+  // them.
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"apm\"}}";
+  first = false;
+  for (const ThreadTrace& tt : snap.threads) {
+    if (tt.name.empty()) continue;
+    out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << tt.tid << ",\"args\":{\"name\":";
+    write_escaped(out, tt.name.c_str());
+    out << "}}";
+  }
+  for (const ThreadTrace& tt : snap.threads) {
+    for (const TraceEvent& ev : tt.events) {
+      write_event(out, tt.tid, ev, first);
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+         "\"total_dropped\":"
+      << snap.total_dropped << "}}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const TraceSnapshot& snap) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, snap);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace apm::obs

@@ -1,0 +1,31 @@
+#pragma once
+// Chrome trace-event JSON exporter: serialises a TraceSnapshot into the
+// format Perfetto / chrome://tracing load directly.
+//
+// Mapping (one JSON object per event, "traceEvents" array form):
+//   kSpan    → "ph":"X" complete events with ts + dur
+//   kInstant → "ph":"i" thread-scoped instants ("s":"t")
+//   kCounter → "ph":"C" counter tracks
+// plus one "ph":"M" thread_name metadata record per named thread and a
+// process_name record for the whole capture. Timestamps are trace-clock
+// nanoseconds converted to the format's microseconds (double, so sub-µs
+// resolution survives). pid is fixed at 1; tid is the recorder's
+// registration order, which makes worker lanes sort stably in the UI.
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace apm::obs {
+
+// Writes the snapshot as a complete JSON document. Never throws; stream
+// state reports I/O failure.
+void write_chrome_trace(std::ostream& out, const TraceSnapshot& snap);
+
+// Convenience: snapshot-to-file. Returns false if the file cannot be
+// opened or the write fails.
+bool write_chrome_trace_file(const std::string& path,
+                             const TraceSnapshot& snap);
+
+}  // namespace apm::obs

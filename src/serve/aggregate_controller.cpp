@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace apm {
@@ -13,6 +14,8 @@ AggregateController::AggregateController(AggregateControllerConfig cfg,
   APM_CHECK(cfg_.max_threshold >= cfg_.min_threshold);
   APM_CHECK(cfg_.hysteresis >= 0.0);
   APM_CHECK(cfg_.ewma_alpha > 0.0 && cfg_.ewma_alpha <= 1.0);
+  APM_CHECK(cfg_.log_capacity >= 1);
+  log_ring_.reserve(cfg_.log_capacity);
 }
 
 ThresholdDecision AggregateController::observe(
@@ -81,15 +84,40 @@ ThresholdDecision AggregateController::observe(
   } else {
     d.predicted_us = d.current_predicted_us;  // held: the incumbent stands
   }
-  // Bound the trajectory log across long-lived services (the decision
-  // cadence is per attach/retire + every few moves, forever): keep the
-  // most recent window, like SearchEngine's move log.
-  if (log_.size() >= kMaxLogEntries) {
-    log_.erase(log_.begin(),
-               log_.begin() + static_cast<std::ptrdiff_t>(kMaxLogEntries / 2));
+  // Stamp and ring-append. seq is the decision's global index (shared
+  // across lanes), ts_ns the trace-clock instant — together they make
+  // retune trajectories totally ordered and alignable with span exports.
+  d.seq = decision_count_;
+  d.ts_ns = obs::now_ns();
+  if (log_ring_.size() < cfg_.log_capacity) {
+    log_ring_.push_back(d);
+  } else {
+    log_ring_[static_cast<std::size_t>(decision_count_ % cfg_.log_capacity)] =
+        d;
   }
-  log_.push_back(d);
+  ++decision_count_;
+  obs::emit_instant("retune", "serve",
+                    {{"model", d.model_id},
+                     {"from", d.from},
+                     {"to", d.to},
+                     {"applied", d.changed ? "yes" : "held"}});
   return d;
+}
+
+std::vector<ThresholdDecision> AggregateController::log() const {
+  std::vector<ThresholdDecision> out;
+  const std::uint64_t cap = cfg_.log_capacity;
+  const std::uint64_t kept = std::min<std::uint64_t>(decision_count_, cap);
+  out.reserve(static_cast<std::size_t>(kept));
+  for (std::uint64_t i = decision_count_ - kept; i < decision_count_; ++i) {
+    out.push_back(log_ring_[static_cast<std::size_t>(i % cap)]);
+  }
+  return out;
+}
+
+std::uint64_t AggregateController::log_dropped() const {
+  const std::uint64_t cap = cfg_.log_capacity;
+  return decision_count_ > cap ? decision_count_ - cap : 0;
 }
 
 int AggregateController::retunes(int model_id) const {

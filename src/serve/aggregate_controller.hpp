@@ -62,12 +62,22 @@ struct AggregateControllerConfig {
   // heavy smoothing keeps λ noise from walking thresholds across a
   // decision boundary.
   double ewma_alpha = 0.3;
+  // Decision-log ring capacity (most recent decisions kept; older ones
+  // drop and are counted in log_dropped()). >= 1.
+  std::size_t log_capacity = 4096;
 };
 
 // One lane decision, kept in the trajectory log (the BENCH_hetero
 // "threshold trajectory" evidence).
 struct ThresholdDecision {
   int model_id = -1;
+  // Monotonic decision number, shared across lanes: two decisions on
+  // different lanes are totally ordered by seq even when their at_seconds
+  // collide (windows are coarse). Starts at 0.
+  std::uint64_t seq = 0;
+  // Trace-clock stamp (obs::now_ns) at decision time — aligns retune
+  // instants with span timelines in exported traces.
+  std::uint64_t ts_ns = 0;
   double at_seconds = 0.0;  // service clock when decided
   int from = 1;
   int to = 1;
@@ -114,10 +124,16 @@ class AggregateController {
                             int current_threshold);
 
   const AggregateControllerConfig& config() const { return cfg_; }
-  // Decision log, in decision order (both held and applied). Bounded: the
-  // oldest half is dropped once kMaxLogEntries is reached.
-  static constexpr std::size_t kMaxLogEntries = 4096;
-  const std::vector<ThresholdDecision>& log() const { return log_; }
+  // Decision log, oldest first (both held and applied decisions). Backed
+  // by a fixed-capacity ring (cfg.log_capacity): a long-lived service's
+  // memory for decisions is bounded, the most recent window is kept, and
+  // the overwritten count is observable. Entries carry seq, so a consumer
+  // can detect the gap a drop created.
+  std::vector<ThresholdDecision> log() const;
+  // Decisions overwritten by the ring so far.
+  std::uint64_t log_dropped() const;
+  // Total decisions ever made (== the next decision's seq).
+  std::uint64_t decisions() const { return decision_count_; }
   // Applied (changed) retunes so far, per lane and total.
   int retunes(int model_id) const;
   int total_retunes() const { return total_retunes_; }
@@ -132,7 +148,10 @@ class AggregateController {
 
   AggregateControllerConfig cfg_;
   std::vector<LaneState> lanes_;
-  std::vector<ThresholdDecision> log_;
+  // Decision ring: slot (seq % capacity) holds decision seq; decision_count_
+  // is the write head.
+  std::vector<ThresholdDecision> log_ring_;
+  std::uint64_t decision_count_ = 0;
   int total_retunes_ = 0;
 };
 

@@ -20,7 +20,7 @@ int EvaluatorPool::add_model(const ModelSpec& spec) {
   if (spec.cache) lane->cache = std::make_unique<EvalCache>(spec.cache_cfg);
   lane->queue = std::make_unique<AsyncBatchEvaluator>(
       *spec.backend, spec.batch_threshold, spec.num_streams,
-      spec.stale_flush_us);
+      spec.stale_flush_us, spec.name);
   if (lane->cache) lane->queue->set_cache(lane->cache.get());
   lanes_.push_back(std::move(lane));
   return static_cast<int>(lanes_.size()) - 1;

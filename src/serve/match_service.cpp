@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace apm {
@@ -65,6 +67,9 @@ MatchService::MatchService(ServiceConfig cfg, const Game& game,
     Lane lane;
     lane.model_id = -1;
     lane.start = res_.batch->stats();
+    lane.start_request = res_.batch->request_histogram();
+    lane.start_batch_wait = res_.batch->batch_wait_histogram();
+    lane.start_backend = res_.batch->backend_histogram();
     lane.last_window = lane.start;
     lanes_.push_back(lane);
   }
@@ -112,6 +117,9 @@ MatchService::MatchService(ServiceConfig cfg, EvaluatorPool& pool,
       Lane lane;
       lane.model_id = model_id;
       lane.start = pool.queue(model_id).stats();
+      lane.start_request = pool.queue(model_id).request_histogram();
+      lane.start_batch_wait = pool.queue(model_id).batch_wait_histogram();
+      lane.start_backend = pool.queue(model_id).backend_histogram();
       lane.last_window = lane.start;
       lanes_.push_back(lane);
     }
@@ -347,6 +355,9 @@ void MatchService::retune_locked(int model_id) {
 }
 
 void MatchService::worker_loop() {
+  // Names this worker's trace track. Only when tracing is already on at
+  // worker startup: a tracing-off service must not allocate ring buffers.
+  if (obs::tracing_enabled()) obs::set_thread_name("svc.worker");
   std::unique_lock lock(mutex_);
   for (;;) {
     work_cv_.wait(lock, [&] {
@@ -380,11 +391,21 @@ void MatchService::worker_loop() {
 
     // The move runs outside the lock; `slot` is exclusively ours until we
     // requeue it. Tree reuse: the played action is fed back via advance().
-    Timer move_timer;
+    // One clock pair serves the search-seconds aggregate, the per-move
+    // latency histogram, and the "move" trace span (which nests the
+    // engine.search span recorded inside).
+    const std::uint64_t move_start = obs::now_ns();
     slot->runner->step(
         [&](const Game& env) { return slot->engine->search(env); },
         [&](int action) { slot->engine->advance(action); });
-    slot->search_seconds += move_timer.elapsed_seconds();
+    const std::uint64_t move_end = obs::now_ns();
+    hist_move_ns_.record(move_end - move_start);
+    obs::emit_span("move", "serve", move_start, move_end,
+                   {{"slot", slot->id},
+                    {"workload", slot->workload},
+                    {"game", slot->game_id}});
+    slot->search_seconds +=
+        static_cast<double>(move_end - move_start) * 1e-9;
 
     // The just-played move's TT traffic, folded into the lane's graft rate
     // below (under the lock) so retune_locked sees a live signal.
@@ -528,6 +549,34 @@ std::vector<ThresholdDecision> MatchService::retune_log() const {
                                 : std::vector<ThresholdDecision>{};
 }
 
+std::uint64_t MatchService::retune_log_dropped() const {
+  std::lock_guard lock(mutex_);
+  return controller_ != nullptr ? controller_->log_dropped() : 0;
+}
+
+void MatchService::publish_metrics() const {
+  const ServiceStats s = stats();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.counter("service.moves").set(static_cast<std::uint64_t>(s.moves));
+  reg.counter("service.games_completed")
+      .set(static_cast<std::uint64_t>(s.games_completed));
+  reg.counter("service.eval_requests").set(s.eval_requests);
+  reg.counter("service.cache_hits").set(s.cache_hits);
+  reg.counter("service.coalesced_evals").set(s.coalesced_evals);
+  reg.counter("service.tt_grafts").set(s.tt_grafts);
+  reg.counter("service.threshold_retunes")
+      .set(static_cast<std::uint64_t>(s.threshold_retunes));
+  reg.gauge("service.cache_hit_rate").set(s.cache_hit_rate);
+  reg.gauge("service.tt_graft_rate").set(s.tt_graft_rate);
+  reg.gauge("service.mean_batch_fill").set(s.mean_batch_fill);
+  reg.gauge("service.moves_per_second").set(s.moves_per_second);
+  reg.gauge("service.evals_per_second").set(s.evals_per_second);
+  reg.set_histogram("service.move_latency_ns", s.move_latency_ns);
+  reg.set_histogram("service.request_latency_ns", s.request_latency_ns);
+  reg.set_histogram("service.batch_wait_ns", s.batch_wait_ns);
+  reg.set_histogram("service.backend_eval_ns", s.backend_eval_ns);
+}
+
 ServiceStats MatchService::stats() const {
   std::lock_guard lock(mutex_);
   ServiceStats s;
@@ -568,6 +617,14 @@ ServiceStats MatchService::stats() const {
     if (queue == nullptr) continue;
     const BatchQueueStats delta = stats_delta(queue->stats(), lane.start);
     accumulate(s.batch, delta);
+    // Era-window latency shards: the queue's lifetime histograms minus the
+    // construction baselines, merged across lanes.
+    s.request_latency_ns.merge(
+        queue->request_histogram().delta(lane.start_request));
+    s.batch_wait_ns.merge(
+        queue->batch_wait_histogram().delta(lane.start_batch_wait));
+    s.backend_eval_ns.merge(
+        queue->backend_histogram().delta(lane.start_backend));
     const EvalCache* cache = pool_ != nullptr ? pool_->cache(lane.model_id)
                                               : queue->cache();
     if (cache != nullptr) accumulate(s.cache, cache->stats());
@@ -599,6 +656,12 @@ ServiceStats MatchService::stats() const {
   s.mean_batch_fill = s.batch.mean_batch;
   s.threshold_retunes =
       controller_ != nullptr ? controller_->total_retunes() : 0;
+
+  s.move_latency_ns = hist_move_ns_.snapshot();
+  s.move_latency_p50_ms = s.move_latency_ns.quantile(0.5) * 1e-6;
+  s.move_latency_p99_ms = s.move_latency_ns.quantile(0.99) * 1e-6;
+  s.request_latency_p50_us = s.request_latency_ns.quantile(0.5) * 1e-3;
+  s.request_latency_p99_us = s.request_latency_ns.quantile(0.99) * 1e-3;
 
   for (std::size_t w = 0; w < workloads_.size(); ++w) {
     const Workload& wl = *workloads_[w];

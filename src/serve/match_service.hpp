@@ -80,6 +80,7 @@
 #include <vector>
 
 #include "mcts/engine.hpp"
+#include "obs/histogram.hpp"
 #include "serve/aggregate_controller.hpp"
 #include "serve/evaluator_pool.hpp"
 #include "support/timer.hpp"
@@ -207,6 +208,20 @@ struct ServiceStats {
   double mean_batch_fill = 0.0;
   BatchQueueStats batch;
   int threshold_retunes = 0;  // applied aggregate-controller changes
+  // Latency distributions over the service era (ROADMAP direction 1's
+  // p50/p99 prerequisite). Move latency is measured by the service around
+  // each committed move (engine.search + sampling + advance); request /
+  // batch-wait / backend latency are the lane queues' always-on shards,
+  // merged across lanes as deltas against the service-construction
+  // baseline. Scalars are convenience quantiles of the snapshots.
+  obs::HistogramSnapshot move_latency_ns;
+  obs::HistogramSnapshot request_latency_ns;
+  obs::HistogramSnapshot batch_wait_ns;
+  obs::HistogramSnapshot backend_eval_ns;
+  double move_latency_p50_ms = 0.0;
+  double move_latency_p99_ms = 0.0;
+  double request_latency_p50_us = 0.0;
+  double request_latency_p99_us = 0.0;
   std::vector<ServiceLaneStats> lanes;
   std::vector<WorkloadStats> workloads;
 };
@@ -266,9 +281,19 @@ class MatchService {
   // In legacy single-queue mode any id clears the one attached cache.
   void invalidate_model(int model_id);
 
-  // The aggregate controller's full decision log (pool mode; empty
-  // otherwise). Copied under the service lock.
+  // The aggregate controller's recent decisions, oldest first (pool mode;
+  // empty otherwise). Bounded by cfg.aggregate.log_capacity — decisions
+  // beyond it are dropped oldest-first and counted by retune_log_dropped().
+  // Copied under the service lock.
   std::vector<ThresholdDecision> retune_log() const;
+  // Decisions the bounded retune log has overwritten so far.
+  std::uint64_t retune_log_dropped() const;
+
+  // Publishes the current ServiceStats into the process-wide
+  // MetricsRegistry under "service.*" names (counters, gauges, and the
+  // latency histogram snapshots). Call at any cadence; each call replaces
+  // the previous values.
+  void publish_metrics() const;
 
   // The eval cache attached to the legacy shared batch queue (nullptr
   // without one, and nullptr in pool mode — use invalidate_model there).
@@ -314,6 +339,12 @@ class MatchService {
   struct Lane {
     int model_id = -1;
     BatchQueueStats start;        // snapshot at service construction
+    // Latency-shard baselines at service construction: the queue outlives
+    // the service, so its histograms cover more than this service's era —
+    // stats() subtracts these to report era-only distributions.
+    obs::HistogramSnapshot start_request;
+    obs::HistogramSnapshot start_batch_wait;
+    obs::HistogramSnapshot start_backend;
     BatchQueueStats last_window;  // snapshot at the last observe()
     double last_window_seconds = 0.0;
     int live_games = 0;
@@ -377,6 +408,10 @@ class MatchService {
   int interim_moves_ = 0;       // every committed move (retune cadence)
   int last_retune_moves_ = 0;
   std::int64_t samples_ = 0;
+  // Per-committed-move wall latency (service-measured, trace-clock ns):
+  // the distribution behind ServiceStats::move_latency_*. Lock-free
+  // records from the worker threads.
+  obs::LatencyHistogram hist_move_ns_;
   std::size_t eval_requests_ = 0;
   std::size_t cache_hits_ = 0;
   std::size_t coalesced_evals_ = 0;
