@@ -17,6 +17,15 @@
 // bench enforces: with exact 64-bit coalescing, every game must finish with
 // the same winner and move count whether the cache is on or off, while the
 // backend performs strictly fewer evaluations.
+//
+// ISSUE 9 adds the lane-shared TT rows: the same K-game pool-mode service
+// run twice — each engine owning a PRIVATE table vs all K games grafting
+// from one lane-owned SHARED table (eval cache off in both, so the delta
+// is transposition memory's alone). Under kPriors both runs must replay
+// identical games while the shared run performs fewer backend evaluations
+// at K >= 4 (cross-game residency: one game's expansion is every sibling's
+// graft). A graft-mode gate row (kStats vs kPriors match play) records the
+// evidence DESIGN_transposition.md cites for the default graft mode.
 
 #include <cstdio>
 #include <memory>
@@ -28,6 +37,7 @@
 #include "games/gomoku.hpp"
 #include "games/othello.hpp"
 #include "mcts/engine.hpp"
+#include "serve/graft_gate.hpp"
 #include "serve/match_service.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
@@ -131,6 +141,57 @@ TtRunResult run_tt_game(const Game& game, int playouts, bool tt_on) {
   }
   r.seconds = timer.elapsed_seconds();
   r.winner = env->winner();
+  return r;
+}
+
+// Plays 2·K games on K pool-mode slots, eval cache OFF; `shared` hands all
+// K games one lane-owned TT, otherwise each engine keeps a private table of
+// the same size. Identical engine templates and seeds either way, so under
+// kPriors the two runs must produce identical games.
+RunResult run_lane_tt_service(const Game& game, int concurrent_games,
+                              bool shared) {
+  SyntheticEvaluator eval(game.action_count(), game.encode_size());
+  SimGpuBackend backend(eval, GpuTimingModel{}, /*emulate_wall_time=*/true);
+
+  TtConfig tt;
+  tt.enabled = true;
+  tt.capacity = 1 << 15;
+  tt.max_edges = 64;
+
+  EvaluatorPool pool;
+  ModelSpec spec;
+  spec.name = "net";
+  spec.backend = &backend;
+  spec.batch_threshold = 4;
+  spec.num_streams = 2;
+  spec.stale_flush_us = 1500.0;
+  spec.cache = false;  // the delta must be transposition memory's alone
+  if (shared) spec.tt = tt;
+  pool.add_model(spec);
+
+  ServiceWorkload w;
+  w.proto = std::shared_ptr<const Game>(game.clone());
+  w.model = "net";
+  w.slots = concurrent_games;
+  w.engine.mcts.num_playouts = 64;
+  w.engine.scheme = Scheme::kSerial;
+  w.engine.adapt = false;
+  if (!shared) w.engine.tt = tt;  // per-engine private tables instead
+
+  ServiceConfig sc;
+  sc.workers = 8;
+
+  RunResult r;
+  MatchService service(sc, pool, {std::move(w)});
+  service.enqueue(2 * concurrent_games);
+  service.start();
+  service.drain();
+  r.stats = service.stats();
+  for (const GameRecord& rec : service.take_completed()) {
+    r.winners.push_back(rec.stats.winner);
+    r.moves.push_back(rec.stats.moves);
+  }
+  service.stop();
   return r;
 }
 
@@ -269,6 +330,100 @@ int main(int argc, char** argv) {
       "transposition table: serial engine, fixed 512-playout budget, "
       "no eval cache");
 
+  // --- lane-shared vs private TT across K concurrent games ----------------
+  Table stable({"K games", "TT", "demand", "backend evals", "grafts",
+                "graft rate", "evals/s"});
+  bool shared_identical = true;
+  bool shared_fewer = true;  // gated at K >= 4 (cross-game residency win)
+  for (const int k : {2, 4, 8}) {
+    const RunResult priv = run_lane_tt_service(game, k, /*shared=*/false);
+    const RunResult shrd = run_lane_tt_service(game, k, /*shared=*/true);
+    // kPriors grafts install exactly what a cold expansion would have, so
+    // sharing the table across games must not move a single result.
+    shared_identical = shared_identical && shrd.winners == priv.winners &&
+                       shrd.moves == priv.moves;
+    if (k >= 4) {
+      shared_fewer = shared_fewer &&
+                     shrd.stats.batch.submitted < priv.stats.batch.submitted &&
+                     shrd.stats.tt_grafts > priv.stats.tt_grafts;
+    }
+
+    for (const auto* r : {&priv, &shrd}) {
+      const bool is_shared = r == &shrd;
+      stable.add_row({std::to_string(k), is_shared ? "shared" : "private",
+                      std::to_string(r->stats.tt_grafts +
+                                     r->stats.eval_requests),
+                      std::to_string(r->stats.batch.submitted),
+                      std::to_string(r->stats.tt_grafts),
+                      Table::fmt(r->stats.tt_graft_rate, 3),
+                      Table::fmt(r->stats.evals_per_second, 0)});
+      const std::string suffix =
+          "_k" + std::to_string(k) + (is_shared ? "_shared" : "_private");
+      json.entry("shared_tt_backend_evals" + suffix,
+                 static_cast<double>(r->stats.batch.submitted), "evals");
+      json.entry("shared_tt_grafts" + suffix,
+                 static_cast<double>(r->stats.tt_grafts), "grafts");
+      json.entry("shared_tt_graft_rate" + suffix, r->stats.tt_graft_rate,
+                 "fraction");
+      json.entry("shared_tt_evals_per_s" + suffix, r->stats.evals_per_second,
+                 "evals/s");
+    }
+  }
+  stable.print(
+      "lane-shared vs per-engine private TT: 2K games on K slots, "
+      "kPriors grafts, no eval cache");
+
+  // --- graft-mode gate: kStats vs kPriors match play ----------------------
+  // Informational (not exit-gated): the recorded score is the evidence
+  // DESIGN_transposition.md cites for keeping or flipping the default
+  // graft mode. A play-neutral kStats scores ~0.5 by color-swap symmetry.
+  Table gtable({"game", "games", "kStats W/L/D", "score", "pass"});
+  struct GateCase {
+    const char* name;
+    const Game& game;
+  };
+  for (const GateCase& gc : std::initializer_list<GateCase>{
+           {"connect4", connect4}, {"othello6", othello}}) {
+    SyntheticEvaluator geval(gc.game.action_count(), gc.game.encode_size());
+    SimGpuBackend gbackend(geval, GpuTimingModel{});
+    EvaluatorPool gpool;
+    ModelSpec gspec;
+    gspec.name = "net";
+    gspec.backend = &gbackend;
+    gspec.batch_threshold = 1;
+    gspec.stale_flush_us = 500.0;
+    gpool.add_model(gspec);
+
+    GraftGateConfig gcfg;
+    gcfg.model = "net";
+    gcfg.games = 12;
+    gcfg.opening_moves = 2;
+    gcfg.max_moves = 72;
+    gcfg.engine.mcts.num_playouts = 160;
+    gcfg.engine.scheme = Scheme::kSerial;
+    gcfg.engine.adapt = false;
+    gcfg.engine.tt.capacity = 1 << 14;
+    gcfg.engine.tt.max_edges = 64;
+
+    const MatchGateReport rep = run_graft_gate(gpool, gc.game, gcfg);
+    gtable.add_row({gc.name, std::to_string(rep.games),
+                    std::to_string(rep.candidate_wins) + "/" +
+                        std::to_string(rep.candidate_losses) + "/" +
+                        std::to_string(rep.draws),
+                    Table::fmt(rep.candidate_score, 3),
+                    rep.pass ? "yes" : "NO"});
+    const std::string suffix = std::string("_") + gc.name;
+    json.entry("graft_gate_kstats_score" + suffix, rep.candidate_score,
+               "score");
+    json.entry("graft_gate_kstats_pass" + suffix, rep.pass ? 1.0 : 0.0,
+               "bool");
+  }
+  gtable.print(
+      "graft-mode gate: kStats (candidate) vs kPriors (baseline), "
+      "color-swap pairs, serial 160-playout engines");
+
+  json.entry("shared_tt_results_identical", shared_identical ? 1.0 : 0.0,
+             "bool");
   json.entry("tt_results_identical_on_off", tt_identical ? 1.0 : 0.0, "bool");
   json.entry("cache_results_identical_on_off", results_identical ? 1.0 : 0.0,
              "bool");
@@ -279,12 +434,14 @@ int main(int argc, char** argv) {
       "\ncheck: identical per-game results on/off: %s; strictly fewer unique "
       "evals with cache: %s;\nK=4 hit rate %.3f (must be > 0)\n"
       "check: TT games identical on/off: %s; TT cuts expansions AND backend "
-      "evals: %s\nbaseline written to %s\n",
+      "evals: %s\n"
+      "check: shared-TT games identical to private: %s; shared cuts backend "
+      "evals at K>=4: %s\nbaseline written to %s\n",
       results_identical ? "yes" : "NO", strictly_fewer ? "yes" : "NO",
       hit_rate_k4, tt_identical ? "yes" : "NO", tt_fewer ? "yes" : "NO",
-      out_path);
+      shared_identical ? "yes" : "NO", shared_fewer ? "yes" : "NO", out_path);
   return results_identical && strictly_fewer && hit_rate_k4 > 0.0 &&
-                 tt_identical && tt_fewer
+                 tt_identical && tt_fewer && shared_identical && shared_fewer
              ? 0
              : 1;
 }

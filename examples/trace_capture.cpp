@@ -67,12 +67,17 @@ int main(int argc, char** argv) {
 
   apm::EvaluatorPool pool;
   const auto add = [&pool](const char* name, apm::InferenceBackend& backend) {
+    // Lane-shared TT: both of the lane's games graft from one table, and
+    // the tt_graft / tt_pending instants carry the lane name.
+    apm::TtConfig tt;
+    tt.enabled = true;
     return pool.add_model({.name = name,
                            .backend = &backend,
                            .batch_threshold = 1,  // mis-tuned: retunes fire
                            .stale_flush_us = 1000.0,
                            .cache_cfg = {.capacity = 1 << 13, .shards = 4,
-                                         .ways = 4}});
+                                         .ways = 4},
+                           .tt = tt});
   };
   add("net-gomoku", backend_g);
   add("net-connect4", backend_c);
@@ -91,7 +96,8 @@ int main(int argc, char** argv) {
     w.engine.mcts.root_noise = true;
     w.engine.scheme = apm::Scheme::kSerial;
     w.engine.adapt = false;
-    w.engine.tt.enabled = true;  // tt_graft instants
+    // No w.engine.tt: slots graft from their lane's shared table instead
+    // (tt_graft instants now tagged with the lane name).
     w.engine.background_compaction = background_compaction;
     return w;
   };

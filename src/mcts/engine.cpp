@@ -49,10 +49,18 @@ SearchEngine::SearchEngine(EngineConfig cfg, SearchResources res)
                   cfg_.workers, cfg_.batch_threshold) {
   APM_CHECK_MSG(res_.evaluator != nullptr || res_.batch != nullptr,
                 "SearchEngine: no evaluation resource provided");
-  if (cfg_.tt.enabled) {
+  if (res_.tt != nullptr) {
+    // Externally owned lane-shared table (EvaluatorPool via MatchService):
+    // shared mode wins over the template's cfg.tt — the engine builds no
+    // private table, never clears the shared one, and only ever advances
+    // its generation monotonically (other engines' live entries sit above
+    // this engine's private epoch).
+    res_.tt_shared = true;
+  } else if (cfg_.tt.enabled) {
     tt_ = std::make_unique<TranspositionTable>(cfg_.tt);
     tt_->set_generation(tree_.epoch());
     res_.tt = tt_.get();
+    res_.tt_shared = false;
   }
   rebuild_driver(cfg_.scheme, cfg_.workers, cfg_.batch_threshold);
   if (cfg_.background_compaction) {
@@ -78,7 +86,11 @@ void SearchEngine::wait_compaction() {
 }
 
 SearchTree::NodeArchiver SearchEngine::make_archiver() {
-  if (tt_ == nullptr) return {};
+  // res_.tt is the active table in both modes (private: set in the ctor;
+  // shared: supplied by the lane owner). Archiving into a SHARED table is
+  // the cross-game graft path: the subtree this game discards on
+  // advance_root() re-enters every sibling game's searches warm.
+  if (res_.tt == nullptr) return {};
   return [this](NodeId id) {
     const Node& n = tree_.node(id);
     // Only fully expanded nodes with a recorded position memo carry
@@ -104,15 +116,27 @@ SearchTree::NodeArchiver SearchEngine::make_archiver() {
       out[i].value_sum =
           static_cast<double>(e.value_sum.load(std::memory_order_relaxed));
     }
-    tt_->store(n.hash, n.value, /*depth=*/0, out, n.num_edges,
-               /*release_inflight=*/false);
+    res_.tt->store(n.hash, n.value, /*depth=*/0, out, n.num_edges,
+                   /*release_inflight=*/false);
   };
+}
+
+void SearchEngine::advance_tt_clock() {
+  if (res_.tt == nullptr) return;
+  if (res_.tt_shared) {
+    // Lane-level monotonic move counter: every attached engine ticks the
+    // shared clock forward on its own move/reset boundary; nobody ever
+    // writes an absolute epoch into it.
+    res_.tt->bump_generation();
+  } else {
+    res_.tt->set_generation(tree_.epoch());
+  }
 }
 
 void SearchEngine::run_advance(int action) {
   obs::SpanScope span("advance_root", "mcts");
   const bool kept = tree_.advance_root(action, make_archiver());
-  if (tt_ != nullptr) tt_->set_generation(tree_.epoch());
+  advance_tt_clock();
   pending_reuse_ = kept;
   reusable_visits_ = kept ? tree_.root_visit_total() : 0;
   if (span.active()) {
@@ -264,7 +288,7 @@ void SearchEngine::advance(int action) {
   wait_compaction();
   if (!cfg_.reuse_tree) {
     tree_.reset();
-    if (tt_ != nullptr) tt_->set_generation(tree_.epoch());
+    advance_tt_clock();
     pending_reuse_ = false;
     reusable_visits_ = 0;
     return;
@@ -284,10 +308,13 @@ void SearchEngine::advance(int action) {
 void SearchEngine::reset_game() {
   wait_compaction();
   tree_.reset();
-  if (tt_ != nullptr) {
-    if (!cfg_.tt_keep_across_games) tt_->clear();
-    tt_->set_generation(tree_.epoch());
+  if (tt_ != nullptr && !cfg_.tt_keep_across_games) {
+    // Private table only: a lane-shared table's entries belong to the
+    // whole lane (cross-game carry-over is its point) and its lifecycle —
+    // clearing on weight updates — is owned by EvaluatorPool::invalidate.
+    tt_->clear();
   }
+  advance_tt_clock();
   pending_reuse_ = false;
   reusable_visits_ = 0;
   // Bound the adaptation trace across long runs (thousands of episodes):

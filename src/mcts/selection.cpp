@@ -1,5 +1,6 @@
 #include "mcts/selection.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <mutex>
 #include <thread>
@@ -236,11 +237,22 @@ void InTreeOps::expand_from_tt(NodeId node_id, std::uint64_t key,
         // One seed visit carrying the TT mean as first-play urgency. The
         // entry's in-flight announcements (evaluations racing elsewhere)
         // pessimise the seed the way virtual loss pessimises a held edge,
-        // scaled down by how much real mass already backs the entry.
+        // scaled down by how much real mass already backs the entry. On a
+        // lane-shared table "elsewhere" spans K games: once the entry is
+        // announced at all, the pessimism scales with the LANE's live
+        // in-flight (TtView::lane_inflight, fed from the service's
+        // live_inflight sums) rather than only the announcements this
+        // probe happened to observe — a max, so an engine-private table
+        // (lane hint 0) reproduces the PR-7 behaviour bit for bit.
         const float mean =
             static_cast<float>(s.value_sum / static_cast<double>(s.visits));
+        const double press =
+            hit.inflight > 0
+                ? std::max(static_cast<double>(hit.inflight),
+                           hit.lane_inflight)
+                : 0.0;
         const float pessimism = cfg_.virtual_loss *
-                                static_cast<float>(hit.inflight) /
+                                static_cast<float>(press) /
                                 static_cast<float>(total_v + 1.0);
         e.visits.store(1, std::memory_order_relaxed);
         e.value_sum.store(mean - pessimism, std::memory_order_relaxed);

@@ -6,6 +6,7 @@
 
 #include "mcts/selection.hpp"
 #include "mcts/transposition.hpp"
+#include "obs/trace.hpp"
 #include "support/timer.hpp"
 
 namespace apm {
@@ -123,10 +124,20 @@ void SharedTreeMcts::worker_loop(const Game& env,
         // reversed anywhere, so no cycle).
         tr = tt_->probe(key, tt_scratch);
         if (tr == TtProbeResult::kHit) {
-          std::lock_guard guard(tree_.coarse_lock());
-          ops.expand_from_tt(outcome.node, key, tt_scratch,
-                             tt_->config().graft, tt_->config().stats_blend);
+          {
+            std::lock_guard guard(tree_.coarse_lock());
+            ops.expand_from_tt(outcome.node, key, tt_scratch,
+                               tt_->config().graft,
+                               tt_->config().stats_blend);
+          }
           tt_value = tt_scratch.value;
+          // Mirrors the tt_probe_and_graft instant (the per-node path) so
+          // coarse-mode grafts are visible on the timeline too.
+          obs::emit_instant("tt_graft", "mcts",
+                            {{"edges", tt_scratch.edges.size()},
+                             {"depth", tt_scratch.depth},
+                             {"visits", tt_scratch.visits},
+                             {"lane", tt_->label()}});
         } else {
           announced = tt_->announce(key);
         }

@@ -9,10 +9,11 @@
 
 namespace apm {
 
-TranspositionTable::TranspositionTable(TtConfig cfg) : cfg_(cfg) {
+TranspositionTable::TranspositionTable(TtConfig cfg) : cfg_(std::move(cfg)) {
   APM_CHECK(cfg_.ways >= 1);
   APM_CHECK(cfg_.max_edges >= 1);
   APM_CHECK(cfg_.capacity >= static_cast<std::size_t>(cfg_.ways));
+  if (!cfg_.name.empty()) label_ = obs::intern_label(cfg_.name);
   buckets_ = (cfg_.capacity + static_cast<std::size_t>(cfg_.ways) - 1) /
              static_cast<std::size_t>(cfg_.ways);
   entries_.resize(buckets_ * static_cast<std::size_t>(cfg_.ways));
@@ -48,9 +49,13 @@ TtProbeResult TranspositionTable::probe(std::uint64_t key, TtView& out) {
     if (e.key != key) continue;
     if (e.num_edges == 0) {
       // Announced but not yet stored: pending iff the evaluation is still
-      // in flight somewhere; a released placeholder reads as a miss.
+      // in flight somewhere; a released placeholder reads as a miss. On a
+      // shared table the announcer may be another game entirely — the
+      // instant's lane label is what lets a trace tell the two apart.
       if (e.inflight > 0) {
         pending_.fetch_add(1, std::memory_order_relaxed);
+        obs::emit_instant("tt_pending", "mcts",
+                          {{"inflight", e.inflight}, {"lane", label_}});
         return TtProbeResult::kPending;
       }
       return TtProbeResult::kMiss;
@@ -65,6 +70,7 @@ TtProbeResult TranspositionTable::probe(std::uint64_t key, TtView& out) {
     out.inflight = e.inflight;
     out.visits = e.visits;
     out.generation = e.generation;
+    out.lane_inflight = lane_inflight();
     out.edges.assign(slab(base + static_cast<std::size_t>(w)),
                      slab(base + static_cast<std::size_t>(w)) + e.num_edges);
     e.generation = now;  // refresh: a grafted entry is a live one
@@ -222,8 +228,23 @@ void TranspositionTable::store(std::uint64_t key, float value,
 }
 
 void TranspositionTable::clear() {
-  for (Entry& e : entries_) e = Entry{};
-  occupied_.store(0, std::memory_order_relaxed);
+  // Bucket-at-a-time under the bucket locks: a lane-owned invalidate may
+  // race other games' probe/announce/store traffic (header note covers the
+  // dropped-announce and in-flight-stale-store caveats). occupied_ is
+  // adjusted by the count actually cleared, not reset wholesale — a
+  // concurrent announce in an already-swept bucket keeps its increment.
+  std::int64_t cleared = 0;
+  for (std::size_t b = 0; b < buckets_; ++b) {
+    std::lock_guard guard(bucket_locks_[b]);
+    const std::size_t base = b * static_cast<std::size_t>(cfg_.ways);
+    for (int w = 0; w < cfg_.ways; ++w) {
+      Entry& e = entries_[base + static_cast<std::size_t>(w)];
+      if (e.key == 0) continue;
+      e = Entry{};
+      ++cleared;
+    }
+  }
+  occupied_.fetch_sub(cleared, std::memory_order_relaxed);
 }
 
 TtStatsSnapshot TranspositionTable::stats() const {
@@ -256,7 +277,8 @@ TtProbeResult tt_probe_and_graft(TranspositionTable* tt, InTreeOps& ops,
     obs::emit_instant("tt_graft", "mcts",
                       {{"edges", scratch.edges.size()},
                        {"depth", scratch.depth},
-                       {"visits", scratch.visits}});
+                       {"visits", scratch.visits},
+                       {"lane", tt->label()}});
     return r;
   }
   *announced = tt->announce(key);

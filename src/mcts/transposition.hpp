@@ -33,6 +33,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mcts/tree.hpp"
@@ -69,6 +70,11 @@ struct TtConfig {
   GraftMode graft = GraftMode::kPriors;
   // kStats: weight of the visit distribution in the blended prior.
   float stats_blend = 0.5f;
+  // Label carried by the table's trace instants (tt_graft / tt_pending) —
+  // the lane name for a pool-owned shared table, empty = "engine" for an
+  // engine-private one. Interned at construction (trace events borrow
+  // static pointers).
+  std::string name;
 };
 
 enum class TtProbeResult { kMiss, kHit, kPending };
@@ -90,6 +96,12 @@ struct TtView {
   std::int32_t inflight = 0;  // announced evaluations in flight elsewhere
   std::int64_t visits = 0;    // Σ folded edge visits
   std::uint32_t generation = 0;
+  // The owner's lane-wide in-flight hint at probe time (see
+  // set_lane_inflight); 0 for an engine-private table. kStats grafts
+  // pessimise their seeded means by max(inflight, lane_inflight) so
+  // borrowed statistics reflect lane-level concurrency, not just the
+  // probing engine's own announcements.
+  double lane_inflight = 0.0;
   std::vector<TtEdge> edges;
 };
 
@@ -135,23 +147,51 @@ class TranspositionTable {
   void store(std::uint64_t key, float value, std::int32_t depth,
              const TtEdge* edges, std::int32_t count, bool release_inflight);
 
-  // Generation stamp applied to new/refreshed entries; the owner keeps it
-  // in lockstep with SearchTree::epoch() so advance_root() reuse ages the
-  // table without rehashing.
+  // Generation stamp applied to new/refreshed entries; an engine-private
+  // table's owner keeps it in lockstep with SearchTree::epoch() so
+  // advance_root() reuse ages the table without rehashing.
   void set_generation(std::uint32_t gen) {
     generation_.store(gen, std::memory_order_release);
+  }
+  // Lane-shared alternative: no single engine's epoch can drive a shared
+  // table's clock (engine B starting a fresh game would rewind it below
+  // engine A's live entries), so shared owners advance it monotonically —
+  // one bump per committed move / reset of ANY attached engine. With K
+  // games the clock runs ~K× faster than a private table's; generations
+  // are replacement priority only, so that just makes idle memos fade
+  // proportionally faster, never wrong. Thread-safe.
+  void bump_generation() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
   }
   std::uint32_t generation() const {
     return generation_.load(std::memory_order_acquire);
   }
 
+  // Lane-wide in-flight hint (Σ scheme in-flight over the owning lane's
+  // live games), reported back through TtView::lane_inflight on every hit.
+  // Set by the lane owner (MatchService) whenever the lane's live producer
+  // set changes; stays 0 for engine-private tables. Thread-safe.
+  void set_lane_inflight(double inflight) {
+    lane_inflight_.store(inflight, std::memory_order_relaxed);
+  }
+  double lane_inflight() const {
+    return lane_inflight_.load(std::memory_order_relaxed);
+  }
+
   // Drops every entry (weights changed / new game without carry-over).
-  // Cumulative counters survive. NOT thread-safe against concurrent
-  // probe/store (call between moves).
+  // Cumulative counters survive. Thread-safe (per-bucket locks): a
+  // lane-owned clear may race other games' probes/stores. Announce marks
+  // are dropped with their placeholders — a store() whose mark was cleared
+  // simply inserts a fresh entry (release on a missing match is a no-op) —
+  // and, as with EvalCache::clear(), an evaluation already in flight under
+  // the old weights may complete and store after the clear; entries are
+  // memos, so the next clear (or replacement pressure) retires it.
   void clear();
 
   const TtConfig& config() const { return cfg_; }
   std::size_t capacity() const { return entries_.size(); }
+  // Interned static label for trace instants: cfg.name, or "engine".
+  const char* label() const { return label_; }
   TtStatsSnapshot stats() const;
 
  private:
@@ -178,11 +218,13 @@ class TranspositionTable {
   }
 
   TtConfig cfg_;
+  const char* label_ = "engine";
   std::size_t buckets_ = 0;
   std::vector<Entry> entries_;
   std::vector<TtEdge> payload_;
   std::unique_ptr<SpinLock[]> bucket_locks_;
   std::atomic<std::uint32_t> generation_{0};
+  std::atomic<double> lane_inflight_{0.0};
 
   mutable std::atomic<std::uint64_t> probes_{0};
   mutable std::atomic<std::uint64_t> hits_{0};

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstring>
 #include <mutex>
+#include <set>
 
 namespace apm::obs {
 namespace {
@@ -125,6 +126,20 @@ void reset_trace() {
   reg.buffers.clear();
   reg.next_tid = 1;
   g_generation.fetch_add(1, std::memory_order_release);
+}
+
+const char* intern_label(const std::string& s) {
+  // Process-lifetime pool: trace events borrow their string pointers, so a
+  // dynamic label (a lane name) must outlive every buffer that may still
+  // hold it — including buffers of exited threads retained for the
+  // snapshot. std::set's node-based storage keeps c_str() stable across
+  // inserts, and the pool is never pruned (labels are few: lane/model
+  // names, not per-event data). Interning is a registration-time path
+  // (table/lane construction), never a hot-path one.
+  static std::mutex mu;
+  static std::set<std::string>* pool = new std::set<std::string>();
+  std::lock_guard lock(mu);
+  return pool->insert(s).first->c_str();
 }
 
 TraceSnapshot snapshot_trace() {

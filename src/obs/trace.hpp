@@ -70,6 +70,12 @@ void set_thread_name(const char* name);
 // not call concurrently with emitting threads.
 void reset_trace();
 
+// Copies `s` into a process-lifetime pool and returns a stable pointer,
+// satisfying the static-string contract for event names/args when the
+// label is dynamic (e.g. an EvaluatorPool lane name). Deduplicating and
+// never freed — intern registration-time labels, not per-event data.
+const char* intern_label(const std::string& s);
+
 enum class EventType : std::uint8_t {
   kSpan,     // exported as Chrome "X" (complete) events: ts + dur
   kInstant,  // "i"

@@ -17,6 +17,11 @@ int EvaluatorPool::add_model(const ModelSpec& spec) {
   lane->name = spec.name;
   lane->backend = spec.backend;
   lane->precision = spec.precision;
+  if (spec.tt.enabled) {
+    TtConfig tt_cfg = spec.tt;
+    tt_cfg.name = spec.name;  // trace instants carry the lane name
+    lane->tt = std::make_unique<TranspositionTable>(tt_cfg);
+  }
   if (spec.cache) lane->cache = std::make_unique<EvalCache>(spec.cache_cfg);
   lane->queue = std::make_unique<AsyncBatchEvaluator>(
       *spec.backend, spec.batch_threshold, spec.num_streams,
@@ -35,6 +40,7 @@ int EvaluatorPool::find(const std::string& name) const {
 
 void EvaluatorPool::invalidate(int id) {
   if (EvalCache* c = cache(id)) c->clear();
+  if (TranspositionTable* t = transposition(id)) t->clear();
 }
 
 void EvaluatorPool::invalidate_all() {
@@ -54,6 +60,7 @@ ModelLaneStats EvaluatorPool::lane_stats(int id) const {
   s.batch_threshold = l.queue->batch_threshold();
   s.batch = l.queue->stats();
   if (l.cache) s.cache = l.cache->stats();
+  if (l.tt) s.tt = l.tt->stats();
   return s;
 }
 

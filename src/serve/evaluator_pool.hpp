@@ -23,12 +23,30 @@
 // thresholds, separate stats, separate invalidation.
 //
 // Per-model invalidation contract: invalidate(id) clears ONLY model id's
-// cache. A weight update to one net (Trainer SGD between waves) makes that
-// net's cached policies stale and nobody else's — the all-or-nothing
+// search memory — its cache AND its shared transposition table (below). A
+// weight update to one net (Trainer SGD between waves) makes that net's
+// cached policies stale and nobody else's — the all-or-nothing
 // EvalCache::clear() of PR 4 forced every model to pay for any model's
 // update; with per-net caches a foreign update leaves a lane's residency
-// and hit rate untouched (pinned by test_hetero). Callers that cannot name
-// the updated model fall back to invalidate_all().
+// and hit rate untouched (pinned by test_hetero, extended to TTs by
+// test_shared_tt). Callers that cannot name the updated model fall back to
+// invalidate_all().
+//
+// Lane-shared transposition table (ISSUE 9): a lane may additionally own
+// one TranspositionTable (ModelSpec::tt.enabled), sized per lane and
+// handed by the MatchService to EVERY SearchEngine its slots build for
+// this lane — K concurrent games of the same net dedupe *expansions*
+// across games exactly as the lane EvalCache dedupes NN calls, one layer
+// deeper (a graft skips encode + queue + inference, not just inference).
+// Lifecycle is lane-owned: engines never clear the shared table or write
+// absolute epochs into its generation clock (they only bump it — see
+// SearchResources::tt_shared); invalidate(id) clears it with the lane's
+// cache because both memoise the lane's weights. TT entries are position
+// memos of a deterministic evaluator, so cross-game residency is sound
+// (the same argument as tt_keep_across_games, made structural), and under
+// GraftMode::kPriors per-game results remain a pure function of the game
+// seed — independent of worker count, of sharing, and of which sibling
+// game warmed the table (pinned by test_shared_tt and bench/fig_cache).
 //
 // Per-lane precision contract: precision is a property of the LANE, not of
 // the serving plane — declared at registration (ModelSpec::precision) and
@@ -68,6 +86,7 @@
 
 #include "eval/async_batch.hpp"
 #include "eval/evaluator.hpp"
+#include "mcts/transposition.hpp"
 
 namespace apm {
 
@@ -85,6 +104,10 @@ struct ModelSpec {
   // the header comment). Declarative: the pool never converts — the caller
   // registers a backend that already runs at this precision.
   Precision precision = Precision::kFp32;
+  // tt.enabled builds the lane's shared TranspositionTable (header note).
+  // tt.name is overwritten with the lane name so the table's trace
+  // instants (tt_graft / tt_pending) carry it.
+  TtConfig tt;
 };
 
 // Point-in-time telemetry of one lane.
@@ -95,6 +118,7 @@ struct ModelLaneStats {
   int batch_threshold = 1;  // current (possibly re-tuned) threshold
   BatchQueueStats batch;    // lifetime queue counters
   CacheStats cache;         // zeros when the lane has no cache
+  TtStatsSnapshot tt;       // zeros (capacity 0) without a lane TT
 };
 
 class EvaluatorPool {
@@ -122,10 +146,17 @@ class EvaluatorPool {
   EvalCache* cache(int id) { return lane(id).cache.get(); }
   const EvalCache* cache(int id) const { return lane(id).cache.get(); }
 
-  // Clears ONLY model `id`'s cache (its weights changed). Other lanes'
-  // residency, hit rates and in-flight batches are untouched.
+  // The lane's shared transposition table; nullptr unless spec.tt.enabled.
+  TranspositionTable* transposition(int id) { return lane(id).tt.get(); }
+  const TranspositionTable* transposition(int id) const {
+    return lane(id).tt.get();
+  }
+
+  // Clears ONLY model `id`'s search memory — its cache and its shared
+  // transposition table (its weights changed). Other lanes' residency, hit
+  // rates and in-flight batches are untouched.
   void invalidate(int id);
-  // Clears every lane's cache (caller cannot name the updated model).
+  // Clears every lane's cache/TT (caller cannot name the updated model).
   void invalidate_all();
 
   // Drains every lane's queue (end-of-wave barrier across models).
@@ -139,7 +170,10 @@ class EvaluatorPool {
     InferenceBackend* backend = nullptr;
     Precision precision = Precision::kFp32;
     // Declaration order is the destruction contract: the queue is destroyed
-    // (and drains) before the cache it points at.
+    // (and drains) before the cache it points at. The TT has no queue
+    // dependency — engines reference it directly and must be destroyed
+    // before the pool (MatchService slots retire before the pool dies).
+    std::unique_ptr<TranspositionTable> tt;
     std::unique_ptr<EvalCache> cache;
     std::unique_ptr<AsyncBatchEvaluator> queue;
   };

@@ -1,0 +1,36 @@
+#include "serve/graft_gate.hpp"
+
+#include "support/check.hpp"
+
+namespace apm {
+
+MatchGateReport run_graft_gate(EvaluatorPool& pool, const Game& proto,
+                               const GraftGateConfig& cfg) {
+  const int model_id = pool.find(cfg.model);
+  APM_CHECK_MSG(model_id >= 0, "graft gate: model not registered");
+
+  GateSide stats_side;
+  stats_side.label = "tt-graft-kstats";
+  stats_side.engine = cfg.engine;
+  stats_side.engine.tt.enabled = true;
+  stats_side.engine.tt.graft = GraftMode::kStats;
+  stats_side.queue = &pool.queue(model_id);
+
+  GateSide priors_side;
+  priors_side.label = "tt-graft-kpriors";
+  priors_side.engine = cfg.engine;
+  priors_side.engine.tt.enabled = true;
+  priors_side.engine.tt.graft = GraftMode::kPriors;
+  priors_side.queue = &pool.queue(model_id);
+
+  MatchGateConfig mc;
+  mc.games = cfg.games;
+  mc.opening_moves = cfg.opening_moves;
+  mc.seed = cfg.seed;
+  mc.max_moves = cfg.max_moves;
+  mc.max_winrate_drop = cfg.max_winrate_drop;
+
+  return run_match_gate(proto, stats_side, priors_side, mc);
+}
+
+}  // namespace apm

@@ -1,0 +1,53 @@
+#pragma once
+// Graft-mode gate — match-play evidence for GraftMode::kStats.
+//
+// The transposition table can graft a stored position two ways: kPriors
+// installs exactly what a cold expand() would have produced (bitwise play-
+// neutral by construction — the default), while kStats additionally blends
+// the stored visit distribution into the priors and seeds a 1-visit
+// pessimised mean, importing another subtree's (or another game's)
+// statistics wholesale. Whether that import helps or hurts play is an
+// empirical question no unit test answers — exactly the question the
+// precision gate settles for quantized lanes — so it gets the same
+// protocol: a color-swap-paired match (serve/match_gate.hpp) between two
+// engines that differ ONLY in graft mode.
+//
+// Both sides run engine-PRIVATE tables (cfg.engine.tt with the graft mode
+// overridden per side) over the SAME pool lane: the evaluator, queue and
+// cache are common, so any score shift is attributable to grafting policy
+// alone. Candidate = kStats, baseline = kPriors; kStats "passes" when its
+// score stays within cfg.max_winrate_drop of parity — a pass means kStats
+// is play-safe to enable, not that it is stronger. The recorded
+// candidate_score is the evidence DESIGN_transposition.md cites for
+// keeping or flipping the default.
+
+#include <cstdint>
+#include <string>
+
+#include "games/game.hpp"
+#include "mcts/engine.hpp"
+#include "serve/evaluator_pool.hpp"
+#include "serve/match_gate.hpp"
+
+namespace apm {
+
+struct GraftGateConfig {
+  std::string model;  // pool lane BOTH sides evaluate on
+  // Total games; rounded UP to a whole number of color-swapped pairs.
+  int games = 8;
+  int opening_moves = 2;
+  // Engine template for both sides. engine.tt is the per-side table
+  // (enabled is forced on; graft is overridden to kStats / kPriors).
+  EngineConfig engine;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  int max_moves = 0;  // 0 plays to terminal
+  // Pass band: kStats score >= 0.5 − max_winrate_drop.
+  double max_winrate_drop = 0.15;
+};
+
+// Races kStats (candidate) against kPriors (baseline) on `proto`'s game
+// over `pool`'s cfg.model lane, on the calling thread.
+MatchGateReport run_graft_gate(EvaluatorPool& pool, const Game& proto,
+                               const GraftGateConfig& cfg);
+
+}  // namespace apm

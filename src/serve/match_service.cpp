@@ -220,6 +220,7 @@ void MatchService::claim_locked(Slot& slot) {
     if (lane.model_id == wl.model_id) {
       ++lane.live_games;
       lane.inflight_sum += slot.live_inflight;
+      sync_lane_tt_locked(lane);
       break;
     }
   }
@@ -249,6 +250,15 @@ void MatchService::build_slot(Slot& slot) {
   if (pool_ != nullptr) {
     res = SearchResources{};
     res.batch = &pool_->queue(wl.model_id);
+    // The lane's shared transposition memory (if declared): every engine
+    // this lane seats grafts from — and stores into — the same table, so
+    // sibling games dedupe whole expansions, not just NN calls. tt_shared
+    // tells the engine to bump (never rewind) the lane's generation clock
+    // and to leave clearing to the lane owner.
+    if (TranspositionTable* tt = pool_->transposition(wl.model_id)) {
+      res.tt = tt;
+      res.tt_shared = true;
+    }
   }
   res.batch_tag = slot.id;  // attribute lane occupancy to this slot
   slot.engine = std::make_unique<SearchEngine>(ec, res);
@@ -303,6 +313,7 @@ void MatchService::commit_locked(Slot& slot, GameRecord&& rec) {
     if (lane.model_id == wl.model_id) {
       --lane.live_games;
       lane.inflight_sum -= slot.live_inflight;
+      sync_lane_tt_locked(lane);
       break;
     }
   }
@@ -351,6 +362,13 @@ void MatchService::retune_locked(int model_id) {
     if (d.changed) queue.set_batch_threshold(d.to);
     lane.last_window = snap;
     lane.last_window_seconds = now;
+  }
+}
+
+void MatchService::sync_lane_tt_locked(const Lane& lane) {
+  if (pool_ == nullptr || lane.model_id < 0) return;
+  if (TranspositionTable* tt = pool_->transposition(lane.model_id)) {
+    tt->set_lane_inflight(std::max(0.0, lane.inflight_sum));
   }
 }
 
@@ -454,6 +472,7 @@ void MatchService::worker_loop() {
       for (Lane& lane : lanes_) {
         if (lane.model_id == wl.model_id) {
           lane.inflight_sum += live - slot->live_inflight;
+          sync_lane_tt_locked(lane);
           break;
         }
       }
@@ -575,6 +594,25 @@ void MatchService::publish_metrics() const {
   reg.set_histogram("service.request_latency_ns", s.request_latency_ns);
   reg.set_histogram("service.batch_wait_ns", s.batch_wait_ns);
   reg.set_histogram("service.backend_eval_ns", s.backend_eval_ns);
+  // Per-lane shared-TT telemetry (pool mode, TT-bearing lanes only): the
+  // table's own counters plus the service's leaf-only graft fold, keyed by
+  // lane name so heterogeneous services stay disentangled.
+  for (const ServiceLaneStats& ls : s.lanes) {
+    if (!ls.tt_shared) continue;
+    const std::string p = "service." + ls.model + ".tt.";
+    reg.counter(p + "probes").set(ls.tt.probes);
+    reg.counter(p + "hits").set(ls.tt.hits);
+    reg.counter(p + "pending").set(ls.tt.pending);
+    reg.counter(p + "stores").set(ls.tt.stores);
+    reg.counter(p + "grafts").set(ls.tt_grafts);
+    reg.gauge(p + "entries").set(static_cast<double>(ls.tt.entries));
+    reg.gauge(p + "occupancy")
+        .set(ls.tt.capacity > 0
+                 ? static_cast<double>(ls.tt.entries) /
+                       static_cast<double>(ls.tt.capacity)
+                 : 0.0);
+    reg.gauge(p + "graft_rate").set(ls.tt_graft_rate);
+  }
 }
 
 ServiceStats MatchService::stats() const {
@@ -643,6 +681,13 @@ ServiceStats MatchService::stats() const {
               ? static_cast<double>(lane.tt_grafts) /
                     static_cast<double>(lane.tt_demand)
               : 0.0;
+      ls.tt_grafts = lane.tt_grafts;
+      ls.tt_demand = lane.tt_demand;
+      if (const TranspositionTable* tt =
+              pool_->transposition(lane.model_id)) {
+        ls.tt_shared = true;
+        ls.tt = tt->stats();
+      }
       ls.batch = delta;
       if (cache != nullptr) ls.cache = cache->stats();
       s.lanes.push_back(std::move(ls));

@@ -163,9 +163,19 @@ struct ServiceLaneStats {
   double live_inflight = 0.0;
   int threshold = 1;
   int retunes = 0;
-  // TT graft fraction of the lane's leaf demand (grafts/(grafts+requests));
-  // 0 when the lane's engines run without transposition tables.
+  // TT graft fraction of the lane's leaf demand (grafts/(grafts+requests)).
+  // Both terms are leaf-only per-move sums (roots and re-searches excluded,
+  // the same denominators as the cache hit rate), so the rate is a
+  // well-formed fraction in [0,1]; 0 when the lane's engines run without
+  // transposition tables.
   double tt_graft_rate = 0.0;
+  std::uint64_t tt_grafts = 0;
+  std::uint64_t tt_demand = 0;  // grafts + leaf eval requests
+  // true when the lane owns a shared TranspositionTable every slot's engine
+  // grafts from (ModelSpec::tt.enabled); `tt` then snapshots it. false with
+  // a zero snapshot when slots run private (or no) tables.
+  bool tt_shared = false;
+  TtStatsSnapshot tt;
   BatchQueueStats batch;
   CacheStats cache;
 };
@@ -376,6 +386,12 @@ class MatchService {
   // every queue's mutex under mutex_); -1 sweeps all lanes (the periodic
   // cadence).
   void retune_locked(int model_id);
+  // Publishes lane.inflight_sum into the lane's shared TT (if any) as the
+  // cross-game virtual-loss hint kStats grafts pessimise by. Called after
+  // every inflight_sum mutation (claim/retire/live re-read) so sibling
+  // games' engines see the lane's true concurrent pressure, not just their
+  // own in-flight count.
+  void sync_lane_tt_locked(const Lane& lane);
 
   ServiceConfig cfg_;
   EvaluatorPool* pool_ = nullptr;  // pool mode; null in legacy mode

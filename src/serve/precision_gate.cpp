@@ -1,45 +1,15 @@
 #include "serve/precision_gate.hpp"
 
-#include <memory>
-#include <vector>
-
+#include "serve/match_gate.hpp"
 #include "support/check.hpp"
-#include "support/rng.hpp"
 
 namespace apm {
-namespace {
 
-// Plays one gate game on a copy of `opening`. `first` moves as player +1.
-// Returns the game winner (+1 / −1 / 0) from the environment's convention.
-int play_game(const Game& opening, EngineConfig ec_first,
-              EngineConfig ec_second, AsyncBatchEvaluator* queue_first,
-              AsyncBatchEvaluator* queue_second, int max_moves) {
-  std::unique_ptr<Game> env = opening.clone();
-
-  SearchResources res_first;
-  res_first.batch = queue_first;
-  SearchResources res_second;
-  res_second.batch = queue_second;
-  SearchEngine first(ec_first, res_first);
-  SearchEngine second(ec_second, res_second);
-
-  int moves = 0;
-  while (!env->is_terminal() && (max_moves <= 0 || moves < max_moves)) {
-    SearchEngine& mover = env->current_player() == 1 ? first : second;
-    const SearchResult r = mover.search(*env);
-    APM_CHECK(r.best_action >= 0);
-    env->apply(r.best_action);
-    // Both engines track every played move so their reused subtrees stay
-    // rooted at the live position.
-    first.advance(r.best_action);
-    second.advance(r.best_action);
-    ++moves;
-  }
-  return env->is_terminal() ? env->winner() : 0;  // move-capped = draw
-}
-
-}  // namespace
-
+// Thin adapter over the generic match gate (serve/match_gate.hpp): both
+// sides share cfg.engine as their template — identical search settings are
+// the point, only the evaluation lane differs — so the gate's seat-bound
+// seeds reduce to the original protocol's template-seed + 4p+1/+4p+2 and
+// gate runs are bit-for-bit what the standalone implementation produced.
 PrecisionGateReport run_precision_gate(EvaluatorPool& pool,
                                        const Game& proto,
                                        const PrecisionGateConfig& cfg) {
@@ -49,71 +19,36 @@ PrecisionGateReport run_precision_gate(EvaluatorPool& pool,
                 "precision gate: baseline model not registered");
   APM_CHECK_MSG(cand_id >= 0,
                 "precision gate: candidate model not registered");
-  APM_CHECK(cfg.games >= 1);
-  APM_CHECK(cfg.opening_moves >= 0);
 
-  const int pairs = (cfg.games + 1) / 2;
+  GateSide candidate;
+  candidate.label = cfg.candidate_model;
+  candidate.engine = cfg.engine;
+  candidate.queue = &pool.queue(cand_id);
+  GateSide baseline;
+  baseline.label = cfg.baseline_model;
+  baseline.engine = cfg.engine;
+  baseline.queue = &pool.queue(base_id);
 
-  EngineConfig ec = cfg.engine;
-  // Pool queues are owner-tuned; K gate engines must not fight over them.
-  ec.manage_batch_threshold = false;
+  MatchGateConfig mc;
+  mc.games = cfg.games;
+  mc.opening_moves = cfg.opening_moves;
+  mc.seed = cfg.seed;
+  mc.max_moves = cfg.max_moves;
+  mc.max_winrate_drop = cfg.max_winrate_drop;
+
+  const MatchGateReport m = run_match_gate(proto, candidate, baseline, mc);
 
   PrecisionGateReport rep;
   rep.baseline_model = cfg.baseline_model;
   rep.candidate_model = cfg.candidate_model;
   rep.baseline_precision = pool.precision(base_id);
   rep.candidate_precision = pool.precision(cand_id);
-  rep.games = pairs * 2;
-
-  std::vector<int> legal;
-  for (int p = 0; p < pairs; ++p) {
-    // Shared opening: both games of the pair start from the same position,
-    // derived from (seed, pair) alone — reproducible and scheduler-free.
-    std::unique_ptr<Game> opening = proto.clone();
-    Rng rng(cfg.seed + static_cast<std::uint64_t>(p) * 0x2545f4914f6cdd1dULL);
-    for (int m = 0; m < cfg.opening_moves && !opening->is_terminal(); ++m) {
-      opening->legal_actions(legal);
-      opening->apply(legal[rng.below(legal.size())]);
-    }
-    if (opening->is_terminal()) continue;  // degenerate opening: replay lost
-
-    // Distinct per-game search seeds keep tie-breaking independent across
-    // the gate while remaining a pure function of (cfg.seed, pair, color).
-    EngineConfig ec_a = ec;
-    ec_a.mcts.seed = ec.mcts.seed + static_cast<std::uint64_t>(4 * p + 1);
-    EngineConfig ec_b = ec;
-    ec_b.mcts.seed = ec.mcts.seed + static_cast<std::uint64_t>(4 * p + 2);
-
-    // Game 1: candidate moves first.
-    int w = play_game(*opening, ec_a, ec_b, &pool.queue(cand_id),
-                      &pool.queue(base_id), cfg.max_moves);
-    if (w == 1) {
-      ++rep.candidate_wins;
-    } else if (w == -1) {
-      ++rep.candidate_losses;
-    } else {
-      ++rep.draws;
-    }
-
-    // Game 2: colors swapped — baseline moves first.
-    w = play_game(*opening, ec_a, ec_b, &pool.queue(base_id),
-                  &pool.queue(cand_id), cfg.max_moves);
-    if (w == -1) {
-      ++rep.candidate_wins;
-    } else if (w == 1) {
-      ++rep.candidate_losses;
-    } else {
-      ++rep.draws;
-    }
-  }
-
-  const int played = rep.candidate_wins + rep.candidate_losses + rep.draws;
-  rep.games = played;
-  if (played > 0) {
-    rep.candidate_score =
-        (rep.candidate_wins + 0.5 * rep.draws) / static_cast<double>(played);
-  }
-  rep.pass = played > 0 && rep.candidate_score >= 0.5 - cfg.max_winrate_drop;
+  rep.games = m.games;
+  rep.candidate_wins = m.candidate_wins;
+  rep.candidate_losses = m.candidate_losses;
+  rep.draws = m.draws;
+  rep.candidate_score = m.candidate_score;
+  rep.pass = m.pass;
   return rep;
 }
 
