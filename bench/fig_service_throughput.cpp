@@ -39,6 +39,13 @@
 // the instrumentation, and `service_tracing_off_evals_per_s` is directly
 // comparable to `service_evals_per_s_k8_cached` across PRs (the ≤2%
 // disabled-cost contract).
+//
+// Sampler-overhead rows (ISSUE 10): the same configuration run with a live
+// TelemetrySampler publishing the service and snapshotting the registry at
+// the production default period (100 ms). The
+// `service_sampler_overhead_frac` entry pins the ambient cost of always-on
+// telemetry at ≤2% — the price of running the sampler in production, not
+// just during capture sessions.
 
 #include <algorithm>
 #include <cstdio>
@@ -48,6 +55,7 @@
 #include "eval/net_evaluator.hpp"
 #include "games/gomoku.hpp"
 #include "nn/quantize.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "serve/match_service.hpp"
 #include "support/table.hpp"
@@ -74,7 +82,11 @@ struct RunResult {
 // Plays 2·K games on K slots over a fresh one-model pool lane; the worker
 // pool is fixed at 8 threads for every K, so only the game concurrency
 // varies. `cached` puts a 16k-entry per-net EvalCache in front of the lane.
-RunResult run_service(const Game& game, int concurrent_games, bool cached) {
+// `sampled` runs a live TelemetrySampler at the default 100 ms period
+// (publishing the service's metrics each frame) for the duration — the
+// ISSUE-10 ambient-cost mode.
+RunResult run_service(const Game& game, int concurrent_games, bool cached,
+                      bool sampled = false) {
   SyntheticEvaluator eval(game.action_count(), game.encode_size());
   SimGpuBackend backend(eval, GpuTimingModel{}, /*emulate_wall_time=*/true);
   EvaluatorPool pool;
@@ -100,11 +112,19 @@ RunResult run_service(const Game& game, int concurrent_games, bool cached) {
   w.engine.adapt = false;
 
   MatchService service(sc, pool, {std::move(w)});
+  obs::TelemetrySamplerConfig scfg;  // default 100 ms period
+  scfg.ring_capacity = 256;
+  obs::TelemetrySampler sampler(scfg);
+  if (sampled) {
+    sampler.add_source([&service] { service.publish_metrics(); });
+    sampler.start();
+  }
   service.enqueue(2 * concurrent_games);
   service.start();
   service.drain();
   RunResult r;
   r.stats = service.stats();
+  if (sampled) sampler.stop();
   service.stop();
   return r;
 }
@@ -292,6 +312,37 @@ int main(int argc, char** argv) {
     json.entry("service_tracing_overhead_frac", overhead, "fraction");
   }
 
+  // --- telemetry sampler overhead (ISSUE 10) -------------------------------
+  // Same K=8 cached configuration with the sampler at its production
+  // default (100 ms frames). Each frame runs publish_metrics — the
+  // service-lock stats merge plus the per-lane SLO windows — and a full
+  // registry snapshot into the ring, so the row prices the whole always-on
+  // pipeline, not just the ring push. Best of 5 per mode with the modes
+  // INTERLEAVED (off,on,off,on,...): on a single-core box the machine
+  // drifts over the bench's minutes-long run by more than the 2% contract,
+  // and back-to-back pairs see the same conditions where sequential
+  // blocks would bake the drift into the ratio.
+  double sampler_overhead = 0.0;
+  {
+    const Gomoku board(5, 4);
+    double off = 0.0, on = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      off = std::max(
+          off, run_service(board, 8, /*cached=*/true, /*sampled=*/false)
+                   .stats.evals_per_second);
+      on = std::max(
+          on, run_service(board, 8, /*cached=*/true, /*sampled=*/true)
+                  .stats.evals_per_second);
+    }
+    sampler_overhead = off > 0.0 ? 1.0 - on / off : 0.0;
+    std::printf("\nsampler overhead (K=8 cached, 100 ms frames): off %.0f "
+                "evals/s, on %.0f evals/s (%.1f%% ambient cost)\n",
+                off, on, 100.0 * sampler_overhead);
+    json.entry("service_sampler_off_evals_per_s", off, "evals/s");
+    json.entry("service_sampler_on_evals_per_s", on, "evals/s");
+    json.entry("service_sampler_overhead_frac", sampler_overhead, "fraction");
+  }
+
   std::fprintf(f, "\n]\n");
   std::fclose(f);
 
@@ -302,5 +353,9 @@ int main(int argc, char** argv) {
       "coalesces shrink backend work at the same served demand\n(K=4 hit "
       "rate %.3f).\nbaseline written to %s\n",
       hit_rate_k4, out_path);
-  return fill_cross4 > fill_single && hit_rate_k4 > 0.0 ? 0 : 1;
+  // The ≤2% ambient-telemetry contract is an exit gate, not just a row.
+  return fill_cross4 > fill_single && hit_rate_k4 > 0.0 &&
+                 sampler_overhead <= 0.02
+             ? 0
+             : 1;
 }

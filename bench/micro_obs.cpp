@@ -8,7 +8,13 @@
 //     a capture session pays per event (clock reads dominate);
 //   - LatencyHistogram::record — the always-on cost behind the service's
 //     p50/p99 accounting (excluding the caller's clock read);
-//   - HistogramSnapshot::quantile — the read-side query cost.
+//   - HistogramSnapshot::quantile — the read-side query cost;
+//   - Heartbeat::beat — the ISSUE-10 per-progress-unit stamp every
+//     monitored thread pays (contract: a relaxed load + relaxed store, no
+//     RMW, no clock — must land within a few ns of the loop baseline);
+//   - TelemetrySampler::tick — one full frame (source run + registry
+//     snapshot + delta + SLO evaluation + ring push) over a representative
+//     registry, i.e. the sampler thread's per-period cost.
 //
 // Usage: micro_obs [iters]
 
@@ -17,7 +23,10 @@
 #include <random>
 
 #include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "support/timer.hpp"
 
 namespace {
@@ -107,10 +116,57 @@ int main(int argc, char** argv) {
   g_sink += static_cast<std::uint64_t>(acc);
   ns_per_op(qiters, "HistogramSnapshot::quantile", 0.0, t.elapsed_seconds());
 
+  // --- heartbeat stamp (ISSUE 10 overhead contract) ----------------------
+  // beat() is a relaxed load + relaxed store of the owner's own counter —
+  // it must price like the baseline add, not like an RMW or a clock read.
+  apm::obs::HeartbeatRegistry hb_reg;
+  apm::obs::Heartbeat* hb = hb_reg.acquire("bench.worker");
+  t.reset();
+  for (int i = 0; i < iters; ++i) {
+    hb->beat();
+    g_sink += static_cast<std::uint64_t>(i);
+  }
+  const double beat_ns =
+      ns_per_op(iters, "Heartbeat::beat", base_ns, t.elapsed_seconds());
+  g_sink += hb->count();
+  hb_reg.release(hb);
+
+  // --- telemetry frame cost ----------------------------------------------
+  // Representative registry: the metric families one MatchService + two
+  // lanes publish (≈6 histograms, a dozen counters/gauges) plus one
+  // SLO watch. Manual tick()s so the measurement excludes thread wakeups.
+  apm::obs::MetricsRegistry reg;
+  for (int c = 0; c < 8; ++c) {
+    reg.counter("bench.counter." + std::to_string(c)).add(1 + c);
+    reg.gauge("bench.gauge." + std::to_string(c)).set(0.5 * c);
+  }
+  for (int h = 0; h < 6; ++h) {
+    apm::obs::LatencyHistogram& lh =
+        reg.histogram("bench.hist." + std::to_string(h) + "_ns");
+    for (int i = 0; i < 4096; ++i) lh.record(dist(rng));
+  }
+  apm::obs::TelemetrySamplerConfig scfg;
+  scfg.ring_capacity = 64;
+  scfg.registry = &reg;
+  apm::obs::TelemetrySampler sampler(scfg);
+  apm::obs::SloSpec slo;
+  slo.enabled = true;
+  slo.p99_target_us = 1'000.0;
+  sampler.watch_slo("bench", "bench.hist.0_ns", slo);
+  const int titers = 2'000;
+  t.reset();
+  for (int i = 0; i < titers; ++i) {
+    // Keep the windows non-empty so the SLO path does real work per frame.
+    reg.histogram("bench.hist.0_ns").record(dist(rng));
+    sampler.tick();
+  }
+  ns_per_op(titers, "TelemetrySampler::tick", 0.0, t.elapsed_seconds());
+
   std::printf("\ndisabled/enabled emit ratio: %.3f\n",
               on_ns > 0.0 ? off_ns / on_ns : 0.0);
   // Smoke contract: the disabled path must be dramatically cheaper than
-  // the enabled path (it does no clock read and touches no buffer). Loose
-  // bound — CI machines are noisy.
-  return off_ns < on_ns ? 0 : 1;
+  // the enabled path (it does no clock read and touches no buffer), and a
+  // heartbeat stamp — pure relaxed load/store — must beat the clock-read
+  // cost of an enabled emit. Loose bounds — CI machines are noisy.
+  return off_ns < on_ns && beat_ns < on_ns ? 0 : 1;
 }

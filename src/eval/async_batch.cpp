@@ -1,5 +1,8 @@
 #include "eval/async_batch.hpp"
 
+#include <optional>
+
+#include "obs/watchdog.hpp"
 #include "support/check.hpp"
 
 namespace apm {
@@ -316,7 +319,17 @@ void AsyncBatchEvaluator::stream_loop() {
   std::vector<std::vector<Callback>> waiters;
   std::vector<std::vector<std::uint64_t>> waiter_enq;
   bool thread_named = false;
-  while (auto batch_opt = batch_queue_.pop()) {
+  // Watchdog heartbeat: beaten once per dispatched batch; the queue pop is
+  // marked idle so a starved lane never reads as a stalled backend.
+  obs::HeartbeatLease hb((name_.empty() ? std::string("eval") : name_) +
+                         ".stream");
+  for (;;) {
+    std::optional<std::unique_ptr<Batch>> batch_opt;
+    {
+      obs::IdleScope idle(hb.get());
+      batch_opt = batch_queue_.pop();
+    }
+    if (!batch_opt) break;
     // Lazy thread naming: only once tracing is (or becomes) enabled, so a
     // tracing-off process never allocates ring buffers for stream threads.
     if (!thread_named && obs::tracing_enabled()) {
@@ -335,6 +348,7 @@ void AsyncBatchEvaluator::stream_loop() {
         backend_.compute_batch(batch->inputs.data(), n, outputs.data());
     const std::uint64_t eval_end = obs::now_ns();
     hist_backend_.record(eval_end - eval_start);
+    hb->beat();  // one unit of progress = one backend batch
     obs::emit_span("backend_eval", "eval", eval_start, eval_end,
                    {{"batch", n},
                     {"modelled_us", modelled_us},

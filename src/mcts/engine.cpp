@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "support/check.hpp"
 
 namespace apm {
@@ -149,11 +150,17 @@ void SearchEngine::run_advance(int action) {
 
 void SearchEngine::compactor_loop() {
   bool thread_named = false;
+  // Watchdog heartbeat: beaten once per compaction job; waiting for work
+  // is marked idle so an engine parked between moves never reads as hung.
+  obs::HeartbeatLease hb("engine.compactor");
   for (;;) {
     int action;
     {
       std::unique_lock lock(cmu_);
-      c_cv_.wait(lock, [this] { return cjob_ready_ || cjob_shutdown_; });
+      {
+        obs::IdleScope idle(hb.get());
+        c_cv_.wait(lock, [this] { return cjob_ready_ || cjob_shutdown_; });
+      }
       if (cjob_shutdown_ && !cjob_ready_) return;
       cjob_ready_ = false;
       cjob_busy_ = true;
@@ -164,6 +171,7 @@ void SearchEngine::compactor_loop() {
       thread_named = true;
     }
     run_advance(action);
+    hb->beat();  // one unit of progress = one compacted advance
     {
       // The lock both clears busy and publishes run_advance()'s writes
       // (tree swap, TT generation, reuse flags) to whoever joins next.

@@ -20,6 +20,39 @@ void render_histogram_line(std::ostringstream& out, const std::string& name,
       << describe_histogram(snap, ns ? 1e-3 : 1.0, ns ? "us" : "raw") << '\n';
 }
 
+// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted
+// names ("service.move_latency_ns") map dots (and anything else) to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+void render_prom_histogram(std::ostringstream& out, const std::string& name,
+                           const HistogramSnapshot& snap) {
+  const std::string p = prom_name(name);
+  out << "# TYPE " << p << " histogram\n";
+  // Cumulative series over occupied buckets only (512 le-lines per
+  // histogram would swamp the page; Prometheus semantics only need the
+  // cumulative count at each emitted bound). The bound of bucket i is its
+  // largest contained value: lower + width - 1.
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kHistBuckets; ++i) {
+    if (snap.buckets[i] == 0) continue;
+    cum += snap.buckets[i];
+    const std::uint64_t le = hist_bucket_lower(i) + hist_bucket_width(i) - 1;
+    out << p << "_bucket{le=\"" << le << "\"} " << cum << '\n';
+  }
+  out << p << "_bucket{le=\"+Inf\"} " << snap.count << '\n';
+  out << p << "_sum " << snap.sum << '\n';
+  out << p << "_count " << snap.count << '\n';
+}
+
 }  // namespace
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -54,22 +87,56 @@ void MetricsRegistry::set_histogram(const std::string& name,
   published_[name] = snap;
 }
 
-std::string MetricsRegistry::render_text() const {
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    out.histograms[name] = h->snapshot();
+  }
+  // Published snapshots win a name collision: they are the layer's own
+  // merged view, which subsumes any same-named live histogram.
+  for (const auto& [name, snap] : published_) out.histograms[name] = snap;
+  return out;
+}
+
+std::string MetricsRegistry::render_text(TextFormat fmt) const {
   std::lock_guard lock(mu_);
   std::ostringstream out;
+  if (fmt == TextFormat::kHuman) {
+    for (const auto& [name, c] : counters_) {
+      out << "counter " << name << ' ' << c->value() << '\n';
+    }
+    for (const auto& [name, g] : gauges_) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", g->value());
+      out << "gauge " << name << ' ' << buf << '\n';
+    }
+    for (const auto& [name, h] : histograms_) {
+      render_histogram_line(out, name, h->snapshot());
+    }
+    for (const auto& [name, snap] : published_) {
+      render_histogram_line(out, name, snap);
+    }
+    return out.str();
+  }
   for (const auto& [name, c] : counters_) {
-    out << "counter " << name << ' ' << c->value() << '\n';
+    const std::string p = prom_name(name);
+    out << "# TYPE " << p << " counter\n" << p << ' ' << c->value() << '\n';
   }
   for (const auto& [name, g] : gauges_) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6g", g->value());
-    out << "gauge " << name << ' ' << buf << '\n';
+    const std::string p = prom_name(name);
+    out << "# TYPE " << p << " gauge\n" << p << ' ' << buf << '\n';
   }
   for (const auto& [name, h] : histograms_) {
-    render_histogram_line(out, name, h->snapshot());
+    if (published_.count(name) != 0) continue;  // published copy wins below
+    render_prom_histogram(out, name, h->snapshot());
   }
   for (const auto& [name, snap] : published_) {
-    render_histogram_line(out, name, snap);
+    render_prom_histogram(out, name, snap);
   }
   return out.str();
 }

@@ -51,8 +51,28 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
+// Point-in-time copy of every registered metric. Published histogram
+// snapshots and live histograms land in the same map (a name collision
+// resolves to the published copy), so consumers see ONE uniform source.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+enum class TextFormat {
+  kPrometheus,  // exposition format: TYPE lines, _bucket{le=...}, _sum, _count
+  kHuman,       // the original one-line-per-metric debug dump
+};
+
 class MetricsRegistry {
  public:
+  // Most code shares global(); private instances exist for tests and for
+  // samplers that must observe an isolated metric set.
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
   static MetricsRegistry& global();
 
   // Get-or-create by name. References remain valid for the registry's
@@ -64,20 +84,25 @@ class MetricsRegistry {
   // Publish a pre-merged snapshot under `name` (replaces any previous).
   void set_histogram(const std::string& name, const HistogramSnapshot& snap);
 
-  // Text exporter: every metric, sorted by name, one per line.
+  // Consistent copy of everything (one lock hold). The telemetry
+  // sampler's per-frame source.
+  MetricsSnapshot snapshot() const;
+
+  // Text exporter. kPrometheus (default) emits exposition-format text:
+  // sanitized names, "# TYPE" lines, and for histograms the cumulative
+  // "_bucket{le=...}" series (occupied buckets + "+Inf") with "_sum" and
+  // "_count". kHuman keeps the original debug dump:
   //   counter <name> <value>
   //   gauge <name> <value>
   //   histogram <name> count=... mean=... p50=... p90=... p99=... max=...
-  // Histogram lines render nanosecond-named metrics (suffix "_ns") in µs.
-  std::string render_text() const;
+  // where histogram lines render nanosecond-named metrics ("_ns") in µs.
+  std::string render_text(TextFormat fmt = TextFormat::kPrometheus) const;
 
   // Zero every counter/gauge/live histogram and drop published snapshots.
   // Handles stay valid. Test support; not for use while hot paths record.
   void reset();
 
  private:
-  MetricsRegistry() = default;
-
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

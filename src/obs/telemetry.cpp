@@ -1,0 +1,370 @@
+#include "obs/telemetry.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "support/check.hpp"
+
+namespace apm::obs {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out.push_back('0');
+    return;
+  }
+  char buf[48];
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+const char* lane_health_name(LaneHealth h) {
+  switch (h) {
+    case LaneHealth::kHealthy: return "healthy";
+    case LaneHealth::kWarn: return "warn";
+    case LaneHealth::kBreach: return "breach";
+  }
+  return "healthy";
+}
+
+// --- SloEvaluator ----------------------------------------------------------
+
+LaneHealth SloEvaluator::update(const HistogramSnapshot& window) {
+  if (!spec_.enabled || spec_.p99_target_us <= 0.0) return health_;
+  if (window.count < spec_.min_samples) {
+    // Too little evidence to move the state in either direction: an idle
+    // lane neither heals nor breaches on noise.
+    return health_;
+  }
+  last_p99_us_ = window.quantile(0.99) * 1e-3;  // ns -> us
+  last_burn_ = last_p99_us_ / spec_.p99_target_us;
+
+  if (last_burn_ >= spec_.breach_burn) {
+    ++fast_;
+    ++burning_;
+    calm_ = 0;
+  } else if (last_burn_ >= spec_.warn_burn) {
+    fast_ = 0;
+    ++burning_;
+    calm_ = 0;
+  } else {
+    fast_ = 0;
+    burning_ = 0;
+    ++calm_;
+  }
+
+  // Escalation: a fast burn (or a sustained slow burn) jumps straight to
+  // BREACH; otherwise enough burning windows raise WARN. Escalation resets
+  // the calm streak implicitly (calm_ was zeroed above).
+  if (fast_ >= spec_.fast_windows || burning_ >= spec_.breach_windows) {
+    health_ = LaneHealth::kBreach;
+  } else if (burning_ >= spec_.warn_windows &&
+             health_ == LaneHealth::kHealthy) {
+    health_ = LaneHealth::kWarn;
+  }
+
+  // Recovery is stepped: clear_windows calm windows buy ONE step down
+  // (BREACH -> WARN -> HEALTHY), so a breach never clears on a single
+  // quiet window.
+  if (calm_ >= spec_.clear_windows && health_ != LaneHealth::kHealthy) {
+    health_ = health_ == LaneHealth::kBreach ? LaneHealth::kWarn
+                                             : LaneHealth::kHealthy;
+    calm_ = 0;
+  }
+  return health_;
+}
+
+// --- TelemetrySampler ------------------------------------------------------
+
+TelemetrySampler::TelemetrySampler(TelemetrySamplerConfig cfg)
+    : cfg_(cfg),
+      registry_(cfg.registry != nullptr ? cfg.registry
+                                        : &MetricsRegistry::global()) {
+  APM_CHECK(cfg_.sample_period_ms >= 1);
+  APM_CHECK(cfg_.ring_capacity >= 1);
+}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+void TelemetrySampler::add_source(std::function<void()> fn) {
+  std::lock_guard run_lock(run_mu_);
+  APM_CHECK_MSG(!running_, "TelemetrySampler: add_source after start()");
+  sources_.push_back(std::move(fn));
+}
+
+void TelemetrySampler::watch_slo(const std::string& label,
+                                 const std::string& histogram_name,
+                                 SloSpec spec) {
+  std::lock_guard run_lock(run_mu_);
+  APM_CHECK_MSG(!running_, "TelemetrySampler: watch_slo after start()");
+  std::lock_guard lock(mu_);
+  watches_.push_back(SloWatch{label, histogram_name, SloEvaluator(spec), {}});
+}
+
+void TelemetrySampler::start() {
+  std::lock_guard lock(run_mu_);
+  if (running_) return;
+  APM_CHECK_MSG(!stop_, "TelemetrySampler: start() after stop()");
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void TelemetrySampler::stop() {
+  {
+    std::lock_guard lock(run_mu_);
+    if (!running_) {
+      stop_ = true;  // bar a later start(); the ring stays readable
+      return;
+    }
+    stop_ = true;
+  }
+  run_cv_.notify_all();
+  thread_.join();
+  std::lock_guard lock(run_mu_);
+  running_ = false;
+}
+
+void TelemetrySampler::run() {
+  // Named track only when a trace session is live at thread start — the
+  // recorder must not allocate rings for an untraced process.
+  if (tracing_enabled()) set_thread_name("telemetry");
+  const auto period = std::chrono::milliseconds(cfg_.sample_period_ms);
+  std::unique_lock lock(run_mu_);
+  while (!stop_) {
+    lock.unlock();
+    tick();
+    lock.lock();
+    run_cv_.wait_for(lock, period, [this] { return stop_; });
+  }
+}
+
+TelemetryFrame TelemetrySampler::tick() {
+  // Sources run unlocked: they typically take their own locks (a
+  // MatchService publishing its stats) and must not nest under mu_.
+  for (const std::function<void()>& fn : sources_) fn();
+
+  const MetricsSnapshot snap = registry_->snapshot();
+  TelemetryFrame frame;
+  frame.ts_ns = now_ns();
+  frame.counters = snap.counters;
+  frame.gauges = snap.gauges;
+
+  std::lock_guard lock(mu_);
+  frame.seq = next_seq_++;
+  for (const auto& [name, hist] : snap.histograms) {
+    FrameHistStat st;
+    st.count = hist.count;
+    st.sum = hist.sum;
+    st.p50 = hist.quantile(0.5);
+    st.p90 = hist.quantile(0.9);
+    st.p99 = hist.quantile(0.99);
+    st.max = static_cast<double>(hist.max);
+    const auto it = last_hists_.find(name);
+    const HistogramSnapshot window =
+        it != last_hists_.end() ? hist.delta(it->second) : hist;
+    st.window_count = window.count;
+    st.window_p50 = window.quantile(0.5);
+    st.window_p99 = window.quantile(0.99);
+    frame.histograms.emplace(name, st);
+  }
+  for (SloWatch& w : watches_) {
+    HistogramSnapshot cur;  // an absent histogram reads as empty
+    const auto it = snap.histograms.find(w.histogram);
+    if (it != snap.histograms.end()) cur = it->second;
+    const HistogramSnapshot window = cur.delta(w.last);
+    w.last = cur;
+    FrameSloSample s;
+    s.label = w.label;
+    s.health = w.eval.update(window);
+    s.window_p99_us = w.eval.last_p99_us();
+    s.burn = w.eval.burn_rate();
+    s.window_count = window.count;
+    frame.slo.push_back(std::move(s));
+  }
+  last_hists_ = snap.histograms;
+
+  ring_.push_back(frame);
+  if (ring_.size() > cfg_.ring_capacity) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  return frame;
+}
+
+TelemetrySampler::RingSnapshot TelemetrySampler::frames() const {
+  std::lock_guard lock(mu_);
+  RingSnapshot out;
+  out.frames.assign(ring_.begin(), ring_.end());
+  out.dropped = dropped_;
+  out.total = next_seq_;
+  return out;
+}
+
+LaneHealth TelemetrySampler::worst_health() const {
+  LaneHealth worst = LaneHealth::kHealthy;
+  std::lock_guard lock(mu_);
+  if (ring_.empty()) return worst;
+  const TelemetryFrame& latest = ring_.back();
+  for (const FrameSloSample& s : latest.slo) {
+    worst = std::max(worst, s.health);
+  }
+  for (const auto& [name, value] : latest.gauges) {
+    if (!ends_with(name, ".health")) continue;
+    const LaneHealth h = value >= 1.5   ? LaneHealth::kBreach
+                         : value >= 0.5 ? LaneHealth::kWarn
+                                        : LaneHealth::kHealthy;
+    worst = std::max(worst, h);
+  }
+  return worst;
+}
+
+std::vector<std::string> TelemetrySampler::breached_labels() const {
+  std::vector<std::string> out;
+  std::lock_guard lock(mu_);
+  if (ring_.empty()) return out;
+  const TelemetryFrame& latest = ring_.back();
+  for (const FrameSloSample& s : latest.slo) {
+    if (s.health == LaneHealth::kBreach) out.push_back(s.label);
+  }
+  for (const auto& [name, value] : latest.gauges) {
+    if (ends_with(name, ".health") && value >= 1.5) {
+      out.push_back(name.substr(0, name.size() - 7));
+    }
+  }
+  return out;
+}
+
+std::string frame_to_json(const TelemetryFrame& frame) {
+  std::string out;
+  out.reserve(512);
+  out += "{\"seq\":";
+  append_u64(out, frame.seq);
+  out += ",\"ts_ns\":";
+  append_u64(out, frame.ts_ns);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : frame.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, name);
+    out.push_back(':');
+    append_u64(out, value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : frame.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, name);
+    out.push_back(':');
+    append_number(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, st] : frame.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, name);
+    out += ":{\"count\":";
+    append_u64(out, st.count);
+    out += ",\"sum\":";
+    append_u64(out, st.sum);
+    out += ",\"p50\":";
+    append_number(out, st.p50);
+    out += ",\"p90\":";
+    append_number(out, st.p90);
+    out += ",\"p99\":";
+    append_number(out, st.p99);
+    out += ",\"max\":";
+    append_number(out, st.max);
+    out += ",\"window_count\":";
+    append_u64(out, st.window_count);
+    out += ",\"window_p50\":";
+    append_number(out, st.window_p50);
+    out += ",\"window_p99\":";
+    append_number(out, st.window_p99);
+    out += "}";
+  }
+  out += "},\"slo\":[";
+  first = true;
+  for (const FrameSloSample& s : frame.slo) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"label\":";
+    append_escaped(out, s.label);
+    out += ",\"health\":";
+    append_escaped(out, lane_health_name(s.health));
+    out += ",\"window_p99_us\":";
+    append_number(out, s.window_p99_us);
+    out += ",\"burn\":";
+    append_number(out, s.burn);
+    out += ",\"window_count\":";
+    append_u64(out, s.window_count);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void TelemetrySampler::write_jsonl(std::ostream& out) const {
+  const RingSnapshot snap = frames();
+  for (const TelemetryFrame& frame : snap.frames) {
+    out << frame_to_json(frame) << '\n';
+  }
+}
+
+bool TelemetrySampler::write_jsonl_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_jsonl(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace apm::obs

@@ -1,0 +1,230 @@
+#pragma once
+// Telemetry time-series plane (ISSUE 10; design note in DESIGN_obs.md).
+//
+// PR 8's registry and histograms are pull-on-demand: every view is a
+// point-in-time snapshot, so nothing watches the serving stack over time
+// and nothing judges latency against a target. This module adds the
+// continuous half of the observability plane:
+//
+//  - TelemetrySampler: a background thread that every sample_period_ms
+//    runs its sources (e.g. MatchService::publish_metrics), snapshots the
+//    whole MetricsRegistry, and appends one timestamped TelemetryFrame to
+//    a bounded ring (oldest frames drop; the drop count is exact). Frames
+//    are DELTA-AWARE: for every histogram the sampler keeps the previous
+//    full snapshot and computes the per-frame window via
+//    HistogramSnapshot::delta, so each frame carries both cumulative and
+//    windowed quantiles — the latency-distribution-over-time evidence
+//    ROADMAP direction 1 asks for. The ring exports as JSONL (one frame
+//    per line) and the registry exports Prometheus text exposition
+//    (MetricsRegistry::render_text), so both a time series and a scrape
+//    endpoint come from the same source.
+//
+//  - SloSpec / SloEvaluator: per-lane latency-objective classification.
+//    Each evaluation window's p99 is compared to the target as a BURN
+//    RATE (windowed p99 / target); sustained slow burn or a single fast
+//    burn escalates HEALTHY -> WARN -> BREACH, and recovery requires
+//    clear_windows consecutive calm windows per step down (hysteresis —
+//    one good window after a breach is not health). MatchService owns one
+//    evaluator per SLO-bearing lane (ModelSpec::slo) and advances it at
+//    publish_metrics() cadence; the sampler can also watch any registry
+//    histogram directly (watch_slo) for services that publish snapshots
+//    without a MatchService.
+//
+// Values recorded in the watched histograms are NANOSECONDS (the
+// convention of every *_ns histogram in the stack); SloSpec targets are
+// microseconds.
+//
+// Thread safety: add_source/watch_slo are setup-time (before start()).
+// tick() may be called concurrently with the sampler thread (tests drive
+// it directly); frame assembly and the ring are guarded by one mutex.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+
+namespace apm::obs {
+
+// --- SLO evaluation --------------------------------------------------------
+
+enum class LaneHealth : int { kHealthy = 0, kWarn = 1, kBreach = 2 };
+
+const char* lane_health_name(LaneHealth h);
+
+// A latency objective for one lane, evaluated window-by-window. The burn
+// rate of a window is windowed_p99_us / p99_target_us: >= warn_burn means
+// the window "burns" (the objective is being consumed), >= breach_burn is
+// a fast burn. Multi-window thresholds debounce noise; min_samples keeps
+// near-empty windows (an idle lane) from changing state in either
+// direction.
+struct SloSpec {
+  bool enabled = false;
+  double p99_target_us = 0.0;
+  double warn_burn = 1.0;      // window burns when p99 >= warn_burn * target
+  double breach_burn = 2.0;    // fast burn: immediate escalation candidate
+  int warn_windows = 1;        // consecutive burning windows before WARN
+  int breach_windows = 3;      // consecutive burning windows before BREACH
+  int fast_windows = 1;        // consecutive fast-burn windows before BREACH
+  int clear_windows = 2;       // calm windows per step DOWN (hysteresis)
+  std::uint64_t min_samples = 8;  // smaller windows leave the state alone
+};
+
+// Stateful per-lane classifier. Feed one windowed HistogramSnapshot (the
+// delta between consecutive evaluations) per call; the returned health is
+// the lane's debounced state after folding the window in.
+class SloEvaluator {
+ public:
+  explicit SloEvaluator(SloSpec spec) : spec_(spec) {}
+
+  LaneHealth update(const HistogramSnapshot& window);
+
+  LaneHealth health() const { return health_; }
+  double last_p99_us() const { return last_p99_us_; }
+  // Last evaluated window's p99 / target (0 while no window qualified).
+  double burn_rate() const { return last_burn_; }
+  const SloSpec& spec() const { return spec_; }
+
+ private:
+  SloSpec spec_;
+  LaneHealth health_ = LaneHealth::kHealthy;
+  int burning_ = 0;  // consecutive windows at >= warn_burn
+  int fast_ = 0;     // consecutive windows at >= breach_burn
+  int calm_ = 0;     // consecutive windows below warn_burn
+  double last_p99_us_ = 0.0;
+  double last_burn_ = 0.0;
+};
+
+// --- frames ----------------------------------------------------------------
+
+// Compact per-frame view of one histogram: cumulative tallies plus the
+// window since the previous frame (delta-aware). Quantiles are raw values
+// (ns for *_ns histograms); full bucket arrays stay out of frames so a
+// long ring stays cheap.
+struct FrameHistStat {
+  std::uint64_t count = 0;  // cumulative
+  std::uint64_t sum = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  std::uint64_t window_count = 0;  // records since the previous frame
+  double window_p50 = 0.0;
+  double window_p99 = 0.0;
+};
+
+// One watched lane's SLO verdict for this frame.
+struct FrameSloSample {
+  std::string label;
+  LaneHealth health = LaneHealth::kHealthy;
+  double window_p99_us = 0.0;
+  double burn = 0.0;
+  std::uint64_t window_count = 0;
+};
+
+struct TelemetryFrame {
+  std::uint64_t seq = 0;    // monotone, gap-free (dropped frames left seqs)
+  std::uint64_t ts_ns = 0;  // trace clock (obs::now_ns)
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, FrameHistStat> histograms;
+  std::vector<FrameSloSample> slo;
+};
+
+// --- sampler ---------------------------------------------------------------
+
+struct TelemetrySamplerConfig {
+  int sample_period_ms = 100;
+  std::size_t ring_capacity = 512;  // frames kept; older ones drop, counted
+  MetricsRegistry* registry = nullptr;  // nullptr = MetricsRegistry::global()
+};
+
+class TelemetrySampler {
+ public:
+  explicit TelemetrySampler(TelemetrySamplerConfig cfg = {});
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  // Runs before every registry snapshot (the publish hook — e.g.
+  // [&]{ service.publish_metrics(); }). Setup-time: call before start().
+  void add_source(std::function<void()> fn);
+
+  // Evaluates `spec` every frame over the window of the named registry
+  // histogram (live or published). Setup-time: call before start().
+  void watch_slo(const std::string& label, const std::string& histogram_name,
+                 SloSpec spec);
+
+  // Spawns / joins the sampling thread. start() is idempotent; stop() is
+  // called by the destructor and leaves the collected ring readable.
+  void start();
+  void stop();
+
+  // One synchronous sample — exactly what the thread does per period.
+  // Returns the frame it appended (tests drive cadence deterministically).
+  TelemetryFrame tick();
+
+  struct RingSnapshot {
+    std::vector<TelemetryFrame> frames;  // oldest first
+    std::uint64_t dropped = 0;           // frames the ring overwrote
+    std::uint64_t total = 0;             // frames ever sampled
+  };
+  RingSnapshot frames() const;
+
+  // Worst health across the latest frame's SLO watches AND any registry
+  // gauge named "*.health" (published by MatchService lanes) — the
+  // watchdog's breach feed. kHealthy when no frame exists yet.
+  LaneHealth worst_health() const;
+  // Labels currently at BREACH, from the same two sources.
+  std::vector<std::string> breached_labels() const;
+
+  // JSONL time-series export: one frame object per line, oldest first.
+  void write_jsonl(std::ostream& out) const;
+  bool write_jsonl_file(const std::string& path) const;
+
+  const TelemetrySamplerConfig& config() const { return cfg_; }
+
+ private:
+  struct SloWatch {
+    std::string label;
+    std::string histogram;
+    SloEvaluator eval;
+    HistogramSnapshot last;  // cumulative baseline of the previous frame
+  };
+
+  void run();
+
+  TelemetrySamplerConfig cfg_;
+  MetricsRegistry* registry_;
+  std::vector<std::function<void()>> sources_;
+
+  mutable std::mutex mu_;  // ring + watches + delta baselines
+  std::vector<SloWatch> watches_;
+  std::map<std::string, HistogramSnapshot> last_hists_;
+  std::deque<TelemetryFrame> ring_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+};
+
+// Renders a frame as one JSON object (no trailing newline) — the JSONL
+// line format, exposed for tests.
+std::string frame_to_json(const TelemetryFrame& frame);
+
+}  // namespace apm::obs

@@ -1,0 +1,332 @@
+#include "obs/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "obs/registry.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "support/check.hpp"
+
+namespace apm::obs {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+bool write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << body;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+// --- HeartbeatRegistry -----------------------------------------------------
+
+HeartbeatRegistry& HeartbeatRegistry::global() {
+  // Immortal (never destroyed) so worker threads that outlive main's
+  // statics can still release their slots — same idiom as
+  // MetricsRegistry::global().
+  static HeartbeatRegistry* const g = new HeartbeatRegistry();
+  return *g;
+}
+
+Heartbeat* HeartbeatRegistry::acquire(const std::string& name) {
+  std::lock_guard lock(mu_);
+  for (const auto& slot : slots_) {
+    if (!slot->leased_ && slot->name_ == name) {
+      slot->leased_ = true;
+      slot->set_active(true);
+      // count_ deliberately NOT reset: monotone across leases, so a
+      // reused slot can never masquerade as a stalled one.
+      return slot.get();
+    }
+  }
+  auto slot = std::make_unique<Heartbeat>();
+  slot->name_ = name;
+  slot->leased_ = true;
+  slot->set_active(true);
+  Heartbeat* raw = slot.get();
+  slots_.push_back(std::move(slot));
+  return raw;
+}
+
+void HeartbeatRegistry::release(Heartbeat* hb) {
+  if (hb == nullptr) return;
+  std::lock_guard lock(mu_);
+  hb->set_active(false);
+  hb->leased_ = false;
+}
+
+std::vector<Heartbeat*> HeartbeatRegistry::leased() const {
+  std::lock_guard lock(mu_);
+  std::vector<Heartbeat*> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    if (slot->leased_) out.push_back(slot.get());
+  }
+  return out;
+}
+
+void HeartbeatRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (const auto& slot : slots_) {
+    APM_CHECK_MSG(!slot->leased_, "HeartbeatRegistry::reset with live lease");
+  }
+  slots_.clear();
+}
+
+// --- StallWatchdog ---------------------------------------------------------
+
+StallWatchdog::StallWatchdog(WatchdogConfig cfg)
+    : cfg_(std::move(cfg)),
+      registry_(cfg_.heartbeats != nullptr ? cfg_.heartbeats
+                                           : &HeartbeatRegistry::global()) {
+  APM_CHECK(cfg_.check_period_ms >= 1);
+  APM_CHECK(cfg_.stall_timeout_ms > 0.0);
+}
+
+StallWatchdog::~StallWatchdog() { stop(); }
+
+void StallWatchdog::set_telemetry(TelemetrySampler* sampler) {
+  std::lock_guard lock(mu_);
+  sampler_ = sampler;
+}
+
+void StallWatchdog::add_artifact(std::string filename,
+                                 std::function<std::string()> writer) {
+  std::lock_guard lock(mu_);
+  artifacts_.emplace_back(std::move(filename), std::move(writer));
+}
+
+void StallWatchdog::start() {
+  std::lock_guard lock(run_mu_);
+  if (running_) return;
+  APM_CHECK_MSG(!stop_, "StallWatchdog: start() after stop()");
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void StallWatchdog::stop() {
+  {
+    std::lock_guard lock(run_mu_);
+    if (!running_) {
+      stop_ = true;
+      return;
+    }
+    stop_ = true;
+  }
+  run_cv_.notify_all();
+  thread_.join();
+  std::lock_guard lock(run_mu_);
+  running_ = false;
+}
+
+void StallWatchdog::run() {
+  if (tracing_enabled()) set_thread_name("watchdog");
+  const auto period = std::chrono::milliseconds(cfg_.check_period_ms);
+  std::unique_lock lock(run_mu_);
+  while (!stop_) {
+    lock.unlock();
+    check_once();
+    lock.lock();
+    run_cv_.wait_for(lock, period, [this] { return stop_; });
+  }
+}
+
+bool StallWatchdog::check_once(std::uint64_t now_ns_override) {
+  const std::uint64_t now = now_ns_override != 0 ? now_ns_override : now_ns();
+  const std::vector<Heartbeat*> beats = registry_->leased();
+
+  std::string reason;
+  bool clean = true;
+  {
+    std::lock_guard lock(mu_);
+    ++checks_;
+    const auto stall_ns =
+        static_cast<std::uint64_t>(cfg_.stall_timeout_ms * 1e6);
+    for (Heartbeat* hb : beats) {
+      HbState& st = state_[hb];
+      const std::uint64_t count = hb->count();
+      if (st.last_progress_ns == 0 || count != st.last_count ||
+          !hb->active()) {
+        // First sighting, fresh progress, or a legitimate block — either
+        // way the stall clock restarts here.
+        st.last_count = count;
+        st.last_progress_ns = now;
+        continue;
+      }
+      if (now - st.last_progress_ns >= stall_ns) {
+        clean = false;
+        if (!reason.empty()) reason += ", ";
+        reason += "stall:" + hb->name();
+      }
+    }
+  }
+
+  // The breach feed reads the sampler's latest frame (its own lock) —
+  // outside mu_ to keep the lock order one-way.
+  TelemetrySampler* sampler = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    sampler = sampler_;
+  }
+  if (sampler != nullptr) {
+    for (const std::string& label : sampler->breached_labels()) {
+      clean = false;
+      if (!reason.empty()) reason += ", ";
+      reason += "slo-breach:" + label;
+    }
+  }
+
+  bool fire = false;
+  {
+    std::lock_guard lock(mu_);
+    if (clean) {
+      armed_ = true;  // trouble cleared since the last dump: re-arm
+    } else if (armed_ && dumps_ < cfg_.max_dumps) {
+      armed_ = false;
+      fire = true;
+    }
+  }
+  if (fire) {
+    emit_instant("watchdog.fire", "obs");
+    write_dump(reason);
+  }
+  return fire;
+}
+
+DumpReport StallWatchdog::dump_now(const std::string& reason) {
+  return write_dump(reason);
+}
+
+DumpReport StallWatchdog::write_dump(const std::string& reason) {
+  namespace fs = std::filesystem;
+  DumpReport report;
+  report.reason = reason;
+  report.ts_ns = now_ns();
+
+  std::vector<std::pair<std::string, std::function<std::string()>>> artifacts;
+  TelemetrySampler* sampler = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    report.dir = cfg_.dump_dir + "/pm-" + std::to_string(dump_seq_++) + "-" +
+                 std::to_string(report.ts_ns);
+    artifacts = artifacts_;
+    sampler = sampler_;
+  }
+
+  std::error_code ec;
+  fs::create_directories(report.dir, ec);
+  report.ok = !ec;
+
+  // Recent trace ring, if a session is live. The exporter tolerates a
+  // concurrently-written ring (null-name slots are skipped).
+  if (report.ok && tracing_enabled()) {
+    if (write_chrome_trace_file(report.dir + "/trace.json",
+                                snapshot_trace())) {
+      report.files.push_back("trace.json");
+    } else {
+      report.ok = false;
+    }
+  }
+
+  if (report.ok && sampler != nullptr) {
+    if (sampler->write_jsonl_file(report.dir + "/telemetry.jsonl")) {
+      report.files.push_back("telemetry.jsonl");
+    } else {
+      report.ok = false;
+    }
+  }
+
+  if (report.ok) {
+    MetricsRegistry* metrics = cfg_.metrics != nullptr
+                                   ? cfg_.metrics
+                                   : &MetricsRegistry::global();
+    if (write_text_file(report.dir + "/metrics.prom",
+                        metrics->render_text())) {
+      report.files.push_back("metrics.prom");
+    } else {
+      report.ok = false;
+    }
+  }
+
+  for (const auto& [filename, writer] : artifacts) {
+    if (!report.ok) break;
+    if (write_text_file(report.dir + "/" + filename, writer())) {
+      report.files.push_back(filename);
+    } else {
+      report.ok = false;
+    }
+  }
+
+  // Manifest last: its presence marks the bundle complete.
+  if (report.ok) {
+    std::string manifest = "{\"reason\":";
+    append_escaped(manifest, report.reason);
+    manifest += ",\"ts_ns\":" + std::to_string(report.ts_ns);
+    manifest += ",\"files\":[";
+    for (std::size_t i = 0; i < report.files.size(); ++i) {
+      if (i > 0) manifest.push_back(',');
+      append_escaped(manifest, report.files[i]);
+    }
+    manifest += "]}\n";
+    if (write_text_file(report.dir + "/manifest.json", manifest)) {
+      report.files.push_back("manifest.json");
+    } else {
+      report.ok = false;
+    }
+  }
+
+  {
+    std::lock_guard lock(mu_);
+    ++dumps_;
+    log_.push_back(report);
+  }
+  return report;
+}
+
+int StallWatchdog::dumps() const {
+  std::lock_guard lock(mu_);
+  return dumps_;
+}
+
+std::uint64_t StallWatchdog::checks() const {
+  std::lock_guard lock(mu_);
+  return checks_;
+}
+
+std::vector<DumpReport> StallWatchdog::dump_log() const {
+  std::lock_guard lock(mu_);
+  return log_;
+}
+
+}  // namespace apm::obs

@@ -1,6 +1,8 @@
 #include "serve/aggregate_controller.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 
 #include "obs/trace.hpp"
 #include "support/check.hpp"
@@ -122,6 +124,35 @@ std::uint64_t AggregateController::log_dropped() const {
 
 int AggregateController::retunes(int model_id) const {
   return lanes_.at(static_cast<std::size_t>(model_id)).retunes;
+}
+
+std::string retune_log_jsonl(const std::vector<ThresholdDecision>& log,
+                             std::uint64_t dropped) {
+  const auto num = [](double v) {
+    char buf[48];
+    if (!std::isfinite(v)) return std::string("0");
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  std::string out = "{\"retune_log\":{\"decisions\":" +
+                    std::to_string(log.size()) +
+                    ",\"dropped\":" + std::to_string(dropped) + "}}\n";
+  for (const ThresholdDecision& d : log) {
+    out += "{\"seq\":" + std::to_string(d.seq) +
+           ",\"ts_ns\":" + std::to_string(d.ts_ns) +
+           ",\"model\":" + std::to_string(d.model_id) +
+           ",\"at_seconds\":" + num(d.at_seconds) +
+           ",\"from\":" + std::to_string(d.from) +
+           ",\"to\":" + std::to_string(d.to) +
+           ",\"changed\":" + (d.changed ? "true" : "false") +
+           ",\"predicted_us\":" + num(d.predicted_us) +
+           ",\"current_predicted_us\":" + num(d.current_predicted_us) +
+           ",\"live_games\":" + std::to_string(d.live_games) +
+           ",\"pool\":" + num(d.pool) + ",\"hit_rate\":" + num(d.hit_rate) +
+           ",\"graft_rate\":" + num(d.graft_rate) +
+           ",\"arrivals_per_us\":" + num(d.arrivals_per_us) + "}\n";
+  }
+  return out;
 }
 
 }  // namespace apm

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "perfmodel/arrival.hpp"
@@ -154,5 +155,13 @@ class AggregateController {
   std::uint64_t decision_count_ = 0;
   int total_retunes_ = 0;
 };
+
+// Serialises a retune trajectory as JSONL: one meta line ({"retune_log":
+// {"decisions":N,"dropped":D}}) followed by one object per decision,
+// oldest first. The flight recorder's controller artifact
+// (StallWatchdog::add_artifact) — a post-mortem needs the threshold
+// trajectory that led into the stall, machine-parseable.
+std::string retune_log_jsonl(const std::vector<ThresholdDecision>& log,
+                             std::uint64_t dropped);
 
 }  // namespace apm

@@ -17,6 +17,7 @@ int EvaluatorPool::add_model(const ModelSpec& spec) {
   lane->name = spec.name;
   lane->backend = spec.backend;
   lane->precision = spec.precision;
+  lane->slo = spec.slo;
   if (spec.tt.enabled) {
     TtConfig tt_cfg = spec.tt;
     tt_cfg.name = spec.name;  // trace instants carry the lane name

@@ -87,6 +87,7 @@
 #include "eval/async_batch.hpp"
 #include "eval/evaluator.hpp"
 #include "mcts/transposition.hpp"
+#include "obs/telemetry.hpp"
 
 namespace apm {
 
@@ -108,6 +109,12 @@ struct ModelSpec {
   // tt.name is overwritten with the lane name so the table's trace
   // instants (tt_graft / tt_pending) carry it.
   TtConfig tt;
+  // Latency objective for this lane's REQUEST latency (submit -> future
+  // ready, the queue's request histogram). When enabled, the MatchService
+  // owning this lane evaluates it every publish_metrics() window and
+  // exports "service.<name>.health" (ISSUE 10). Declarative like
+  // precision: the pool stores it, the service enforces it.
+  obs::SloSpec slo;
 };
 
 // Point-in-time telemetry of one lane.
@@ -139,6 +146,9 @@ class EvaluatorPool {
   // The lane's declared precision (immutable after add_model).
   Precision precision(int id) const { return lane(id).precision; }
 
+  // The lane's declared latency objective (immutable after add_model).
+  const obs::SloSpec& slo(int id) const { return lane(id).slo; }
+
   AsyncBatchEvaluator& queue(int id) { return *lane(id).queue; }
   const AsyncBatchEvaluator& queue(int id) const { return *lane(id).queue; }
   InferenceBackend& backend(int id) { return *lane(id).backend; }
@@ -169,6 +179,7 @@ class EvaluatorPool {
     std::string name;
     InferenceBackend* backend = nullptr;
     Precision precision = Precision::kFp32;
+    obs::SloSpec slo;
     // Declaration order is the destruction contract: the queue is destroyed
     // (and drains) before the cache it points at. The TT has no queue
     // dependency — engines reference it directly and must be destroyed

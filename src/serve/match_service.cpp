@@ -4,6 +4,7 @@
 
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "support/check.hpp"
 
 namespace apm {
@@ -71,7 +72,7 @@ MatchService::MatchService(ServiceConfig cfg, const Game& game,
     lane.start_batch_wait = res_.batch->batch_wait_histogram();
     lane.start_backend = res_.batch->backend_histogram();
     lane.last_window = lane.start;
-    lanes_.push_back(lane);
+    lanes_.push_back(std::move(lane));
   }
   auto wl = std::make_unique<Workload>();
   wl->spec.proto = std::shared_ptr<const Game>(game.clone());
@@ -121,7 +122,12 @@ MatchService::MatchService(ServiceConfig cfg, EvaluatorPool& pool,
       lane.start_batch_wait = pool.queue(model_id).batch_wait_histogram();
       lane.start_backend = pool.queue(model_id).backend_histogram();
       lane.last_window = lane.start;
-      lanes_.push_back(lane);
+      if (pool.slo(model_id).enabled) {
+        lane.slo = std::make_unique<obs::SloEvaluator>(pool.slo(model_id));
+        // SLO windows start at the service era, not at queue birth.
+        lane.slo_last = lane.start_request;
+      }
+      lanes_.push_back(std::move(lane));
     }
     workloads_.push_back(std::move(wl));
   }
@@ -376,11 +382,18 @@ void MatchService::worker_loop() {
   // Names this worker's trace track. Only when tracing is already on at
   // worker startup: a tracing-off service must not allocate ring buffers.
   if (obs::tracing_enabled()) obs::set_thread_name("svc.worker");
+  // Watchdog heartbeat: one slot per worker, beaten once per committed
+  // move; the cv wait below is marked idle so a drained service never
+  // reads as stalled (ISSUE 10's false-positive guard).
+  obs::HeartbeatLease hb("svc.worker");
   std::unique_lock lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return stop_ || !ready_.empty() || seatable_locked();
-    });
+    {
+      obs::IdleScope idle(hb.get());
+      work_cv_.wait(lock, [&] {
+        return stop_ || !ready_.empty() || seatable_locked();
+      });
+    }
     if (stop_) return;
 
     Slot* slot = nullptr;
@@ -418,6 +431,7 @@ void MatchService::worker_loop() {
         [&](int action) { slot->engine->advance(action); });
     const std::uint64_t move_end = obs::now_ns();
     hist_move_ns_.record(move_end - move_start);
+    hb->beat();  // one unit of progress = one committed move
     obs::emit_span("move", "serve", move_start, move_end,
                    {{"slot", slot->id},
                     {"workload", slot->workload},
@@ -573,7 +587,26 @@ std::uint64_t MatchService::retune_log_dropped() const {
   return controller_ != nullptr ? controller_->log_dropped() : 0;
 }
 
-void MatchService::publish_metrics() const {
+void MatchService::publish_metrics() {
+  // Each publish call is one SLO evaluation window: advance every
+  // SLO-bearing lane's health state over the request latency recorded
+  // since the previous call (the queue histogram delta).
+  {
+    std::lock_guard lock(mutex_);
+    for (Lane& lane : lanes_) {
+      if (lane.slo == nullptr) continue;
+      const AsyncBatchEvaluator* queue =
+          pool_ != nullptr ? &pool_->queue(lane.model_id) : res_.batch;
+      if (queue == nullptr) continue;
+      const obs::HistogramSnapshot cur = queue->request_histogram();
+      const obs::HistogramSnapshot window = cur.delta(lane.slo_last);
+      lane.slo_last = cur;
+      lane.health = lane.slo->update(window);
+      lane.slo_window_p99_us = lane.slo->last_p99_us();
+      lane.slo_burn = lane.slo->burn_rate();
+    }
+  }
+
   const ServiceStats s = stats();
   obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   reg.counter("service.moves").set(static_cast<std::uint64_t>(s.moves));
@@ -594,6 +627,22 @@ void MatchService::publish_metrics() const {
   reg.set_histogram("service.request_latency_ns", s.request_latency_ns);
   reg.set_histogram("service.batch_wait_ns", s.batch_wait_ns);
   reg.set_histogram("service.backend_eval_ns", s.backend_eval_ns);
+  // Per-lane latency shards and SLO health (pool mode): the telemetry
+  // sampler reads everything — aggregate and per-lane — from the registry,
+  // so publish the lane views under their lane names too. Health is a
+  // gauge (0=healthy 1=warn 2=breach); the sampler's worst_health() and
+  // the watchdog's breach feed key off the ".health" suffix.
+  for (const ServiceLaneStats& ls : s.lanes) {
+    const std::string p = "service." + ls.model + ".";
+    reg.set_histogram(p + "request_latency_ns", ls.request_latency_ns);
+    reg.set_histogram(p + "batch_wait_ns", ls.batch_wait_ns);
+    reg.set_histogram(p + "backend_eval_ns", ls.backend_eval_ns);
+    if (ls.slo_enabled) {
+      reg.gauge(p + "health").set(static_cast<double>(ls.health));
+      reg.gauge(p + "slo_burn").set(ls.slo_burn);
+      reg.gauge(p + "slo_window_p99_us").set(ls.slo_window_p99_us);
+    }
+  }
   // Per-lane shared-TT telemetry (pool mode, TT-bearing lanes only): the
   // table's own counters plus the service's leaf-only graft fold, keyed by
   // lane name so heterogeneous services stay disentangled.
@@ -656,13 +705,16 @@ ServiceStats MatchService::stats() const {
     const BatchQueueStats delta = stats_delta(queue->stats(), lane.start);
     accumulate(s.batch, delta);
     // Era-window latency shards: the queue's lifetime histograms minus the
-    // construction baselines, merged across lanes.
-    s.request_latency_ns.merge(
-        queue->request_histogram().delta(lane.start_request));
-    s.batch_wait_ns.merge(
-        queue->batch_wait_histogram().delta(lane.start_batch_wait));
-    s.backend_eval_ns.merge(
-        queue->backend_histogram().delta(lane.start_backend));
+    // construction baselines, merged across lanes (and kept per lane).
+    const obs::HistogramSnapshot req_delta =
+        queue->request_histogram().delta(lane.start_request);
+    const obs::HistogramSnapshot wait_delta =
+        queue->batch_wait_histogram().delta(lane.start_batch_wait);
+    const obs::HistogramSnapshot backend_delta =
+        queue->backend_histogram().delta(lane.start_backend);
+    s.request_latency_ns.merge(req_delta);
+    s.batch_wait_ns.merge(wait_delta);
+    s.backend_eval_ns.merge(backend_delta);
     const EvalCache* cache = pool_ != nullptr ? pool_->cache(lane.model_id)
                                               : queue->cache();
     if (cache != nullptr) accumulate(s.cache, cache->stats());
@@ -690,6 +742,15 @@ ServiceStats MatchService::stats() const {
       }
       ls.batch = delta;
       if (cache != nullptr) ls.cache = cache->stats();
+      ls.request_latency_ns = req_delta;
+      ls.batch_wait_ns = wait_delta;
+      ls.backend_eval_ns = backend_delta;
+      if (lane.slo != nullptr) {
+        ls.slo_enabled = true;
+        ls.health = lane.health;
+        ls.slo_window_p99_us = lane.slo_window_p99_us;
+        ls.slo_burn = lane.slo_burn;
+      }
       s.lanes.push_back(std::move(ls));
     }
   }

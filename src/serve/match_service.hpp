@@ -81,6 +81,7 @@
 
 #include "mcts/engine.hpp"
 #include "obs/histogram.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/aggregate_controller.hpp"
 #include "serve/evaluator_pool.hpp"
 #include "support/timer.hpp"
@@ -178,6 +179,18 @@ struct ServiceLaneStats {
   TtStatsSnapshot tt;
   BatchQueueStats batch;
   CacheStats cache;
+  // This lane's era-only latency shards (queue histograms minus the
+  // service-construction baseline) — what the aggregate snapshots merge.
+  obs::HistogramSnapshot request_latency_ns;
+  obs::HistogramSnapshot batch_wait_ns;
+  obs::HistogramSnapshot backend_eval_ns;
+  // SLO verdict (ModelSpec::slo): advanced every publish_metrics() window
+  // over the lane's request latency. slo_enabled=false leaves health at
+  // kHealthy with zero burn.
+  bool slo_enabled = false;
+  obs::LaneHealth health = obs::LaneHealth::kHealthy;
+  double slo_window_p99_us = 0.0;
+  double slo_burn = 0.0;
 };
 
 // Aggregate service telemetry. `batch` sums the lane deltas (legacy mode:
@@ -301,9 +314,14 @@ class MatchService {
 
   // Publishes the current ServiceStats into the process-wide
   // MetricsRegistry under "service.*" names (counters, gauges, and the
-  // latency histogram snapshots). Call at any cadence; each call replaces
-  // the previous values.
-  void publish_metrics() const;
+  // latency histogram snapshots — aggregate AND per-lane, so the telemetry
+  // sampler sees one uniform source). Call at any cadence (it is the
+  // natural TelemetrySampler source); each call replaces the previous
+  // values. Non-const: each call is also an SLO evaluation window for
+  // every lane with ModelSpec::slo enabled, advancing the lane's health
+  // state machine and exporting "service.<lane>.health" as a gauge
+  // (0=healthy 1=warn 2=breach).
+  void publish_metrics();
 
   // The eval cache attached to the legacy shared batch queue (nullptr
   // without one, and nullptr in pool mode — use invalidate_model there).
@@ -364,6 +382,14 @@ class MatchService {
     // thins the producer pool by grafts / demand.
     std::uint64_t tt_grafts = 0;
     std::uint64_t tt_demand = 0;  // grafts + eval requests
+    // SLO state (ModelSpec::slo.enabled): evaluator fed one request-latency
+    // window per publish_metrics() call; slo_last is the cumulative
+    // baseline of the previous evaluation. Null when the lane has no SLO.
+    std::unique_ptr<obs::SloEvaluator> slo;
+    obs::HistogramSnapshot slo_last;
+    obs::LaneHealth health = obs::LaneHealth::kHealthy;
+    double slo_window_p99_us = 0.0;
+    double slo_burn = 0.0;
   };
 
   void init_slots();

@@ -1,0 +1,154 @@
+#pragma once
+// Minimal JSON value + recursive-descent parser shared by the obs-plane
+// tests — just enough to round-trip the exporters' output (Chrome trace
+// JSON, telemetry JSONL, dump-bundle manifests) and fail loudly on
+// malformed documents. Deliberately strict: the whole input must be one
+// value (use parse_json per JSONL line).
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace apm::testutil {
+
+struct Json {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  const Json& at(const std::string& key) const {
+    static const Json missing;
+    const auto it = obj.find(key);
+    return it == obj.end() ? missing : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(Json* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) return false;
+            c = static_cast<char>(
+                std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          default: return false;
+        }
+      }
+      out->push_back(c);
+    }
+    return consume('"');
+  }
+  bool value(Json* out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = Json::kObject;
+      skip_ws();
+      if (consume('}')) return true;
+      while (true) {
+        std::string key;
+        skip_ws();
+        if (!string(&key)) return false;
+        skip_ws();
+        if (!consume(':')) return false;
+        if (!value(&out->obj[key])) return false;
+        skip_ws();
+        if (consume('}')) return true;
+        if (!consume(',')) return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = Json::kArray;
+      skip_ws();
+      if (consume(']')) return true;
+      while (true) {
+        out->arr.emplace_back();
+        if (!value(&out->arr.back())) return false;
+        skip_ws();
+        if (consume(']')) return true;
+        if (!consume(',')) return false;
+      }
+    }
+    if (c == '"') {
+      out->kind = Json::kString;
+      return string(&out->str);
+    }
+    if (c == 't') {
+      out->kind = Json::kBool;
+      out->b = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out->kind = Json::kBool;
+      return literal("false");
+    }
+    if (c == 'n') return literal("null");
+    out->kind = Json::kNumber;
+    char* end = nullptr;
+    out->num = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) return false;
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+inline bool parse_json(const std::string& text, Json* out) {
+  return JsonParser(text).parse(out);
+}
+
+}  // namespace apm::testutil

@@ -27,6 +27,7 @@
 #include "obs/trace_export.hpp"
 #include "serve/aggregate_controller.hpp"
 #include "serve/match_service.hpp"
+#include "json_test_util.hpp"
 
 // --- global allocation counter (DisabledPathIsAllocationFree) --------------
 // Counts every operator-new in the process. Replacing the global operator is
@@ -407,142 +408,10 @@ TEST_F(TraceTest, ResetRearmsLazyRegistration) {
 // Chrome trace-event JSON round trip
 // ===========================================================================
 
-// Minimal JSON value + recursive-descent parser — just enough to round-trip
-// the exporter's output and fail loudly on malformed documents.
-struct Json {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = kNull;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<Json> arr;
-  std::map<std::string, Json> obj;
-
-  const Json& at(const std::string& key) const {
-    static const Json missing;
-    const auto it = obj.find(key);
-    return it == obj.end() ? missing : it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  bool parse(Json* out) {
-    skip_ws();
-    if (!value(out)) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
-                                s_[pos_] == '\t' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-  bool consume(char c) {
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool literal(const char* lit) {
-    const std::size_t n = std::char_traits<char>::length(lit);
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-  bool string(std::string* out) {
-    if (!consume('"')) return false;
-    out->clear();
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      char c = s_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= s_.size()) return false;
-        const char esc = s_[pos_++];
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          case 'u':
-            if (pos_ + 4 > s_.size()) return false;
-            c = static_cast<char>(
-                std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16));
-            pos_ += 4;
-            break;
-          default: return false;
-        }
-      }
-      out->push_back(c);
-    }
-    return consume('"');
-  }
-  bool value(Json* out) {
-    skip_ws();
-    if (pos_ >= s_.size()) return false;
-    const char c = s_[pos_];
-    if (c == '{') {
-      ++pos_;
-      out->kind = Json::kObject;
-      skip_ws();
-      if (consume('}')) return true;
-      while (true) {
-        std::string key;
-        skip_ws();
-        if (!string(&key)) return false;
-        skip_ws();
-        if (!consume(':')) return false;
-        if (!value(&out->obj[key])) return false;
-        skip_ws();
-        if (consume('}')) return true;
-        if (!consume(',')) return false;
-      }
-    }
-    if (c == '[') {
-      ++pos_;
-      out->kind = Json::kArray;
-      skip_ws();
-      if (consume(']')) return true;
-      while (true) {
-        out->arr.emplace_back();
-        if (!value(&out->arr.back())) return false;
-        skip_ws();
-        if (consume(']')) return true;
-        if (!consume(',')) return false;
-      }
-    }
-    if (c == '"') {
-      out->kind = Json::kString;
-      return string(&out->str);
-    }
-    if (c == 't') {
-      out->kind = Json::kBool;
-      out->b = true;
-      return literal("true");
-    }
-    if (c == 'f') {
-      out->kind = Json::kBool;
-      return literal("false");
-    }
-    if (c == 'n') return literal("null");
-    out->kind = Json::kNumber;
-    char* end = nullptr;
-    out->num = std::strtod(s_.c_str() + pos_, &end);
-    if (end == s_.c_str() + pos_) return false;
-    pos_ = static_cast<std::size_t>(end - s_.c_str());
-    return true;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+// The in-test JSON parser now lives in tests/json_test_util.hpp, shared
+// with test_telemetry's dump-bundle round-trip.
+using testutil::Json;
+using testutil::JsonParser;
 
 TEST_F(TraceTest, ExporterJsonRoundTrip) {
   obs::set_tracing(true);
@@ -629,7 +498,8 @@ TEST(MetricsRegistry, PublishAndRender) {
   EXPECT_EQ(&reg.counter("obs_test.count"), &reg.counter("obs_test.count"));
   EXPECT_EQ(reg.counter("obs_test.count").value(), 3u);
 
-  const std::string text = reg.render_text();
+  // The original human-readable dump survives behind the format flag.
+  const std::string text = reg.render_text(obs::TextFormat::kHuman);
   EXPECT_NE(text.find("counter obs_test.count 3"), std::string::npos) << text;
   EXPECT_NE(text.find("gauge obs_test.rate 0.5"), std::string::npos) << text;
   EXPECT_NE(text.find("histogram obs_test.live_ns count=100"),
@@ -642,6 +512,62 @@ TEST(MetricsRegistry, PublishAndRender) {
   reg.reset();
   EXPECT_EQ(reg.counter("obs_test.count").value(), 0u);
   EXPECT_TRUE(reg.histogram("obs_test.live_ns").snapshot().empty());
+}
+
+TEST(MetricsRegistry, PrometheusExposition) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.reset();
+
+  reg.counter("obs_test.count").add(3);
+  reg.gauge("obs_test.rate").set(0.5);
+  obs::LatencyHistogram& live = reg.histogram("obs_test.live_ns");
+  for (int i = 0; i < 100; ++i) live.record(50'000);
+  live.record(7);
+
+  const std::string text = reg.render_text();  // kPrometheus is the default
+
+  // Dotted names are sanitized to legal Prometheus identifiers with TYPE
+  // declarations.
+  EXPECT_NE(text.find("# TYPE obs_test_count counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("obs_test_count 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE obs_test_rate gauge"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("obs_test_rate 0.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE obs_test_live_ns histogram"), std::string::npos)
+      << text;
+
+  // The bucket series is CUMULATIVE: the value-7 record occupies its exact
+  // low bucket (le="7"), and the 50k records accumulate on top of it at
+  // their octave bound; +Inf carries the total with matching _count/_sum.
+  EXPECT_NE(text.find("obs_test_live_ns_bucket{le=\"7\"} 1"),
+            std::string::npos)
+      << text;
+  const int idx = obs::hist_bucket_index(50'000);
+  const std::uint64_t le =
+      obs::hist_bucket_lower(idx) + obs::hist_bucket_width(idx) - 1;
+  EXPECT_NE(text.find("obs_test_live_ns_bucket{le=\"" + std::to_string(le) +
+                      "\"} 101"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("obs_test_live_ns_bucket{le=\"+Inf\"} 101"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("obs_test_live_ns_count 101"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("obs_test_live_ns_sum 5000007"), std::string::npos)
+      << text;
+
+  // A published snapshot under the same name REPLACES the live series in
+  // the exposition (one uniform source, no duplicate metric families).
+  obs::LatencyHistogram src;
+  src.record(123);
+  reg.set_histogram("obs_test.live_ns", src.snapshot());
+  const std::string pub = reg.render_text();
+  EXPECT_NE(pub.find("obs_test_live_ns_count 1"), std::string::npos) << pub;
+  EXPECT_EQ(pub.find("obs_test_live_ns_count 101"), std::string::npos) << pub;
+
+  reg.reset();
 }
 
 // ===========================================================================

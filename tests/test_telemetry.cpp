@@ -1,0 +1,508 @@
+// Telemetry-pipeline tests (ISSUE 10): the bounded frame ring (wrap keeps
+// the newest frames with an exact dropped count), SLO classification
+// against synthetic latency sequences (HEALTHY→WARN→BREACH transitions
+// and stepped hysteresis on recovery), the watchdog's false-positive
+// guards (a slow-but-beating worker never fires; an idle worker never
+// fires), deterministic stall detection via injected time, and the
+// flight-recorder dump-bundle round-trip (every artifact parses through
+// the shared in-test JSON parser). This binary runs under ASan/UBSan and
+// TSan in CI; the concurrent section hammers heartbeats against a live
+// watchdog thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_test_util.hpp"
+#include "obs/registry.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
+
+namespace apm {
+namespace {
+
+using testutil::Json;
+using testutil::parse_json;
+
+// Feeds `n` records of `value_ns` into a histogram snapshot — one
+// synthetic SLO evaluation window.
+obs::HistogramSnapshot window_of(std::uint64_t value_ns, int n) {
+  obs::LatencyHistogram h;
+  for (int i = 0; i < n; ++i) h.record(value_ns);
+  return h.snapshot();
+}
+
+obs::SloSpec test_spec() {
+  obs::SloSpec spec;
+  spec.enabled = true;
+  spec.p99_target_us = 100.0;  // 100 µs target
+  spec.warn_burn = 1.0;
+  spec.breach_burn = 2.0;
+  spec.warn_windows = 1;
+  spec.breach_windows = 3;
+  spec.fast_windows = 1;
+  spec.clear_windows = 2;
+  spec.min_samples = 8;
+  return spec;
+}
+
+// ===========================================================================
+// SLO classification
+// ===========================================================================
+
+TEST(SloEvaluator, HealthyUnderTarget) {
+  obs::SloEvaluator eval(test_spec());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(eval.update(window_of(50'000, 20)), obs::LaneHealth::kHealthy);
+  }
+  EXPECT_NEAR(eval.burn_rate(), 0.5, 0.1);  // bucketed: ≤12.5% error
+}
+
+TEST(SloEvaluator, SlowBurnEscalatesWarnThenBreach) {
+  // 1.5× target: burns (>= warn_burn) but never fast-burns.
+  obs::SloEvaluator eval(test_spec());
+  EXPECT_EQ(eval.update(window_of(160'000, 20)), obs::LaneHealth::kWarn);
+  EXPECT_EQ(eval.update(window_of(160'000, 20)), obs::LaneHealth::kWarn);
+  // Third consecutive burning window crosses breach_windows.
+  EXPECT_EQ(eval.update(window_of(160'000, 20)), obs::LaneHealth::kBreach);
+}
+
+TEST(SloEvaluator, FastBurnBreachesImmediately) {
+  obs::SloEvaluator eval(test_spec());
+  // 5× target >= breach_burn: one window suffices (fast_windows = 1).
+  EXPECT_EQ(eval.update(window_of(500'000, 20)), obs::LaneHealth::kBreach);
+  EXPECT_GE(eval.burn_rate(), 2.0);
+}
+
+TEST(SloEvaluator, RecoveryIsSteppedHysteresis) {
+  obs::SloEvaluator eval(test_spec());
+  EXPECT_EQ(eval.update(window_of(500'000, 20)), obs::LaneHealth::kBreach);
+  // One calm window must NOT clear a breach (clear_windows = 2)...
+  EXPECT_EQ(eval.update(window_of(50'000, 20)), obs::LaneHealth::kBreach);
+  // ...two step down ONE level, to WARN, not straight to healthy...
+  EXPECT_EQ(eval.update(window_of(50'000, 20)), obs::LaneHealth::kWarn);
+  EXPECT_EQ(eval.update(window_of(50'000, 20)), obs::LaneHealth::kWarn);
+  // ...and two more finally restore HEALTHY.
+  EXPECT_EQ(eval.update(window_of(50'000, 20)), obs::LaneHealth::kHealthy);
+}
+
+TEST(SloEvaluator, CalmWindowInterruptsBurnStreak) {
+  obs::SloEvaluator eval(test_spec());
+  EXPECT_EQ(eval.update(window_of(160'000, 20)), obs::LaneHealth::kWarn);
+  EXPECT_EQ(eval.update(window_of(160'000, 20)), obs::LaneHealth::kWarn);
+  // A calm window resets the burning streak: the next burning window is
+  // streak 1 again, so no breach fires at "cumulative 3".
+  eval.update(window_of(50'000, 20));
+  eval.update(window_of(50'000, 20));  // two calm: steps WARN -> HEALTHY
+  EXPECT_EQ(eval.health(), obs::LaneHealth::kHealthy);
+  EXPECT_EQ(eval.update(window_of(160'000, 20)), obs::LaneHealth::kWarn);
+}
+
+TEST(SloEvaluator, TinyWindowsLeaveStateUntouched) {
+  obs::SloEvaluator eval(test_spec());
+  // 4 samples < min_samples=8: even a catastrophic p99 is not evidence.
+  EXPECT_EQ(eval.update(window_of(10'000'000, 4)), obs::LaneHealth::kHealthy);
+  // And an idle lane in breach must not heal on near-empty windows.
+  eval.update(window_of(500'000, 20));
+  ASSERT_EQ(eval.health(), obs::LaneHealth::kBreach);
+  for (int i = 0; i < 5; ++i) eval.update(window_of(1'000, 2));
+  EXPECT_EQ(eval.health(), obs::LaneHealth::kBreach);
+}
+
+// ===========================================================================
+// Telemetry ring
+// ===========================================================================
+
+TEST(TelemetrySampler, RingWrapKeepsNewestAndCountsDropped) {
+  obs::MetricsRegistry reg;
+  obs::TelemetrySamplerConfig cfg;
+  cfg.ring_capacity = 4;
+  cfg.registry = &reg;
+  obs::TelemetrySampler sampler(cfg);
+
+  reg.counter("t.ticks");
+  for (int i = 0; i < 10; ++i) {
+    reg.counter("t.ticks").add(1);
+    sampler.tick();
+  }
+
+  const auto snap = sampler.frames();
+  EXPECT_EQ(snap.total, 10u);
+  EXPECT_EQ(snap.dropped, 6u);  // exact: 10 sampled - 4 kept
+  ASSERT_EQ(snap.frames.size(), 4u);
+  // The survivors are the NEWEST frames, oldest first, seq gap-free.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap.frames[i].seq, 6 + i);
+    EXPECT_EQ(snap.frames[i].counters.at("t.ticks"), 7 + i);
+  }
+}
+
+TEST(TelemetrySampler, FramesAreDeltaAware) {
+  obs::MetricsRegistry reg;
+  obs::TelemetrySamplerConfig cfg;
+  cfg.registry = &reg;
+  obs::TelemetrySampler sampler(cfg);
+
+  obs::LatencyHistogram& h = reg.histogram("t.lat_ns");
+  for (int i = 0; i < 100; ++i) h.record(10'000);
+  const obs::TelemetryFrame f1 = sampler.tick();
+  // Second era: same histogram, much slower values.
+  for (int i = 0; i < 50; ++i) h.record(1'000'000);
+  const obs::TelemetryFrame f2 = sampler.tick();
+
+  const obs::FrameHistStat& s1 = f1.histograms.at("t.lat_ns");
+  EXPECT_EQ(s1.count, 100u);
+  EXPECT_EQ(s1.window_count, 100u);  // first frame: window == cumulative
+
+  const obs::FrameHistStat& s2 = f2.histograms.at("t.lat_ns");
+  EXPECT_EQ(s2.count, 150u);        // cumulative keeps the first era
+  EXPECT_EQ(s2.window_count, 50u);  // window sees ONLY the new records
+  // The windowed p99 reflects the slow era alone; the cumulative p50 still
+  // sits in the fast era (100 of 150 records).
+  EXPECT_GT(s2.window_p99, 500'000.0);
+  EXPECT_LT(s2.p50, 100'000.0);
+}
+
+TEST(TelemetrySampler, WatchSloClassifiesAndExportsJsonl) {
+  obs::MetricsRegistry reg;
+  obs::TelemetrySamplerConfig cfg;
+  cfg.registry = &reg;
+  obs::TelemetrySampler sampler(cfg);
+  sampler.watch_slo("lane0", "t.lat_ns", test_spec());
+
+  obs::LatencyHistogram& h = reg.histogram("t.lat_ns");
+  for (int i = 0; i < 20; ++i) h.record(50'000);
+  sampler.tick();
+  EXPECT_EQ(sampler.worst_health(), obs::LaneHealth::kHealthy);
+  EXPECT_TRUE(sampler.breached_labels().empty());
+
+  for (int i = 0; i < 20; ++i) h.record(5'000'000);
+  sampler.tick();
+  EXPECT_EQ(sampler.worst_health(), obs::LaneHealth::kBreach);
+  ASSERT_EQ(sampler.breached_labels().size(), 1u);
+  EXPECT_EQ(sampler.breached_labels()[0], "lane0");
+
+  // ".health" gauges fold into the same feeds (the MatchService path).
+  reg.gauge("service.net.health").set(2.0);
+  sampler.tick();
+  EXPECT_EQ(sampler.breached_labels().size(), 2u);
+
+  // Every JSONL line parses and carries the SLO verdicts.
+  std::ostringstream out;
+  sampler.write_jsonl(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  int n = 0;
+  std::string last;
+  while (std::getline(lines, line)) {
+    Json doc;
+    ASSERT_TRUE(parse_json(line, &doc)) << line;
+    EXPECT_EQ(doc.at("slo").kind, Json::kArray);
+    last = line;
+    ++n;
+  }
+  EXPECT_EQ(n, 3);
+  Json doc;
+  ASSERT_TRUE(parse_json(last, &doc));
+  EXPECT_EQ(doc.at("slo").arr.at(0).at("label").str, "lane0");
+  EXPECT_EQ(doc.at("slo").arr.at(0).at("health").str, "breach");
+}
+
+// ===========================================================================
+// Heartbeats & watchdog
+// ===========================================================================
+
+TEST(Heartbeat, LeaseReusesSlotByNameAndKeepsCountMonotone) {
+  obs::HeartbeatRegistry reg;
+  obs::Heartbeat* first = nullptr;
+  {
+    obs::HeartbeatLease lease("worker", reg);
+    first = lease.get();
+    lease->beat();
+    lease->beat();
+    EXPECT_EQ(lease->count(), 2u);
+    EXPECT_TRUE(lease->active());
+  }
+  EXPECT_FALSE(first->active());  // released = idle
+  {
+    // Re-acquisition by the same name REUSES the slot; the count is NOT
+    // reset, so reuse can never look like lost progress.
+    obs::HeartbeatLease lease("worker", reg);
+    EXPECT_EQ(lease.get(), first);
+    EXPECT_EQ(lease->count(), 2u);
+    obs::HeartbeatLease other("other", reg);
+    EXPECT_NE(other.get(), first);
+    EXPECT_EQ(reg.leased().size(), 2u);
+  }
+  EXPECT_TRUE(reg.leased().empty());
+}
+
+// Watchdog timing tests inject `now` so they are deterministic: no sleeps,
+// no flakes under sanitizer slowdowns.
+TEST(StallWatchdog, SlowButBeatingWorkerNeverFires) {
+  obs::HeartbeatRegistry hbr;
+  obs::WatchdogConfig cfg;
+  cfg.stall_timeout_ms = 10.0;  // 10 ms
+  cfg.heartbeats = &hbr;
+  cfg.dump_dir = "tt_wd_nofire";
+  obs::StallWatchdog wd(cfg);
+
+  obs::HeartbeatLease hb("slow.worker", hbr);
+  std::uint64_t now = 1;
+  // The worker beats only every ~8 ms — slower than the check period but
+  // always inside the stall timeout. 100 checks, zero dumps.
+  for (int i = 0; i < 100; ++i) {
+    now += 8'000'000;
+    hb->beat();
+    EXPECT_FALSE(wd.check_once(now));
+  }
+  EXPECT_EQ(wd.dumps(), 0);
+  EXPECT_EQ(wd.checks(), 100u);
+}
+
+TEST(StallWatchdog, IdleWorkerNeverFires) {
+  obs::HeartbeatRegistry hbr;
+  obs::WatchdogConfig cfg;
+  cfg.stall_timeout_ms = 10.0;
+  cfg.heartbeats = &hbr;
+  cfg.dump_dir = "tt_wd_idle";
+  obs::StallWatchdog wd(cfg);
+
+  obs::HeartbeatLease hb("parked.worker", hbr);
+  hb->set_active(false);  // blocked on a cv — legitimately silent
+  std::uint64_t now = 1;
+  for (int i = 0; i < 50; ++i) {
+    now += 100'000'000;  // 100 ms of silence per check, 10 ms timeout
+    EXPECT_FALSE(wd.check_once(now));
+  }
+  EXPECT_EQ(wd.dumps(), 0);
+}
+
+TEST(StallWatchdog, ActiveSilenceFiresOnceAndRearmsAfterClean) {
+  obs::HeartbeatRegistry hbr;
+  obs::WatchdogConfig cfg;
+  cfg.stall_timeout_ms = 10.0;
+  cfg.max_dumps = 2;
+  cfg.heartbeats = &hbr;
+  cfg.dump_dir = "tt_wd_fire";
+  std::filesystem::remove_all(cfg.dump_dir);
+  obs::StallWatchdog wd(cfg);
+
+  obs::HeartbeatLease hb("stuck.worker", hbr);
+  std::uint64_t now = 1;
+  EXPECT_FALSE(wd.check_once(now));  // first sighting seeds the state
+  now += 20'000'000;                 // 20 ms of ACTIVE silence
+  EXPECT_TRUE(wd.check_once(now));   // stall -> dump
+  EXPECT_EQ(wd.dumps(), 1);
+  // Still stalled on the next checks: the re-arm gate holds (no storm).
+  now += 20'000'000;
+  EXPECT_FALSE(wd.check_once(now));
+  EXPECT_EQ(wd.dumps(), 1);
+  // Progress clears the condition (re-arms)...
+  hb->beat();
+  now += 1'000'000;
+  EXPECT_FALSE(wd.check_once(now));
+  // ...so a SECOND stall fires a second dump, then max_dumps caps it.
+  now += 20'000'000;
+  EXPECT_TRUE(wd.check_once(now));
+  EXPECT_EQ(wd.dumps(), 2);
+  hb->beat();
+  wd.check_once(now + 21'000'000);
+  EXPECT_FALSE(wd.check_once(now + 42'000'000));  // capped
+  EXPECT_EQ(wd.dumps(), 2);
+
+  const auto log = wd.dump_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_NE(log[0].reason.find("stall:stuck.worker"), std::string::npos);
+  std::filesystem::remove_all(cfg.dump_dir);
+}
+
+TEST(StallWatchdog, SloBreachFiresViaSamplerFeed) {
+  obs::MetricsRegistry mreg;
+  obs::TelemetrySamplerConfig scfg;
+  scfg.registry = &mreg;
+  obs::TelemetrySampler sampler(scfg);
+  sampler.watch_slo("lane0", "t.lat_ns", test_spec());
+
+  obs::HeartbeatRegistry hbr;  // empty: no stalls possible
+  obs::WatchdogConfig cfg;
+  cfg.heartbeats = &hbr;
+  cfg.dump_dir = "tt_wd_slo";
+  std::filesystem::remove_all(cfg.dump_dir);
+  obs::StallWatchdog wd(cfg);
+  wd.set_telemetry(&sampler);
+
+  obs::LatencyHistogram& h = mreg.histogram("t.lat_ns");
+  for (int i = 0; i < 20; ++i) h.record(50'000);
+  sampler.tick();
+  EXPECT_FALSE(wd.check_once(1));  // healthy: no dump
+
+  for (int i = 0; i < 20; ++i) h.record(5'000'000);
+  sampler.tick();
+  EXPECT_TRUE(wd.check_once(2));  // breach in the latest frame
+  const auto log = wd.dump_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_NE(log[0].reason.find("slo-breach:lane0"), std::string::npos);
+  std::filesystem::remove_all(cfg.dump_dir);
+}
+
+// ===========================================================================
+// Flight-recorder bundle round-trip
+// ===========================================================================
+
+TEST(StallWatchdog, DumpBundleRoundTripsThroughJsonParser) {
+  // Trace session so the bundle includes trace.json.
+  obs::set_tracing(false);
+  obs::reset_trace();
+  obs::set_trace_capacity(1 << 12);
+  obs::set_tracing(true);
+  const std::uint64_t t0 = obs::now_ns();
+  obs::emit_span("bundle.span", "test", t0, t0 + 1000, {{"k", 1}});
+
+  obs::MetricsRegistry mreg;
+  obs::TelemetrySamplerConfig scfg;
+  scfg.registry = &mreg;
+  obs::TelemetrySampler sampler(scfg);
+  mreg.counter("bundle.count").add(7);
+  mreg.histogram("bundle.lat_ns").record(42);
+  sampler.tick();
+  sampler.tick();
+
+  obs::HeartbeatRegistry hbr;
+  obs::WatchdogConfig cfg;
+  cfg.heartbeats = &hbr;
+  cfg.metrics = &mreg;
+  cfg.dump_dir = "tt_wd_bundle";
+  std::filesystem::remove_all(cfg.dump_dir);
+  obs::StallWatchdog wd(cfg);
+  wd.set_telemetry(&sampler);
+  wd.add_artifact("retune.jsonl", [] {
+    return std::string("{\"retune_log\":{\"decisions\":0,\"dropped\":0}}\n");
+  });
+
+  const obs::DumpReport report = wd.dump_now("test-dump");
+  obs::set_tracing(false);
+  ASSERT_TRUE(report.ok) << report.dir;
+  ASSERT_TRUE(std::filesystem::is_directory(report.dir));
+
+  const auto slurp = [&](const std::string& rel) {
+    std::ifstream in(report.dir + "/" + rel);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+
+  // manifest.json names every artifact; each named file exists.
+  Json manifest;
+  ASSERT_TRUE(parse_json(slurp("manifest.json"), &manifest));
+  EXPECT_EQ(manifest.at("reason").str, "test-dump");
+  ASSERT_EQ(manifest.at("files").kind, Json::kArray);
+  for (const Json& f : manifest.at("files").arr) {
+    EXPECT_TRUE(std::filesystem::exists(report.dir + "/" + f.str)) << f.str;
+  }
+
+  // trace.json loads through the same parser the PR 8 exporter test uses,
+  // and still contains the span emitted above.
+  Json trace;
+  ASSERT_TRUE(parse_json(slurp("trace.json"), &trace));
+  bool found_span = false;
+  for (const Json& ev : trace.at("traceEvents").arr) {
+    if (ev.at("name").str == "bundle.span") found_span = true;
+  }
+  EXPECT_TRUE(found_span);
+
+  // telemetry.jsonl: one valid frame object per line, counters intact.
+  {
+    std::istringstream lines(slurp("telemetry.jsonl"));
+    std::string line;
+    int n = 0;
+    while (std::getline(lines, line)) {
+      Json doc;
+      ASSERT_TRUE(parse_json(line, &doc)) << line;
+      EXPECT_EQ(doc.at("counters").at("bundle.count").num, 7.0);
+      ++n;
+    }
+    EXPECT_EQ(n, 2);
+  }
+
+  // The artifact writer's payload landed verbatim and parses per line.
+  {
+    std::istringstream lines(slurp("retune.jsonl"));
+    std::string line;
+    while (std::getline(lines, line)) {
+      Json doc;
+      ASSERT_TRUE(parse_json(line, &doc)) << line;
+    }
+  }
+
+  // metrics.prom is present and exposition-shaped.
+  EXPECT_NE(slurp("metrics.prom").find("# TYPE"), std::string::npos);
+
+  // A clean watchdog (no stall, no breach) writes NOTHING further.
+  EXPECT_FALSE(wd.check_once(1));
+  std::size_t entries = 0;
+  for (const auto& e :
+       std::filesystem::directory_iterator(cfg.dump_dir)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);  // only the manual bundle
+  std::filesystem::remove_all(cfg.dump_dir);
+}
+
+// ===========================================================================
+// Concurrency (TSan coverage)
+// ===========================================================================
+
+TEST(Watchdog, ConcurrentBeatsAndChecksAreRaceFree) {
+  obs::HeartbeatRegistry hbr;
+  obs::WatchdogConfig cfg;
+  cfg.check_period_ms = 1;
+  cfg.stall_timeout_ms = 60'000.0;  // nothing should fire
+  cfg.heartbeats = &hbr;
+  cfg.dump_dir = "tt_wd_conc";
+  obs::StallWatchdog wd(cfg);
+
+  obs::MetricsRegistry mreg;
+  obs::TelemetrySamplerConfig scfg;
+  scfg.sample_period_ms = 1;
+  scfg.registry = &mreg;
+  obs::TelemetrySampler sampler(scfg);
+  sampler.watch_slo("lane", "conc.lat_ns", test_spec());
+  wd.set_telemetry(&sampler);
+
+  sampler.start();
+  wd.start();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&hbr, &mreg, w] {
+      obs::HeartbeatLease hb("conc.worker." + std::to_string(w), hbr);
+      obs::LatencyHistogram& h = mreg.histogram("conc.lat_ns");
+      for (int i = 0; i < 2000; ++i) {
+        h.record(1'000 + static_cast<std::uint64_t>(i));
+        hb->beat();
+        if (i % 64 == 0) {
+          obs::IdleScope idle(hb.get());
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  wd.stop();
+  sampler.stop();
+
+  EXPECT_EQ(wd.dumps(), 0);
+  EXPECT_GT(sampler.frames().total, 0u);
+}
+
+}  // namespace
+}  // namespace apm
